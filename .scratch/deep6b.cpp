@@ -1,0 +1,24 @@
+#include "synthesis/synthesize.hpp"
+#include <cstdio>
+using namespace synccount;
+void probe(int n, counting::Symmetry sym, int R, std::uint64_t budget) {
+  synthesis::SynthesisSpec spec;
+  spec.n = n; spec.f = 1; spec.num_states = 2; spec.modulus = 2; spec.symmetry = sym;
+  synthesis::SynthesisOptions opt; opt.min_time = R; opt.max_time = R; opt.conflict_budget = budget;
+  auto out = synthesize(spec, opt);
+  printf("n=%d |X|=2 %s R=%d: found=%d unknown=%d exactT=%llu conflicts=%llu\n",
+         n, counting::to_string(sym), R, out.found, out.budget_exhausted,
+         (unsigned long long)out.exact_time, (unsigned long long)out.total_conflicts);
+  fflush(stdout);
+  if (out.found) {
+    printf("g = {"); for (auto v : out.table.g) printf("%d,", v);
+    printf("};\nh = {"); for (auto v : out.table.h) printf("%d,", v); printf("};\n");
+    fflush(stdout);
+  }
+}
+int main() {
+  for (int R = 4; R <= 8; ++R) probe(7, counting::Symmetry::kCyclic, R, 2000000);
+  for (int R = 5; R <= 7; ++R) probe(6, counting::Symmetry::kPerNode, R, 2000000);
+  for (int R = 9; R <= 12; ++R) probe(6, counting::Symmetry::kCyclic, R, 3000000);
+  return 0;
+}

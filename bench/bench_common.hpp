@@ -1,0 +1,73 @@
+// Shared helpers for the benchmark harnesses: repeated stabilisation
+// measurements across seeds/adversaries/placements, wall-clock timing, and
+// common CLI conventions (--seeds=N, --deep for the expensive sweeps).
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/adversaries.hpp"
+#include "sim/faults.hpp"
+#include "sim/runner.hpp"
+#include "util/math.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace synccount::bench {
+
+struct Measurement {
+  util::Summary stabilisation;  // observed stabilisation rounds
+  int runs = 0;
+  int stabilised_runs = 0;
+  double wall_seconds = 0.0;
+};
+
+struct MeasureOptions {
+  int seeds = 3;
+  std::vector<std::string> adversaries = {"split"};
+  std::uint64_t extra_rounds = 300;   // horizon = bound + extra
+  std::uint64_t horizon_override = 0; // used when no bound exists
+  std::uint64_t margin = 100;
+  std::uint64_t stop_after_stable = 0;
+};
+
+inline Measurement measure_stabilisation(const counting::AlgorithmPtr& algo,
+                                         const std::vector<bool>& faulty,
+                                         const MeasureOptions& opt) {
+  Measurement m;
+  std::vector<double> samples;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& adv_name : opt.adversaries) {
+    for (int s = 0; s < opt.seeds; ++s) {
+      sim::RunConfig cfg;
+      cfg.algo = algo;
+      cfg.faulty = faulty;
+      const auto bound = algo->stabilisation_bound();
+      cfg.max_rounds = bound ? *bound + opt.extra_rounds
+                             : (opt.horizon_override ? opt.horizon_override : 20000);
+      cfg.seed = 0x9000 + static_cast<std::uint64_t>(s) * 131;
+      cfg.stop_after_stable = opt.stop_after_stable;
+      auto adv = sim::make_adversary(adv_name);
+      const auto res = sim::run_execution(cfg, *adv, opt.margin);
+      ++m.runs;
+      if (res.stabilised) {
+        ++m.stabilised_runs;
+        samples.push_back(static_cast<double>(res.stabilisation_round));
+      }
+    }
+  }
+  m.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  m.stabilisation = util::summarize(std::move(samples));
+  return m;
+}
+
+inline std::string fmt_rounds(const Measurement& m) {
+  if (m.stabilised_runs == 0) return "-";
+  return util::fmt_double(m.stabilisation.mean, 0) + " (max " +
+         util::fmt_double(m.stabilisation.max, 0) + ")";
+}
+
+}  // namespace synccount::bench

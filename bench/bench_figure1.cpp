@@ -1,0 +1,147 @@
+// Experiment E2: regenerate Figure 1 -- the leader pointers b[i] of stacked
+// blocks cycling at speeds (2m)^i, and the common windows (the paper's blue
+// segments) in which every block points at the same leader for >= tau
+// consecutive rounds (Lemmas 1 and 2).
+//
+// The paper's drawing uses base 2m = 6; we build exactly that geometry with
+// k = 6 one-node blocks (m = 3 leader candidates) on the trivial base and
+// render the pointer timelines plus the per-leader alignment windows.
+//
+// Usage: bench_figure1 [--rounds=N] [--render-width=W]
+#include <iostream>
+
+#include "boosting/boosted_counter.hpp"
+#include "boosting/planner.hpp"
+#include "counting/trivial.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/runner.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace synccount;
+
+struct Segment {
+  std::uint64_t start;
+  std::uint64_t len;
+  std::uint64_t leader;
+};
+
+std::vector<Segment> run_lengths(const std::vector<std::uint64_t>& timeline) {
+  std::vector<Segment> segs;
+  std::uint64_t start = 0;
+  for (std::size_t r = 1; r <= timeline.size(); ++r) {
+    if (r == timeline.size() || timeline[r] != timeline[start]) {
+      segs.push_back({start, r - start, timeline[start]});
+      start = r;
+    }
+  }
+  return segs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+
+  // k = 6 blocks of one node, F = 1 (N > 3F limits F), so 2m = 6 like the
+  // paper's figure; tau = 9 and c_i = 9 * 6^{i+1}.
+  const int k = 6;
+  const int F = 1;
+  auto base = std::make_shared<counting::TrivialCounter>(
+      boosting::required_input_modulus(k, F));
+  const auto algo =
+      std::make_shared<boosting::BoostedCounter>(base, boosting::BoostParams{k, F, 4});
+  const int tau = algo->tau();
+  const int m = algo->m();
+
+  const std::uint64_t rounds =
+      cli.get_u64("rounds", 3 * algo->block_modulus(2));  // 3 cycles of block 2
+
+  std::cout << "=== Figure 1 (reproduction): leader pointers across blocks ===\n"
+            << "k = " << k << " blocks, m = " << m << " leader candidates, tau = " << tau
+            << ", block i holds its pointer for tau*(2m)^i rounds.\n\n";
+
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  cfg.max_rounds = rounds;
+  cfg.seed = 2;
+  cfg.record_states = true;
+  auto adv = sim::make_adversary("silent");
+  const auto res = sim::run_execution(cfg, *adv, 10);
+
+  // Pointer timelines of blocks 0..2 (the figure's h, h+1, h+2).
+  std::vector<std::vector<std::uint64_t>> b_of(3);
+  for (std::size_t r = 0; r < res.states.size(); ++r) {
+    for (int i = 0; i < 3; ++i) {
+      b_of[static_cast<std::size_t>(i)].push_back(
+          algo->block_view(i, 0, res.states[r][static_cast<std::size_t>(i)]).b);
+    }
+  }
+
+  // ASCII rendering: one character per bucket of rounds.
+  const std::uint64_t width = cli.get_u64("render-width", 96);
+  const std::uint64_t bucket = std::max<std::uint64_t>(1, rounds / width);
+  for (int i = 2; i >= 0; --i) {
+    std::cout << "block " << i << " (period " << algo->block_modulus(i) << "): ";
+    for (std::uint64_t r = 0; r + bucket <= rounds; r += bucket) {
+      std::cout << b_of[static_cast<std::size_t>(i)][static_cast<std::size_t>(r)];
+    }
+    std::cout << '\n';
+  }
+
+  // Common-leader windows (the blue segments): intervals where blocks 0..2
+  // all point at the same beta for >= tau rounds.
+  std::cout << "\nCommon-leader windows of length >= tau = " << tau
+            << " within the first c_2 = " << algo->block_modulus(2) << " rounds:\n";
+  util::Table table({"leader beta", "first window [start, end)", "window length",
+                     "Lemma 2 deadline (c_2)"});
+  for (std::uint64_t beta = 0; beta < static_cast<std::uint64_t>(m); ++beta) {
+    std::uint64_t best_start = 0, best_len = 0;
+    std::uint64_t cur_start = 0, cur_len = 0;
+    for (std::size_t r = 0; r < res.states.size(); ++r) {
+      const bool all = b_of[0][r] == beta && b_of[1][r] == beta && b_of[2][r] == beta;
+      if (all) {
+        if (cur_len == 0) cur_start = r;
+        ++cur_len;
+        if (cur_len >= static_cast<std::uint64_t>(tau) && best_len == 0) {
+          best_start = cur_start;
+          best_len = cur_len;
+        }
+      } else {
+        cur_len = 0;
+      }
+    }
+    std::string window = "none found";
+    std::string length = "-";
+    if (best_len) {
+      window = "[";
+      window += std::to_string(best_start);
+      window += ", ";
+      window += std::to_string(best_start + tau);
+      window += ")";
+      length = std::to_string(tau);
+      length += "+";
+    }
+    table.add_row({std::to_string(beta), window, length,
+                   std::to_string(algo->block_modulus(2))});
+  }
+  table.print(std::cout);
+
+  // Lemma 1 check: interior run lengths equal tau*(2m)^i exactly.
+  std::cout << "\nLemma 1 check (interior pointer run lengths):\n";
+  util::Table runs_table({"block", "expected run tau*(2m)^i", "observed runs (first 5)"});
+  for (int i = 0; i < 3; ++i) {
+    const auto segs = run_lengths(b_of[static_cast<std::size_t>(i)]);
+    std::string obs;
+    for (std::size_t j = 1; j < segs.size() && j <= 5; ++j) {
+      obs += std::to_string(segs[j].len) + " ";
+    }
+    runs_table.add_row({std::to_string(i),
+                        std::to_string(tau * util::ipow(6, static_cast<unsigned>(i))), obs});
+  }
+  runs_table.print(std::cout);
+  return 0;
+}

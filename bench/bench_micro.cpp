@@ -1,0 +1,124 @@
+// Experiment E11: microbenchmarks (google-benchmark) for the hot paths:
+// bit-packed state access, majority voting, phase-king steps, boosted
+// transitions at several sizes, whole simulator rounds, the exact verifier
+// and SAT unit propagation.
+#include <benchmark/benchmark.h>
+
+#include "boosting/planner.hpp"
+#include "counting/trivial.hpp"
+#include "phaseking/phase_king.hpp"
+#include "sat/solver.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/faults.hpp"
+#include "sim/runner.hpp"
+#include "synthesis/known_tables.hpp"
+#include "synthesis/verifier.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace synccount;
+
+void BM_BitVecSetGet(benchmark::State& state) {
+  util::BitVec v;
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    v.set_bits(37, 23, x++);
+    benchmark::DoNotOptimize(v.get_bits(37, 23));
+  }
+}
+BENCHMARK(BM_BitVecSetGet);
+
+void BM_PhaseKingStep(benchmark::State& state) {
+  const int N = static_cast<int>(state.range(0));
+  const phaseking::Params p{N, (N - 1) / 3, 64};
+  std::vector<std::uint64_t> received(static_cast<std::size_t>(N));
+  util::Rng rng(1);
+  for (auto& a : received) a = rng.next_below(64);
+  const phaseking::Registers own{received[0], true};
+  int index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phaseking::step(p, index, 0, own, received));
+    index = (index + 1) % p.tau();
+  }
+}
+BENCHMARK(BM_PhaseKingStep)->Arg(4)->Arg(36)->Arg(108);
+
+void BM_BoostedTransition(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  const auto algo = boosting::build_plan(boosting::plan_practical(f, 16));
+  const auto n = static_cast<std::size_t>(algo->num_nodes());
+  util::Rng rng(2);
+  std::vector<counting::State> received(n);
+  for (auto& s : received) s = counting::arbitrary_state(*algo, rng);
+  counting::TransitionContext ctx{&rng};
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(algo->transition(i, received, ctx));
+    i = (i + 1) % algo->num_nodes();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BoostedTransition)->Arg(1)->Arg(3)->Arg(7);
+
+void BM_SimulatorRound(benchmark::State& state) {
+  const int f = static_cast<int>(state.range(0));
+  const auto algo = boosting::build_plan(boosting::plan_practical(f, 16));
+  const int n = algo->num_nodes();
+  // Measure rounds/second by running fixed-length chunks.
+  for (auto _ : state) {
+    sim::RunConfig cfg;
+    cfg.algo = algo;
+    cfg.faulty = sim::faults_prefix(n, f);
+    cfg.max_rounds = 32;
+    cfg.seed = 7;
+    auto adv = sim::make_adversary("split");
+    benchmark::DoNotOptimize(sim::run_execution(cfg, *adv, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 32);
+}
+BENCHMARK(BM_SimulatorRound)->Arg(1)->Arg(3)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_VerifierEmbeddedTable(benchmark::State& state) {
+  const counting::TableAlgorithm algo(synthesis::known_table_4_1_3states());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synthesis::verify(algo));
+  }
+  state.SetLabel("exact game analysis, n=4 f=1 |X|=3");
+}
+BENCHMARK(BM_VerifierEmbeddedTable)->Unit(benchmark::kMillisecond);
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sat::Solver s;
+    auto var = [&](int p, int h) { return p * holes + h + 1; };
+    for (int p = 0; p < holes + 1; ++p) {
+      std::vector<sat::ExtLit> clause;
+      for (int h = 0; h < holes; ++h) clause.push_back(var(p, h));
+      s.add_clause(clause);
+    }
+    for (int h = 0; h < holes; ++h) {
+      for (int p1 = 0; p1 < holes + 1; ++p1) {
+        for (int p2 = p1 + 1; p2 < holes + 1; ++p2) {
+          s.add_binary(-var(p1, h), -var(p2, h));
+        }
+      }
+    }
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(6)->Arg(8)->Unit(benchmark::kMillisecond);
+
+void BM_ArbitraryState(benchmark::State& state) {
+  const auto algo = boosting::build_plan(boosting::plan_practical(7, 16));
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(counting::arbitrary_state(*algo, rng));
+  }
+}
+BENCHMARK(BM_ArbitraryState);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Experiments E7 and E8: the pulling model of Section 5.
+//  * E7 (Theorem 4 / Corollary 4): messages pulled per node per round --
+//    O(k log eta) per level instead of n -- and the quality of counting
+//    (longest valid window) as a function of the sample size M.
+//  * E8 (Corollary 5): the pseudo-random variant with per-node sampling bits
+//    fixed once; against an oblivious adversary a good seed stabilises and
+//    then counts deterministically. We report the fraction of good seeds.
+//
+// Usage: bench_pulling [--seeds=N] [--deep]
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "counting/trivial.hpp"
+#include "pulling/pulling_counter.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace synccount;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int seeds = static_cast<int>(cli.get_int("seeds", 5));
+  const bool deep = cli.get_bool("deep");
+
+  std::cout << "=== E7: pulls per round (Theorem 4 / Corollary 4) ===\n\n";
+  {
+    util::Table table({"f", "N", "broadcast msgs/node/round", "M", "pulls/node/round",
+                       "pull fraction"});
+    std::vector<int> targets = {1, 3, 7};
+    if (deep) targets.push_back(15);
+    for (int f : targets) {
+      const int M = 2 * static_cast<int>(std::ceil(std::log2(1.0 + 4 * std::pow(3.0, f))));
+      const auto algo =
+          pulling::build_pulling_practical(f, 16, M, pulling::SamplingMode::kFresh);
+      const int N = algo->num_nodes();
+      sim::RunConfig cfg;
+      cfg.algo = algo;
+      cfg.max_rounds = 20;
+      cfg.seed = 3;
+      auto adv = sim::make_adversary("random");
+      const auto res = sim::run_execution(cfg, *adv, 2);
+      table.add_row({std::to_string(f), std::to_string(N), std::to_string(N),
+                     std::to_string(M), std::to_string(res.max_pulls_per_round),
+                     util::fmt_double(static_cast<double>(res.max_pulls_per_round) / N, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nAt the toy sizes a node pulls a constant multiple of log(eta) messages,\n"
+              << "which undercuts full broadcast once N outgrows k*M (the asymptotic\n"
+              << "claim: polylog(n) pulls vs n broadcasts).\n";
+  }
+
+  std::cout << "\n=== E7b: counting quality vs sample size M (N=4, F=1) ===\n\n";
+  {
+    // The harshest regime: correct fraction 3/4 vs sampled threshold 2/3.
+    util::Table table({"M", "stabilised runs", "longest valid window (mean)",
+                       "longest valid window (max)"});
+    for (int M : {8, 16, 32, 64, 128, 256}) {
+      std::vector<double> windows;
+      int stab = 0;
+      for (int s = 0; s < seeds; ++s) {
+        auto base = std::make_shared<counting::TrivialCounter>(2304);
+        pulling::PullParams p;
+        p.k = 4;
+        p.F = 1;
+        p.C = 8;
+        p.sample_size = M;
+        const auto algo = std::make_shared<pulling::PullingBoostedCounter>(base, p);
+        sim::RunConfig cfg;
+        cfg.algo = algo;
+        cfg.faulty = sim::faults_prefix(4, 1);
+        cfg.max_rounds = 2304 + 600;
+        cfg.seed = 0x7000 + static_cast<std::uint64_t>(s);
+        auto adv = sim::make_adversary("split");
+        const auto res = sim::run_execution(cfg, *adv, 150);
+        stab += res.stabilised ? 1 : 0;
+        windows.push_back(static_cast<double>(res.max_window));
+      }
+      const auto s = util::summarize(windows);
+      table.add_row({std::to_string(M), std::to_string(stab) + "/" + std::to_string(seeds),
+                     util::fmt_double(s.mean, 0), util::fmt_double(s.max, 0)});
+    }
+    table.print(std::cout);
+    std::cout << "\nWindows lengthen with M: the per-round failure probability decays\n"
+              << "exponentially in M (Lemma 8), 'in the extreme case, by sampling all\n"
+              << "nodes the algorithm reduces to the deterministic case'.\n";
+  }
+
+  std::cout << "\n=== E8: pseudo-random variant, oblivious adversary (Corollary 5) ===\n\n";
+  {
+    util::Table table({"M", "good seeds (stabilised & persisted)", "fraction"});
+    for (int M : {16, 32, 48, 96}) {
+      int good = 0;
+      const int trials = std::max(seeds, 10);
+      for (int s = 0; s < trials; ++s) {
+        auto base = std::make_shared<counting::TrivialCounter>(2304);
+        pulling::PullParams p;
+        p.k = 4;
+        p.F = 1;
+        p.C = 8;
+        p.sample_size = M;
+        p.mode = pulling::SamplingMode::kFixed;
+        p.seed = 0xC0FFEE + static_cast<std::uint64_t>(s) * 7919;
+        const auto algo = std::make_shared<pulling::PullingBoostedCounter>(base, p);
+        sim::RunConfig cfg;
+        cfg.algo = algo;
+        cfg.faulty = sim::faults_prefix(4, 1);  // chosen independently of the seeds
+        cfg.max_rounds = 2304 + 400;
+        cfg.seed = 0x8000 + static_cast<std::uint64_t>(s);
+        auto adv = sim::make_adversary("split");
+        const auto res = sim::run_execution(cfg, *adv, 200);
+        good += res.stabilised ? 1 : 0;
+      }
+      table.add_row({std::to_string(M), std::to_string(good) + "/" + std::to_string(trials),
+                     util::fmt_double(static_cast<double>(good) / trials, 2)});
+    }
+    table.print(std::cout);
+    std::cout << "\nWith fixed per-node sampling bits the execution is deterministic: a\n"
+              << "good sample set keeps counting forever (no per-round failure), and\n"
+              << "the fraction of good seeds grows with M -- Corollary 5.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Experiment E1: regenerate Table 1 of the paper -- the comparison of
+// synchronous 2-counting algorithms by resilience, stabilisation time, state
+// bits and determinism. Rows marked "measured" are produced by running the
+// actual implementations in this repository (worst observed stabilisation
+// over seeds and adversaries, plus the exact/closed-form bound); rows marked
+// "analytic" reproduce the cited prior-work bounds ([2] is not reimplemented
+// -- see DESIGN.md, Substitutions).
+//
+// Usage: bench_table1 [--seeds=N] [--deep]
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "boosting/planner.hpp"
+#include "counting/randomized.hpp"
+#include "synthesis/known_tables.hpp"
+#include "synthesis/synthesize.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace synccount;
+
+std::string bound_str(const counting::AlgorithmPtr& algo) {
+  const auto b = algo->stabilisation_bound();
+  return b ? util::fmt_u64(*b) : std::string("-");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int seeds = static_cast<int>(cli.get_int("seeds", 3));
+  const bool deep = cli.get_bool("deep");
+
+  std::cout << "=== Table 1 (reproduction): synchronous 2-counting algorithms ===\n"
+            << "Stabilisation 'measured' = mean (max) over seeds x {split, random"
+            << (deep ? ", lookahead" : "") << "} adversaries with f Byzantine nodes.\n\n";
+
+  util::Table table({"algorithm", "n", "resilience", "T (paper)", "T (bound)", "T (measured)",
+                     "state bits", "det.", "source"});
+
+  bench::MeasureOptions opt;
+  opt.seeds = seeds;
+  opt.adversaries = {"split", "random"};
+  if (deep) opt.adversaries.push_back("lookahead");
+  opt.stop_after_stable = 150;
+  opt.margin = 100;
+
+  // --- Prior work, cited bounds only -----------------------------------------
+  table.add_row({"[2] Dolev-Hoch", "any", "f < n/3", "O(f)", "-", "-", "O(f log f)", "yes",
+                 "analytic"});
+  table.add_row({"[6,7] randomized", "any", "f < n/3", "2^{2(n-f)} exp.", "-", "-",
+                 "O(log c)", "no", "analytic"});
+
+  // --- [6,7] randomized baseline, measured at small n -------------------------
+  for (const auto& [n, f] : std::vector<std::pair<int, int>>{{4, 1}, {6, 1}, {7, 2}}) {
+    const auto algo = std::make_shared<counting::RandomizedCounter>(n, f, 2);
+    bench::MeasureOptions ropt = opt;
+    ropt.horizon_override = 60000;
+    const auto m = bench::measure_stabilisation(algo, sim::faults_prefix(n, f), ropt);
+    table.add_row({"[6,7] randomized", std::to_string(n), std::to_string(f),
+                   "2^{2(n-f)} exp.", "-", bench::fmt_rounds(m),
+                   std::to_string(algo->state_bits()), "no", "measured"});
+  }
+
+  // --- Computer-designed blocks (the [5] rows) --------------------------------
+  {
+    const auto algo = synthesis::computer_designed_4_1();
+    const auto m = bench::measure_stabilisation(algo, sim::faults_prefix(4, 1), opt);
+    table.add_row({"[5]-style synthesized (3 states, cyclic)", "4", "1", "7", bound_str(algo),
+                   bench::fmt_rounds(m), std::to_string(algo->state_bits()), "yes",
+                   "synthesized+verified"});
+  }
+  {
+    const auto algo =
+        std::make_shared<counting::TableAlgorithm>(synthesis::known_table_4_1_4states());
+    const auto m = bench::measure_stabilisation(algo, sim::faults_prefix(4, 1), opt);
+    table.add_row({"[5]-style synthesized (4 states, uniform)", "4", "1", "7", bound_str(algo),
+                   bench::fmt_rounds(m), std::to_string(algo->state_bits()), "yes",
+                   "synthesized+verified"});
+  }
+
+  // --- Corollary 1: optimal resilience, f^{O(f)} time --------------------------
+  {
+    const auto algo = boosting::build_plan(boosting::plan_corollary1(1, 2));
+    const auto m = bench::measure_stabilisation(algo, sim::faults_prefix(4, 1), opt);
+    table.add_row({"Cor. 1 (trivial base, k=3F+1)", "4", "1", "f^{O(f)}", bound_str(algo),
+                   bench::fmt_rounds(m), std::to_string(algo->state_bits()), "yes", "measured"});
+  }
+  for (int F : {2, 3}) {
+    // Simulation is infeasible (the bound is the point: super-exponential).
+    const auto plan = boosting::plan_corollary1(F, 2);
+    const auto algo = boosting::build_plan(plan);
+    table.add_row({"Cor. 1 (trivial base, k=3F+1)", std::to_string(3 * F + 1),
+                   std::to_string(F), "f^{O(f)}", bound_str(algo), "-",
+                   std::to_string(algo->state_bits()), "yes", "bound only"});
+  }
+
+  // --- This work: Theorem 1 recursion (practical schedule) --------------------
+  for (int f : {1, 3, 7}) {
+    const auto algo = boosting::build_plan(boosting::plan_practical(f, 2));
+    const int n = algo->num_nodes();
+    const int block = f == 1 ? n : n / 3;
+    const int f_inner = f == 1 ? 0 : (f - 1) / 2;
+    const auto faulty = f == 1 ? sim::faults_prefix(n, f)
+                               : sim::faults_block_concentrated(3, block, f_inner, f);
+    const auto m = bench::measure_stabilisation(algo, faulty, opt);
+    table.add_row({"this work (Thm 1 recursion)", std::to_string(n), std::to_string(f), "O(f)",
+                   bound_str(algo), bench::fmt_rounds(m), std::to_string(algo->state_bits()),
+                   "yes", "measured"});
+  }
+  if (deep) {
+    const auto algo = boosting::build_plan(boosting::plan_practical(15, 2));
+    const auto faulty = sim::faults_block_concentrated(3, 36, 7, 15);
+    const auto m = bench::measure_stabilisation(algo, faulty, opt);
+    table.add_row({"this work (Thm 1 recursion)", std::to_string(algo->num_nodes()), "15",
+                   "O(f)", bound_str(algo), bench::fmt_rounds(m),
+                   std::to_string(algo->state_bits()), "yes", "measured"});
+  }
+
+  // --- This work, asymptotic row ------------------------------------------------
+  table.add_row({"this work (Thm 3 schedule)", "any", "n^{1-o(1)}", "O(f)", "-", "-",
+                 "O(log^2 f / loglog f)", "yes", "analytic (see bench_scaling_*)"});
+
+  table.print(std::cout);
+  std::cout << "\nNotes:\n"
+            << " * 'T (paper)' quotes Table 1 of the paper; '[5]' reports 7 rounds for\n"
+            << "   n >= 4, f = 1 -- our own synthesis finds 3-state cyclic algorithms\n"
+            << "   with certified worst-case time 6 (see bench_synthesis).\n"
+            << " * [2] is cited prior work with its own machinery (self-stabilising\n"
+            << "   Byzantine agreement); reproduced analytically only.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Section 5 live: counting under an energy budget. In the pulling model the
+// cost of a message is paid by the *pulling* node, so a per-round energy
+// budget per node caps the communication the protocol -- and the Byzantine
+// nodes -- can trigger. This example compares the deterministic broadcast
+// counter against the sampling counter at equal resilience and reports
+// messages (and bits) pulled per node per round.
+//
+//   $ ./pulling_energy [--f=3] [--samples=M] [--seed=S]
+#include <iostream>
+
+#include "synccount/synccount.hpp"
+
+using namespace synccount;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const int f = static_cast<int>(cli.get_int("f", 3));
+  const int M = static_cast<int>(cli.get_int("samples", 96));
+  const std::uint64_t seed = cli.get_u64("seed", 9);
+
+  const auto broadcast = boosting::build_plan(boosting::plan_practical(f, 16));
+  const auto pulls =
+      pulling::build_pulling_practical(f, 16, M, pulling::SamplingMode::kFresh);
+  const int N = broadcast->num_nodes();
+
+  std::cout << "Energy-budgeted counting, N = " << N << ", f = " << f << "\n\n";
+
+  auto run = [&](const counting::AlgorithmPtr& algo, const char* label) {
+    sim::RunConfig cfg;
+    cfg.algo = algo;
+    cfg.faulty = sim::faults_spread(N, f);
+    cfg.max_rounds = *algo->stabilisation_bound() + 400;
+    cfg.seed = seed;
+    auto adversary = sim::make_adversary("split");
+    const auto res = sim::run_execution(cfg, *adversary, 60);
+    const std::uint64_t msgs =
+        res.max_pulls_per_round > 0 ? res.max_pulls_per_round
+                                    : static_cast<std::uint64_t>(N);  // broadcast: n states
+    std::cout << label << "\n"
+              << "  messages pulled/node/round: " << msgs << "\n"
+              << "  bits pulled/node/round:     " << msgs * static_cast<std::uint64_t>(algo->state_bits())
+              << "  (state = " << algo->state_bits() << " bits)\n"
+              << "  longest valid counting window: " << res.max_window << " rounds\n"
+              << "  final suffix stabilised: " << (res.stabilised ? "yes" : "no") << "\n\n";
+  };
+
+  run(broadcast, "deterministic broadcast construction (Theorem 1)");
+  run(pulls, "sampling construction (Theorem 4, fresh randomness)");
+
+  std::cout << "The sampling counter pays O(k log eta) messages per round instead of\n"
+            << "n, at the price of a small per-round failure probability after\n"
+            << "stabilisation (increase --samples to shrink it; at M >= n the\n"
+            << "behaviour approaches the deterministic counter).\n";
+  return 0;
+}

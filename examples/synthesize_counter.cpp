@@ -1,0 +1,85 @@
+// Computational algorithm design, live ([4,5]; paper Section 1): synthesise
+// a space-optimal 4-node, 1-resilient synchronous 2-counter from scratch
+// with the built-in CDCL SAT solver, certify it with the exact verifier,
+// print the transition table, and run it against a Byzantine node.
+//
+//   $ ./synthesize_counter [--states=3] [--cyclic=true] [--max-time=8]
+#include <iostream>
+
+#include "synccount/synccount.hpp"
+
+using namespace synccount;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  synthesis::SynthesisSpec spec;
+  spec.n = 4;
+  spec.f = 1;
+  spec.num_states = cli.get_u64("states", 3);
+  spec.modulus = 2;
+  spec.symmetry =
+      cli.get_bool("cyclic", true) ? counting::Symmetry::kCyclic : counting::Symmetry::kUniform;
+
+  synthesis::SynthesisOptions opt;
+  opt.min_time = static_cast<int>(cli.get_int("min-time", 1));
+  opt.max_time = static_cast<int>(cli.get_int("max-time", 8));
+  // Keep the per-bound budget small: the interesting instances are either
+  // quickly UNSAT or quickly SAT; hard in-between bounds are abandoned and
+  // the sweep moves on (raise --budget to settle them).
+  opt.conflict_budget = cli.get_u64("budget", 60000);
+
+  std::cout << "Synthesising: n=" << spec.n << " f=" << spec.f << " |X|=" << spec.num_states
+            << " c=" << spec.modulus << " symmetry=" << counting::to_string(spec.symmetry)
+            << " admissible T in [" << opt.min_time << ", " << opt.max_time << "]\n";
+
+  const auto out = synthesize(spec, opt);
+  if (!out.found) {
+    if (out.budget_exhausted) {
+      std::cout << "No algorithm found within the conflict budget (" << out.note << ").\n";
+    } else {
+      std::cout << "UNSAT: no such algorithm exists in this symmetry class for any\n"
+                << "admissible stabilisation time in the sweep -- an optimality proof.\n"
+                << "(Try --cyclic=true --states=3, or --states=4.)\n";
+    }
+    std::cout << "CNF size of the last attempt: " << out.last_size.variables << " vars, "
+              << out.last_size.clauses << " clauses; " << out.total_conflicts
+              << " conflicts total.\n";
+    return 1;
+  }
+
+  std::cout << "FOUND at admissible T = " << out.time_bound_used
+            << "; exact verifier-certified worst-case stabilisation: " << out.exact_time
+            << " rounds.\nSolver work: " << out.total_conflicts << " conflicts; encoding "
+            << out.last_size.variables << " vars / " << out.last_size.clauses << " clauses.\n\n";
+
+  // Print the discovered algorithm.
+  std::cout << "Output map h: ";
+  for (std::size_t s = 0; s < out.table.h.size(); ++s) {
+    std::cout << "h(" << s << ")=" << static_cast<int>(out.table.h[s]) << ' ';
+  }
+  std::cout << "\nTransition table g (rows: own/position-0 state; entries indexed by the "
+               "other states):\n";
+  const auto S = out.table.num_states;
+  for (std::uint64_t x0 = 0; x0 < S; ++x0) {
+    std::cout << "  x0=" << x0 << ": ";
+    for (std::uint64_t rest = 0; rest < S * S * S; ++rest) {
+      std::cout << static_cast<int>(out.table.g[x0 + S * rest]);
+    }
+    std::cout << '\n';
+  }
+
+  // Run it.
+  const auto algo = std::make_shared<counting::TableAlgorithm>(out.table);
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  cfg.faulty = {false, true, false, false};
+  cfg.max_rounds = 48;
+  cfg.seed = 3;
+  cfg.record_outputs = true;
+  auto adversary = sim::make_adversary("split");
+  const auto res = sim::run_execution(cfg, *adversary, 16);
+  std::cout << "\nSimulated with node 2 Byzantine (split adversary): stabilised at round "
+            << res.stabilisation_round << " (certified worst case " << out.exact_time
+            << ").\n";
+  return 0;
+}

@@ -1,0 +1,86 @@
+// The paper's motivating application (Section 1): use a self-stabilising
+// Byzantine-tolerant counter to run time-division multiple access (TDMA) /
+// mutual exclusion between the subsystems of a large integrated circuit.
+//
+// Scenario: 12 subsystems share a bus. Each subsystem may transmit only in
+// its own slot: subsystem s transmits when (counter mod 12) == s. Three
+// subsystems are faulty and try to disrupt both the counter and the bus.
+// We show that after stabilisation the *correct* subsystems never collide
+// on the bus, no matter what the faulty ones do to the counter protocol --
+// and we count bus conflicts before and after stabilisation.
+//
+//   $ ./tdma_mutex [--rounds=N] [--seed=S]
+#include <iostream>
+
+#include "synccount/synccount.hpp"
+
+using namespace synccount;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const std::uint64_t rounds = cli.get_u64("rounds", 4000);
+  const std::uint64_t seed = cli.get_u64("seed", 5);
+
+  // A 3-resilient counter on 12 nodes counting modulo 12 (one slot per
+  // subsystem). plan_practical threads the Theorem 1 moduli automatically.
+  const auto algo = boosting::build_plan(boosting::plan_practical(3, 12));
+  const int n = algo->num_nodes();
+
+  std::cout << "TDMA bus arbitration on " << n << " subsystems, 3 Byzantine\n"
+            << "counter: " << algo->name() << "\n"
+            << "bound:   " << *algo->stabilisation_bound() << " rounds, "
+            << algo->state_bits() << " state bits per subsystem\n\n";
+
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  cfg.faulty = sim::faults_block_concentrated(3, 4, 1, 3);
+  cfg.max_rounds = rounds;
+  cfg.seed = seed;
+  cfg.record_outputs = true;
+  auto adversary = sim::make_adversary("targeted-vote");
+  const sim::RunResult res = sim::run_execution(cfg, *adversary, 64);
+
+  // Bus model: in every round, each *correct* subsystem transmits iff its
+  // own counter value mod 12 equals its index. A collision is a round in
+  // which two correct subsystems transmit simultaneously. (Faulty
+  // subsystems can always jam a real bus physically; TDMA protects the
+  // correct ones from *each other*, which is exactly what agreement on the
+  // counter provides.)
+  std::uint64_t collisions_before = 0;
+  std::uint64_t collisions_after = 0;
+  std::uint64_t slots_served_after = 0;
+  for (std::uint64_t r = 0; r < res.rounds; ++r) {
+    int transmitting = 0;
+    for (std::size_t j = 0; j < res.correct_ids.size(); ++j) {
+      const auto slot = res.outputs[r][j] % 12;
+      if (slot == static_cast<std::uint64_t>(res.correct_ids[j])) ++transmitting;
+    }
+    if (transmitting > 1) {
+      (r < res.stabilisation_round ? collisions_before : collisions_after)++;
+    }
+    if (r >= res.stabilisation_round && transmitting == 1) ++slots_served_after;
+  }
+
+  std::cout << "stabilised at round " << res.stabilisation_round << " (of " << res.rounds
+            << " simulated)\n"
+            << "bus collisions among correct subsystems:\n"
+            << "  before stabilisation: " << collisions_before << "\n"
+            << "  after stabilisation:  " << collisions_after << " (must be 0)\n"
+            << "slots served collision-free after stabilisation: " << slots_served_after
+            << "\n\n";
+
+  // After stabilisation every correct subsystem gets its slot exactly once
+  // per 12 rounds: show one full TDMA frame.
+  std::cout << "One TDMA frame after stabilisation (rows = rounds, columns = correct\n"
+            << "subsystems, 'T' = transmits in its slot):\n";
+  const std::uint64_t frame_start = res.stabilisation_round + 12;
+  for (std::uint64_t r = frame_start; r < frame_start + 12 && r < res.rounds; ++r) {
+    std::cout << "  round " << r << ": ";
+    for (std::size_t j = 0; j < res.correct_ids.size(); ++j) {
+      const bool tx = res.outputs[r][j] % 12 == static_cast<std::uint64_t>(res.correct_ids[j]);
+      std::cout << (tx ? 'T' : '.');
+    }
+    std::cout << "   (counter = " << res.outputs[r][0] << ")\n";
+  }
+  return collisions_after == 0 ? 0 : 1;
+}

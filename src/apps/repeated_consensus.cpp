@@ -1,0 +1,122 @@
+#include "apps/repeated_consensus.hpp"
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace synccount::apps {
+
+RepeatedConsensus::RepeatedConsensus(AlgorithmPtr counter, int F, std::uint64_t values,
+                                     std::vector<std::uint64_t> proposals)
+    : counter_(std::move(counter)), F_(F), V_(values), proposals_(std::move(proposals)) {
+  SC_CHECK(counter_ != nullptr, "no counter");
+  N_ = counter_->num_nodes();
+  SC_CHECK(F_ >= 0 && N_ > 3 * F_, "consensus requires N > 3F");
+  SC_CHECK(V_ >= 2, "need at least two decision values");
+  tau_ = 3 * (F_ + 2);
+  SC_CHECK(counter_->modulus() % static_cast<std::uint64_t>(tau_) == 0,
+           "counter modulus must be a multiple of 3(F+2)");
+  SC_CHECK(static_cast<int>(proposals_.size()) == N_, "one proposal per node required");
+  for (auto p : proposals_) SC_CHECK(p < V_, "proposal out of range");
+  SC_CHECK(F_ <= counter_->resilience(),
+           "the counter must tolerate at least the consensus resilience");
+
+  counter_bits_ = counter_->state_bits();
+  a_bits_ = phaseking::a_bits(V_);
+  value_bits_ = util::ceil_log2(V_);
+  total_bits_ = counter_bits_ + a_bits_ + 1 + value_bits_;
+  SC_CHECK(total_bits_ <= util::BitVec::kCapacityBits, "state too wide");
+  pk_ = phaseking::Params{N_, F_, V_};
+  pk_.validate();
+}
+
+std::optional<std::uint64_t> RepeatedConsensus::stabilisation_bound() const noexcept {
+  // Decisions are reliable after the counter stabilises plus at most one
+  // partial and one full phase-king window.
+  const auto b = counter_->stabilisation_bound();
+  if (!b) return std::nullopt;
+  return *b + 2 * static_cast<std::uint64_t>(tau_);
+}
+
+std::string RepeatedConsensus::name() const {
+  return "repeated-consensus(F=" + std::to_string(F_) + ",V=" + std::to_string(V_) + ")<" +
+         counter_->name() + ">";
+}
+
+std::uint64_t RepeatedConsensus::counter_output(NodeId v, const State& s) const {
+  State inner = s;
+  inner.truncate(counter_bits_);
+  return counter_->output(v, inner);
+}
+
+State RepeatedConsensus::transition(NodeId v, std::span<const State> received,
+                                    counting::TransitionContext& ctx) const {
+  SC_ASSERT(static_cast<int>(received.size()) == N_);
+
+  // 1. Advance the underlying counter.
+  std::vector<State> counter_states(received.size());
+  for (std::size_t u = 0; u < received.size(); ++u) {
+    counter_states[u] = received[u];
+    counter_states[u].truncate(counter_bits_);
+  }
+  const State counter_next = counter_->transition(v, counter_states, ctx);
+
+  // 2. The instruction index comes from the node's *own* counter value --
+  // after stabilisation all correct nodes agree on it.
+  const std::uint64_t R =
+      counter_->output(v, counter_states[static_cast<std::size_t>(v)]) %
+      static_cast<std::uint64_t>(tau_);
+
+  // 3. The phase king in value mode. R == 0 is the *loading* round: the node
+  // re-proposes its input (so the proposal is broadcast before instructions
+  // consume it); rounds R = 1..tau-1 execute I_R. King 0's triple is
+  // truncated, but kings 1..F+2-1 all have complete triples inside the
+  // window and at most F of them are faulty, so Lemma 4 still applies.
+  phaseking::Registers next{
+      phaseking::decode_a(received[static_cast<std::size_t>(v)].get_bits(counter_bits_, a_bits_),
+                          V_),
+      received[static_cast<std::size_t>(v)].get_bit(counter_bits_ + a_bits_)};
+  if (R == 0) {
+    next.a = proposals_[static_cast<std::size_t>(v)];
+    next.d = true;
+  } else {
+    std::vector<std::uint64_t> received_a(received.size());
+    for (std::size_t u = 0; u < received.size(); ++u) {
+      received_a[u] = phaseking::decode_a(received[u].get_bits(counter_bits_, a_bits_), V_);
+    }
+    next = phaseking::step(pk_, static_cast<int>(R), v, next, received_a,
+                           phaseking::StepMode::kValue);
+  }
+
+  // 4. Latch the decision at the end of a window.
+  std::uint64_t decision =
+      received[static_cast<std::size_t>(v)].get_bits(counter_bits_ + a_bits_ + 1, value_bits_) % V_;
+  if (R == static_cast<std::uint64_t>(tau_) - 1 && next.a != phaseking::kInfinity) {
+    decision = next.a % V_;
+  }
+
+  State s = counter_next;
+  s.truncate(counter_bits_);
+  s.set_bits(counter_bits_, a_bits_, phaseking::encode_a(next.a, V_));
+  s.set_bit(counter_bits_ + a_bits_, next.d);
+  s.set_bits(counter_bits_ + a_bits_ + 1, value_bits_, decision);
+  return s;
+}
+
+std::uint64_t RepeatedConsensus::output(NodeId /*v*/, const State& s) const {
+  return s.get_bits(counter_bits_ + a_bits_ + 1, value_bits_) % V_;
+}
+
+State RepeatedConsensus::canonicalize(const State& raw) const {
+  State inner = raw;
+  inner.truncate(counter_bits_);
+  State s = counter_->canonicalize(inner);
+  const std::uint64_t a_pat = raw.get_bits(counter_bits_, a_bits_);
+  s.set_bits(counter_bits_, a_bits_,
+             phaseking::encode_a(phaseking::decode_a(a_pat, V_), V_));
+  s.set_bit(counter_bits_ + a_bits_, raw.get_bit(counter_bits_ + a_bits_));
+  s.set_bits(counter_bits_ + a_bits_ + 1, value_bits_,
+             raw.get_bits(counter_bits_ + a_bits_ + 1, value_bits_) % V_);
+  return s;
+}
+
+}  // namespace synccount::apps

@@ -1,0 +1,70 @@
+// Counting => consensus (paper, Section 1: "given a synchronous counting
+// algorithm one can design a binary consensus algorithm and vice versa").
+//
+// A repeated-consensus service on top of any self-stabilising counter whose
+// modulus is a multiple of tau = 3(F+2): once the counter has stabilised,
+// every window of counter values [0, tau) drives one classic phase-king
+// execution (Table 2 instructions in *value* mode, i.e. without the
+// counting increments) over the nodes' proposals. Each completed window
+// yields a decision satisfying
+//   * agreement: all correct nodes decide the same value, and
+//   * validity:  if all correct proposals are equal, that value is decided,
+// for up to F < N/3 Byzantine nodes. Before stabilisation decisions are
+// unreliable -- self-stabilisation carries over: after the counter's
+// stabilisation time plus at most 2*tau rounds, every decision is correct.
+//
+// State layout: [counter | a | d | decision]; the service is itself a
+// broadcast algorithm, so it composes with the simulator and adversaries.
+#pragma once
+
+#include "counting/algorithm.hpp"
+#include "phaseking/phase_king.hpp"
+
+namespace synccount::apps {
+
+using counting::AlgorithmPtr;
+using counting::NodeId;
+using counting::State;
+
+class RepeatedConsensus final : public counting::CountingAlgorithm {
+ public:
+  // `counter`: stabilising counter on the same N nodes; its modulus must be
+  // a multiple of tau = 3(F+2). `values`: decision domain size V >= 2.
+  // `proposals`: proposal in [V] per node (re-proposed every window).
+  RepeatedConsensus(AlgorithmPtr counter, int F, std::uint64_t values,
+                    std::vector<std::uint64_t> proposals);
+
+  int num_nodes() const noexcept override { return N_; }
+  int resilience() const noexcept override { return F_; }
+  // The "counter" modulus of the service is the decision domain.
+  std::uint64_t modulus() const noexcept override { return V_; }
+  int state_bits() const noexcept override { return total_bits_; }
+  std::optional<std::uint64_t> stabilisation_bound() const noexcept override;
+  bool deterministic() const noexcept override { return counter_->deterministic(); }
+  std::string name() const override;
+
+  State transition(NodeId v, std::span<const State> received,
+                   counting::TransitionContext& ctx) const override;
+  // The last completed decision of node v.
+  std::uint64_t output(NodeId v, const State& s) const override;
+  State canonicalize(const State& raw) const override;
+
+  int tau() const noexcept { return tau_; }
+  // The counter value of node v embedded in its state (for tests).
+  std::uint64_t counter_output(NodeId v, const State& s) const;
+
+ private:
+  AlgorithmPtr counter_;
+  int F_;
+  std::uint64_t V_;
+  std::vector<std::uint64_t> proposals_;
+  int N_;
+  int tau_;
+  int counter_bits_;
+  int a_bits_;
+  int value_bits_;
+  int total_bits_;
+  phaseking::Params pk_;
+};
+
+}  // namespace synccount::apps

@@ -1,0 +1,30 @@
+#include "apps/tdma.hpp"
+
+#include "util/check.hpp"
+
+namespace synccount::apps {
+
+TdmaAudit audit_tdma(const TdmaSchedule& schedule,
+                     const std::vector<std::vector<std::uint64_t>>& outputs,
+                     const std::vector<int>& owners, std::uint64_t from_round) {
+  SC_CHECK(schedule.num_slots >= 1, "need at least one slot");
+  TdmaAudit audit;
+  for (std::uint64_t r = from_round; r < outputs.size(); ++r) {
+    SC_CHECK(outputs[r].size() == owners.size(), "output row size mismatch");
+    int transmitting = 0;
+    for (std::size_t j = 0; j < owners.size(); ++j) {
+      if (schedule.may_transmit(owners[j], outputs[r][j])) ++transmitting;
+    }
+    ++audit.rounds;
+    if (transmitting == 0) {
+      ++audit.idle_rounds;
+    } else if (transmitting == 1) {
+      ++audit.exclusive_rounds;
+    } else {
+      ++audit.collisions;
+    }
+  }
+  return audit;
+}
+
+}  // namespace synccount::apps

@@ -1,0 +1,45 @@
+// Fault-tolerant time-division multiple access on top of a synchronous
+// counter (the paper's motivating application: "mutual exclusion and time
+// division multiple access in a fault-tolerant manner").
+//
+// Slot assignment is a pure function of the agreed counter value, so once
+// the counter has stabilised, correct subsystems never collide. The helpers
+// below encapsulate the slot arithmetic and frame auditing used by the
+// tdma_mutex example and the application tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace synccount::apps {
+
+struct TdmaSchedule {
+  int num_slots = 0;
+
+  // The slot that owns the bus when the counter reads `counter_value`.
+  int slot_of(std::uint64_t counter_value) const noexcept {
+    return static_cast<int>(counter_value % static_cast<std::uint64_t>(num_slots));
+  }
+
+  // True if subsystem `owner` may transmit under `counter_value`.
+  bool may_transmit(int owner, std::uint64_t counter_value) const noexcept {
+    return slot_of(counter_value) == owner;
+  }
+};
+
+// Audit of one execution: per round, how many of the given subsystems
+// transmitted simultaneously based on their (possibly disagreeing) local
+// counter values.
+struct TdmaAudit {
+  std::uint64_t rounds = 0;
+  std::uint64_t collisions = 0;        // rounds with >= 2 transmitters
+  std::uint64_t idle_rounds = 0;       // rounds with 0 transmitters
+  std::uint64_t exclusive_rounds = 0;  // rounds with exactly 1 transmitter
+};
+
+// outputs[r][j] = counter output of subsystem `owners[j]` at round r.
+TdmaAudit audit_tdma(const TdmaSchedule& schedule,
+                     const std::vector<std::vector<std::uint64_t>>& outputs,
+                     const std::vector<int>& owners, std::uint64_t from_round);
+
+}  // namespace synccount::apps

@@ -1,0 +1,228 @@
+#include "boosting/boosted_counter.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace synccount::boosting {
+
+namespace {
+
+// Strict majority over small unsigned values in [0, bound): returns the value
+// occurring more than threshold times, or `fallback` if none does. The paper
+// lets the majority function return an arbitrary value when no correct
+// majority exists; like the paper we default to 0 (any fixed choice works).
+std::uint64_t strict_majority(std::span<const std::uint64_t> values, std::uint64_t bound,
+                              std::size_t threshold, std::vector<std::uint32_t>& scratch,
+                              std::uint64_t fallback = 0) {
+  if (scratch.size() < bound) scratch.resize(bound, 0);
+  std::uint64_t winner = fallback;
+  bool found = false;
+  for (std::uint64_t v : values) {
+    SC_ASSERT(v < bound);
+    if (++scratch[static_cast<std::size_t>(v)] > threshold) {
+      winner = v;
+      found = true;
+    }
+  }
+  for (std::uint64_t v : values) scratch[static_cast<std::size_t>(v)] = 0;
+  return found ? winner : fallback;
+}
+
+}  // namespace
+
+BoostedCounter::BoostedCounter(AlgorithmPtr inner, const BoostParams& params)
+    : inner_(std::move(inner)), params_(params) {
+  SC_CHECK(inner_ != nullptr, "no inner algorithm");
+  SC_CHECK(params_.k >= 3, "need at least 3 blocks (Theorem 1)");
+  SC_CHECK(params_.C >= 2, "output counter size must be at least 2");
+  SC_CHECK(params_.F >= 0, "resilience must be non-negative");
+
+  n_inner_ = inner_->num_nodes();
+  N_ = params_.k * n_inner_;
+  m_ = (params_.k + 1) / 2;  // ceil(k/2)
+  tau_ = 3 * (params_.F + 2);
+
+  // F < (f+1)·m: a majority of blocks has at most f faults.
+  const auto f_inner = static_cast<std::uint64_t>(inner_->resilience());
+  SC_CHECK(static_cast<std::uint64_t>(params_.F) < (f_inner + 1) * static_cast<std::uint64_t>(m_),
+           "resilience too large: need F < (f+1)·ceil(k/2)");
+
+  // Precompute (2m)^i and the level cost c_k = τ(2m)^k with overflow checks.
+  pow2m_.resize(static_cast<std::size_t>(params_.k) + 1);
+  pow2m_[0] = 1;
+  for (int i = 1; i <= params_.k; ++i) {
+    auto p = util::checked_mul(pow2m_[static_cast<std::size_t>(i - 1)],
+                               static_cast<std::uint64_t>(2 * m_));
+    SC_CHECK(p.has_value(), "(2m)^k overflows uint64: choose smaller k");
+    pow2m_[static_cast<std::size_t>(i)] = *p;
+  }
+  auto ck = util::checked_mul(static_cast<std::uint64_t>(tau_), pow2m_[static_cast<std::size_t>(params_.k)]);
+  SC_CHECK(ck.has_value(), "tau*(2m)^k overflows uint64");
+  ck_ = *ck;
+
+  // The inner counter must count modulo a multiple of τ(2m)^k so that every
+  // block modulus c_i divides it.
+  SC_CHECK(inner_->modulus() % ck_ == 0,
+           "inner modulus must be a multiple of 3(F+2)(2m)^k");
+
+  // Phase king needs N > 3F (implied by F < (f+1)m and f < n/3 in the paper;
+  // checked explicitly because the trivial base has f = 0 = n/3).
+  pk_ = phaseking::Params{N_, params_.F, params_.C};
+  pk_.validate();
+
+  inner_bits_ = inner_->state_bits();
+  a_bits_ = phaseking::a_bits(params_.C);
+  total_bits_ = inner_bits_ + a_bits_ + 1;
+  SC_CHECK(total_bits_ <= util::BitVec::kCapacityBits,
+           "state too wide: increase BitVec capacity");
+}
+
+std::optional<std::uint64_t> BoostedCounter::stabilisation_bound() const noexcept {
+  const auto inner_bound = inner_->stabilisation_bound();
+  if (!inner_bound) return std::nullopt;
+  return *inner_bound + ck_;  // T(B) <= T(A) + 3(F+2)(2m)^k
+}
+
+std::string BoostedCounter::name() const {
+  return "boosted(k=" + std::to_string(params_.k) + ",F=" + std::to_string(params_.F) +
+         ",C=" + std::to_string(params_.C) + ")<" + inner_->name() + ">";
+}
+
+std::uint64_t BoostedCounter::block_modulus(int block) const {
+  SC_CHECK(block >= 0 && block < params_.k, "block index out of range");
+  return static_cast<std::uint64_t>(tau_) * pow2m_[static_cast<std::size_t>(block) + 1];
+}
+
+BoostedCounter::Decoded BoostedCounter::decode(const State& s) const {
+  Decoded d;
+  d.inner = s;
+  d.inner.truncate(inner_bits_);
+  d.a = phaseking::decode_a(s.get_bits(inner_bits_, a_bits_), params_.C);
+  d.d = s.get_bit(inner_bits_ + a_bits_);
+  return d;
+}
+
+State BoostedCounter::encode(const Decoded& d) const {
+  State s = d.inner;
+  s.truncate(inner_bits_);
+  s.set_bits(inner_bits_, a_bits_, phaseking::encode_a(d.a, params_.C));
+  s.set_bit(inner_bits_ + a_bits_, d.d);
+  return s;
+}
+
+State BoostedCounter::state_with_output(NodeId /*i*/, std::uint64_t target) const {
+  SC_CHECK(target < params_.C, "output target out of range");
+  Decoded d;
+  d.inner = inner_->canonicalize(State{});
+  d.a = target;
+  d.d = true;
+  return encode(d);
+}
+
+BoostedCounter::BlockView BoostedCounter::block_view(int block, NodeId j, const State& s) const {
+  State inner_state = s;
+  inner_state.truncate(inner_bits_);
+  const std::uint64_t out = inner_->output(j, inner_state);
+  BlockView v;
+  v.value = out % block_modulus(block);
+  v.r = v.value % static_cast<std::uint64_t>(tau_);
+  v.y = v.value / static_cast<std::uint64_t>(tau_);
+  v.b = (v.y / pow2m_[static_cast<std::size_t>(block)]) % static_cast<std::uint64_t>(m_);
+  return v;
+}
+
+BoostedCounter::Votes BoostedCounter::votes(std::span<const State> received) const {
+  SC_ASSERT(static_cast<int>(received.size()) == N_);
+  const auto n = static_cast<std::size_t>(n_inner_);
+  std::vector<std::uint32_t> scratch;
+
+  // Per-node derived views. b and r are needed for all nodes (b for the block
+  // votes, r for reading the elected block's round counter).
+  std::vector<std::uint64_t> b_all(static_cast<std::size_t>(N_));
+  std::vector<std::uint64_t> r_all(static_cast<std::size_t>(N_));
+  for (int u = 0; u < N_; ++u) {
+    const int blk = u / n_inner_;
+    const BlockView bv = block_view(blk, u % n_inner_, received[static_cast<std::size_t>(u)]);
+    b_all[static_cast<std::size_t>(u)] = bv.b;
+    r_all[static_cast<std::size_t>(u)] = bv.r;
+  }
+
+  Votes res;
+  // b^{i'} = majority{ b[i',j] : j } over each block (> n/2 votes needed).
+  res.block_leader.resize(static_cast<std::size_t>(params_.k));
+  for (int blk = 0; blk < params_.k; ++blk) {
+    const std::span<const std::uint64_t> block_b(b_all.data() + static_cast<std::size_t>(blk) * n, n);
+    res.block_leader[static_cast<std::size_t>(blk)] =
+        strict_majority(block_b, static_cast<std::uint64_t>(m_), n / 2, scratch);
+  }
+  // B = majority{ b^{i'} } (> k/2 votes needed).
+  res.B = strict_majority(res.block_leader, static_cast<std::uint64_t>(m_),
+                          static_cast<std::size_t>(params_.k) / 2, scratch);
+  // R = majority{ r[B,j] : j } over the elected block.
+  const std::span<const std::uint64_t> leader_r(r_all.data() + static_cast<std::size_t>(res.B) * n, n);
+  res.R = strict_majority(leader_r, static_cast<std::uint64_t>(tau_), n / 2, scratch);
+  return res;
+}
+
+State BoostedCounter::transition(NodeId v, std::span<const State> received,
+                                 counting::TransitionContext& ctx) const {
+  SC_ASSERT(static_cast<int>(received.size()) == N_);
+  const int i = v / n_inner_;  // own block
+  const int j = v % n_inner_;  // index within the block
+
+  // 1. Update the state of algorithm A_i on the own block's inner states.
+  std::vector<State> block_states(static_cast<std::size_t>(n_inner_));
+  for (int jj = 0; jj < n_inner_; ++jj) {
+    block_states[static_cast<std::size_t>(jj)] =
+        received[static_cast<std::size_t>(i * n_inner_ + jj)];
+    block_states[static_cast<std::size_t>(jj)].truncate(inner_bits_);
+  }
+  const State inner_next = inner_->transition(j, block_states, ctx);
+
+  // 2. Compute the voted round counter R.
+  const Votes vt = votes(received);
+
+  // 3. Execute instruction set I_R of the phase king.
+  std::vector<std::uint64_t> received_a(static_cast<std::size_t>(N_));
+  for (int u = 0; u < N_; ++u) {
+    received_a[static_cast<std::size_t>(u)] = phaseking::decode_a(
+        received[static_cast<std::size_t>(u)].get_bits(inner_bits_, a_bits_), params_.C);
+  }
+  const phaseking::Registers own{received_a[static_cast<std::size_t>(v)],
+                                 received[static_cast<std::size_t>(v)].get_bit(inner_bits_ + a_bits_)};
+  const phaseking::Registers next =
+      phaseking::step(pk_, static_cast<int>(vt.R), v, own, received_a);
+
+  // Serialise [inner | a | d].
+  State s = inner_next;
+  s.truncate(inner_bits_);
+  s.set_bits(inner_bits_, a_bits_, phaseking::encode_a(next.a, params_.C));
+  s.set_bit(inner_bits_ + a_bits_, next.d);
+  return s;
+}
+
+std::uint64_t BoostedCounter::output(NodeId /*v*/, const State& s) const {
+  const std::uint64_t a = phaseking::decode_a(s.get_bits(inner_bits_, a_bits_), params_.C);
+  return a == phaseking::kInfinity ? 0 : a;
+}
+
+State BoostedCounter::canonicalize(const State& raw) const {
+  State inner_raw = raw;
+  inner_raw.truncate(inner_bits_);
+  State s = inner_->canonicalize(inner_raw);
+  SC_ASSERT([&] {
+    State check = s;
+    check.truncate(inner_bits_);
+    return check == s;
+  }());
+  // a: any pattern >= C means ∞ and re-encodes as C; d passes through.
+  const std::uint64_t a_pat = raw.get_bits(inner_bits_, a_bits_);
+  s.set_bits(inner_bits_, a_bits_,
+             phaseking::encode_a(phaseking::decode_a(a_pat, params_.C), params_.C));
+  s.set_bit(inner_bits_ + a_bits_, raw.get_bit(inner_bits_ + a_bits_));
+  return s;
+}
+
+}  // namespace synccount::boosting

@@ -1,0 +1,117 @@
+// Theorem 1: resilience boosting for synchronous counters.
+//
+// Given an inner counter A ∈ A(n, f, c) with c ≡ 0 (mod 3(F+2)(2m)^k), the
+// boosted counter B ∈ A(N, F, C) runs on N = k·n nodes arranged in k blocks
+// of n. Every node (i, j):
+//
+//   1. runs A inside its own block i (a copy A_i whose output is read
+//      modulo c_i = τ(2m)^{i+1}, τ = 3(F+2), and interpreted as a pair
+//      (r, y) with r ∈ [τ], y ∈ [(2m)^{i+1}]);
+//   2. derives the leader-block pointer b[i,j] = ⌊y/(2m)^i⌋ mod m. Block i
+//      cycles through candidate leaders (2m)× slower than block i−1, so all
+//      stabilised blocks eventually point at the same leader for τ rounds
+//      (Lemmas 1–2);
+//   3. votes: b^{i'} = majority of block i''s pointers, B = majority of the
+//      block votes, R = majority of leader block B's round counters r
+//      (Lemma 3: eventually a consistent τ-counter for ≥ τ rounds);
+//   4. executes instruction set I_R of the self-stabilising phase king
+//      (Table 2), which establishes and then forever maintains agreement on
+//      the output register a ∈ [C] (Lemmas 4–5).
+//
+// Costs exactly as in the paper: T(B) ≤ T(A) + 3(F+2)(2m)^k and
+// S(B) = S(A) + ⌈log(C+1)⌉ + 1 bits (state layout: [inner | a | d]).
+#pragma once
+
+#include <vector>
+
+#include "counting/algorithm.hpp"
+#include "phaseking/phase_king.hpp"
+
+namespace synccount::boosting {
+
+using counting::AlgorithmPtr;
+using counting::NodeId;
+using counting::State;
+
+struct BoostParams {
+  int k = 0;           // number of blocks (>= 3)
+  int F = 0;           // boosted resilience, F < (f+1)·ceil(k/2)
+  std::uint64_t C = 0; // output counter size (> 1)
+};
+
+class BoostedCounter final : public counting::CountingAlgorithm {
+ public:
+  BoostedCounter(AlgorithmPtr inner, const BoostParams& params);
+
+  int num_nodes() const noexcept override { return N_; }
+  int resilience() const noexcept override { return params_.F; }
+  std::uint64_t modulus() const noexcept override { return params_.C; }
+  int state_bits() const noexcept override { return total_bits_; }
+  std::optional<std::uint64_t> stabilisation_bound() const noexcept override;
+  bool deterministic() const noexcept override { return inner_->deterministic(); }
+  std::string name() const override;
+
+  State transition(NodeId v, std::span<const State> received,
+                   counting::TransitionContext& ctx) const override;
+  std::uint64_t output(NodeId v, const State& s) const override;
+  State canonicalize(const State& raw) const override;
+
+  // --- Introspection (tests, Figure 1/2 benches) --------------------------
+  int k() const noexcept { return params_.k; }
+  int m() const noexcept { return m_; }
+  int tau() const noexcept { return tau_; }
+  int block_size() const noexcept { return n_inner_; }
+  int block_of(NodeId v) const noexcept { return v / n_inner_; }
+  const CountingAlgorithm& inner() const noexcept { return *inner_; }
+
+  // c_i = τ(2m)^{i+1}: modulus of the derived counter of block i.
+  std::uint64_t block_modulus(int block) const;
+
+  // The additive stabilisation-time cost of this level, c_k = τ(2m)^k.
+  std::uint64_t level_time_cost() const noexcept { return ck_; }
+
+  struct Decoded {
+    State inner;        // inner-state bits
+    std::uint64_t a;    // phase-king output register ([C] or kInfinity)
+    bool d;             // phase-king auxiliary flag
+  };
+  Decoded decode(const State& s) const;
+  State encode(const Decoded& d) const;
+
+  // O(1): zeroed inner state with the phase-king register set to `target`.
+  State state_with_output(NodeId i, std::uint64_t target) const override;
+
+  struct BlockView {
+    std::uint64_t value;  // A_i output: (inner output) mod c_i
+    std::uint64_t r;      // value mod τ
+    std::uint64_t y;      // value / τ
+    std::uint64_t b;      // leader pointer ⌊y/(2m)^i⌋ mod m
+  };
+  // Derived-counter view of node (block, j)'s state.
+  BlockView block_view(int block, NodeId j, const State& s) const;
+
+  struct Votes {
+    std::vector<std::uint64_t> block_leader;  // b^{i'} per block
+    std::uint64_t B;                          // voted leader block
+    std::uint64_t R;                          // voted round counter
+  };
+  // The majority votes as computed from a received state vector (what step 3
+  // of the construction evaluates at any node this round).
+  Votes votes(std::span<const State> received) const;
+
+ private:
+  AlgorithmPtr inner_;
+  BoostParams params_;
+  int n_inner_;
+  int N_;
+  int m_;
+  int tau_;
+  std::uint64_t ck_;                   // τ(2m)^k
+  std::vector<std::uint64_t> pow2m_;   // (2m)^i, i in [0, k]
+  int inner_bits_;
+  int a_bits_;
+  int total_bits_;
+  phaseking::Params pk_;
+};
+
+}  // namespace synccount::boosting

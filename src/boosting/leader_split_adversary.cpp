@@ -1,0 +1,57 @@
+#include "boosting/leader_split_adversary.hpp"
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace synccount::boosting {
+
+LeaderSplitAdversary::LeaderSplitAdversary(std::shared_ptr<const BoostedCounter> algo)
+    : algo_(std::move(algo)) {
+  SC_CHECK(algo_ != nullptr, "no algorithm");
+}
+
+void LeaderSplitAdversary::begin_round(std::uint64_t /*round*/,
+                                       std::span<const sim::State> true_states,
+                                       const counting::CountingAlgorithm& /*algo*/,
+                                       std::span<const counting::NodeId> /*faulty_ids*/,
+                                       util::Rng& /*rng*/) {
+  // Compute the votes an honest observer would take this round, then craft
+  // one state backing the incumbent leader with a skewed round counter and
+  // one backing the next candidate, both with poisoned phase-king registers.
+  const BoostedCounter::Votes vt = algo_->votes(true_states);
+  const auto m = static_cast<std::uint64_t>(algo_->m());
+  const auto tau = static_cast<std::uint64_t>(algo_->tau());
+  const std::uint64_t leader[2] = {vt.B % m, (vt.B + 1) % m};
+  const std::uint64_t rounds[2] = {vt.R % tau, (vt.R + tau / 2) % tau};
+
+  for (int side = 0; side < 2; ++side) {
+    BoostedCounter::Decoded d;
+    // Inner output value o = r + tau * (2m)^0 * ... : block-dependent parts
+    // are folded in message() via the sender's block modulus; here we build
+    // the block-0 shape and rely on the nested moduli dividing each other:
+    // an inner output of r + tau*(2m)^{k-1}*b has pointer b in *every*
+    // block i, because (2m)^{k-1} is a multiple of (2m)^i for i < k and the
+    // division by (2m)^i then reduces mod m to b ... for i = k-1 exactly;
+    // for smaller i the pointer cycles faster, which only adds noise on the
+    // attacker's side. We target the top block scale, where Lemma 2's
+    // alignment is slowest.
+    const std::uint64_t y = util::ipow(2 * static_cast<std::uint64_t>(algo_->m()),
+                                       static_cast<unsigned>(algo_->k() - 1)) *
+                            leader[side];
+    const std::uint64_t o = rounds[side] + tau * y;
+    d.inner = algo_->inner().state_with_output(0, o % algo_->inner().modulus());
+    d.a = side == 0 ? phaseking::kInfinity : 1;  // reset vs. conflicting value
+    d.d = side == 1;
+    crafted_[side] = algo_->encode(d);
+  }
+}
+
+sim::State LeaderSplitAdversary::message(std::uint64_t /*round*/, counting::NodeId /*sender*/,
+                                         counting::NodeId receiver,
+                                         std::span<const sim::State> /*true_states*/,
+                                         const counting::CountingAlgorithm& /*algo*/,
+                                         util::Rng& /*rng*/) {
+  return crafted_[receiver % 2];
+}
+
+}  // namespace synccount::boosting

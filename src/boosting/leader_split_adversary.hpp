@@ -1,0 +1,43 @@
+// A construction-aware Byzantine strategy against BoostedCounter: instead of
+// generic bit noise it decodes the correct nodes' states, computes the
+// leader votes the construction is about to take, and then crafts per-
+// receiver inner states that (a) vote for the *trailing* leader candidate to
+// split the block majorities, and (b) impersonate the phase king with
+// conflicting a-registers whenever a faulty node is the current king.
+//
+// This is the attack the Theorem 1 proof has to survive: it cannot break
+// the bound (majorities of correct nodes dominate; the king rotation passes
+// through a correct king), but it reliably produces the slowest observed
+// stabilisations in the E10 ablation.
+#pragma once
+
+#include <memory>
+
+#include "boosting/boosted_counter.hpp"
+#include "sim/adversary.hpp"
+
+namespace synccount::boosting {
+
+class LeaderSplitAdversary final : public sim::Adversary {
+ public:
+  // The algorithm under attack must be (a top level of) a BoostedCounter.
+  explicit LeaderSplitAdversary(std::shared_ptr<const BoostedCounter> algo);
+
+  void begin_round(std::uint64_t round, std::span<const sim::State> true_states,
+                   const counting::CountingAlgorithm& algo,
+                   std::span<const counting::NodeId> faulty_ids, util::Rng& rng) override;
+
+  sim::State message(std::uint64_t round, counting::NodeId sender, counting::NodeId receiver,
+                     std::span<const sim::State> true_states,
+                     const counting::CountingAlgorithm& algo, util::Rng& rng) override;
+
+  std::string name() const override { return "leader-split"; }
+
+ private:
+  std::shared_ptr<const BoostedCounter> algo_;
+  // Two crafted full states per round: one voting for each side of the
+  // current leader split, with poisoned phase-king registers.
+  sim::State crafted_[2];
+};
+
+}  // namespace synccount::boosting

@@ -1,0 +1,152 @@
+#include "boosting/planner.hpp"
+
+#include <cmath>
+
+#include "counting/trivial.hpp"
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace synccount::boosting {
+
+std::uint64_t required_input_modulus(int k, int F) {
+  SC_CHECK(k >= 3, "need at least 3 blocks");
+  SC_CHECK(F >= 0, "resilience must be non-negative");
+  const int m = (k + 1) / 2;
+  const auto tau = static_cast<std::uint64_t>(3 * (F + 2));
+  const std::uint64_t p = util::ipow(static_cast<std::uint64_t>(2 * m), static_cast<unsigned>(k));
+  auto r = util::checked_mul(tau, p);
+  SC_CHECK(r.has_value(), "3(F+2)(2m)^k overflows uint64");
+  return *r;
+}
+
+namespace {
+
+// Assign the inter-level moduli: the top level outputs C_target, every lower
+// level must output exactly what the level above requires of its input.
+void thread_moduli(Plan& plan, std::uint64_t C_target) {
+  SC_CHECK(!plan.levels.empty(), "plan has no levels");
+  plan.levels.back().C = C_target;
+  for (std::size_t i = plan.levels.size() - 1; i-- > 0;) {
+    plan.levels[i].C =
+        required_input_modulus(plan.levels[i + 1].k, plan.levels[i + 1].F);
+  }
+  plan.base_modulus = required_input_modulus(plan.levels[0].k, plan.levels[0].F);
+}
+
+}  // namespace
+
+Plan plan_corollary1(int F, std::uint64_t C) {
+  SC_CHECK(F >= 1, "Corollary 1 needs F >= 1");
+  SC_CHECK(C >= 2, "counter modulus must be at least 2");
+  Plan plan;
+  plan.label = "corollary1(F=" + std::to_string(F) + ")";
+  plan.levels.push_back(LevelSpec{3 * F + 1, F, C});
+  thread_moduli(plan, C);
+  return plan;
+}
+
+Plan plan_fixed_k(int k, int levels, std::uint64_t C) {
+  SC_CHECK(k >= 4, "fixed-k schedule needs k >= 4 for a usable first level");
+  SC_CHECK(levels >= 1, "need at least one level");
+  SC_CHECK(C >= 2, "counter modulus must be at least 2");
+  Plan plan;
+  plan.label = "theorem2(k=" + std::to_string(k) + ",L=" + std::to_string(levels) + ")";
+  const int m = (k + 1) / 2;
+  int f_prev = 0;
+  std::uint64_t n_prev = 1;
+  for (int i = 0; i < levels; ++i) {
+    const auto N = n_prev * static_cast<std::uint64_t>(k);
+    // F < (f+1)·m boosts the resilience; the phase king additionally needs
+    // N > 3F (binding only on the first level where blocks are single nodes).
+    const auto by_boost = static_cast<std::uint64_t>(f_prev + 1) * static_cast<std::uint64_t>(m) - 1;
+    const auto by_n = (N - 1) / 3;
+    const int F = static_cast<int>(std::min(by_boost, by_n));
+    plan.levels.push_back(LevelSpec{k, F, 0});
+    f_prev = F;
+    n_prev = N;
+  }
+  thread_moduli(plan, C);
+  return plan;
+}
+
+Plan plan_practical(int f_target, std::uint64_t C) {
+  SC_CHECK(f_target >= 1, "resilience target must be at least 1");
+  SC_CHECK(C >= 2, "counter modulus must be at least 2");
+  Plan plan;
+  plan.label = "practical(f=" + std::to_string(f_target) + ")";
+  // Level 1: four one-node blocks, F = 1 (the A(4,1) building block).
+  plan.levels.push_back(LevelSpec{4, 1, 0});
+  int f = 1;
+  // Then k = 3 levels: F can grow to 2f+1; cap the last level at f_target.
+  while (f < f_target) {
+    const int next = std::min(2 * f + 1, f_target);
+    plan.levels.push_back(LevelSpec{3, next, 0});
+    f = next;
+  }
+  thread_moduli(plan, C);
+  return plan;
+}
+
+counting::AlgorithmPtr build_levels(counting::AlgorithmPtr base,
+                                    std::span<const LevelSpec> levels) {
+  SC_CHECK(base != nullptr, "no base algorithm");
+  counting::AlgorithmPtr algo = std::move(base);
+  for (const LevelSpec& lv : levels) {
+    algo = std::make_shared<BoostedCounter>(algo, BoostParams{lv.k, lv.F, lv.C});
+  }
+  return algo;
+}
+
+counting::AlgorithmPtr build_plan(const Plan& plan) {
+  SC_CHECK(plan.base_modulus >= 2, "plan has no base modulus (not threaded?)");
+  return build_levels(std::make_shared<counting::TrivialCounter>(plan.base_modulus),
+                      plan.levels);
+}
+
+PlanInfo analyze(const counting::CountingAlgorithm& algo) {
+  PlanInfo info;
+  info.n = algo.num_nodes();
+  info.f = algo.resilience();
+  info.modulus = algo.modulus();
+  info.time_bound = algo.stabilisation_bound().value_or(0);
+  info.state_bits = algo.state_bits();
+  return info;
+}
+
+std::vector<Theorem3Row> theorem3_analysis(int P) {
+  SC_CHECK(P >= 1, "need at least one phase");
+  std::vector<Theorem3Row> rows;
+  // Base: f = 1 on n = 4 nodes (any 1-resilient 4-node counter).
+  double lf = 0.0;        // log2(f)
+  double ln = 2.0;        // log2(n)
+  double ltime = std::log2(2304.0);  // the trivial-base A(4,1) level cost
+  double bits = 12.0;     // its state bits
+  for (int p = 1; p <= P; ++p) {
+    const int k = 4 * (1 << (P - p));
+    const int R = 2 * k;
+    Theorem3Row row;
+    row.phase = p;
+    row.k = k;
+    row.iterations = R;
+    const double lk = std::log2(static_cast<double>(k));
+    for (int i = 0; i < R; ++i) {
+      lf += lk - 1.0;  // f <- f·(k/2)
+      ln += lk;        // n <- n·k
+      // T += 3(f+2)(2m)^k with m = k/2, i.e. (2m)^k = k^k:
+      const double lterm = std::log2(3.0) + lf + static_cast<double>(k) * lk;
+      const double mx = std::max(ltime, lterm);
+      ltime = mx + std::log2(1.0 + std::exp2(std::min(ltime, lterm) - mx));
+      // S += ceil(log(C+1)) + 1 with C = 3(F+2)(2m)^k of the level above;
+      // the log2 of that counter is lterm again (up to rounding).
+      bits += lterm + 1.0;
+    }
+    row.log2_f = lf;
+    row.log2_n = ln;
+    row.log2_time = ltime;
+    row.state_bits = bits;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace synccount::boosting

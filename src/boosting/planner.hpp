@@ -1,0 +1,83 @@
+// Recursion planners for Section 4: choose the per-level (k, F, C)
+// parameters, thread the modulus constraint of Theorem 1 through the levels
+// (level i's inner counter must count modulo a multiple of 3(F+2)(2m)^k),
+// and build the resulting algorithm on top of the trivial 1-node base
+// (Corollary 1) or any caller-supplied base.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "boosting/boosted_counter.hpp"
+#include "counting/algorithm.hpp"
+
+namespace synccount::boosting {
+
+struct LevelSpec {
+  int k = 0;
+  int F = 0;
+  std::uint64_t C = 0;  // output modulus of this level (filled by the planner
+                        // for all but the top level)
+};
+
+struct Plan {
+  std::uint64_t base_modulus = 0;  // modulus of the trivial base counter
+  std::vector<LevelSpec> levels;   // bottom-up
+  std::string label;
+};
+
+// Diagnostics of a (built) plan.
+struct PlanInfo {
+  int n = 0;
+  int f = 0;
+  std::uint64_t modulus = 0;
+  std::uint64_t time_bound = 0;  // Theorem 1 bound, summed over levels
+  int state_bits = 0;
+};
+
+// 3(F+2)(2m)^k: the modulus granularity Theorem 1 requires of its input.
+std::uint64_t required_input_modulus(int k, int F);
+
+// Corollary 1: optimal resilience F < N/3 via one level of k = 3F+1
+// one-node blocks; stabilisation time F^{O(F)}.
+Plan plan_corollary1(int F, std::uint64_t C);
+
+// Theorem 2 flavour: `levels` levels with the same k (>= 4). Resilience grows
+// by a factor of ceil(k/2) per level; time stays O(f) per level but carries
+// the (2m)^k = 2^{O(k)} constant.
+Plan plan_fixed_k(int k, int levels, std::uint64_t C);
+
+// Practical schedule (the Figure 2 shape): one k=4 level from the trivial
+// base (F=1), then k=3 levels doubling F+1 until the resilience target is
+// reached; the last level is capped to exactly f_target. Minimises simulated
+// stabilisation time among our schedules.
+Plan plan_practical(int f_target, std::uint64_t C);
+
+// Builds the plan bottom-up on the trivial base.
+counting::AlgorithmPtr build_plan(const Plan& plan);
+
+// Builds the given levels on an arbitrary base counter (the base's modulus
+// must satisfy the first level's requirement; checked by BoostedCounter).
+counting::AlgorithmPtr build_levels(counting::AlgorithmPtr base,
+                                    std::span<const LevelSpec> levels);
+
+PlanInfo analyze(const counting::CountingAlgorithm& algo);
+
+// ---------------------------------------------------------------------------
+// Theorem 3 closed-form analysis (the varying-k schedule k_p = 4·2^{P-p},
+// R_p = 2·k_p). The instances are astronomically large, so this reports
+// log-space diagnostics instead of building them: per phase and in total,
+// log2(n), log2(f), log2(T) and the state-bit count.
+struct Theorem3Row {
+  int phase = 0;       // p
+  int k = 0;           // k_p
+  int iterations = 0;  // R_p
+  double log2_f = 0;
+  double log2_n = 0;
+  double log2_time = 0;
+  double state_bits = 0;
+};
+std::vector<Theorem3Row> theorem3_analysis(int P);
+
+}  // namespace synccount::boosting

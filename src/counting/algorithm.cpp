@@ -1,0 +1,35 @@
+#include "counting/algorithm.hpp"
+
+#include "util/check.hpp"
+
+namespace synccount::counting {
+
+State CountingAlgorithm::state_from_index(std::uint64_t /*idx*/) const {
+  SC_REQUIRE(false, "state_from_index not supported by " + name());
+}
+
+std::uint64_t CountingAlgorithm::state_to_index(const State& /*s*/) const {
+  SC_REQUIRE(false, "state_to_index not supported by " + name());
+}
+
+State CountingAlgorithm::state_with_output(NodeId i, std::uint64_t target) const {
+  const auto count = state_count();
+  SC_CHECK(count.has_value(),
+           "state_with_output needs an enumerable state space or an override: " + name());
+  for (std::uint64_t s = 0; s < *count; ++s) {
+    const State candidate = state_from_index(s);
+    if (output(i, candidate) == target) return candidate;
+  }
+  SC_CHECK(false, "no state of " + name() + " outputs " + std::to_string(target));
+}
+
+State arbitrary_state(const CountingAlgorithm& algo, util::Rng& rng) {
+  State raw;
+  const int bits = algo.state_bits();
+  for (int off = 0; off < bits; off += 64) {
+    raw.set_bits(off, std::min(64, bits - off), rng.next_u64());
+  }
+  return algo.canonicalize(raw);
+}
+
+}  // namespace synccount::counting

@@ -1,0 +1,100 @@
+// The synchronous counting algorithm interface (paper, Section 2).
+//
+// A deterministic algorithm is a tuple A = (X, g, h): X the state set,
+// g : [n] x X^n -> X the transition function applied to the vector of
+// received states, and h : [n] x X -> [c] the output map. We additionally
+// support randomised algorithms (the baseline of [6,7] and the Section 5
+// sampling constructions) by threading an Rng through the transition.
+//
+// States are bit-exact: a state is serialised into exactly state_bits()
+// bits (S(A) = ceil(log|X|) in the paper), which is what the simulator
+// transports and what Byzantine nodes may forge. Decoding arbitrary bit
+// patterns is total (canonicalize), matching the model where Byzantine
+// nodes can send any *state*, i.e. any element of X.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "util/bitio.hpp"
+#include "util/rng.hpp"
+
+namespace synccount::counting {
+
+using NodeId = int;
+using State = util::BitVec;
+
+// Mutable per-transition context: randomness for randomised algorithms and
+// message metering for the pulling model of Section 5 (each pulled state
+// counts as one message attributed to the pulling node).
+struct TransitionContext {
+  util::Rng* rng = nullptr;
+  std::uint64_t messages_pulled = 0;
+
+  util::Rng& rand() {
+    SC_REQUIRE(rng != nullptr, "randomised algorithm invoked without an Rng");
+    return *rng;
+  }
+};
+
+class CountingAlgorithm {
+ public:
+  virtual ~CountingAlgorithm() = default;
+
+  CountingAlgorithm(const CountingAlgorithm&) = delete;
+  CountingAlgorithm& operator=(const CountingAlgorithm&) = delete;
+
+  // --- Static parameters -------------------------------------------------
+  virtual int num_nodes() const noexcept = 0;          // n
+  virtual int resilience() const noexcept = 0;         // f
+  virtual std::uint64_t modulus() const noexcept = 0;  // c
+  virtual int state_bits() const noexcept = 0;         // S(A), bits per state
+
+  // Proven upper bound on the stabilisation time T(A);
+  // std::nullopt when no closed-form bound is known.
+  virtual std::optional<std::uint64_t> stabilisation_bound() const noexcept = 0;
+
+  virtual bool deterministic() const noexcept { return true; }
+  virtual std::string name() const = 0;
+
+  // --- Dynamic behaviour --------------------------------------------------
+  // g: next state of node i given the received state vector (size n; entry u
+  // is the state sent by node u this round, which for node i includes its own
+  // previous state at index i). Every entry is a canonical state.
+  virtual State transition(NodeId i, std::span<const State> received,
+                           TransitionContext& ctx) const = 0;
+
+  // h: output value in [0, modulus) of node i in state s.
+  virtual std::uint64_t output(NodeId i, const State& s) const = 0;
+
+  // Total decoding: map an arbitrary bit pattern (of up to state_bits() bits;
+  // higher bits are ignored) onto a valid state. Must be the identity on
+  // valid encodings and surjective onto X.
+  virtual State canonicalize(const State& raw) const = 0;
+
+  // --- Optional enumeration (for the exact verifier on small algorithms) ---
+  // |X| if the state space is explicitly enumerable, otherwise nullopt.
+  virtual std::optional<std::uint64_t> state_count() const { return std::nullopt; }
+  virtual State state_from_index(std::uint64_t /*idx*/) const;
+  virtual std::uint64_t state_to_index(const State& /*s*/) const;
+
+  // Some state of node i whose output is `target` (used by construction-
+  // aware adversaries and tests). The default scans an enumerable state
+  // space; algorithms with structured states override with O(1) builds.
+  // Throws std::invalid_argument if no such state exists.
+  virtual State state_with_output(NodeId i, std::uint64_t target) const;
+
+ protected:
+  CountingAlgorithm() = default;
+};
+
+using AlgorithmPtr = std::shared_ptr<const CountingAlgorithm>;
+
+// Draw an arbitrary (uniformly random, then canonicalised) state; this is how
+// the simulator realises the "arbitrary initial state" part of the model.
+State arbitrary_state(const CountingAlgorithm& algo, util::Rng& rng);
+
+}  // namespace synccount::counting

@@ -1,0 +1,74 @@
+#include "counting/randomized.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace synccount::counting {
+
+RandomizedCounter::RandomizedCounter(int n, int f, std::uint64_t c)
+    : n_(n), f_(f), c_(c), bits_(util::ceil_log2(c)) {
+  SC_CHECK(n >= 1, "need at least one node");
+  SC_CHECK(f >= 0 && n > 3 * f, "synchronous counting requires n > 3f");
+  SC_CHECK(c >= 2, "counter modulus must be at least 2");
+}
+
+std::string RandomizedCounter::name() const {
+  return "randomized(n=" + std::to_string(n_) + ",f=" + std::to_string(f_) +
+         ",c=" + std::to_string(c_) + ")";
+}
+
+State RandomizedCounter::transition(NodeId /*i*/, std::span<const State> received,
+                                    TransitionContext& ctx) const {
+  // Count received values; c can be large, so count only over values present.
+  // With n small a linear scan is fastest.
+  std::uint64_t best_value = 0;
+  int best_count = 0;
+  std::vector<std::uint64_t> vals(received.size());
+  for (std::size_t u = 0; u < received.size(); ++u) {
+    vals[u] = received[u].get_bits(0, bits_) % c_;
+  }
+  for (std::size_t u = 0; u < vals.size(); ++u) {
+    int cnt = 0;
+    for (std::size_t w = 0; w < vals.size(); ++w) {
+      if (vals[w] == vals[u]) ++cnt;
+    }
+    if (cnt > best_count) {
+      best_count = cnt;
+      best_value = vals[u];
+    }
+  }
+  std::uint64_t next;
+  if (best_count >= n_ - f_) {
+    next = (best_value + 1) % c_;
+  } else {
+    next = ctx.rand().next_below(c_);
+  }
+  State s;
+  s.set_bits(0, bits_, next);
+  return s;
+}
+
+std::uint64_t RandomizedCounter::output(NodeId /*i*/, const State& s) const {
+  return s.get_bits(0, bits_) % c_;
+}
+
+State RandomizedCounter::canonicalize(const State& raw) const {
+  State s;
+  s.set_bits(0, bits_, raw.get_bits(0, bits_) % c_);
+  return s;
+}
+
+State RandomizedCounter::state_from_index(std::uint64_t idx) const {
+  SC_CHECK(idx < c_, "state index out of range");
+  State s;
+  s.set_bits(0, bits_, idx);
+  return s;
+}
+
+std::uint64_t RandomizedCounter::state_to_index(const State& s) const {
+  return s.get_bits(0, bits_) % c_;
+}
+
+}  // namespace synccount::counting

@@ -1,0 +1,49 @@
+// The classic randomised synchronous counter ([6,7]; sketched in the
+// paper's introduction): every node outputs its whole state (a value in
+// [c]); if a clear majority of at least n - f received values agree on some
+// value v, the node adopts v + 1 (mod c), otherwise it picks a fresh state
+// uniformly at random.
+//
+// Once all correct nodes agree, each of them sees >= n - f copies of the
+// common value and agreement persists forever (Byzantine nodes cannot break
+// the n - f threshold since there are n - f correct nodes). Stabilisation
+// is by luck: the expected time is exponential, 2^{O(n-f)} for c = 2 --
+// this is the "space-efficient but slow/randomised" row of Table 1.
+#pragma once
+
+#include "counting/algorithm.hpp"
+
+namespace synccount::counting {
+
+class RandomizedCounter final : public CountingAlgorithm {
+ public:
+  // Requires n > 3f (counting is unsolvable otherwise) and c >= 2.
+  RandomizedCounter(int n, int f, std::uint64_t c);
+
+  int num_nodes() const noexcept override { return n_; }
+  int resilience() const noexcept override { return f_; }
+  std::uint64_t modulus() const noexcept override { return c_; }
+  int state_bits() const noexcept override { return bits_; }
+  std::optional<std::uint64_t> stabilisation_bound() const noexcept override {
+    return std::nullopt;  // randomised: only an expected-time bound exists
+  }
+  bool deterministic() const noexcept override { return false; }
+  std::string name() const override;
+
+  State transition(NodeId i, std::span<const State> received,
+                   TransitionContext& ctx) const override;
+  std::uint64_t output(NodeId i, const State& s) const override;
+  State canonicalize(const State& raw) const override;
+
+  std::optional<std::uint64_t> state_count() const override { return c_; }
+  State state_from_index(std::uint64_t idx) const override;
+  std::uint64_t state_to_index(const State& s) const override;
+
+ private:
+  int n_;
+  int f_;
+  std::uint64_t c_;
+  int bits_;
+};
+
+}  // namespace synccount::counting

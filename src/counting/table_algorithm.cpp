@@ -1,0 +1,107 @@
+#include "counting/table_algorithm.hpp"
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace synccount::counting {
+
+const char* to_string(Symmetry s) noexcept {
+  switch (s) {
+    case Symmetry::kUniform:
+      return "uniform";
+    case Symmetry::kCyclic:
+      return "cyclic";
+    default:
+      return "per-node";
+  }
+}
+
+std::uint64_t TransitionTable::g_index(int node, std::span<const std::uint64_t> states) const {
+  std::uint64_t idx = 0;
+  std::uint64_t p = 1;
+  const auto nn = states.size();
+  for (std::size_t u = 0; u < nn; ++u) {
+    const std::size_t sender = symmetry == Symmetry::kCyclic
+                                   ? (static_cast<std::size_t>(node) + u) % nn
+                                   : u;
+    idx += states[sender] * p;
+    p *= num_states;
+  }
+  if (per_node()) idx += static_cast<std::uint64_t>(node) * p;
+  return idx;
+}
+
+std::size_t TransitionTable::expected_g_size() const {
+  const std::uint64_t per = util::ipow(num_states, static_cast<unsigned>(n));
+  return static_cast<std::size_t>(per_node() ? per * static_cast<std::uint64_t>(n) : per);
+}
+
+std::size_t TransitionTable::expected_h_size() const {
+  return static_cast<std::size_t>(per_node() ? num_states * static_cast<std::uint64_t>(n)
+                                             : num_states);
+}
+
+TableAlgorithm::TableAlgorithm(TransitionTable table)
+    : table_(std::move(table)), bits_(util::ceil_log2(table_.num_states)) {
+  SC_CHECK(table_.n >= 1, "table needs at least one node");
+  SC_CHECK(table_.num_states >= 1, "table needs at least one state");
+  SC_CHECK(table_.modulus >= 2, "counter modulus must be at least 2");
+  SC_CHECK(table_.g.size() == table_.expected_g_size(), "transition table has wrong size");
+  SC_CHECK(table_.h.size() == table_.expected_h_size(), "output table has wrong size");
+  for (auto v : table_.g) SC_CHECK(v < table_.num_states, "transition target out of range");
+  for (auto v : table_.h) SC_CHECK(v < table_.modulus, "output value out of range");
+  pow_.resize(static_cast<std::size_t>(table_.n) + 1);
+  pow_[0] = 1;
+  for (int u = 0; u < table_.n; ++u) pow_[u + 1] = pow_[u] * table_.num_states;
+}
+
+std::string TableAlgorithm::name() const {
+  return table_.label + "(n=" + std::to_string(table_.n) + ",f=" + std::to_string(table_.f) +
+         ",c=" + std::to_string(table_.modulus) + ",|X|=" + std::to_string(table_.num_states) +
+         "," + to_string(table_.symmetry) + ")";
+}
+
+State TableAlgorithm::transition(NodeId i, std::span<const State> received,
+                                 TransitionContext& /*ctx*/) const {
+  SC_ASSERT(static_cast<int>(received.size()) == table_.n);
+  std::uint64_t idx = 0;
+  const auto nn = received.size();
+  for (std::size_t u = 0; u < nn; ++u) {
+    const std::size_t sender = table_.symmetry == Symmetry::kCyclic
+                                   ? (static_cast<std::size_t>(i) + u) % nn
+                                   : u;
+    idx += (received[sender].get_bits(0, bits_) % table_.num_states) * pow_[u];
+  }
+  if (table_.per_node()) {
+    idx += static_cast<std::uint64_t>(i) * pow_[static_cast<std::size_t>(table_.n)];
+  }
+  const std::uint8_t next = table_.g[static_cast<std::size_t>(idx)];
+  State s;
+  s.set_bits(0, bits_, next);
+  return s;
+}
+
+std::uint64_t TableAlgorithm::output(NodeId i, const State& s) const {
+  std::uint64_t st = s.get_bits(0, bits_) % table_.num_states;
+  if (table_.per_node()) st += static_cast<std::uint64_t>(i) * table_.num_states;
+  return table_.h[static_cast<std::size_t>(st)];
+}
+
+State TableAlgorithm::canonicalize(const State& raw) const {
+  State s;
+  s.set_bits(0, bits_, raw.get_bits(0, bits_) % table_.num_states);
+  return s;
+}
+
+State TableAlgorithm::state_from_index(std::uint64_t idx) const {
+  SC_CHECK(idx < table_.num_states, "state index out of range");
+  State s;
+  s.set_bits(0, bits_, idx);
+  return s;
+}
+
+std::uint64_t TableAlgorithm::state_to_index(const State& s) const {
+  return s.get_bits(0, bits_) % table_.num_states;
+}
+
+}  // namespace synccount::counting

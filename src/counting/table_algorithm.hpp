@@ -1,0 +1,93 @@
+// Explicit transition-table algorithms: the representation produced by the
+// algorithm-synthesis pipeline (paper Section 1, "computer-designed
+// algorithms" of [4,5]). The state set is [0, num_states); g and h are
+// lookup tables. Tables may be *uniform* (all nodes run the same function)
+// or per-node.
+//
+// These are the space-optimal building blocks of Table 1 (e.g. n = 4,
+// f = 1, c = 2 with 3 states per node). The exact verifier in
+// src/synthesis certifies a table and computes its exact worst-case
+// stabilisation time, which is stored in `verified_time`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "counting/algorithm.hpp"
+
+namespace synccount::counting {
+
+// How node identity enters the transition function:
+//  * kUniform -- one shared g over the received vector indexed by absolute
+//    sender id (nodes are distinguishable through positions).
+//  * kCyclic  -- one shared g over the received vector *rotated* so that the
+//    node's own state sits at position 0 (the anonymous/cyclic algorithm
+//    class searched in [4,5]).
+//  * kPerNode -- a separate table per node.
+enum class Symmetry { kUniform, kCyclic, kPerNode };
+
+const char* to_string(Symmetry s) noexcept;
+
+struct TransitionTable {
+  int n = 0;
+  int f = 0;
+  std::uint64_t num_states = 0;  // |X|
+  std::uint64_t modulus = 0;     // c
+  Symmetry symmetry = Symmetry::kUniform;
+
+  // g: flattened transition table. Entry layout:
+  //   index = node * num_states^n + encode(vector as seen by the node)
+  // where encode(x) = sum_u x[u] * num_states^u; the node dimension is
+  // dropped unless symmetry == kPerNode, and for kCyclic the vector is the
+  // rotation (own, next, ...) of the received states.
+  std::vector<std::uint8_t> g;
+
+  // h: output per state (shared unless kPerNode): node * num_states + state.
+  std::vector<std::uint8_t> h;
+
+  // Exact worst-case stabilisation time certified by the verifier;
+  // std::nullopt when the table has not been verified.
+  std::optional<std::uint64_t> verified_time;
+
+  std::string label = "table";
+
+  bool per_node() const noexcept { return symmetry == Symmetry::kPerNode; }
+
+  // Table index for `node` receiving `states` (indexed by absolute sender).
+  std::uint64_t g_index(int node, std::span<const std::uint64_t> states) const;
+  std::size_t expected_g_size() const;
+  std::size_t expected_h_size() const;
+};
+
+class TableAlgorithm final : public CountingAlgorithm {
+ public:
+  explicit TableAlgorithm(TransitionTable table);
+
+  int num_nodes() const noexcept override { return table_.n; }
+  int resilience() const noexcept override { return table_.f; }
+  std::uint64_t modulus() const noexcept override { return table_.modulus; }
+  int state_bits() const noexcept override { return bits_; }
+  std::optional<std::uint64_t> stabilisation_bound() const noexcept override {
+    return table_.verified_time;
+  }
+  std::string name() const override;
+
+  State transition(NodeId i, std::span<const State> received,
+                   TransitionContext& ctx) const override;
+  std::uint64_t output(NodeId i, const State& s) const override;
+  State canonicalize(const State& raw) const override;
+
+  std::optional<std::uint64_t> state_count() const override { return table_.num_states; }
+  State state_from_index(std::uint64_t idx) const override;
+  std::uint64_t state_to_index(const State& s) const override;
+
+  const TransitionTable& table() const noexcept { return table_; }
+
+ private:
+  TransitionTable table_;
+  int bits_;
+  std::vector<std::uint64_t> pow_;  // num_states^u for u in [n]
+};
+
+}  // namespace synccount::counting

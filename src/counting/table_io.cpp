@@ -1,0 +1,104 @@
+#include "counting/table_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace synccount::counting {
+
+namespace {
+
+Symmetry symmetry_from_string(const std::string& s) {
+  if (s == "uniform") return Symmetry::kUniform;
+  if (s == "cyclic") return Symmetry::kCyclic;
+  if (s == "per-node") return Symmetry::kPerNode;
+  SC_CHECK(false, "unknown symmetry: " + s);
+}
+
+}  // namespace
+
+void write_table(const TransitionTable& table, std::ostream& out) {
+  out << "synccount-table v1\n";
+  out << "n " << table.n << "\n";
+  out << "f " << table.f << "\n";
+  out << "states " << table.num_states << "\n";
+  out << "modulus " << table.modulus << "\n";
+  out << "symmetry " << to_string(table.symmetry) << "\n";
+  if (table.verified_time) out << "verified_time " << *table.verified_time << "\n";
+  out << "label " << (table.label.empty() ? "table" : table.label) << "\n";
+  out << "g";
+  for (auto v : table.g) out << ' ' << static_cast<int>(v);
+  out << "\nh";
+  for (auto v : table.h) out << ' ' << static_cast<int>(v);
+  out << "\n";
+}
+
+TransitionTable read_table(std::istream& in) {
+  TransitionTable t;
+  std::string line;
+  SC_CHECK(static_cast<bool>(std::getline(in, line)), "empty table file");
+  SC_CHECK(line == "synccount-table v1", "bad header: " + line);
+  bool have_g = false, have_h = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key == "n") {
+      ls >> t.n;
+    } else if (key == "f") {
+      ls >> t.f;
+    } else if (key == "states") {
+      ls >> t.num_states;
+    } else if (key == "modulus") {
+      ls >> t.modulus;
+    } else if (key == "symmetry") {
+      std::string s;
+      ls >> s;
+      t.symmetry = symmetry_from_string(s);
+    } else if (key == "verified_time") {
+      std::uint64_t v = 0;
+      ls >> v;
+      t.verified_time = v;
+    } else if (key == "label") {
+      ls >> t.label;
+    } else if (key == "g") {
+      int v = 0;
+      while (ls >> v) {
+        SC_CHECK(v >= 0 && v < 256, "g entry out of byte range");
+        t.g.push_back(static_cast<std::uint8_t>(v));
+      }
+      have_g = true;
+    } else if (key == "h") {
+      int v = 0;
+      while (ls >> v) {
+        SC_CHECK(v >= 0 && v < 256, "h entry out of byte range");
+        t.h.push_back(static_cast<std::uint8_t>(v));
+      }
+      have_h = true;
+    } else {
+      SC_CHECK(false, "unknown key in table file: " + key);
+    }
+  }
+  SC_CHECK(have_g && have_h, "table file missing g or h");
+  // Size/range validation happens in TableAlgorithm's constructor; do the
+  // structural part here so errors point at the file.
+  SC_CHECK(t.g.size() == t.expected_g_size(), "g has wrong length for the header");
+  SC_CHECK(t.h.size() == t.expected_h_size(), "h has wrong length for the header");
+  return t;
+}
+
+std::string table_to_string(const TransitionTable& table) {
+  std::ostringstream os;
+  write_table(table, os);
+  return os.str();
+}
+
+TransitionTable table_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_table(is);
+}
+
+}  // namespace synccount::counting

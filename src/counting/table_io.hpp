@@ -1,0 +1,34 @@
+// Plain-text serialisation of transition tables, so synthesised algorithms
+// can be saved from the CLI, shipped, diffed and reloaded:
+//
+//   synccount-table v1
+//   n 4
+//   f 1
+//   states 3
+//   modulus 2
+//   symmetry cyclic
+//   verified_time 6          # optional line; omitted when unverified
+//   label computer-designed
+//   g 2 2 2 ... (|X|^n, or n*|X|^n for per-node, values)
+//   h 0 0 1 ...
+//
+// Loading re-validates every entry (TableAlgorithm's constructor) but does
+// NOT trust `verified_time`: call synthesis::verify to re-certify.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "counting/table_algorithm.hpp"
+
+namespace synccount::counting {
+
+void write_table(const TransitionTable& table, std::ostream& out);
+
+// Throws std::invalid_argument on malformed input.
+TransitionTable read_table(std::istream& in);
+
+std::string table_to_string(const TransitionTable& table);
+TransitionTable table_from_string(const std::string& text);
+
+}  // namespace synccount::counting

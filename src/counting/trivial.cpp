@@ -1,0 +1,47 @@
+#include "counting/trivial.hpp"
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace synccount::counting {
+
+TrivialCounter::TrivialCounter(std::uint64_t c) : c_(c), bits_(util::ceil_log2(c)) {
+  SC_CHECK(c >= 2, "counter modulus must be at least 2");
+}
+
+std::string TrivialCounter::name() const {
+  return "trivial(c=" + std::to_string(c_) + ")";
+}
+
+State TrivialCounter::transition(NodeId i, std::span<const State> received,
+                                 TransitionContext& /*ctx*/) const {
+  SC_ASSERT(i == 0 && received.size() == 1);
+  (void)i;
+  const std::uint64_t v = received[0].get_bits(0, bits_) % c_;
+  State next;
+  next.set_bits(0, bits_, (v + 1) % c_);
+  return next;
+}
+
+std::uint64_t TrivialCounter::output(NodeId /*i*/, const State& s) const {
+  return s.get_bits(0, bits_) % c_;
+}
+
+State TrivialCounter::canonicalize(const State& raw) const {
+  State s;
+  s.set_bits(0, bits_, raw.get_bits(0, bits_) % c_);
+  return s;
+}
+
+State TrivialCounter::state_from_index(std::uint64_t idx) const {
+  SC_CHECK(idx < c_, "state index out of range");
+  State s;
+  s.set_bits(0, bits_, idx);
+  return s;
+}
+
+std::uint64_t TrivialCounter::state_to_index(const State& s) const {
+  return s.get_bits(0, bits_) % c_;
+}
+
+}  // namespace synccount::counting

@@ -1,0 +1,37 @@
+// The trivial 0-resilient synchronous c-counter on a single node
+// (paper, Section 4.1): the state is the counter value itself, incremented
+// modulo c every round. It stabilises immediately (T = 0) from any initial
+// state and is the base case of the recursive construction (Corollary 1).
+#pragma once
+
+#include "counting/algorithm.hpp"
+
+namespace synccount::counting {
+
+class TrivialCounter final : public CountingAlgorithm {
+ public:
+  // c >= 2.
+  explicit TrivialCounter(std::uint64_t c);
+
+  int num_nodes() const noexcept override { return 1; }
+  int resilience() const noexcept override { return 0; }
+  std::uint64_t modulus() const noexcept override { return c_; }
+  int state_bits() const noexcept override { return bits_; }
+  std::optional<std::uint64_t> stabilisation_bound() const noexcept override { return 0; }
+  std::string name() const override;
+
+  State transition(NodeId i, std::span<const State> received,
+                   TransitionContext& ctx) const override;
+  std::uint64_t output(NodeId i, const State& s) const override;
+  State canonicalize(const State& raw) const override;
+
+  std::optional<std::uint64_t> state_count() const override { return c_; }
+  State state_from_index(std::uint64_t idx) const override;
+  std::uint64_t state_to_index(const State& s) const override;
+
+ private:
+  std::uint64_t c_;
+  int bits_;
+};
+
+}  // namespace synccount::counting

@@ -1,0 +1,61 @@
+#include "phaseking/consensus.hpp"
+
+#include "util/check.hpp"
+
+namespace synccount::phaseking {
+
+ConsensusTrace run_phase_king(const Params& p, std::vector<Registers> initial,
+                              const std::vector<bool>& faulty, const ByzantineFn& byz,
+                              int start_index, int num_rounds, StepMode mode) {
+  p.validate();
+  SC_CHECK(static_cast<int>(initial.size()) == p.N, "initial register vector size mismatch");
+  SC_CHECK(static_cast<int>(faulty.size()) == p.N, "fault vector size mismatch");
+  SC_CHECK(start_index >= 0 && start_index < p.tau(), "instruction index out of range");
+  SC_CHECK(num_rounds >= 0, "negative round count");
+
+  ConsensusTrace trace;
+  trace.regs.push_back(initial);
+
+  std::vector<Registers> cur = std::move(initial);
+  std::vector<Registers> nxt(cur.size());
+  std::vector<std::uint64_t> received(cur.size());
+
+  for (int r = 0; r < num_rounds; ++r) {
+    const int index = (start_index + r) % p.tau();
+    for (NodeId v = 0; v < p.N; ++v) {
+      if (faulty[static_cast<std::size_t>(v)]) {
+        nxt[static_cast<std::size_t>(v)] = cur[static_cast<std::size_t>(v)];
+        continue;
+      }
+      for (NodeId u = 0; u < p.N; ++u) {
+        received[static_cast<std::size_t>(u)] =
+            faulty[static_cast<std::size_t>(u)]
+                ? decode_a(encode_a(byz(r, u, v), p.C), p.C)  // clamp to the valid domain
+                : cur[static_cast<std::size_t>(u)].a;
+      }
+      nxt[static_cast<std::size_t>(v)] =
+          step(p, index, v, cur[static_cast<std::size_t>(v)], received, mode);
+    }
+    cur = nxt;
+    trace.regs.push_back(cur);
+  }
+  return trace;
+}
+
+bool agreed(const Params& p, const std::vector<Registers>& regs,
+            const std::vector<bool>& faulty) {
+  std::uint64_t value = kInfinity;
+  for (NodeId v = 0; v < p.N; ++v) {
+    if (faulty[static_cast<std::size_t>(v)]) continue;
+    const auto& r = regs[static_cast<std::size_t>(v)];
+    if (r.a == kInfinity || !r.d) return false;
+    if (value == kInfinity) {
+      value = r.a;
+    } else if (r.a != value) {
+      return false;
+    }
+  }
+  return value != kInfinity;
+}
+
+}  // namespace synccount::phaseking

@@ -1,0 +1,45 @@
+// Standalone synchronous execution of the phase-king instruction sets with a
+// clean start: the classic consensus use of [1], used to test Lemmas 4 and 5
+// in isolation from the counting construction, and by the Table 2 bench.
+//
+// Starting from instruction index `start_index`, the driver executes
+// `num_rounds` consecutive instruction sets (wrapping modulo τ) at every
+// correct node. Byzantine senders may equivocate arbitrarily through the
+// callback. Because every instruction set ends in `increment`, agreement on
+// a value x at round q means agreement on x + r - q (mod C) at rounds r > q
+// (Lemma 5); the helpers below check exactly that.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "phaseking/phase_king.hpp"
+
+namespace synccount::phaseking {
+
+// a-value that faulty `sender` reports to `receiver` in round `r` (r counts
+// from 0 within this run).
+using ByzantineFn =
+    std::function<std::uint64_t(int r, NodeId sender, NodeId receiver)>;
+
+struct ConsensusTrace {
+  // regs[r][v] = registers of node v at the *start* of round r
+  // (regs.front() = initial, regs.back() = final after num_rounds rounds).
+  std::vector<std::vector<Registers>> regs;
+};
+
+// Executes the instruction sets; faulty nodes' register entries in the trace
+// are frozen at their initial values (their broadcasts come from `byz`).
+// `mode` selects the counting adaptation (increment every round) or the
+// classic value consensus of [1].
+ConsensusTrace run_phase_king(const Params& p, std::vector<Registers> initial,
+                              const std::vector<bool>& faulty, const ByzantineFn& byz,
+                              int start_index, int num_rounds,
+                              StepMode mode = StepMode::kCounting);
+
+// True if all correct nodes agree on a non-∞ a-value (and d = 1) in the
+// given register vector.
+bool agreed(const Params& p, const std::vector<Registers>& regs,
+            const std::vector<bool>& faulty);
+
+}  // namespace synccount::phaseking

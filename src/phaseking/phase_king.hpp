@@ -1,0 +1,85 @@
+// The self-stabilising adaptation of the phase king protocol [1]
+// (paper, Section 3.4 and Table 2).
+//
+// Registers per node v: a[v] in [C] ∪ {∞} (the counting output; ∞ is the
+// reset state) and d[v] in {0,1}. For each king ℓ in [F+2] there are three
+// instruction sets, executed when the voted round counter R equals 3ℓ,
+// 3ℓ+1, 3ℓ+2 (τ = 3(F+2) instruction sets in total):
+//
+//   I_{3ℓ}:   1. if fewer than N−F nodes sent a[v], a[v] ← ∞
+//             2. increment a[v]
+//   I_{3ℓ+1}: 1. z_j = |{u : a[u] = j}|
+//             2. d[v] ← (z_{a[v]} ≥ N−F)
+//             3. a[v] ← min{ j : z_j > F }
+//             4. increment a[v]
+//   I_{3ℓ+2}: 1. if a[v] = ∞ or d[v] = 0, a[v] ← min{C, a[ℓ]}
+//             2. d[v] ← 1; increment a[v]
+//
+// where `increment` is +1 mod C and a no-op on ∞. Edge semantics follow the
+// paper literally (see DESIGN.md): min over an empty set is ∞, and
+// min{C, ∞} = C, an out-of-range value whose increment (C+1) mod C is
+// deterministic and identical at every correct node -- which is all that
+// Lemma 4 requires.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace synccount::phaseking {
+
+using NodeId = int;
+
+// The reset value ∞.
+inline constexpr std::uint64_t kInfinity = ~std::uint64_t{0};
+
+struct Params {
+  int N = 0;           // number of nodes
+  int F = 0;           // resilience, F < N/3
+  std::uint64_t C = 0; // counter size, C > 1
+
+  // τ = 3(F+2): the number of instruction sets / length of the control
+  // counter required by the protocol.
+  int tau() const noexcept { return 3 * (F + 2); }
+
+  void validate() const;
+};
+
+struct Registers {
+  std::uint64_t a = 0;  // value in [C] or kInfinity (or transiently C, see above)
+  bool d = false;
+
+  friend bool operator==(const Registers&, const Registers&) = default;
+};
+
+// Whether `increment` advances a modulo C each round (the counting
+// adaptation of Section 3.4) or is a no-op (classic value consensus [1]:
+// agreement on a value in [C] instead of on a counter).
+enum class StepMode { kCounting, kValue };
+
+// Executes instruction set I_{index} (index in [0, τ)) for node v, given the
+// a-registers received from all N nodes this round (entry u = a[u] as sent by
+// node u; entry v must be the node's own round-start a). Returns the new
+// registers. Pure function: no global state.
+Registers step(const Params& p, int index, NodeId v, const Registers& own,
+               std::span<const std::uint64_t> received_a,
+               StepMode mode = StepMode::kCounting);
+
+// Sampled variant for the pulling model (Section 5, Lemma 8): instead of all
+// N values the node inspects M uniformly sampled a-registers (a multiset,
+// sampled with repetition); the N−F threshold becomes "at least 2/3·M" and
+// the F+1 threshold becomes "more than 1/3·M". The king's register is pulled
+// directly (one extra message) and passed as `king_a`.
+Registers step_sampled(const Params& p, int index, const Registers& own,
+                       std::span<const std::uint64_t> sampled_a, std::uint64_t king_a);
+
+// Encoding helpers: a-register <-> bit pattern of width a_bits(C).
+// ∞ is encoded as the value C; arbitrary (Byzantine) bit patterns decode by
+// clamping to [0, C], i.e. every pattern is a valid register value.
+int a_bits(std::uint64_t C) noexcept;
+std::uint64_t encode_a(std::uint64_t a, std::uint64_t C) noexcept;
+std::uint64_t decode_a(std::uint64_t bits, std::uint64_t C) noexcept;
+
+}  // namespace synccount::phaseking

@@ -1,0 +1,67 @@
+#include "sat/dimacs.hpp"
+
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace synccount::sat {
+
+void Cnf::add(std::vector<ExtLit> lits) {
+  for (ExtLit l : lits) {
+    SC_CHECK(l != 0, "literal 0 is not allowed");
+    num_vars = std::max(num_vars, std::abs(l));
+  }
+  clauses.push_back(std::move(lits));
+}
+
+void Cnf::load_into(Solver& solver) const {
+  while (solver.num_vars() < num_vars) solver.new_var();
+  for (const auto& c : clauses) solver.add_clause(c);
+}
+
+Cnf parse_dimacs(std::istream& in) {
+  Cnf cnf;
+  std::string line;
+  bool header_seen = false;
+  std::vector<ExtLit> current;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream hs(line);
+      std::string p, fmt;
+      int vars = 0, clauses = 0;
+      hs >> p >> fmt >> vars >> clauses;
+      SC_CHECK(fmt == "cnf", "unsupported DIMACS format: " + fmt);
+      cnf.num_vars = vars;
+      header_seen = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    ExtLit lit = 0;
+    while (ls >> lit) {
+      if (lit == 0) {
+        cnf.add(current);
+        current.clear();
+      } else {
+        current.push_back(lit);
+      }
+    }
+  }
+  SC_CHECK(header_seen, "missing DIMACS header");
+  SC_CHECK(current.empty(), "unterminated clause at end of input");
+  return cnf;
+}
+
+void write_dimacs(const Cnf& cnf, std::ostream& out) {
+  out << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& c : cnf.clauses) {
+    for (ExtLit l : c) out << l << ' ';
+    out << "0\n";
+  }
+}
+
+}  // namespace synccount::sat

@@ -1,0 +1,26 @@
+// DIMACS CNF import/export, so synthesis instances can be inspected with or
+// cross-checked against external solvers.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace synccount::sat {
+
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<ExtLit>> clauses;
+
+  void add(std::vector<ExtLit> lits);
+  void load_into(Solver& solver) const;
+};
+
+// Parses DIMACS text ("p cnf V C" header, clauses terminated by 0, comment
+// lines starting with 'c'). Throws std::invalid_argument on malformed input.
+Cnf parse_dimacs(std::istream& in);
+
+void write_dimacs(const Cnf& cnf, std::ostream& out);
+
+}  // namespace synccount::sat

@@ -1,0 +1,150 @@
+// A compact CDCL SAT solver: the substrate for the algorithm-synthesis
+// pipeline (paper Section 1; the computer-designed counters of [4,5] were
+// found with SAT solvers).
+//
+// Feature set: two-watched-literal propagation, first-UIP conflict analysis
+// with recursive clause minimisation, VSIDS-style activity decision
+// heuristic, phase saving, Luby restarts, and activity-based learned-clause
+// deletion. External literals use the DIMACS convention: +v / -v, v >= 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace synccount::sat {
+
+using Var = int;        // 1-based
+using ExtLit = int;     // DIMACS: +v or -v
+
+enum class Result {
+  kSat,
+  kUnsat,             // unsatisfiable regardless of assumptions
+  kUnsatAssumptions,  // unsatisfiable under the given assumptions only
+  kUnknown,           // conflict budget exhausted
+};
+
+class Solver {
+ public:
+  Solver();
+
+  // Creates a fresh variable and returns its index (1-based).
+  Var new_var();
+  int num_vars() const noexcept { return static_cast<int>(num_vars_); }
+
+  // Adds a clause over external literals. Referencing a variable beyond
+  // num_vars() implicitly creates the missing variables. Adding the empty
+  // clause makes the instance trivially unsatisfiable.
+  void add_clause(const std::vector<ExtLit>& lits);
+  void add_unit(ExtLit a) { add_clause({a}); }
+  void add_binary(ExtLit a, ExtLit b) { add_clause({a, b}); }
+  void add_ternary(ExtLit a, ExtLit b, ExtLit c) { add_clause({a, b, c}); }
+
+  // Solves; `conflict_budget` bounds the search (kUnknown when exhausted;
+  // 0 means unlimited).
+  Result solve(std::uint64_t conflict_budget = 0);
+
+  // Solves under assumptions (MiniSat-style): the literals are fixed for
+  // this call only; learned clauses persist across calls, which makes
+  // sweeping a family of related queries (e.g. increasing time bounds in
+  // synthesis) much cheaper than re-encoding.
+  Result solve_assuming(const std::vector<ExtLit>& assumptions,
+                        std::uint64_t conflict_budget = 0);
+
+  // Model access after kSat.
+  bool value(Var v) const;
+
+  struct Stats {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learned = 0;
+    std::uint64_t deleted = 0;
+    std::size_t clauses = 0;  // problem clauses after top-level simplification
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+  std::string stats_string() const;
+
+ private:
+  // Internal literal encoding: lit = 2*var + sign, var 0-based.
+  using Lit = std::uint32_t;
+  static constexpr Lit kLitUndef = ~Lit{0};
+  static Lit mk_lit(std::uint32_t var, bool neg) { return 2 * var + (neg ? 1U : 0U); }
+  static Lit neg(Lit l) { return l ^ 1U; }
+  static std::uint32_t var_of(Lit l) { return l >> 1; }
+  static bool sign_of(Lit l) { return (l & 1U) != 0; }
+
+  enum class LBool : std::uint8_t { kTrue, kFalse, kUndef };
+  LBool lit_value(Lit l) const {
+    const LBool v = assigns_[var_of(l)];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    return (v == LBool::kFalse) == sign_of(l) ? LBool::kTrue : LBool::kFalse;
+  }
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learned = false;
+    bool deleted = false;
+  };
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kRefUndef = ~ClauseRef{0};
+
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
+  };
+
+  void ensure_var(std::uint32_t v0);
+  Lit to_internal(ExtLit e);
+  void attach(ClauseRef cref);
+  bool enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef confl, std::vector<Lit>& learnt, int& backtrack_level);
+  bool lit_redundant(Lit l, std::uint32_t abstract_levels);
+  void backtrack(int level);
+  Lit pick_branch();
+  void bump_var(std::uint32_t v0);
+  void bump_clause(Clause& c);
+  void decay_activities();
+  void reduce_db();
+  static std::uint64_t luby(std::uint64_t i);
+
+  int level_of(std::uint32_t v0) const { return level_[v0]; }
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+
+  // State ------------------------------------------------------------------
+  std::uint32_t num_vars_ = 0;
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal
+  std::vector<LBool> assigns_;
+  std::vector<bool> saved_phase_;
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
+  std::size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+  // Binary-heap order on activity.
+  std::vector<std::uint32_t> heap_;
+  std::vector<int> heap_pos_;
+  void heap_insert(std::uint32_t v0);
+  void heap_percolate_up(int i);
+  void heap_percolate_down(int i);
+  std::uint32_t heap_pop();
+
+  bool ok_ = true;  // false once an empty clause exists at level 0
+  Stats stats_;
+
+  // Temporary buffers for analyze().
+  std::vector<bool> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_clear_;
+};
+
+}  // namespace synccount::sat

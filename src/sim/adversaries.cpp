@@ -1,0 +1,181 @@
+#include "sim/adversaries.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace synccount::sim {
+
+namespace {
+
+State random_state(const CountingAlgorithm& algo, util::Rng& rng) {
+  return counting::arbitrary_state(algo, rng);
+}
+
+// Measures how "agreed" the correct nodes' outputs are: the count of the most
+// common output value. Lower is worse for the system, so the lookahead
+// adversary minimises this.
+int agreement_score(const CountingAlgorithm& algo, std::span<const State> states,
+                    std::span<const NodeId> faulty) {
+  std::vector<std::uint64_t> outs;
+  outs.reserve(states.size());
+  for (NodeId i = 0; i < static_cast<NodeId>(states.size()); ++i) {
+    if (std::find(faulty.begin(), faulty.end(), i) != faulty.end()) continue;
+    outs.push_back(algo.output(i, states[static_cast<std::size_t>(i)]));
+  }
+  int best = 0;
+  for (std::size_t a = 0; a < outs.size(); ++a) {
+    int cnt = 0;
+    for (std::size_t b = 0; b < outs.size(); ++b) {
+      if (outs[b] == outs[a]) ++cnt;
+    }
+    best = std::max(best, cnt);
+  }
+  return best;
+}
+
+}  // namespace
+
+State SilentAdversary::message(std::uint64_t, NodeId, NodeId, std::span<const State>,
+                               const CountingAlgorithm& algo, util::Rng&) {
+  return algo.canonicalize(State{});
+}
+
+State EchoAdversary::message(std::uint64_t, NodeId sender, NodeId, std::span<const State> states,
+                             const CountingAlgorithm&, util::Rng&) {
+  return states[static_cast<std::size_t>(sender)];
+}
+
+State RandomAdversary::message(std::uint64_t, NodeId, NodeId, std::span<const State>,
+                               const CountingAlgorithm& algo, util::Rng& rng) {
+  return random_state(algo, rng);
+}
+
+void SplitAdversary::begin_round(std::uint64_t, std::span<const State>,
+                                 const CountingAlgorithm& algo, std::span<const NodeId>,
+                                 util::Rng& rng) {
+  even_ = random_state(algo, rng);
+  odd_ = random_state(algo, rng);
+}
+
+State SplitAdversary::message(std::uint64_t, NodeId, NodeId receiver, std::span<const State>,
+                              const CountingAlgorithm&, util::Rng&) {
+  return receiver % 2 == 0 ? even_ : odd_;
+}
+
+State MirrorAdversary::message(std::uint64_t round, NodeId sender, NodeId receiver,
+                               std::span<const State> states, const CountingAlgorithm&,
+                               util::Rng&) {
+  // Echo the round-start state of a rotating peer: a plausible, protocol-
+  // consistent value that nevertheless differs per receiver.
+  const auto n = static_cast<NodeId>(states.size());
+  NodeId victim = static_cast<NodeId>((receiver + round) % static_cast<std::uint64_t>(n));
+  if (victim == sender) victim = (victim + 1) % n;
+  return states[static_cast<std::size_t>(victim)];
+}
+
+void TargetedVoteAdversary::begin_round(std::uint64_t, std::span<const State> states,
+                                        const CountingAlgorithm&,
+                                        std::span<const NodeId> faulty_ids, util::Rng& rng) {
+  // Harvest the correct nodes' states; they encode valid leader pointers and
+  // phase-king registers, so replaying them to the "wrong" receivers attacks
+  // the majority votes with plausible values.
+  pool_.clear();
+  for (NodeId i = 0; i < static_cast<NodeId>(states.size()); ++i) {
+    if (std::find(faulty_ids.begin(), faulty_ids.end(), i) == faulty_ids.end()) {
+      pool_.push_back(states[static_cast<std::size_t>(i)]);
+    }
+  }
+  // Shuffle so different rounds pair receivers with different votes.
+  std::shuffle(pool_.begin(), pool_.end(), rng);
+}
+
+State TargetedVoteAdversary::message(std::uint64_t, NodeId sender, NodeId receiver,
+                                     std::span<const State>, const CountingAlgorithm& algo,
+                                     util::Rng& rng) {
+  if (pool_.empty()) return random_state(algo, rng);
+  // Receiver halves get states from opposite ends of the shuffled pool.
+  const std::size_t half = pool_.size() / 2;
+  const std::size_t idx =
+      (receiver % 2 == 0) ? (static_cast<std::size_t>(receiver) / 2) % std::max<std::size_t>(half, 1)
+                          : half + (static_cast<std::size_t>(receiver) / 2) %
+                                       std::max<std::size_t>(pool_.size() - half, 1);
+  (void)sender;
+  return pool_[std::min(idx, pool_.size() - 1)];
+}
+
+LookaheadAdversary::LookaheadAdversary(int candidates) : candidates_(candidates) {
+  SC_CHECK(candidates >= 1, "need at least one candidate profile");
+}
+
+void LookaheadAdversary::begin_round(std::uint64_t, std::span<const State> states,
+                                     const CountingAlgorithm& algo,
+                                     std::span<const NodeId> faulty_ids, util::Rng& rng) {
+  n_ = static_cast<int>(states.size());
+  faulty_.assign(faulty_ids.begin(), faulty_ids.end());
+  const std::size_t profile_size = faulty_.size() * static_cast<std::size_t>(n_);
+
+  std::vector<State> best_profile;
+  int best_score = n_ + 1;
+
+  std::vector<State> received(states.begin(), states.end());
+  std::vector<State> next(static_cast<std::size_t>(n_));
+
+  for (int cand = 0; cand < candidates_; ++cand) {
+    // Draw a candidate profile: a mix of random states and replayed correct
+    // states (replays are often more damaging than noise).
+    std::vector<State> profile(profile_size);
+    for (auto& s : profile) {
+      if (rng.next_bool(0.5)) {
+        s = random_state(algo, rng);
+      } else {
+        s = states[rng.next_below(states.size())];
+      }
+    }
+    // Simulate the round under this profile.
+    counting::TransitionContext ctx{&rng};
+    for (NodeId i = 0; i < n_; ++i) {
+      if (std::find(faulty_.begin(), faulty_.end(), i) != faulty_.end()) continue;
+      for (std::size_t sidx = 0; sidx < faulty_.size(); ++sidx) {
+        received[static_cast<std::size_t>(faulty_[sidx])] =
+            profile[sidx * static_cast<std::size_t>(n_) + static_cast<std::size_t>(i)];
+      }
+      next[static_cast<std::size_t>(i)] = algo.transition(i, received, ctx);
+      for (NodeId fj : faulty_) {
+        received[static_cast<std::size_t>(fj)] = states[static_cast<std::size_t>(fj)];
+      }
+    }
+    const int score = agreement_score(algo, next, faulty_);
+    if (score < best_score) {
+      best_score = score;
+      best_profile = std::move(profile);
+    }
+  }
+  chosen_ = std::move(best_profile);
+}
+
+State LookaheadAdversary::message(std::uint64_t, NodeId sender, NodeId receiver,
+                                  std::span<const State>, const CountingAlgorithm& algo,
+                                  util::Rng& rng) {
+  const auto it = std::find(faulty_.begin(), faulty_.end(), sender);
+  if (it == faulty_.end() || chosen_.empty()) return random_state(algo, rng);
+  const auto sidx = static_cast<std::size_t>(it - faulty_.begin());
+  return chosen_[sidx * static_cast<std::size_t>(n_) + static_cast<std::size_t>(receiver)];
+}
+
+std::unique_ptr<Adversary> make_adversary(const std::string& name) {
+  if (name == "silent") return std::make_unique<SilentAdversary>();
+  if (name == "echo") return std::make_unique<EchoAdversary>();
+  if (name == "random") return std::make_unique<RandomAdversary>();
+  if (name == "split") return std::make_unique<SplitAdversary>();
+  if (name == "mirror") return std::make_unique<MirrorAdversary>();
+  if (name == "targeted-vote") return std::make_unique<TargetedVoteAdversary>();
+  if (name == "lookahead") return std::make_unique<LookaheadAdversary>();
+  SC_CHECK(false, "unknown adversary: " + name);
+}
+
+std::vector<std::string> adversary_names() {
+  return {"silent", "echo", "random", "split", "mirror", "targeted-vote", "lookahead"};
+}
+
+}  // namespace synccount::sim

@@ -1,0 +1,119 @@
+// A library of Byzantine strategies used for failure injection in tests and
+// for the adversary-ablation bench (experiment E10).
+//
+//  * SilentAdversary      -- always sends the all-zero state (crash-like).
+//  * EchoAdversary        -- follows the protocol faithfully (benign fault;
+//                            useful as a sanity baseline).
+//  * RandomAdversary      -- fresh uniformly random state per (receiver, round).
+//  * SplitAdversary       -- picks two random states per round and sends one to
+//                            even receivers, the other to odd receivers
+//                            (classic equivocation to split majorities).
+//  * MirrorAdversary      -- echoes the state of a rotating *correct* node,
+//                            maximising confusion with plausible states.
+//  * TargetedVoteAdversary-- crafts states that vote for conflicting leader
+//                            blocks / phase-king values per receiver half by
+//                            permuting received correct states.
+//  * LookaheadAdversary   -- 1-round lookahead: simulates K candidate message
+//                            profiles and commits to the one minimising
+//                            agreement among correct nodes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/adversary.hpp"
+
+namespace synccount::sim {
+
+class SilentAdversary final : public Adversary {
+ public:
+  State message(std::uint64_t round, NodeId sender, NodeId receiver,
+                std::span<const State> true_states, const CountingAlgorithm& algo,
+                util::Rng& rng) override;
+  std::string name() const override { return "silent"; }
+};
+
+class EchoAdversary final : public Adversary {
+ public:
+  State message(std::uint64_t round, NodeId sender, NodeId receiver,
+                std::span<const State> true_states, const CountingAlgorithm& algo,
+                util::Rng& rng) override;
+  std::string name() const override { return "echo"; }
+};
+
+class RandomAdversary final : public Adversary {
+ public:
+  State message(std::uint64_t round, NodeId sender, NodeId receiver,
+                std::span<const State> true_states, const CountingAlgorithm& algo,
+                util::Rng& rng) override;
+  std::string name() const override { return "random"; }
+};
+
+class SplitAdversary final : public Adversary {
+ public:
+  void begin_round(std::uint64_t round, std::span<const State> true_states,
+                   const CountingAlgorithm& algo, std::span<const NodeId> faulty_ids,
+                   util::Rng& rng) override;
+  State message(std::uint64_t round, NodeId sender, NodeId receiver,
+                std::span<const State> true_states, const CountingAlgorithm& algo,
+                util::Rng& rng) override;
+  std::string name() const override { return "split"; }
+
+ private:
+  State even_;
+  State odd_;
+};
+
+class MirrorAdversary final : public Adversary {
+ public:
+  State message(std::uint64_t round, NodeId sender, NodeId receiver,
+                std::span<const State> true_states, const CountingAlgorithm& algo,
+                util::Rng& rng) override;
+  std::string name() const override { return "mirror"; }
+
+ private:
+  std::vector<NodeId> correct_;
+};
+
+class TargetedVoteAdversary final : public Adversary {
+ public:
+  void begin_round(std::uint64_t round, std::span<const State> true_states,
+                   const CountingAlgorithm& algo, std::span<const NodeId> faulty_ids,
+                   util::Rng& rng) override;
+  State message(std::uint64_t round, NodeId sender, NodeId receiver,
+                std::span<const State> true_states, const CountingAlgorithm& algo,
+                util::Rng& rng) override;
+  std::string name() const override { return "targeted-vote"; }
+
+ private:
+  std::vector<State> pool_;  // plausible states harvested from correct nodes
+};
+
+class LookaheadAdversary final : public Adversary {
+ public:
+  // candidates: number of random message profiles evaluated per round.
+  explicit LookaheadAdversary(int candidates = 4);
+
+  void begin_round(std::uint64_t round, std::span<const State> true_states,
+                   const CountingAlgorithm& algo, std::span<const NodeId> faulty_ids,
+                   util::Rng& rng) override;
+  State message(std::uint64_t round, NodeId sender, NodeId receiver,
+                std::span<const State> true_states, const CountingAlgorithm& algo,
+                util::Rng& rng) override;
+  std::string name() const override { return "lookahead"; }
+
+ private:
+  int candidates_;
+  std::vector<NodeId> faulty_;
+  // chosen_[s * n + r] = message of faulty node faulty_[s] to receiver r.
+  std::vector<State> chosen_;
+  int n_ = 0;
+};
+
+// Factory covering all strategies, keyed by name (for CLI-driven benches).
+std::unique_ptr<Adversary> make_adversary(const std::string& name);
+
+// Names accepted by make_adversary.
+std::vector<std::string> adversary_names();
+
+}  // namespace synccount::sim

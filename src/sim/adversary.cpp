@@ -1,0 +1,9 @@
+#include "sim/adversary.hpp"
+
+namespace synccount::sim {
+
+void Adversary::begin_round(std::uint64_t /*round*/, std::span<const State> /*true_states*/,
+                            const CountingAlgorithm& /*algo*/,
+                            std::span<const NodeId> /*faulty_ids*/, util::Rng& /*rng*/) {}
+
+}  // namespace synccount::sim

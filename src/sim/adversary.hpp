@@ -1,0 +1,49 @@
+// Byzantine adversary interface for the broadcast model (paper, Section 2).
+//
+// In every round, each faulty node may send a *different* state to every
+// receiver ("including to send different messages to every node"). The
+// simulator asks the adversary for the message of each (faulty sender,
+// receiver) pair; whatever bit pattern it returns is canonicalised into a
+// valid state before delivery, which exactly matches the model where
+// Byzantine nodes send arbitrary elements of X.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "counting/algorithm.hpp"
+
+namespace synccount::sim {
+
+using counting::CountingAlgorithm;
+using counting::NodeId;
+using counting::State;
+
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+  Adversary(const Adversary&) = delete;
+  Adversary& operator=(const Adversary&) = delete;
+
+  // Called once per round before any message is queried. `true_states` holds
+  // the round-start states of all nodes (faulty nodes carry a nominal state
+  // that only the adversary observes/uses). Strategies that plan a whole
+  // round at once (e.g. lookahead search) do their work here.
+  virtual void begin_round(std::uint64_t round, std::span<const State> true_states,
+                           const CountingAlgorithm& algo, std::span<const NodeId> faulty_ids,
+                           util::Rng& rng);
+
+  // The state that faulty node `sender` sends to `receiver` this round.
+  virtual State message(std::uint64_t round, NodeId sender, NodeId receiver,
+                        std::span<const State> true_states, const CountingAlgorithm& algo,
+                        util::Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  Adversary() = default;
+};
+
+}  // namespace synccount::sim

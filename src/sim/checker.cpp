@@ -1,0 +1,37 @@
+#include "sim/checker.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace synccount::sim {
+
+StabilisationChecker::StabilisationChecker(std::uint64_t modulus) : modulus_(modulus) {
+  SC_CHECK(modulus >= 2, "counter modulus must be at least 2");
+}
+
+void StabilisationChecker::observe(std::span<const std::uint64_t> outputs) {
+  SC_CHECK(!outputs.empty(), "need at least one correct node");
+  bool agreed = true;
+  const std::uint64_t v = outputs[0];
+  for (std::uint64_t o : outputs) {
+    if (o != v) {
+      agreed = false;
+      break;
+    }
+  }
+  if (!agreed) {
+    max_window_ = std::max(max_window_, round_ - suffix_start_);
+    suffix_start_ = round_ + 1;
+  } else if (prev_agreed_ && v != (prev_value_ + 1) % modulus_) {
+    // Agreement held both rounds but the counter did not advance by one:
+    // the valid suffix restarts at the current round.
+    max_window_ = std::max(max_window_, round_ - suffix_start_);
+    suffix_start_ = round_;
+  }
+  prev_agreed_ = agreed;
+  prev_value_ = v;
+  ++round_;
+}
+
+}  // namespace synccount::sim

@@ -1,0 +1,48 @@
+// Online stabilisation checking (paper, Section 2, "Synchronous Counters").
+//
+// An execution stabilises in time t if from round t on, every correct node
+// outputs r - r0 (mod c): all correct outputs agree and increment by one
+// modulo c each round. The checker consumes one output vector per round and
+// maintains the start of the current maximal valid suffix; at the end of a
+// finite run, an execution counts as stabilised if that suffix is long
+// enough to be convincing (caller-chosen margin, typically >= 2c).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+namespace synccount::sim {
+
+class StabilisationChecker {
+ public:
+  explicit StabilisationChecker(std::uint64_t modulus);
+
+  // Outputs of all *correct* nodes at the current round, any fixed order.
+  void observe(std::span<const std::uint64_t> outputs);
+
+  // Number of rounds observed so far.
+  std::uint64_t rounds() const noexcept { return round_; }
+
+  // Start of the current valid suffix (== rounds() if the last round was bad).
+  std::uint64_t suffix_start() const noexcept { return suffix_start_; }
+
+  // Length of the current valid suffix.
+  std::uint64_t suffix_length() const noexcept { return round_ - suffix_start_; }
+
+  // Longest valid window seen anywhere in the execution (>= suffix_length()).
+  // For the probabilistic counters of Section 5 this is the interesting
+  // quantity: they stabilise and then fail with small probability per round,
+  // so agreement comes in long windows rather than one infinite suffix.
+  std::uint64_t max_window() const noexcept { return std::max(max_window_, suffix_length()); }
+
+ private:
+  std::uint64_t modulus_;
+  std::uint64_t round_ = 0;
+  std::uint64_t suffix_start_ = 0;
+  std::uint64_t max_window_ = 0;
+  bool prev_agreed_ = false;
+  std::uint64_t prev_value_ = 0;
+};
+
+}  // namespace synccount::sim

@@ -1,0 +1,102 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace synccount::sim {
+
+std::vector<bool> faults_prefix(int n, int count) {
+  SC_CHECK(count >= 0 && count <= n, "fault count out of range");
+  std::vector<bool> v(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < count; ++i) v[static_cast<std::size_t>(i)] = true;
+  return v;
+}
+
+std::vector<bool> faults_spread(int n, int count) {
+  SC_CHECK(count >= 0 && count <= n, "fault count out of range");
+  std::vector<bool> v(static_cast<std::size_t>(n), false);
+  if (count == 0) return v;
+  for (int i = 0; i < count; ++i) {
+    const auto pos = static_cast<std::size_t>((static_cast<std::int64_t>(i) * n) / count);
+    v[pos] = true;
+  }
+  // Collisions are impossible since i*n/count is strictly increasing for
+  // count <= n, but assert the invariant anyway.
+  SC_REQUIRE(fault_count(v) == count, "spread placement lost a fault");
+  return v;
+}
+
+std::vector<bool> faults_random(int n, int count, util::Rng& rng) {
+  SC_CHECK(count >= 0 && count <= n, "fault count out of range");
+  std::vector<int> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  std::shuffle(ids.begin(), ids.end(), rng);
+  std::vector<bool> v(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < count; ++i) v[static_cast<std::size_t>(ids[static_cast<std::size_t>(i)])] = true;
+  return v;
+}
+
+namespace {
+std::vector<bool> corrupt_blocks(int k, int block_size, int f_inner, int count,
+                                 const std::vector<int>& block_order) {
+  const int n = k * block_size;
+  std::vector<bool> v(static_cast<std::size_t>(n), false);
+  int remaining = count;
+  // Fill f_inner + 1 faults per block (just past the block's own tolerance)
+  // in the given block order, then spill leftover faults one per block.
+  const int per_block = std::min(block_size, f_inner + 1);
+  for (int b : block_order) {
+    if (remaining <= 0) break;
+    const int take = std::min(per_block, remaining);
+    for (int j = 0; j < take; ++j) {
+      v[static_cast<std::size_t>(b * block_size + j)] = true;
+    }
+    remaining -= take;
+  }
+  // Any faults still unplaced go into so-far-untouched slots.
+  for (int i = 0; i < n && remaining > 0; ++i) {
+    if (!v[static_cast<std::size_t>(i)]) {
+      v[static_cast<std::size_t>(i)] = true;
+      --remaining;
+    }
+  }
+  SC_REQUIRE(remaining == 0, "could not place all faults");
+  return v;
+}
+}  // namespace
+
+std::vector<bool> faults_block_concentrated(int k, int block_size, int f_inner, int count) {
+  SC_CHECK(k >= 1 && block_size >= 1, "bad block structure");
+  SC_CHECK(count >= 0 && count <= k * block_size, "fault count out of range");
+  std::vector<int> order(static_cast<std::size_t>(k));
+  std::iota(order.begin(), order.end(), 0);
+  return corrupt_blocks(k, block_size, f_inner, count, order);
+}
+
+std::vector<bool> faults_leader_blocks(int k, int block_size, int f_inner, int count) {
+  SC_CHECK(k >= 1 && block_size >= 1, "bad block structure");
+  SC_CHECK(count >= 0 && count <= k * block_size, "fault count out of range");
+  // Leader-eligible blocks are indices [0, m); corrupt those first, highest
+  // leader priority (lowest index) first.
+  const int m = (k + 1) / 2;
+  std::vector<int> order;
+  for (int b = 0; b < m; ++b) order.push_back(b);
+  for (int b = m; b < k; ++b) order.push_back(b);
+  return corrupt_blocks(k, block_size, f_inner, count, order);
+}
+
+std::vector<counting::NodeId> fault_ids(const std::vector<bool>& faulty) {
+  std::vector<counting::NodeId> ids;
+  for (std::size_t i = 0; i < faulty.size(); ++i) {
+    if (faulty[i]) ids.push_back(static_cast<counting::NodeId>(i));
+  }
+  return ids;
+}
+
+int fault_count(const std::vector<bool>& faulty) {
+  return static_cast<int>(std::count(faulty.begin(), faulty.end(), true));
+}
+
+}  // namespace synccount::sim

@@ -1,0 +1,39 @@
+// Fault-placement policies: which of the n nodes are Byzantine.
+//
+// For the boosted constructions of Section 3 the *placement* matters: the
+// adversary corrupts whole blocks most effectively by concentrating f + 1
+// faults per block (making the block faulty) in up to m - 1 = ceil(k/2) - 1
+// blocks. The policies below cover the interesting placements.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "counting/algorithm.hpp"
+
+namespace synccount::sim {
+
+// F smallest node ids.
+std::vector<bool> faults_prefix(int n, int count);
+
+// Evenly spread across [n].
+std::vector<bool> faults_spread(int n, int count);
+
+// Uniformly random subset of size `count`.
+std::vector<bool> faults_random(int n, int count, util::Rng& rng);
+
+// Concentrated block corruption for a block structure of `k` blocks of size
+// `block_size`: fully corrupts blocks 0, 1, ... (f_inner + 1 faults each,
+// i.e. just over the per-block tolerance) until `count` faults are placed.
+// This is the worst-case placement for Theorem 1 (maximises faulty blocks).
+std::vector<bool> faults_block_concentrated(int k, int block_size, int f_inner, int count);
+
+// Same, but corrupts the *leader-eligible* blocks (indices < ceil(k/2))
+// first; these are the blocks the pointer mechanism can elect.
+std::vector<bool> faults_leader_blocks(int k, int block_size, int f_inner, int count);
+
+std::vector<counting::NodeId> fault_ids(const std::vector<bool>& faulty);
+int fault_count(const std::vector<bool>& faulty);
+
+}  // namespace synccount::sim

@@ -1,0 +1,108 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+
+#include "sim/faults.hpp"
+#include "util/check.hpp"
+
+namespace synccount::sim {
+
+RunResult run_execution(const RunConfig& cfg, Adversary& adversary, std::uint64_t margin) {
+  SC_CHECK(cfg.algo != nullptr, "no algorithm given");
+  const auto& algo = *cfg.algo;
+  const int n = algo.num_nodes();
+  const auto nn = static_cast<std::size_t>(n);
+
+  std::vector<bool> faulty = cfg.faulty;
+  if (faulty.empty()) faulty.assign(nn, false);
+  SC_CHECK(static_cast<int>(faulty.size()) == n, "fault vector size mismatch");
+  SC_CHECK(fault_count(faulty) <= algo.resilience(),
+           "more faults than the algorithm's resilience");
+
+  const std::vector<counting::NodeId> faulty_ids = fault_ids(faulty);
+  std::vector<counting::NodeId> correct_ids;
+  for (int i = 0; i < n; ++i) {
+    if (!faulty[static_cast<std::size_t>(i)]) correct_ids.push_back(i);
+  }
+  SC_CHECK(!correct_ids.empty(), "all nodes faulty");
+
+  util::Rng rng(cfg.seed);
+
+  // Arbitrary initial states (the self-stabilisation part of the model).
+  std::vector<State> states;
+  if (!cfg.initial.empty()) {
+    SC_CHECK(cfg.initial.size() == nn, "initial state vector size mismatch");
+    states.reserve(nn);
+    for (const auto& s : cfg.initial) states.push_back(algo.canonicalize(s));
+  } else {
+    states.resize(nn);
+    for (auto& s : states) s = counting::arbitrary_state(algo, rng);
+  }
+
+  if (margin == 0) {
+    margin = std::min<std::uint64_t>(2 * algo.modulus() + 16, std::max<std::uint64_t>(cfg.max_rounds / 4, 1));
+  }
+
+  StabilisationChecker checker(algo.modulus());
+  RunResult result;
+  result.correct_ids = correct_ids;
+
+  std::vector<State> received(nn);
+  std::vector<State> next(nn);
+  std::vector<std::uint64_t> outs(correct_ids.size());
+
+  std::uint64_t total_pulls = 0;
+  std::uint64_t pull_samples = 0;
+
+  for (std::uint64_t round = 0; round < cfg.max_rounds; ++round) {
+    // Record outputs of the round-start states.
+    for (std::size_t j = 0; j < correct_ids.size(); ++j) {
+      const auto i = correct_ids[j];
+      outs[j] = algo.output(i, states[static_cast<std::size_t>(i)]);
+    }
+    checker.observe(outs);
+    if (cfg.record_outputs) result.outputs.push_back(outs);
+    if (cfg.record_states) result.states.push_back(states);
+
+    if (cfg.stop_after_stable > 0 && checker.suffix_length() >= cfg.stop_after_stable) {
+      break;
+    }
+
+    adversary.begin_round(round, states, algo, faulty_ids, rng);
+
+    // Received vector: correct senders' entries are shared; faulty senders'
+    // entries are overwritten per receiver below.
+    std::copy(states.begin(), states.end(), received.begin());
+
+    for (const auto i : correct_ids) {
+      for (const auto s : faulty_ids) {
+        received[static_cast<std::size_t>(s)] = algo.canonicalize(
+            adversary.message(round, s, i, states, algo, rng));
+      }
+      counting::TransitionContext ctx{&rng};
+      next[static_cast<std::size_t>(i)] = algo.transition(i, received, ctx);
+      if (ctx.messages_pulled > 0) {
+        total_pulls += ctx.messages_pulled;
+        ++pull_samples;
+        result.max_pulls_per_round = std::max(result.max_pulls_per_round, ctx.messages_pulled);
+      }
+    }
+    // Faulty nodes keep a nominal state (only the adversary ever reads it).
+    for (const auto s : faulty_ids) next[static_cast<std::size_t>(s)] = states[static_cast<std::size_t>(s)];
+
+    states.swap(next);
+    result.rounds = round + 1;
+  }
+
+  result.rounds = checker.rounds();
+  result.stabilisation_round = checker.suffix_start();
+  result.suffix_length = checker.suffix_length();
+  result.max_window = checker.max_window();
+  result.stabilised = result.suffix_length >= std::min<std::uint64_t>(margin, result.rounds);
+  if (pull_samples > 0) {
+    result.avg_pulls_per_round = static_cast<double>(total_pulls) / static_cast<double>(pull_samples);
+  }
+  return result;
+}
+
+}  // namespace synccount::sim

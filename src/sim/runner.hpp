@@ -1,0 +1,62 @@
+// Synchronous full-information execution runner (paper, Section 2).
+//
+// Each round: (1) every node broadcasts its state, (2) every node receives a
+// vector of n states -- for faulty senders the adversary chooses a possibly
+// different state per receiver -- and (3) every correct node applies the
+// algorithm's transition. Initial states are arbitrary (random by default,
+// or caller-provided). The runner feeds correct outputs to the
+// StabilisationChecker and reports the observed stabilisation time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "counting/algorithm.hpp"
+#include "sim/adversary.hpp"
+#include "sim/checker.hpp"
+
+namespace synccount::sim {
+
+struct RunConfig {
+  counting::AlgorithmPtr algo;
+  std::vector<bool> faulty;      // size n; empty means no faults
+  std::uint64_t max_rounds = 1000;
+  std::uint64_t seed = 1;
+
+  // If non-empty, used as the initial states (size n) instead of random ones.
+  std::vector<State> initial;
+
+  // Stop early once the valid suffix reaches this length (0 = run to
+  // max_rounds). Useful when only the stabilisation round matters.
+  std::uint64_t stop_after_stable = 0;
+
+  // Record the full output / state traces (memory-heavy on long runs).
+  bool record_outputs = false;
+  bool record_states = false;
+};
+
+struct RunResult {
+  std::uint64_t rounds = 0;               // rounds executed
+  std::uint64_t stabilisation_round = 0;  // start of the final valid suffix
+  std::uint64_t suffix_length = 0;        // its length
+  std::uint64_t max_window = 0;           // longest valid window anywhere
+  bool stabilised = false;                // suffix_length >= margin used
+
+  // Pulling-model accounting (0 for pure broadcast algorithms):
+  std::uint64_t max_pulls_per_round = 0;  // max over (node, round)
+  double avg_pulls_per_round = 0.0;       // mean over (node, round)
+
+  std::vector<counting::NodeId> correct_ids;
+  // outputs[r][j] = output of correct node correct_ids[j] at round r.
+  std::vector<std::vector<std::uint64_t>> outputs;
+  // states[r][i] = state of node i at round r (all nodes).
+  std::vector<std::vector<State>> states;
+};
+
+// Runs the execution; `margin` is the minimal suffix length for an execution
+// to count as stabilised (default: min(2c + 16, what fits in the horizon)).
+RunResult run_execution(const RunConfig& cfg, Adversary& adversary,
+                        std::uint64_t margin = 0);
+
+}  // namespace synccount::sim

@@ -1,0 +1,48 @@
+// Umbrella header for the synccount library: a reproduction of
+// "Towards Optimal Synchronous Counting" (Lenzen, Rybicki, Suomela;
+// PODC 2015, arXiv:1503.06702).
+//
+// Quick start:
+//
+//   #include "synccount/synccount.hpp"
+//   using namespace synccount;
+//
+//   // Build a 7-resilient 36-node counter (Figure 2) counting modulo 10.
+//   auto algo = boosting::build_plan(boosting::plan_practical(7, 10));
+//
+//   // Run it with 7 Byzantine nodes under a vote-splitting adversary.
+//   sim::RunConfig cfg;
+//   cfg.algo = algo;
+//   cfg.faulty = sim::faults_block_concentrated(algo->num_nodes() / 12, 12, 3, 7);
+//   cfg.max_rounds = *algo->stabilisation_bound() + 500;
+//   auto adv = sim::make_adversary("split");
+//   const sim::RunResult res = sim::run_execution(cfg, *adv);
+#pragma once
+
+#include "apps/repeated_consensus.hpp"    // IWYU pragma: export
+#include "apps/tdma.hpp"                  // IWYU pragma: export
+#include "boosting/boosted_counter.hpp"   // IWYU pragma: export
+#include "boosting/leader_split_adversary.hpp"  // IWYU pragma: export
+#include "boosting/planner.hpp"           // IWYU pragma: export
+#include "counting/algorithm.hpp"         // IWYU pragma: export
+#include "counting/randomized.hpp"        // IWYU pragma: export
+#include "counting/table_algorithm.hpp"   // IWYU pragma: export
+#include "counting/table_io.hpp"          // IWYU pragma: export
+#include "counting/trivial.hpp"           // IWYU pragma: export
+#include "phaseking/consensus.hpp"        // IWYU pragma: export
+#include "phaseking/phase_king.hpp"       // IWYU pragma: export
+#include "pulling/pulling_counter.hpp"    // IWYU pragma: export
+#include "sat/dimacs.hpp"                 // IWYU pragma: export
+#include "sat/solver.hpp"                 // IWYU pragma: export
+#include "sim/adversaries.hpp"            // IWYU pragma: export
+#include "sim/checker.hpp"                // IWYU pragma: export
+#include "sim/faults.hpp"                 // IWYU pragma: export
+#include "sim/runner.hpp"                 // IWYU pragma: export
+#include "synthesis/encoder.hpp"          // IWYU pragma: export
+#include "synthesis/game_adversary.hpp"   // IWYU pragma: export
+#include "synthesis/known_tables.hpp"     // IWYU pragma: export
+#include "synthesis/synthesize.hpp"       // IWYU pragma: export
+#include "synthesis/verifier.hpp"         // IWYU pragma: export
+#include "util/cli.hpp"                   // IWYU pragma: export
+#include "util/stats.hpp"                 // IWYU pragma: export
+#include "util/table.hpp"                 // IWYU pragma: export

@@ -1,0 +1,82 @@
+// CNF encoding of the synchronous-counter synthesis problem, reproducing the
+// computational algorithm design pipeline of [4,5].
+//
+// Unknowns (one-hot encoded):
+//   g[node?, vec, s]  -- transition table entries (node dimension dropped for
+//                        uniform algorithms where all nodes run the same g),
+//   h[node?, x, o]    -- output table entries.
+// Per faulty set F (all |F| <= f) and configuration e over the correct nodes:
+//   G[F, e]           -- membership in the "good" (stabilised) set,
+//   u[F, e, j]        -- unary rank, "rank(e) >= j", j in [1, R].
+// Auxiliary: can[F, e, p, s] <-> "the adversary can steer correct node p from
+// e into state s", a disjunction of g-literals over Byzantine assignments.
+//
+// Constraints: G has agreeing outputs, is closed under reachability with
+// outputs incrementing mod c; outside G every reachable step strictly
+// decreases the (bounded) rank, hence every adversarial path enters G within
+// R rounds. The encoding is exact: it is satisfiable iff a counter with
+// worst-case stabilisation time <= R exists in the given state budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "counting/table_algorithm.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+
+namespace synccount::synthesis {
+
+struct SynthesisSpec {
+  int n = 0;                    // nodes
+  int f = 0;                    // resilience
+  std::uint64_t num_states = 0; // |X| state budget
+  std::uint64_t modulus = 2;    // c
+  counting::Symmetry symmetry = counting::Symmetry::kUniform;
+  int max_time = 8;             // admissible worst-case stabilisation time
+
+  void validate() const;
+};
+
+class Encoder {
+ public:
+  explicit Encoder(const SynthesisSpec& spec);
+
+  const sat::Cnf& cnf() const noexcept { return cnf_; }
+  const SynthesisSpec& spec() const noexcept { return spec_; }
+
+  // Variable accessors (1-based DIMACS ids), valid after construction.
+  sat::Var g_var(int node, std::uint64_t vec, std::uint64_t target) const;
+  sat::Var h_var(int node, std::uint64_t state, std::uint64_t out) const;
+
+  // Selector for incremental time sweeps: the variable is implied whenever
+  // some configuration's rank is >= bound (bound in [1, max_time - 1]).
+  // Assuming its negation therefore asserts "worst-case stabilisation time
+  // <= bound"; solving the same instance under successively weaker
+  // assumptions reuses all learned clauses (see synthesize_incremental).
+  sat::Var rank_exceeds_var(int bound) const;
+
+  // Extracts the synthesised table from a satisfying assignment.
+  counting::TransitionTable decode(const sat::Solver& solver) const;
+
+  struct SizeInfo {
+    std::size_t variables = 0;
+    std::size_t clauses = 0;
+  };
+  SizeInfo size() const;
+
+ private:
+  void build();
+
+  SynthesisSpec spec_;
+  sat::Cnf cnf_;
+  int next_var_ = 0;
+  int g_base_ = 0;
+  int h_base_ = 0;
+  std::uint64_t vecs_per_node_ = 0;  // |X|^n
+  std::vector<sat::Var> rank_exceeds_;  // index j-1 -> "some rank >= j"
+
+  sat::Var fresh();
+};
+
+}  // namespace synccount::synthesis

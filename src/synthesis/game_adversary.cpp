@@ -1,0 +1,112 @@
+#include "synthesis/game_adversary.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace synccount::synthesis {
+
+OptimalAdversary::OptimalAdversary(counting::AlgorithmPtr algo) : algo_(std::move(algo)) {
+  SC_CHECK(algo_ != nullptr, "no algorithm");
+  analysis_ = analyze_game(*algo_);
+  SC_CHECK(analysis_.result.ok,
+           "OptimalAdversary requires a verified counter: " + analysis_.result.failure);
+  plan_.resize(static_cast<std::size_t>(algo_->num_nodes()), 0);
+}
+
+const FaultSetGame* OptimalAdversary::find_game(
+    std::span<const counting::NodeId> faulty_ids) const {
+  for (const auto& game : analysis_.games) {
+    if (game.faulty.size() == faulty_ids.size() &&
+        std::equal(game.faulty.begin(), game.faulty.end(), faulty_ids.begin())) {
+      return &game;
+    }
+  }
+  return nullptr;
+}
+
+std::uint64_t OptimalAdversary::config_of(const FaultSetGame& game,
+                                          std::span<const sim::State> states) const {
+  std::vector<std::uint64_t> cfg(game.correct.size());
+  for (std::size_t p = 0; p < game.correct.size(); ++p) {
+    cfg[p] = algo_->state_to_index(states[static_cast<std::size_t>(game.correct[p])]);
+  }
+  return game.config_index(cfg, analysis_.num_states);
+}
+
+void OptimalAdversary::begin_round(std::uint64_t /*round*/,
+                                   std::span<const sim::State> true_states,
+                                   const counting::CountingAlgorithm& /*algo*/,
+                                   std::span<const counting::NodeId> faulty_ids,
+                                   util::Rng& /*rng*/) {
+  current_game_ = find_game(faulty_ids);
+  if (current_game_ == nullptr) return;  // unknown faulty set: fall back in message()
+  const FaultSetGame& game = *current_game_;
+  const std::uint64_t e = config_of(game, true_states);
+  const auto P = game.correct.size();
+
+  // Choose the successor maximising the remaining distance (0 for good
+  // configurations): odometer over the per-position choice lists.
+  std::vector<std::size_t> pos(P, 0);
+  std::vector<std::size_t> best_pos(P, 0);
+  std::uint64_t best_score = 0;
+  bool first = true;
+  for (;;) {
+    std::uint64_t d = 0;
+    std::uint64_t mult = 1;
+    for (std::size_t p = 0; p < P; ++p) {
+      const auto& ch = game.choices[e * P + p];
+      d += ch[pos[p]].state * mult;
+      mult *= analysis_.num_states;
+    }
+    const std::uint64_t score = game.good[d] ? 0 : game.dist[d];
+    if (first || score > best_score) {
+      best_score = score;
+      best_pos = pos;
+      first = false;
+    }
+    std::size_t p = 0;
+    while (p < P) {
+      if (++pos[p] < game.choices[e * P + p].size()) break;
+      pos[p] = 0;
+      ++p;
+    }
+    if (p == P) break;
+  }
+
+  for (std::size_t p = 0; p < P; ++p) {
+    plan_[static_cast<std::size_t>(game.correct[p])] =
+        game.choices[e * P + p][best_pos[p]].byz;
+  }
+}
+
+sim::State OptimalAdversary::message(std::uint64_t /*round*/, counting::NodeId sender,
+                                     counting::NodeId receiver,
+                                     std::span<const sim::State> true_states,
+                                     const counting::CountingAlgorithm& /*algo*/,
+                                     util::Rng& /*rng*/) {
+  if (current_game_ == nullptr) {
+    return true_states[static_cast<std::size_t>(sender)];  // benign fallback
+  }
+  const FaultSetGame& game = *current_game_;
+  // Decode the planned byz assignment of this receiver: base-|X| digits in
+  // the order of game.faulty.
+  const auto it = std::find(game.faulty.begin(), game.faulty.end(), sender);
+  if (it == game.faulty.end()) return true_states[static_cast<std::size_t>(sender)];
+  const auto q = static_cast<std::size_t>(it - game.faulty.begin());
+  std::uint32_t bz = plan_[static_cast<std::size_t>(receiver)];
+  for (std::size_t i = 0; i < q; ++i) bz /= static_cast<std::uint32_t>(analysis_.num_states);
+  const std::uint64_t value = bz % analysis_.num_states;
+  return algo_->state_from_index(value);
+}
+
+std::uint64_t OptimalAdversary::certified_distance(
+    std::span<const counting::NodeId> faulty_ids,
+    std::span<const sim::State> all_states) const {
+  const FaultSetGame* game = find_game(faulty_ids);
+  SC_CHECK(game != nullptr, "no analysis for this faulty set");
+  const std::uint64_t e = config_of(*game, all_states);
+  return game->good[e] ? 0 : game->dist[e];
+}
+
+}  // namespace synccount::synthesis

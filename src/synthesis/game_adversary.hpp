@@ -1,0 +1,54 @@
+// An *optimal* Byzantine adversary for small table algorithms: it plays the
+// solved stabilisation game from the exact verifier. Each round it looks up
+// the current configuration, enumerates the reachable successor
+// configurations, steers the system towards the one with the maximal
+// remaining distance-to-good-set, and crafts the per-receiver messages that
+// realise that transition.
+//
+// This closes the loop between analysis and simulation: started from a
+// worst-case configuration, the simulated stabilisation time matches the
+// verifier-certified exact worst case (see synthesis_test).
+#pragma once
+
+#include <memory>
+
+#include "sim/adversary.hpp"
+#include "synthesis/verifier.hpp"
+
+namespace synccount::synthesis {
+
+class OptimalAdversary final : public sim::Adversary {
+ public:
+  // The algorithm must verify (throws std::invalid_argument otherwise).
+  explicit OptimalAdversary(counting::AlgorithmPtr algo);
+
+  void begin_round(std::uint64_t round, std::span<const sim::State> true_states,
+                   const counting::CountingAlgorithm& algo,
+                   std::span<const counting::NodeId> faulty_ids, util::Rng& rng) override;
+
+  sim::State message(std::uint64_t round, counting::NodeId sender, counting::NodeId receiver,
+                     std::span<const sim::State> true_states,
+                     const counting::CountingAlgorithm& algo, util::Rng& rng) override;
+
+  std::string name() const override { return "optimal"; }
+
+  // For a given initial configuration (states of the correct nodes in
+  // ascending node order) and faulty set, the certified number of rounds
+  // this adversary can keep the system from counting.
+  std::uint64_t certified_distance(std::span<const counting::NodeId> faulty_ids,
+                                   std::span<const sim::State> all_states) const;
+
+ private:
+  const FaultSetGame* find_game(std::span<const counting::NodeId> faulty_ids) const;
+  std::uint64_t config_of(const FaultSetGame& game,
+                          std::span<const sim::State> states) const;
+
+  counting::AlgorithmPtr algo_;
+  GameAnalysis analysis_;
+  // Per-round plan: byz assignment (base-|X| digits over the faulty set)
+  // for each correct receiver, indexed by absolute node id.
+  std::vector<std::uint32_t> plan_;
+  const FaultSetGame* current_game_ = nullptr;
+};
+
+}  // namespace synccount::synthesis

@@ -1,0 +1,57 @@
+#include "synthesis/known_tables.hpp"
+
+namespace synccount::synthesis {
+
+counting::TransitionTable known_table_4_1_3states() {
+  counting::TransitionTable t;
+  t.n = 4;
+  t.f = 1;
+  t.num_states = 3;
+  t.modulus = 2;
+  t.symmetry = counting::Symmetry::kCyclic;
+  t.label = "computer-designed";
+  // Discovered by Encoder/Solver (cyclic symmetry class, max_time = 6) and
+  // certified by verify(): exact worst-case stabilisation time 6 over all
+  // faulty sets |F| <= 1. Reproduces the "n >= 4, f = 1, 3 states per node"
+  // computer-designed algorithm of [5]. Index layout: g[x0 + 3*x1 + 9*x2 +
+  // 27*x3] where x0 is the node's *own* state and x1..x3 follow cyclically.
+  t.g = {
+      2, 2, 2, 2, 2, 2, 2, 2, 0, 2, 2, 2, 2, 2, 1, 2, 2, 0, 2, 2, 2, 2, 2, 2, 1, 2, 0,
+      2, 2, 0, 2, 2, 2, 2, 2, 0, 2, 2, 2, 2, 2, 0, 2, 2, 0, 2, 0, 0, 2, 0, 0, 0, 0, 0,
+      2, 2, 0, 2, 2, 0, 2, 2, 0, 2, 2, 0, 2, 2, 0, 2, 2, 0, 0, 2, 0, 0, 2, 0, 1, 2, 0,
+  };
+  t.h = {0, 0, 1};
+  t.verified_time = 6;
+  return t;
+}
+
+counting::TransitionTable known_table_4_1_4states() {
+  counting::TransitionTable t;
+  t.n = 4;
+  t.f = 1;
+  t.num_states = 4;
+  t.modulus = 2;
+  t.symmetry = counting::Symmetry::kUniform;
+  t.label = "computer-designed";
+  // Discovered by Encoder/Solver (uniform symmetry class, max_time = 8) and
+  // certified by verify(): exact worst-case stabilisation time 8 over all
+  // faulty sets |F| <= 1. With 3 states the *uniform* instance is UNSAT for
+  // every time bound <= 16 (see bench_synthesis), which is why the cyclic
+  // class above is the interesting one.
+  // Index layout: g[x0 + 4*x1 + 16*x2 + 64*x3] (sender-indexed vector).
+  t.g = {
+      3, 2, 3, 2, 3, 3, 3, 2, 3, 3, 1, 1, 3, 3, 1, 1, 3, 3, 3, 2, 2, 3, 3, 3, 3, 3, 3, 0, 2, 2, 2, 0,
+      3, 3, 1, 3, 3, 3, 0, 3, 1, 3, 1, 1, 3, 2, 1, 1, 3, 2, 3, 2, 2, 2, 3, 2, 3, 2, 1, 1, 3, 1, 1, 1,
+      2, 2, 3, 2, 2, 2, 3, 2, 2, 2, 0, 2, 3, 2, 2, 1, 2, 2, 3, 2, 3, 2, 3, 2, 2, 3, 3, 2, 3, 2, 2, 2,
+      3, 3, 1, 1, 3, 3, 0, 3, 0, 3, 0, 0, 1, 2, 1, 1, 2, 2, 3, 2, 2, 2, 3, 2, 2, 2, 0, 1, 1, 1, 0, 1,
+      3, 2, 3, 2, 3, 3, 3, 2, 3, 3, 1, 1, 1, 2, 1, 1, 2, 2, 1, 2, 3, 3, 0, 3, 3, 3, 0, 0, 2, 2, 0, 0,
+      3, 1, 1, 1, 3, 0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 2, 2, 1, 0, 2, 0, 0, 0, 1, 0, 0, 1, 1, 0, 0, 0,
+      2, 2, 2, 0, 2, 3, 2, 0, 2, 2, 1, 1, 1, 3, 1, 1, 2, 3, 2, 0, 2, 3, 3, 3, 2, 0, 0, 0, 1, 0, 0, 0,
+      2, 2, 1, 1, 2, 0, 0, 0, 1, 0, 0, 1, 1, 0, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0, 1, 0, 1, 0, 1, 0, 1, 0,
+  };
+  t.h = {0, 0, 1, 1};
+  t.verified_time = 8;
+  return t;
+}
+
+}  // namespace synccount::synthesis

@@ -1,0 +1,23 @@
+// Computer-designed building blocks discovered by this repository's own
+// synthesis pipeline (encoder + CDCL solver) and certified by the exact
+// verifier. They are embedded as source because re-synthesising takes
+// CPU-minutes; the test suite re-verifies them from scratch (milliseconds),
+// so correctness never rests on the embedded data being untampered.
+#pragma once
+
+#include "counting/table_algorithm.hpp"
+
+namespace synccount::synthesis {
+
+// n = 4, f = 1, c = 2, |X| = 3, cyclic; exact worst-case stabilisation time
+// 6 rounds. Reproduces the "n >= 4, f = 1 with only 3 states per node"
+// computer-designed algorithm of [5] (paper, Section 1).
+counting::TransitionTable known_table_4_1_3states();
+
+// n = 4, f = 1, c = 2, |X| = 4 (2 state bits), uniform; exact worst-case
+// stabilisation time 8 rounds: the "2 state bits" row of Table 1. With 3
+// states the uniform instance is UNSAT for every admissible time bound
+// <= 16 -- see bench_synthesis.
+counting::TransitionTable known_table_4_1_4states();
+
+}  // namespace synccount::synthesis

@@ -1,0 +1,106 @@
+#include "synthesis/synthesize.hpp"
+
+#include <mutex>
+
+#include "synthesis/known_tables.hpp"
+#include "util/check.hpp"
+
+namespace synccount::synthesis {
+
+SynthesisOutcome synthesize(SynthesisSpec spec, const SynthesisOptions& options) {
+  SC_CHECK(options.min_time >= 1 && options.min_time <= options.max_time,
+           "bad time sweep");
+  SynthesisOutcome out;
+  for (int R = options.min_time; R <= options.max_time; ++R) {
+    spec.max_time = R;
+    Encoder enc(spec);
+    sat::Solver solver;
+    enc.cnf().load_into(solver);
+    const sat::Result res = solver.solve(options.conflict_budget);
+    out.total_conflicts += solver.stats().conflicts;
+    out.last_size = enc.size();
+    if (res == sat::Result::kUnknown) {
+      out.budget_exhausted = true;
+      out.note = "conflict budget exhausted at R=" + std::to_string(R);
+      continue;
+    }
+    if (res == sat::Result::kUnsat) continue;
+
+    counting::TransitionTable table = enc.decode(solver);
+    const counting::TableAlgorithm candidate(table);
+    const VerifyResult vr = verify(candidate);
+    SC_REQUIRE(vr.ok, "SAT model failed exact verification: " + vr.failure);
+    SC_REQUIRE(vr.worst_case_time <= static_cast<std::uint64_t>(R),
+               "verifier found a longer stabilisation than the encoding allows");
+    table.verified_time = vr.worst_case_time;
+    out.found = true;
+    out.table = std::move(table);
+    out.time_bound_used = R;
+    out.exact_time = vr.worst_case_time;
+    return out;
+  }
+  return out;
+}
+
+SynthesisOutcome synthesize_incremental(SynthesisSpec spec, const SynthesisOptions& options) {
+  SC_CHECK(options.min_time >= 1 && options.min_time <= options.max_time,
+           "bad time sweep");
+  SynthesisOutcome out;
+  spec.max_time = options.max_time;
+  Encoder enc(spec);
+  out.last_size = enc.size();
+  sat::Solver solver;
+  enc.cnf().load_into(solver);
+
+  for (int R = options.min_time; R <= options.max_time; ++R) {
+    std::vector<sat::ExtLit> assumptions;
+    if (R < options.max_time) assumptions.push_back(-enc.rank_exceeds_var(R));
+    const std::uint64_t before = solver.stats().conflicts;
+    const sat::Result res = solver.solve_assuming(assumptions, options.conflict_budget == 0
+                                                                   ? 0
+                                                                   : before + options.conflict_budget);
+    out.total_conflicts = solver.stats().conflicts;
+    if (res == sat::Result::kUnknown) {
+      out.budget_exhausted = true;
+      out.note = "conflict budget exhausted at R=" + std::to_string(R);
+      continue;
+    }
+    if (res == sat::Result::kUnsat) {
+      // Globally unsatisfiable: no algorithm even at max_time; stop early.
+      return out;
+    }
+    if (res == sat::Result::kUnsatAssumptions) continue;
+
+    counting::TransitionTable table = enc.decode(solver);
+    const counting::TableAlgorithm candidate(table);
+    const VerifyResult vr = verify(candidate);
+    SC_REQUIRE(vr.ok, "SAT model failed exact verification: " + vr.failure);
+    SC_REQUIRE(vr.worst_case_time <= static_cast<std::uint64_t>(R),
+               "verifier found a longer stabilisation than the encoding allows");
+    table.verified_time = vr.worst_case_time;
+    out.found = true;
+    out.table = std::move(table);
+    out.time_bound_used = R;
+    out.exact_time = vr.worst_case_time;
+    return out;
+  }
+  return out;
+}
+
+counting::AlgorithmPtr computer_designed_4_1() {
+  static std::mutex mu;
+  static counting::AlgorithmPtr cached;
+  std::lock_guard<std::mutex> lock(mu);
+  if (cached) return cached;
+  // The embedded table was produced by this same pipeline; re-certify it
+  // here so a corrupted table can never be served.
+  auto algo = std::make_shared<counting::TableAlgorithm>(known_table_4_1_3states());
+  const VerifyResult vr = verify(*algo);
+  SC_REQUIRE(vr.ok, "embedded computer-designed table failed verification: " + vr.failure);
+  SC_REQUIRE(vr.worst_case_time == algo->table().verified_time,
+             "embedded table's certified time is stale");
+  cached = std::move(algo);
+  return cached;
+}
+
+}  // namespace synccount::synthesis

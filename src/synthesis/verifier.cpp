@@ -1,0 +1,334 @@
+#include "synthesis/verifier.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/math.hpp"
+
+namespace synccount::synthesis {
+
+namespace {
+
+using counting::CountingAlgorithm;
+using counting::State;
+
+// Enumerate all subsets of [n] with at most f elements, smallest first.
+std::vector<std::vector<int>> fault_sets(int n, int f) {
+  std::vector<std::vector<int>> sets;
+  const std::uint32_t limit = 1U << n;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    if (std::popcount(mask) > f) continue;
+    std::vector<int> s;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1U << i)) s.push_back(i);
+    }
+    sets.push_back(std::move(s));
+  }
+  return sets;
+}
+
+// Solves the stabilisation game for one faulty set; returns false (with a
+// failure string) if the adversary can avoid the good set forever.
+bool solve_fault_set(const CountingAlgorithm& algo, const std::vector<int>& faulty,
+                     const std::vector<State>& states,
+                     const std::vector<std::vector<std::uint64_t>>& out, FaultSetGame& game,
+                     VerifyResult& result, std::uint64_t& worst_time,
+                     std::optional<Counterexample>& counterexample) {
+  const int n = algo.num_nodes();
+  const auto S = static_cast<std::uint64_t>(states.size());
+  const std::uint64_t c = algo.modulus();
+
+  game.faulty = faulty;
+  game.correct.clear();
+  for (int i = 0; i < n; ++i) {
+    if (std::find(faulty.begin(), faulty.end(), i) == faulty.end()) game.correct.push_back(i);
+  }
+  const int P = static_cast<int>(game.correct.size());
+  game.num_configs = util::ipow(S, static_cast<unsigned>(P));
+  const std::uint64_t num_byz = util::ipow(S, static_cast<unsigned>(faulty.size()));
+  result.configurations += game.num_configs;
+
+  game.choices.assign(game.num_configs * static_cast<std::uint64_t>(P), {});
+  std::vector<std::uint64_t> out0(game.num_configs);
+
+  std::vector<State> received(static_cast<std::size_t>(n));
+  counting::TransitionContext ctx{nullptr};
+
+  for (std::uint64_t e = 0; e < game.num_configs; ++e) {
+    std::uint64_t rem = e;
+    std::vector<std::uint64_t> cfg(static_cast<std::size_t>(P));
+    for (int p = 0; p < P; ++p) {
+      cfg[static_cast<std::size_t>(p)] = rem % S;
+      rem /= S;
+      received[static_cast<std::size_t>(game.correct[static_cast<std::size_t>(p)])] =
+          states[static_cast<std::size_t>(cfg[static_cast<std::size_t>(p)])];
+    }
+    out0[e] = out[static_cast<std::size_t>(game.correct[0])][static_cast<std::size_t>(cfg[0])];
+
+    std::vector<std::uint64_t> seen_mask(static_cast<std::size_t>(P), 0);
+    for (std::uint64_t bz = 0; bz < num_byz; ++bz) {
+      std::uint64_t brem = bz;
+      for (std::size_t q = 0; q < faulty.size(); ++q) {
+        received[static_cast<std::size_t>(faulty[q])] = states[static_cast<std::size_t>(brem % S)];
+        brem /= S;
+      }
+      for (int p = 0; p < P; ++p) {
+        const State next =
+            algo.transition(game.correct[static_cast<std::size_t>(p)], received, ctx);
+        ++result.transitions;
+        const std::uint64_t idx = algo.state_to_index(next);
+        SC_REQUIRE(idx < S, "transition produced an out-of-range state");
+        auto& mask = seen_mask[static_cast<std::size_t>(p)];
+        if (!(mask & (1ULL << idx))) {
+          mask |= 1ULL << idx;
+          game.choices[e * static_cast<std::uint64_t>(P) + static_cast<std::uint64_t>(p)]
+              .push_back(FaultSetGame::Choice{static_cast<std::uint8_t>(idx),
+                                              static_cast<std::uint32_t>(bz)});
+        }
+      }
+    }
+  }
+
+  // Successor iteration: odometer over the per-position choice lists.
+  auto for_each_successor = [&](std::uint64_t e, auto&& fn) {
+    std::vector<std::size_t> pos(static_cast<std::size_t>(P), 0);
+    for (;;) {
+      std::uint64_t d = 0;
+      std::uint64_t mult = 1;
+      for (int p = 0; p < P; ++p) {
+        const auto& ch =
+            game.choices[e * static_cast<std::uint64_t>(P) + static_cast<std::uint64_t>(p)];
+        d += ch[pos[static_cast<std::size_t>(p)]].state * mult;
+        mult *= S;
+      }
+      if (!fn(d)) return false;
+      int p = 0;
+      while (p < P) {
+        const auto& ch =
+            game.choices[e * static_cast<std::uint64_t>(P) + static_cast<std::uint64_t>(p)];
+        if (++pos[static_cast<std::size_t>(p)] < ch.size()) break;
+        pos[static_cast<std::size_t>(p)] = 0;
+        ++p;
+      }
+      if (p == P) return true;
+    }
+  };
+
+  // Greatest fixpoint: G = agreeing-output configurations closed under
+  // reachability with +1 (mod c) outputs.
+  game.good.assign(game.num_configs, 0);
+  for (std::uint64_t e = 0; e < game.num_configs; ++e) {
+    std::uint64_t rem = e;
+    bool agree = true;
+    std::uint64_t val = 0;
+    for (int p = 0; p < P; ++p) {
+      const std::uint64_t s = rem % S;
+      rem /= S;
+      const std::uint64_t o =
+          out[static_cast<std::size_t>(game.correct[static_cast<std::size_t>(p)])]
+             [static_cast<std::size_t>(s)];
+      if (p == 0) {
+        val = o;
+      } else if (o != val) {
+        agree = false;
+        break;
+      }
+    }
+    game.good[e] = agree ? 1 : 0;
+  }
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::uint64_t e = 0; e < game.num_configs; ++e) {
+      if (!game.good[e]) continue;
+      const bool keeps = for_each_successor(e, [&](std::uint64_t d) {
+        return game.good[d] != 0 && out0[d] == (out0[e] + 1) % c;
+      });
+      if (!keeps) {
+        game.good[e] = 0;
+        changed = true;
+      }
+    }
+  }
+
+  // Longest path to G over the complement; a cycle means the adversary wins.
+  std::vector<std::uint8_t> color(game.num_configs, 0);  // 0 white, 1 gray, 2 done
+  game.dist.assign(game.num_configs, 0);
+
+  struct Frame {
+    std::uint64_t e;
+    std::vector<std::uint64_t> succs;
+    std::size_t next = 0;
+  };
+  for (std::uint64_t root = 0; root < game.num_configs; ++root) {
+    if (game.good[root] || color[root] == 2) continue;
+    std::vector<Frame> stack;
+    auto push = [&](std::uint64_t e) {
+      Frame fr;
+      fr.e = e;
+      for_each_successor(e, [&](std::uint64_t d) {
+        fr.succs.push_back(d);
+        return true;
+      });
+      color[e] = 1;
+      stack.push_back(std::move(fr));
+    };
+    push(root);
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      if (fr.next < fr.succs.size()) {
+        const std::uint64_t d = fr.succs[fr.next++];
+        if (game.good[d]) continue;
+        if (color[d] == 1) {
+          result.ok = false;
+          result.failure =
+              "adversary can avoid stabilisation forever (cycle outside the good set) (|F|=" +
+              std::to_string(faulty.size()) + ")";
+          // Extract the lasso witness from the gray stack.
+          Counterexample cex;
+          cex.faulty = faulty;
+          std::size_t cycle_start = 0;
+          while (cycle_start < stack.size() && stack[cycle_start].e != d) ++cycle_start;
+          for (std::size_t i = 0; i < cycle_start; ++i) cex.path.push_back(stack[i].e);
+          for (std::size_t i = cycle_start; i < stack.size(); ++i) {
+            cex.cycle.push_back(stack[i].e);
+          }
+          counterexample = std::move(cex);
+          return false;
+        }
+        if (color[d] == 0) push(d);
+      } else {
+        std::uint64_t best = 0;
+        for (const std::uint64_t d : fr.succs) {
+          best = std::max(best, game.good[d] ? 0 : game.dist[d]);
+        }
+        game.dist[fr.e] = best + 1;
+        worst_time = std::max(worst_time, game.dist[fr.e]);
+        color[fr.e] = 2;
+        stack.pop_back();
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t FaultSetGame::config_index(std::span<const std::uint64_t> states_by_position,
+                                         std::uint64_t num_states) const {
+  SC_ASSERT(states_by_position.size() == correct.size());
+  std::uint64_t e = 0;
+  std::uint64_t mult = 1;
+  for (std::size_t p = 0; p < states_by_position.size(); ++p) {
+    e += states_by_position[p] * mult;
+    mult *= num_states;
+  }
+  return e;
+}
+
+GameAnalysis analyze_game(const counting::CountingAlgorithm& algo) {
+  GameAnalysis analysis;
+  VerifyResult& result = analysis.result;
+  SC_CHECK(algo.deterministic(), "can only verify deterministic algorithms");
+  const auto count = algo.state_count();
+  SC_CHECK(count.has_value(), "algorithm does not expose an enumerable state space");
+  SC_CHECK(*count <= 64, "state space too large for the exact verifier (max 64 states)");
+  const int n = algo.num_nodes();
+  SC_CHECK(n >= 1 && n <= 10, "exact verifier supports n <= 10");
+  const int f = algo.resilience();
+
+  const auto S = *count;
+  analysis.num_states = S;
+  std::vector<State> states;
+  states.reserve(static_cast<std::size_t>(S));
+  for (std::uint64_t s = 0; s < S; ++s) states.push_back(algo.state_from_index(s));
+
+  std::vector<std::vector<std::uint64_t>> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(S));
+    for (std::uint64_t s = 0; s < S; ++s) {
+      out[static_cast<std::size_t>(i)][static_cast<std::size_t>(s)] =
+          algo.output(i, states[static_cast<std::size_t>(s)]);
+    }
+  }
+
+  result.ok = true;
+  result.time_by_fault_count.assign(static_cast<std::size_t>(f) + 1, 0);
+  for (const auto& fs : fault_sets(n, f)) {
+    analysis.games.emplace_back();
+    std::uint64_t worst = 0;
+    if (!solve_fault_set(algo, fs, states, out, analysis.games.back(), result, worst,
+                         analysis.counterexample)) {
+      return analysis;
+    }
+    result.worst_case_time = std::max(result.worst_case_time, worst);
+    auto& slot = result.time_by_fault_count[fs.size()];
+    slot = std::max(slot, worst);
+  }
+  return analysis;
+}
+
+bool counterexample_replays(const counting::CountingAlgorithm& algo,
+                            const Counterexample& cex) {
+  if (cex.cycle.empty()) return false;
+  const auto count = algo.state_count();
+  if (!count) return false;
+  const auto S = *count;
+  const int n = algo.num_nodes();
+
+  std::vector<int> correct;
+  for (int i = 0; i < n; ++i) {
+    if (std::find(cex.faulty.begin(), cex.faulty.end(), i) == cex.faulty.end()) {
+      correct.push_back(i);
+    }
+  }
+  const int P = static_cast<int>(correct.size());
+  const std::uint64_t num_byz = util::ipow(S, static_cast<unsigned>(cex.faulty.size()));
+
+  // reachable(e, d): every correct node can be steered from e into d's state.
+  const auto reachable = [&](std::uint64_t e, std::uint64_t d) {
+    std::vector<State> received(static_cast<std::size_t>(n));
+    std::uint64_t rem = e;
+    for (int p = 0; p < P; ++p) {
+      received[static_cast<std::size_t>(correct[static_cast<std::size_t>(p)])] =
+          algo.state_from_index(rem % S);
+      rem /= S;
+    }
+    counting::TransitionContext ctx{nullptr};
+    std::uint64_t drem = d;
+    for (int p = 0; p < P; ++p) {
+      const std::uint64_t target = drem % S;
+      drem /= S;
+      bool possible = false;
+      for (std::uint64_t bz = 0; bz < num_byz && !possible; ++bz) {
+        std::uint64_t brem = bz;
+        for (std::size_t q = 0; q < cex.faulty.size(); ++q) {
+          received[static_cast<std::size_t>(cex.faulty[q])] =
+              algo.state_from_index(brem % S);
+          brem /= S;
+        }
+        const State next =
+            algo.transition(correct[static_cast<std::size_t>(p)], received, ctx);
+        possible = algo.state_to_index(next) == target;
+      }
+      if (!possible) return false;
+    }
+    return true;
+  };
+
+  // The path leads into the cycle; the cycle closes on itself.
+  std::vector<std::uint64_t> walk = cex.path;
+  walk.insert(walk.end(), cex.cycle.begin(), cex.cycle.end());
+  walk.push_back(cex.cycle.front());
+  for (std::size_t i = 0; i + 1 < walk.size(); ++i) {
+    if (!reachable(walk[i], walk[i + 1])) return false;
+  }
+  return true;
+}
+
+VerifyResult verify(const counting::CountingAlgorithm& algo) {
+  return analyze_game(algo).result;
+}
+
+}  // namespace synccount::synthesis

@@ -1,0 +1,103 @@
+// Exact verification of small synchronous counting algorithms by solving the
+// adversarial reachability game of Section 2 explicitly.
+//
+// A configuration is the projection π_F(x): the states of the correct nodes
+// for a fixed faulty set F. Configuration d is reachable from e if for every
+// correct node i there is a full received vector x agreeing with e outside F
+// such that g(i, x) = d_i -- the Byzantine nodes choose the F-entries per
+// receiver, so the successor set is the product of per-node candidate sets.
+//
+// The algorithm is a synchronous c-counter with resilience f iff for every
+// faulty set |F| <= f:
+//   (1) the *good set* G -- the greatest set of configurations with agreeing
+//       outputs that is closed under reachability with outputs incrementing
+//       by 1 (mod c) -- absorbs every adversarial path, i.e.
+//   (2) the configuration graph restricted to the complement of G is acyclic.
+// The exact worst-case stabilisation time T(A) is the longest path in that
+// complement DAG, maximised over faulty sets.
+//
+// Besides the verdict, the full game analysis (good sets, distances and the
+// Byzantine choices realising each transition) is exposed so that the
+// OptimalAdversary can *play* the worst case in the simulator.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "counting/algorithm.hpp"
+
+namespace synccount::synthesis {
+
+struct VerifyResult {
+  bool ok = false;
+  std::string failure;                  // human-readable reason when !ok
+  std::uint64_t worst_case_time = 0;    // exact T(A) when ok
+  std::uint64_t configurations = 0;     // total configurations explored
+  std::uint64_t transitions = 0;        // total transition-function evaluations
+
+  // Worst-case time per faulty set size (index = |F|), for diagnostics.
+  std::vector<std::uint64_t> time_by_fault_count;
+};
+
+// The solved game for one faulty set.
+struct FaultSetGame {
+  std::vector<int> faulty;   // node ids, ascending
+  std::vector<int> correct;  // node ids, ascending
+  std::uint64_t num_configs = 0;
+
+  // A Byzantine option for one correct node: sending the faulty nodes'
+  // values encoded by `byz` (base-|X| digits, one per entry of `faulty`)
+  // makes the node transition into `state`.
+  struct Choice {
+    std::uint8_t state;
+    std::uint32_t byz;
+  };
+  // choices[e * P + p]: the distinct reachable next states of correct node
+  // position p from configuration e, each with one realising byz assignment.
+  std::vector<std::vector<Choice>> choices;
+
+  std::vector<char> good;            // per configuration: in the good set?
+  std::vector<std::uint64_t> dist;   // rounds the adversary can keep the
+                                     // system outside G (0 for good configs)
+
+  // Configuration index of the given per-position state indices.
+  std::uint64_t config_index(std::span<const std::uint64_t> states,
+                             std::uint64_t num_states) const;
+};
+
+// A witness of non-stabilisation: a configuration cycle outside the good
+// set. The adversary can loop it arbitrarily long (and, because the cycle is
+// outside the greatest good set, eventually steer into an output violation),
+// so no uniform stabilisation time exists.
+struct Counterexample {
+  std::vector<int> faulty;             // the faulty set of the game
+  std::vector<std::uint64_t> path;     // configs leading into the cycle
+  std::vector<std::uint64_t> cycle;    // the cycle (first config repeats after last)
+};
+
+struct GameAnalysis {
+  VerifyResult result;
+  std::uint64_t num_states = 0;
+  std::vector<FaultSetGame> games;  // one per faulty set (all |F| <= f)
+  std::optional<Counterexample> counterexample;  // set when !result.ok
+};
+
+// Independently re-checks a counterexample against the algorithm: every
+// consecutive configuration pair (including the wrap-around of the cycle)
+// must be adversary-reachable. Used by tests; returns false with no side
+// effects if the witness does not replay.
+bool counterexample_replays(const counting::CountingAlgorithm& algo,
+                            const Counterexample& cex);
+
+// Full analysis; `result.ok == false` means the algorithm is not a counter
+// (the offending faulty set is reported in `result.failure`; `games` holds
+// the sets analysed up to that point).
+GameAnalysis analyze_game(const counting::CountingAlgorithm& algo);
+
+// Verdict-only wrapper.
+// Complexity: O(#faulty-sets * |X|^(n-|F|) * |X|^|F| * n) transition calls
+// plus the successor-product walks; intended for n <= ~7 and |X| <= ~4.
+VerifyResult verify(const counting::CountingAlgorithm& algo);
+
+}  // namespace synccount::synthesis

@@ -1,0 +1,18 @@
+#include "util/bitio.hpp"
+
+#include <sstream>
+
+namespace synccount::util {
+
+std::string BitVec::to_hex(int bits) const {
+  std::ostringstream os;
+  os << std::hex;
+  const int nibbles = (bits + 3) / 4;
+  for (int i = nibbles - 1; i >= 0; --i) {
+    os << get_bits(i * 4, (i * 4 + 4 <= kCapacityBits) ? 4 : 4);
+  }
+  std::string s = os.str();
+  return s.empty() ? "0" : s;
+}
+
+}  // namespace synccount::util

@@ -1,0 +1,139 @@
+// Fixed-capacity bit vector used for bit-exact algorithm states.
+//
+// The paper defines space complexity S(A) = ceil(log |X|) as the number of
+// bits a node stores *and broadcasts*. To make those numbers real rather
+// than analytic, every algorithm in this library serialises its state into a
+// BitVec of exactly state_bits() bits; the simulator transports only those
+// bits and the Byzantine adversary may substitute arbitrary bit patterns.
+//
+// Capacity is 256 bits, enough for every construction the planner will
+// instantiate (each recursion level adds ~13 bits on top of a <=64-bit base).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace synccount::util {
+
+class BitVec {
+ public:
+  static constexpr int kCapacityBits = 256;
+  static constexpr int kWords = kCapacityBits / 64;
+
+  constexpr BitVec() noexcept : words_{} {}
+
+  // Read `width` bits (<= 64) starting at bit `offset` (LSB-first layout).
+  std::uint64_t get_bits(int offset, int width) const noexcept {
+    SC_ASSERT(width >= 0 && width <= 64);
+    SC_ASSERT(offset >= 0 && offset + width <= kCapacityBits);
+    if (width == 0) return 0;
+    const int w = offset / 64;
+    const int b = offset % 64;
+    std::uint64_t lo = words_[w] >> b;
+    if (b + width > 64) {
+      lo |= words_[w + 1] << (64 - b);
+    }
+    return width == 64 ? lo : (lo & ((1ULL << width) - 1));
+  }
+
+  // Write `width` bits (<= 64) of `value` starting at bit `offset`.
+  void set_bits(int offset, int width, std::uint64_t value) noexcept {
+    SC_ASSERT(width >= 0 && width <= 64);
+    SC_ASSERT(offset >= 0 && offset + width <= kCapacityBits);
+    if (width == 0) return;
+    const std::uint64_t mask = width == 64 ? ~0ULL : ((1ULL << width) - 1);
+    value &= mask;
+    const int w = offset / 64;
+    const int b = offset % 64;
+    words_[w] = (words_[w] & ~(mask << b)) | (value << b);
+    if (b + width > 64) {
+      const int hi = b + width - 64;  // bits spilling into the next word
+      const std::uint64_t hi_mask = (1ULL << hi) - 1;
+      words_[w + 1] = (words_[w + 1] & ~hi_mask) | (value >> (64 - b));
+    }
+  }
+
+  bool get_bit(int offset) const noexcept { return get_bits(offset, 1) != 0; }
+  void set_bit(int offset, bool v) noexcept { set_bits(offset, 1, v ? 1 : 0); }
+
+  // Zero all bits at offset >= `bits` (normalisation so that equality over
+  // the full words equals equality over the meaningful prefix).
+  void truncate(int bits) noexcept {
+    SC_ASSERT(bits >= 0 && bits <= kCapacityBits);
+    for (int w = 0; w < kWords; ++w) {
+      const int lo = w * 64;
+      if (bits <= lo) {
+        words_[w] = 0;
+      } else if (bits < lo + 64) {
+        words_[w] &= (1ULL << (bits - lo)) - 1;
+      }
+    }
+  }
+
+  friend bool operator==(const BitVec& a, const BitVec& b) noexcept { return a.words_ == b.words_; }
+  friend bool operator!=(const BitVec& a, const BitVec& b) noexcept { return !(a == b); }
+
+  // Lexicographic order (LSB word first) -- used for canonical adversary choices.
+  friend bool operator<(const BitVec& a, const BitVec& b) noexcept {
+    for (int i = kWords - 1; i >= 0; --i) {
+      if (a.words_[i] != b.words_[i]) return a.words_[i] < b.words_[i];
+    }
+    return false;
+  }
+
+  std::size_t hash() const noexcept {
+    std::uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (auto w : words_) {
+      h ^= w + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h *= 0xff51afd7ed558ccdULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+  // Render the low `bits` bits as a hex string (for traces and debugging).
+  std::string to_hex(int bits) const;
+
+ private:
+  std::array<std::uint64_t, kWords> words_;
+};
+
+struct BitVecHash {
+  std::size_t operator()(const BitVec& v) const noexcept { return v.hash(); }
+};
+
+// Sequential bit writer/reader over a BitVec; keeps an offset cursor so that
+// nested algorithm components can serialise themselves field by field.
+class BitWriter {
+ public:
+  explicit BitWriter(BitVec& v) noexcept : v_(&v) {}
+  void write(int width, std::uint64_t value) noexcept {
+    v_->set_bits(offset_, width, value);
+    offset_ += width;
+  }
+  int offset() const noexcept { return offset_; }
+
+ private:
+  BitVec* v_;
+  int offset_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(const BitVec& v) noexcept : v_(&v) {}
+  std::uint64_t read(int width) noexcept {
+    const std::uint64_t r = v_->get_bits(offset_, width);
+    offset_ += width;
+    return r;
+  }
+  int offset() const noexcept { return offset_; }
+
+ private:
+  const BitVec* v_;
+  int offset_ = 0;
+};
+
+}  // namespace synccount::util

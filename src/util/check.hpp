@@ -1,0 +1,46 @@
+// Contract-checking helpers (C++ Core Guidelines I.6/E.12 flavoured).
+//
+// SC_CHECK      -- precondition on public API arguments; throws
+//                  std::invalid_argument with a formatted message.
+// SC_REQUIRE    -- internal invariant; throws std::logic_error.
+// SC_ASSERT     -- debug-only assertion (compiled out in NDEBUG builds);
+//                  used on hot paths where a violated condition indicates
+//                  a bug in this library, never bad user input.
+#pragma once
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace synccount::util {
+
+[[noreturn]] inline void throw_invalid_argument(const char* expr, const char* file, int line,
+                                                const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_logic_error(const char* expr, const char* file, int line,
+                                           const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace synccount::util
+
+#define SC_CHECK(cond, msg)                                                              \
+  do {                                                                                   \
+    if (!(cond)) ::synccount::util::throw_invalid_argument(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define SC_REQUIRE(cond, msg)                                                       \
+  do {                                                                              \
+    if (!(cond)) ::synccount::util::throw_logic_error(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define SC_ASSERT(cond) assert(cond)

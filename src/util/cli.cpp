@@ -1,0 +1,54 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace synccount::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      // Bare flags are booleans; values must use --name=value (the
+      // space-separated form is ambiguous with positional arguments).
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+std::uint64_t Cli::get_u64(const std::string& name, std::uint64_t fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace synccount::util

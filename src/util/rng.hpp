@@ -1,0 +1,56 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All randomness in the library flows through Rng so that every execution
+// (tests, benches, examples) is reproducible from a single 64-bit seed.
+// The generator is xoshiro256** seeded via SplitMix64; `split()` derives an
+// independent child stream, which is how per-node sampling seeds are created
+// for the pseudo-random counters of Section 5 (Corollary 5).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace synccount::util {
+
+// SplitMix64 step: used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+// Stateless 64-bit mix of two values (for deriving child seeds).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept;
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  // Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  // Uniform value in [0, bound); bound > 0. Uses rejection sampling, so the
+  // distribution is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  // Uniform value in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  // Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  // Bernoulli trial with success probability p.
+  bool next_bool(double p = 0.5) noexcept;
+
+  // Derive an independent child generator (deterministic function of the
+  // current state; advances this generator).
+  Rng split() noexcept;
+
+  // std::uniform_random_bit_generator interface so the Rng can be used with
+  // <algorithm> shuffles.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next_u64(); }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace synccount::util

@@ -1,0 +1,69 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace synccount::util {
+
+namespace {
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double idx = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+}  // namespace
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double sq = 0.0;
+  for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1 ? std::sqrt(sq / static_cast<double>(samples.size() - 1)) : 0.0;
+  s.min = samples.front();
+  s.max = samples.back();
+  s.median = percentile(samples, 0.5);
+  s.p90 = percentile(samples, 0.9);
+  s.p99 = percentile(samples, 0.99);
+  return s;
+}
+
+Summary summarize_u64(const std::vector<std::uint64_t>& samples) {
+  std::vector<double> d(samples.begin(), samples.end());
+  return summarize(std::move(d));
+}
+
+double regression_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double num = 0, den = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  return den == 0.0 ? 0.0 : num / den;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count << " mean=" << mean << " sd=" << stddev << " min=" << min
+     << " med=" << median << " p90=" << p90 << " max=" << max;
+  return os.str();
+}
+
+}  // namespace synccount::util

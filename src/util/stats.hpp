@@ -1,0 +1,33 @@
+// Summary statistics over repeated measurements (stabilisation times,
+// message counts, ...) used by the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace synccount::util {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+
+  std::string to_string() const;
+};
+
+// Computes summary statistics; the input is copied and sorted internally.
+Summary summarize(std::vector<double> samples);
+
+// Convenience overload for integer samples.
+Summary summarize_u64(const std::vector<std::uint64_t>& samples);
+
+// Linear regression slope of y on x (least squares); returns 0 for <2 points.
+double regression_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace synccount::util

@@ -1,0 +1,34 @@
+// ASCII table rendering for the benchmark harnesses so that regenerated
+// paper tables (Table 1 etc.) print with aligned columns.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace synccount::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  // Renders with a header rule and column alignment (numbers right-aligned
+  // is the caller's concern; we align left and pad).
+  void print(std::ostream& os) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats helpers used all over the bench binaries.
+std::string fmt_u64(std::uint64_t v);
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_bool(bool v);
+
+}  // namespace synccount::util

@@ -1,0 +1,173 @@
+// Tests for the application layer: the repeated-consensus service built on a
+// stabilising counter (agreement + validity + self-stabilisation) and the
+// TDMA slot scheduler (mutual exclusion after stabilisation).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/repeated_consensus.hpp"
+#include "apps/tdma.hpp"
+#include "boosting/planner.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/faults.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace synccount;
+using apps::RepeatedConsensus;
+
+counting::AlgorithmPtr make_counter_mod_9() {
+  // tau = 3(F+2) = 9 for F = 1; the service needs counter modulus % 9 == 0.
+  return boosting::build_plan(boosting::plan_practical(1, 9));
+}
+
+struct ConsensusRun {
+  std::vector<std::vector<std::uint64_t>> decisions;  // [round][correct-index]
+  std::vector<counting::NodeId> correct_ids;
+  std::uint64_t rounds = 0;
+};
+
+ConsensusRun run_service(const std::shared_ptr<RepeatedConsensus>& svc,
+                         const std::vector<bool>& faulty, std::uint64_t seed,
+                         std::uint64_t rounds, const std::string& adversary) {
+  sim::RunConfig cfg;
+  cfg.algo = svc;
+  cfg.faulty = faulty;
+  cfg.max_rounds = rounds;
+  cfg.seed = seed;
+  cfg.record_outputs = true;
+  auto adv = sim::make_adversary(adversary);
+  const auto res = sim::run_execution(cfg, *adv, 1);
+  return ConsensusRun{res.outputs, res.correct_ids, res.rounds};
+}
+
+// --- RepeatedConsensus --------------------------------------------------------
+
+TEST(RepeatedConsensus, ConstructionChecks) {
+  const auto counter = make_counter_mod_9();
+  EXPECT_THROW(RepeatedConsensus(nullptr, 1, 4, {0, 0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(RepeatedConsensus(counter, 2, 4, {0, 0, 0, 0}), std::invalid_argument);  // N<=3F
+  EXPECT_THROW(RepeatedConsensus(counter, 1, 1, {0, 0, 0, 0}), std::invalid_argument);  // V<2
+  EXPECT_THROW(RepeatedConsensus(counter, 1, 4, {0, 0, 0}), std::invalid_argument);     // size
+  EXPECT_THROW(RepeatedConsensus(counter, 1, 4, {0, 0, 0, 9}), std::invalid_argument);  // range
+  // Modulus not a multiple of tau:
+  const auto bad = boosting::build_plan(boosting::plan_practical(1, 8));
+  EXPECT_THROW(RepeatedConsensus(bad, 1, 4, {0, 0, 0, 0}), std::invalid_argument);
+  EXPECT_NO_THROW(RepeatedConsensus(counter, 1, 4, {3, 1, 2, 0}));
+}
+
+TEST(RepeatedConsensus, ValidityUnderByzantineNode) {
+  // All correct nodes propose 5; the Byzantine node equivocates. Every
+  // decision after stabilisation must be 5.
+  const auto counter = make_counter_mod_9();
+  const auto svc = std::make_shared<RepeatedConsensus>(
+      counter, 1, 8, std::vector<std::uint64_t>{5, 5, 5, 5});
+  const auto bound = *svc->stabilisation_bound();
+  const auto run = run_service(svc, sim::faults_prefix(4, 1), 21, bound + 60, "split");
+  for (std::uint64_t r = bound + 18; r < run.rounds; ++r) {
+    for (std::size_t j = 0; j < run.correct_ids.size(); ++j) {
+      EXPECT_EQ(run.decisions[r][j], 5u) << "round " << r;
+    }
+  }
+}
+
+TEST(RepeatedConsensus, AgreementWithMixedProposals) {
+  const auto counter = make_counter_mod_9();
+  const auto svc = std::make_shared<RepeatedConsensus>(
+      counter, 1, 8, std::vector<std::uint64_t>{1, 7, 2, 4});
+  const auto bound = *svc->stabilisation_bound();
+  for (const std::string adv : {"split", "random", "targeted-vote"}) {
+    const auto run = run_service(svc, sim::faults_spread(4, 1), 22, bound + 60, adv);
+    for (std::uint64_t r = bound + 18; r < run.rounds; ++r) {
+      const auto v = run.decisions[r][0];
+      for (std::size_t j = 1; j < run.correct_ids.size(); ++j) {
+        EXPECT_EQ(run.decisions[r][j], v) << adv << " round " << r;
+      }
+      EXPECT_LT(v, 8u);
+    }
+  }
+}
+
+TEST(RepeatedConsensus, FaultFreeDecidesAProposal) {
+  // Without faults the decision is one of the proposals (the phase king
+  // picks a value that >F nodes reported, and all reports are honest).
+  const auto counter = make_counter_mod_9();
+  const std::vector<std::uint64_t> proposals{3, 3, 6, 6};
+  const auto svc = std::make_shared<RepeatedConsensus>(counter, 1, 8, proposals);
+  const auto bound = *svc->stabilisation_bound();
+  const auto run = run_service(svc, {}, 23, bound + 60, "random");
+  const std::set<std::uint64_t> allowed(proposals.begin(), proposals.end());
+  for (std::uint64_t r = bound + 18; r < run.rounds; ++r) {
+    EXPECT_TRUE(allowed.count(run.decisions[r][0]))
+        << "decision " << run.decisions[r][0] << " not among proposals";
+  }
+}
+
+TEST(RepeatedConsensus, StateBitsAccounting) {
+  const auto counter = make_counter_mod_9();
+  const auto svc = std::make_shared<RepeatedConsensus>(
+      counter, 1, 8, std::vector<std::uint64_t>{0, 0, 0, 0});
+  // [counter | a (log2(V+1)) | d | decision (log2 V)]
+  EXPECT_EQ(svc->state_bits(), counter->state_bits() + 4 + 1 + 3);
+  EXPECT_EQ(svc->modulus(), 8u);
+  EXPECT_EQ(svc->resilience(), 1);
+}
+
+TEST(RepeatedConsensus, CanonicalizeTotal) {
+  const auto counter = make_counter_mod_9();
+  const auto svc = std::make_shared<RepeatedConsensus>(
+      counter, 1, 5, std::vector<std::uint64_t>{1, 2, 3, 4});
+  util::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const auto s = counting::arbitrary_state(*svc, rng);
+    EXPECT_EQ(svc->canonicalize(s), s);
+    EXPECT_LT(svc->output(0, s), 5u);
+  }
+}
+
+// --- TDMA -----------------------------------------------------------------------
+
+TEST(Tdma, SlotArithmetic) {
+  const apps::TdmaSchedule sched{4};
+  EXPECT_EQ(sched.slot_of(0), 0);
+  EXPECT_EQ(sched.slot_of(7), 3);
+  EXPECT_TRUE(sched.may_transmit(2, 6));
+  EXPECT_FALSE(sched.may_transmit(2, 7));
+}
+
+TEST(Tdma, AuditCountsCollisions) {
+  const apps::TdmaSchedule sched{3};
+  // Two subsystems 0 and 1; rounds: both think counter=0 (collision for
+  // owner 0? owner 0 transmits at 0, owner 1 at 1): r0: outputs (0,0):
+  // owner0 transmits, owner1 doesn't -> exclusive. r1: (1,1): owner1 only.
+  // r2: (0,1): both transmit -> collision. r3: (2,2): none -> idle.
+  const std::vector<std::vector<std::uint64_t>> outputs = {{0, 0}, {1, 1}, {0, 1}, {2, 2}};
+  const auto audit = apps::audit_tdma(sched, outputs, {0, 1}, 0);
+  EXPECT_EQ(audit.rounds, 4u);
+  EXPECT_EQ(audit.exclusive_rounds, 2u);
+  EXPECT_EQ(audit.collisions, 1u);
+  EXPECT_EQ(audit.idle_rounds, 1u);
+}
+
+TEST(Tdma, NoCollisionsAfterStabilisation) {
+  const auto algo = boosting::build_plan(boosting::plan_practical(3, 12));
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  cfg.faulty = sim::faults_block_concentrated(3, 4, 1, 3);
+  cfg.max_rounds = 2500;
+  cfg.seed = 15;
+  cfg.record_outputs = true;
+  auto adv = sim::make_adversary("targeted-vote");
+  const auto res = sim::run_execution(cfg, *adv, 64);
+  ASSERT_TRUE(res.stabilised);
+
+  const apps::TdmaSchedule sched{12};
+  std::vector<int> owners(res.correct_ids.begin(), res.correct_ids.end());
+  const auto audit = apps::audit_tdma(sched, res.outputs, owners, res.stabilisation_round);
+  EXPECT_EQ(audit.collisions, 0u);
+  // Every correct subsystem gets a turn: 9 exclusive slots per 12 rounds.
+  EXPECT_GT(audit.exclusive_rounds, audit.rounds / 2);
+}
+
+}  // namespace

@@ -1,0 +1,34 @@
+// Smoke test: the smallest Theorem 1 instance, A(4,1) built from the trivial
+// one-node counter, stabilises within its proven bound under every adversary.
+#include <gtest/gtest.h>
+
+#include "boosting/planner.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/faults.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+using namespace synccount;
+
+TEST(BoostingSmoke, FourNodesOneFaultStabilises) {
+  const auto algo = boosting::build_plan(boosting::plan_practical(1, 8));
+  EXPECT_EQ(algo->num_nodes(), 4);
+  EXPECT_EQ(algo->resilience(), 1);
+  EXPECT_EQ(algo->modulus(), 8u);
+  const auto bound = algo->stabilisation_bound();
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(*bound, 2304u);  // tau(2m)^k = 9*256
+
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  cfg.faulty = sim::faults_prefix(4, 1);
+  cfg.max_rounds = *bound + 300;
+  cfg.seed = 99;
+  auto adv = sim::make_adversary("split");
+  const sim::RunResult res = sim::run_execution(cfg, *adv, 100);
+  EXPECT_TRUE(res.stabilised);
+  EXPECT_LE(res.stabilisation_round, *bound);
+}
+
+}  // namespace

@@ -1,0 +1,175 @@
+// Cross-validation of the three pillars: the exact verifier (game analysis),
+// the simulator, and the OptimalAdversary that plays the solved game. For
+// every initial configuration of the embedded computer-designed tables, the
+// simulated stabilisation round under the optimal adversary must equal the
+// verifier-certified distance-to-good-set -- exactly, configuration by
+// configuration.
+#include <gtest/gtest.h>
+
+#include "counting/randomized.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/faults.hpp"
+#include "sim/runner.hpp"
+#include "synthesis/game_adversary.hpp"
+#include "synthesis/known_tables.hpp"
+
+namespace {
+
+using namespace synccount;
+using counting::State;
+using counting::TableAlgorithm;
+
+struct TableCase {
+  std::string name;
+  counting::TransitionTable table;
+  std::uint64_t certified_worst;
+};
+
+class OptimalAdversaryExact : public ::testing::TestWithParam<int> {};
+
+// Exhaustive: every initial configuration, every choice of the faulty node.
+TEST_P(OptimalAdversaryExact, SimulationMatchesCertifiedDistance) {
+  const int byz = GetParam();
+  const auto algo =
+      std::make_shared<TableAlgorithm>(synthesis::known_table_4_1_3states());
+  synthesis::OptimalAdversary adv(algo);
+
+  std::vector<bool> faulty(4, false);
+  faulty[static_cast<std::size_t>(byz)] = true;
+  const std::vector<counting::NodeId> fids = {byz};
+
+  std::uint64_t worst_measured = 0;
+  const std::uint64_t S = *algo->state_count();
+  const std::uint64_t configs = S * S * S;
+  for (std::uint64_t cfgidx = 0; cfgidx < configs; ++cfgidx) {
+    std::vector<State> init(4);
+    std::uint64_t rem = cfgidx;
+    for (int i = 0; i < 4; ++i) {
+      if (i == byz) {
+        init[static_cast<std::size_t>(i)] = algo->state_from_index(0);
+      } else {
+        init[static_cast<std::size_t>(i)] = algo->state_from_index(rem % S);
+        rem /= S;
+      }
+    }
+    const std::uint64_t cert = adv.certified_distance(fids, init);
+
+    sim::RunConfig cfg;
+    cfg.algo = algo;
+    cfg.faulty = faulty;
+    cfg.initial = init;
+    cfg.max_rounds = 40;
+    cfg.seed = 1;
+    const auto res = sim::run_execution(cfg, adv, 16);
+    ASSERT_TRUE(res.stabilised) << "config " << cfgidx;
+    EXPECT_EQ(res.stabilisation_round, cert) << "config " << cfgidx << " byz " << byz;
+    worst_measured = std::max(worst_measured, res.stabilisation_round);
+  }
+  EXPECT_EQ(worst_measured, 6u);  // the certified worst case of the table
+}
+
+INSTANTIATE_TEST_SUITE_P(EveryByzantineNode, OptimalAdversaryExact,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(OptimalAdversary, UniformTableWorstCaseRealised) {
+  // The uniform table is position-indexed, so it is *not* symmetric across
+  // nodes: the worst case lives at a particular choice of the faulty node.
+  // The max over all faulty positions and configurations must equal the
+  // certified worst case 8, with per-configuration equality everywhere.
+  const auto algo =
+      std::make_shared<TableAlgorithm>(synthesis::known_table_4_1_4states());
+  synthesis::OptimalAdversary adv(algo);
+
+  std::uint64_t worst_measured = 0;
+  std::uint64_t worst_cert = 0;
+  const std::uint64_t S = 4;
+  for (int byz = 0; byz < 4; ++byz) {
+    std::vector<bool> faulty(4, false);
+    faulty[static_cast<std::size_t>(byz)] = true;
+    const std::vector<counting::NodeId> fids = {byz};
+    for (std::uint64_t cfgidx = 0; cfgidx < S * S * S; ++cfgidx) {
+      std::vector<State> init(4);
+      std::uint64_t rem = cfgidx;
+      for (int i = 0; i < 4; ++i) {
+        if (i == byz) {
+          init[static_cast<std::size_t>(i)] = algo->state_from_index(0);
+        } else {
+          init[static_cast<std::size_t>(i)] = algo->state_from_index(rem % S);
+          rem /= S;
+        }
+      }
+      const std::uint64_t cert = adv.certified_distance(fids, init);
+      sim::RunConfig cfg;
+      cfg.algo = algo;
+      cfg.faulty = faulty;
+      cfg.initial = init;
+      cfg.max_rounds = 48;
+      cfg.seed = 2;
+      const auto res = sim::run_execution(cfg, adv, 16);
+      EXPECT_EQ(res.stabilisation_round, cert) << "config " << cfgidx << " byz " << byz;
+      worst_measured = std::max(worst_measured, res.stabilisation_round);
+      worst_cert = std::max(worst_cert, cert);
+    }
+  }
+  EXPECT_EQ(worst_cert, 8u);
+  EXPECT_EQ(worst_measured, 8u);
+}
+
+TEST(OptimalAdversary, NoFaultsStillWorks) {
+  // With an empty faulty set the adversary has no one to control; the
+  // algorithm's own worst case over initial configurations must still match.
+  const auto algo =
+      std::make_shared<TableAlgorithm>(synthesis::known_table_4_1_3states());
+  synthesis::OptimalAdversary adv(algo);
+  const std::vector<counting::NodeId> no_faults;
+  util::Rng rng(3);
+  std::uint64_t worst = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<State> init(4);
+    for (auto& s : init) s = counting::arbitrary_state(*algo, rng);
+    const auto cert = adv.certified_distance(no_faults, init);
+    sim::RunConfig cfg;
+    cfg.algo = algo;
+    cfg.initial = init;
+    cfg.max_rounds = 32;
+    cfg.seed = 4;
+    const auto res = sim::run_execution(cfg, adv, 12);
+    EXPECT_EQ(res.stabilisation_round, cert);
+    worst = std::max(worst, res.stabilisation_round);
+  }
+  EXPECT_LE(worst, 6u);
+}
+
+TEST(OptimalAdversary, IsTheWorstStrategyObserved) {
+  // No library adversary beats the optimal one on the same initial states.
+  const auto algo =
+      std::make_shared<TableAlgorithm>(synthesis::known_table_4_1_3states());
+  synthesis::OptimalAdversary optimal(algo);
+  const auto faulty = std::vector<bool>{false, true, false, false};
+  const std::vector<counting::NodeId> fids = {1};
+  util::Rng rng(5);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<State> init(4);
+    for (auto& s : init) s = counting::arbitrary_state(*algo, rng);
+    const std::uint64_t cert = optimal.certified_distance(fids, init);
+    for (const auto& name : sim::adversary_names()) {
+      sim::RunConfig cfg;
+      cfg.algo = algo;
+      cfg.faulty = faulty;
+      cfg.initial = init;
+      cfg.max_rounds = 40;
+      cfg.seed = 6 + static_cast<std::uint64_t>(trial);
+      auto adv = sim::make_adversary(name);
+      const auto res = sim::run_execution(cfg, *adv, 16);
+      EXPECT_LE(res.stabilisation_round, cert) << name << " beat the certified bound";
+    }
+  }
+}
+
+TEST(OptimalAdversary, RejectsNonVerifiableAlgorithms) {
+  EXPECT_THROW(synthesis::OptimalAdversary(
+                   std::make_shared<counting::RandomizedCounter>(4, 1, 2)),
+               std::invalid_argument);
+}
+
+}  // namespace

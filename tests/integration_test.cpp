@@ -1,0 +1,206 @@
+// Cross-module integration tests: full pipelines exercising planner ->
+// construction -> simulation -> checking, the application services on real
+// counters under attack, and end-to-end sweeps across resilience targets,
+// adversaries and initial-state regimes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/repeated_consensus.hpp"
+#include "apps/tdma.hpp"
+#include "boosting/planner.hpp"
+#include "counting/randomized.hpp"
+#include "pulling/pulling_counter.hpp"
+#include "sim/adversaries.hpp"
+#include "sim/faults.hpp"
+#include "sim/runner.hpp"
+#include "synthesis/game_adversary.hpp"
+#include "synthesis/synthesize.hpp"
+
+namespace {
+
+using namespace synccount;
+
+struct SweepCase {
+  int f;
+  std::string adversary;
+  std::string placement;  // "spread" | "blocks"
+};
+
+class EndToEndSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EndToEndSweep, RecursionStabilisesAndPersists) {
+  const auto& sc = GetParam();
+  const auto algo = boosting::build_plan(boosting::plan_practical(sc.f, 16));
+  const int n = algo->num_nodes();
+  std::vector<bool> faulty;
+  if (sc.placement == "spread" || sc.f == 1) {
+    faulty = sim::faults_spread(n, sc.f);
+  } else {
+    faulty = sim::faults_block_concentrated(3, n / 3, (sc.f - 1) / 2, sc.f);
+  }
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  cfg.faulty = faulty;
+  cfg.max_rounds = *algo->stabilisation_bound() + 300;
+  cfg.seed = 0xE2E + static_cast<std::uint64_t>(sc.f);
+  auto adv = sim::make_adversary(sc.adversary);
+  const auto res = sim::run_execution(cfg, *adv, 150);
+  EXPECT_TRUE(res.stabilised) << "suffix " << res.suffix_length;
+  EXPECT_LE(res.stabilisation_round, *algo->stabilisation_bound());
+  // Persistence: once stabilised, the suffix runs to the horizon.
+  EXPECT_EQ(res.stabilisation_round + res.suffix_length, res.rounds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EndToEndSweep,
+    ::testing::Values(SweepCase{1, "split", "spread"}, SweepCase{1, "lookahead", "spread"},
+                      SweepCase{3, "split", "blocks"}, SweepCase{3, "mirror", "spread"},
+                      SweepCase{5, "targeted-vote", "blocks"},
+                      SweepCase{5, "random", "spread"}, SweepCase{7, "split", "blocks"}),
+    [](const ::testing::TestParamInfo<SweepCase>& pinfo) {
+      std::string name = "f" + std::to_string(pinfo.param.f) + "_" + pinfo.param.adversary +
+                         "_" + pinfo.param.placement;
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(Integration, AllZeroInitialStatesStabilise) {
+  // A degenerate but legal "arbitrary" start: everything zeroed.
+  const auto algo = boosting::build_plan(boosting::plan_practical(3, 16));
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  cfg.faulty = sim::faults_spread(12, 3);
+  cfg.initial.assign(12, counting::State{});
+  cfg.max_rounds = *algo->stabilisation_bound() + 300;
+  cfg.seed = 1;
+  auto adv = sim::make_adversary("split");
+  const auto res = sim::run_execution(cfg, *adv, 150);
+  EXPECT_TRUE(res.stabilised);
+}
+
+TEST(Integration, FewerFaultsThanResilienceIsFine) {
+  // |F| < f must also stabilise ("up to f faulty nodes").
+  const auto algo = boosting::build_plan(boosting::plan_practical(7, 10));
+  for (int used : {0, 2, 5}) {
+    sim::RunConfig cfg;
+    cfg.algo = algo;
+    cfg.faulty = sim::faults_spread(36, used);
+    cfg.max_rounds = *algo->stabilisation_bound() + 300;
+    cfg.seed = 2 + static_cast<std::uint64_t>(used);
+    auto adv = sim::make_adversary("split");
+    const auto res = sim::run_execution(cfg, *adv, 150);
+    EXPECT_TRUE(res.stabilised) << used << " faults";
+  }
+}
+
+TEST(Integration, ConsensusServiceOnTwelveNodeCounter) {
+  // Repeated consensus with F = 3 (tau = 15) on the A(12,3) counter counting
+  // modulo 15, under a fully corrupted block.
+  const auto counter = boosting::build_plan(boosting::plan_practical(3, 15));
+  std::vector<std::uint64_t> proposals(12);
+  for (std::size_t i = 0; i < proposals.size(); ++i) proposals[i] = i % 4;
+  const auto svc = std::make_shared<apps::RepeatedConsensus>(counter, 3, 4, proposals);
+
+  sim::RunConfig cfg;
+  cfg.algo = svc;
+  cfg.faulty = sim::faults_block_concentrated(3, 4, 1, 3);
+  cfg.max_rounds = *svc->stabilisation_bound() + 90;
+  cfg.seed = 3;
+  cfg.record_outputs = true;
+  auto adv = sim::make_adversary("targeted-vote");
+  const auto res = sim::run_execution(cfg, *adv, 1);
+
+  // After the bound plus two windows, decisions agree in [4].
+  for (std::uint64_t r = *svc->stabilisation_bound() + 30; r < res.rounds; ++r) {
+    const auto v = res.outputs[r][0];
+    EXPECT_LT(v, 4u);
+    for (std::size_t j = 1; j < res.correct_ids.size(); ++j) {
+      EXPECT_EQ(res.outputs[r][j], v) << "round " << r;
+    }
+  }
+}
+
+TEST(Integration, TdmaOnPullingCounter) {
+  // The pulling-model counter drives TDMA: collision-free inside the final
+  // valid counting window. Corollary 5 guarantees a good fixed sample set
+  // w.h.p. over seeds, so sweep a handful and audit the first that yields a
+  // long window (all seeds are fixed: the test is deterministic).
+  bool audited = false;
+  for (std::uint64_t sample_seed = 1; sample_seed <= 6 && !audited; ++sample_seed) {
+    const auto algo = pulling::build_pulling_practical(
+        3, 12, 64, pulling::SamplingMode::kFixed, 0xFEED * sample_seed);
+    sim::RunConfig cfg;
+    cfg.algo = algo;
+    cfg.faulty = sim::faults_spread(12, 3);
+    cfg.max_rounds = *algo->stabilisation_bound() + 400;
+    cfg.seed = 4;
+    cfg.record_outputs = true;
+    auto adv = sim::make_adversary("random");
+    const auto res = sim::run_execution(cfg, *adv, 30);
+    if (res.suffix_length < 24) continue;
+    const apps::TdmaSchedule sched{12};
+    std::vector<int> owners(res.correct_ids.begin(), res.correct_ids.end());
+    const auto audit = apps::audit_tdma(sched, res.outputs, owners, res.stabilisation_round);
+    EXPECT_EQ(audit.collisions, 0u);
+    audited = true;
+  }
+  EXPECT_TRUE(audited) << "no fixed sample seed yielded a long window";
+}
+
+TEST(Integration, SynthesizedTableSurvivesOptimalAdversaryInsideHarness) {
+  // Synthesise a fresh 2-node counter, wrap it in the optimal adversary and
+  // run the full loop: the pipeline pieces compose without special-casing.
+  synthesis::SynthesisSpec spec;
+  spec.n = 2;
+  spec.f = 0;
+  spec.num_states = 2;
+  spec.modulus = 2;
+  synthesis::SynthesisOptions opt;
+  opt.max_time = 4;
+  const auto out = synthesize(spec, opt);
+  ASSERT_TRUE(out.found);
+  const auto algo = std::make_shared<counting::TableAlgorithm>(out.table);
+  synthesis::OptimalAdversary adv(algo);
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  cfg.max_rounds = 32;
+  cfg.seed = 5;
+  const auto res = sim::run_execution(cfg, adv, 8);
+  EXPECT_TRUE(res.stabilised);
+  EXPECT_LE(res.stabilisation_round, out.exact_time);
+}
+
+TEST(Integration, RandomizedBaselineInSameHarness) {
+  // The [6,7] baseline runs under the same runner/adversary machinery.
+  sim::RunConfig cfg;
+  cfg.algo = std::make_shared<counting::RandomizedCounter>(7, 2, 4);
+  cfg.faulty = sim::faults_spread(7, 2);
+  cfg.max_rounds = 60000;
+  cfg.seed = 6;
+  auto adv = sim::make_adversary("split");
+  const auto res = sim::run_execution(cfg, *adv, 150);
+  EXPECT_TRUE(res.stabilised);
+}
+
+TEST(Integration, DifferentSeedsDifferentExecutionsSameGuarantee) {
+  const auto algo = boosting::build_plan(boosting::plan_practical(3, 16));
+  std::set<std::uint64_t> stabilisation_rounds;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::RunConfig cfg;
+    cfg.algo = algo;
+    cfg.faulty = sim::faults_block_concentrated(3, 4, 1, 3);
+    cfg.max_rounds = *algo->stabilisation_bound() + 300;
+    cfg.seed = seed;
+    auto adv = sim::make_adversary("split");
+    const auto res = sim::run_execution(cfg, *adv, 150);
+    EXPECT_TRUE(res.stabilised);
+    stabilisation_rounds.insert(res.stabilisation_round);
+  }
+  // Executions genuinely differ across seeds.
+  EXPECT_GT(stabilisation_rounds.size(), 1u);
+}
+
+}  // namespace

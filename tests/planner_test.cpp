@@ -1,0 +1,154 @@
+// Tests for the Section 4 recursion planners: modulus threading, resilience
+// schedules, the closed-form Theorem 1 cost accounting and the Theorem 3
+// log-space analysis.
+#include <gtest/gtest.h>
+
+#include "boosting/planner.hpp"
+#include "counting/trivial.hpp"
+#include "util/math.hpp"
+
+namespace {
+
+using namespace synccount;
+using boosting::Plan;
+
+TEST(Planner, RequiredInputModulus) {
+  EXPECT_EQ(boosting::required_input_modulus(4, 1), 2304u);   // 9*4^4
+  EXPECT_EQ(boosting::required_input_modulus(3, 3), 960u);    // 15*4^3
+  EXPECT_EQ(boosting::required_input_modulus(3, 7), 1728u);   // 27*4^3
+  EXPECT_EQ(boosting::required_input_modulus(3, 0), 384u);    // 6*4^3
+  EXPECT_THROW(boosting::required_input_modulus(2, 1), std::invalid_argument);
+  EXPECT_THROW(boosting::required_input_modulus(64, 1), std::invalid_argument);  // overflow
+}
+
+TEST(Planner, PracticalScheduleMatchesFigure2) {
+  const Plan plan = boosting::plan_practical(7, 10);
+  ASSERT_EQ(plan.levels.size(), 3u);
+  EXPECT_EQ(plan.levels[0].k, 4);
+  EXPECT_EQ(plan.levels[0].F, 1);
+  EXPECT_EQ(plan.levels[0].C, 960u);
+  EXPECT_EQ(plan.levels[1].k, 3);
+  EXPECT_EQ(plan.levels[1].F, 3);
+  EXPECT_EQ(plan.levels[1].C, 1728u);
+  EXPECT_EQ(plan.levels[2].k, 3);
+  EXPECT_EQ(plan.levels[2].F, 7);
+  EXPECT_EQ(plan.levels[2].C, 10u);
+  EXPECT_EQ(plan.base_modulus, 2304u);
+}
+
+TEST(Planner, PracticalCapsLastLevel) {
+  // Target f = 5 sits between the natural 3 and 7.
+  const Plan plan = boosting::plan_practical(5, 2);
+  ASSERT_EQ(plan.levels.size(), 3u);
+  EXPECT_EQ(plan.levels[2].F, 5);
+  const auto algo = boosting::build_plan(plan);
+  EXPECT_EQ(algo->resilience(), 5);
+  EXPECT_EQ(algo->num_nodes(), 36);
+}
+
+TEST(Planner, Corollary1SingleLevel) {
+  const Plan plan = boosting::plan_corollary1(1, 4);
+  ASSERT_EQ(plan.levels.size(), 1u);
+  EXPECT_EQ(plan.levels[0].k, 4);  // 3F+1
+  const auto algo = boosting::build_plan(plan);
+  EXPECT_EQ(algo->num_nodes(), 4);
+  EXPECT_EQ(algo->resilience(), 1);
+  // Optimal resilience: n = 3f+1.
+  EXPECT_EQ(algo->num_nodes(), 3 * algo->resilience() + 1);
+}
+
+TEST(Planner, Corollary1GrowsSuperExponentially) {
+  // F = 2: k = 7 blocks, cost 3(F+2)(2m)^k = 12*8^7.
+  const Plan plan = boosting::plan_corollary1(2, 2);
+  EXPECT_EQ(plan.levels[0].k, 7);
+  EXPECT_EQ(plan.base_modulus, 12u * util::ipow(8, 7));
+  const auto algo = boosting::build_plan(plan);
+  EXPECT_EQ(algo->num_nodes(), 7);
+  EXPECT_EQ(*algo->stabilisation_bound(), 12u * util::ipow(8, 7));
+}
+
+TEST(Planner, FixedKSchedule) {
+  const Plan plan = boosting::plan_fixed_k(4, 3, 2);
+  ASSERT_EQ(plan.levels.size(), 3u);
+  EXPECT_EQ(plan.levels[0].F, 1);
+  EXPECT_EQ(plan.levels[1].F, 3);
+  EXPECT_EQ(plan.levels[2].F, 7);
+  const auto algo = boosting::build_plan(plan);
+  EXPECT_EQ(algo->num_nodes(), 64);
+  EXPECT_EQ(algo->resilience(), 7);
+}
+
+TEST(Planner, FixedKRejectsBadArguments) {
+  EXPECT_THROW(boosting::plan_fixed_k(3, 2, 2), std::invalid_argument);
+  EXPECT_THROW(boosting::plan_fixed_k(4, 0, 2), std::invalid_argument);
+  EXPECT_THROW(boosting::plan_practical(0, 2), std::invalid_argument);
+}
+
+TEST(Planner, TimeBoundIsSumOfLevelCosts) {
+  const auto algo = boosting::build_plan(boosting::plan_practical(7, 10));
+  // 2304 + 960 + 1728 (see DESIGN.md experiment E3).
+  EXPECT_EQ(*algo->stabilisation_bound(), 4992u);
+}
+
+TEST(Planner, StateBitsGrowPolylogarithmically) {
+  // Practical schedule: state bits grow by ~log(F) + k log k per level;
+  // compare against the explicit Theorem 1 accounting.
+  int prev_bits = 0;
+  for (int f : {1, 3, 7, 15}) {
+    const auto algo = boosting::build_plan(boosting::plan_practical(f, 2));
+    const int bits = algo->state_bits();
+    EXPECT_GT(bits, prev_bits);
+    prev_bits = bits;
+    // The whole stack stays tiny: O(log^2 f) bits.
+    EXPECT_LE(bits, 64);
+  }
+}
+
+TEST(Planner, AnalyzeReportsAlgorithmFacts) {
+  const auto algo = boosting::build_plan(boosting::plan_practical(3, 16));
+  const auto info = boosting::analyze(*algo);
+  EXPECT_EQ(info.n, 12);
+  EXPECT_EQ(info.f, 3);
+  EXPECT_EQ(info.modulus, 16u);
+  EXPECT_EQ(info.time_bound, 3264u);
+  EXPECT_EQ(info.state_bits, algo->state_bits());
+}
+
+TEST(Planner, BuildLevelsOnCustomBase) {
+  // A custom base whose modulus satisfies the first level's requirement.
+  auto base = std::make_shared<counting::TrivialCounter>(2 * 2304);
+  const std::vector<boosting::LevelSpec> levels = {{4, 1, 8}};
+  const auto algo = boosting::build_levels(base, levels);
+  EXPECT_EQ(algo->num_nodes(), 4);
+  EXPECT_EQ(algo->modulus(), 8u);
+}
+
+TEST(Theorem3Analysis, ResilienceApproachesN) {
+  // f = n^{1-o(1)}: the exponent log f / log n of the *completed*
+  // construction approaches 1 as the number of phases P grows.
+  double prev_ratio = 0;
+  for (int P = 1; P <= 6; ++P) {
+    const auto rows = boosting::theorem3_analysis(P);
+    ASSERT_EQ(rows.size(), static_cast<std::size_t>(P));
+    const auto& last = rows.back();
+    const double ratio = last.log2_f / last.log2_n;
+    EXPECT_GT(ratio, prev_ratio) << "P=" << P;
+    prev_ratio = ratio;
+    // T = O(f): the gap log T - log f saturates at an absolute constant
+    // (~2^27, dominated by the fixed-size k = 16 and k = 32 phases near the
+    // end of the schedule -- the geometric series of Lemma 6), independent
+    // of P.
+    EXPECT_LT(last.log2_time - last.log2_f, 28.0) << "P=" << P;
+  }
+  EXPECT_GT(prev_ratio, 0.75);
+}
+
+TEST(Theorem3Analysis, PhaseStructureFollowsPaper) {
+  const auto rows = boosting::theorem3_analysis(3);
+  EXPECT_EQ(rows[0].k, 16);  // k_1 = 4*2^{P-1}
+  EXPECT_EQ(rows[0].iterations, 32);
+  EXPECT_EQ(rows[1].k, 8);
+  EXPECT_EQ(rows[2].k, 4);
+}
+
+}  // namespace

@@ -1,0 +1,253 @@
+// Property-based tests: independent reference implementations and randomized
+// fuzzing cross-check the optimised production code paths.
+//
+//  * phase-king step vs a naive literal re-implementation of Table 2;
+//  * BitVec vs a plain bool-array model under random operation sequences;
+//  * the stabilisation checker vs planted valid suffixes;
+//  * BoostedCounter construction invariants over a (k, F, C) grid.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "boosting/boosted_counter.hpp"
+#include "boosting/planner.hpp"
+#include "counting/trivial.hpp"
+#include "util/math.hpp"
+#include "phaseking/phase_king.hpp"
+#include "sim/checker.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace synccount;
+using phaseking::kInfinity;
+using phaseking::Registers;
+
+// --- Phase king vs reference oracle ------------------------------------------
+
+// A deliberately naive, allocation-happy, literal transcription of Table 2.
+Registers reference_step(const phaseking::Params& p, int index, const Registers& own,
+                         const std::vector<std::uint64_t>& received,
+                         phaseking::StepMode mode) {
+  auto increment = [&](std::uint64_t a) -> std::uint64_t {
+    if (a == kInfinity) return a;
+    if (mode == phaseking::StepMode::kValue) return a % p.C;
+    return (a + 1) % p.C;
+  };
+  Registers out = own;
+  const int l = index / 3;
+  switch (index % 3) {
+    case 0: {
+      int same = 0;
+      for (auto a : received) same += a == own.a ? 1 : 0;
+      if (same < p.N - p.F) out.a = kInfinity;
+      out.a = increment(out.a);
+      break;
+    }
+    case 1: {
+      std::map<std::uint64_t, int> z;
+      for (auto a : received) ++z[a];
+      out.d = z[own.a] >= p.N - p.F;
+      out.a = kInfinity;
+      for (const auto& [value, count] : z) {  // std::map iterates ascending
+        if (value != kInfinity && value < p.C && count > p.F) {
+          out.a = value;
+          break;
+        }
+      }
+      out.a = increment(out.a);
+      break;
+    }
+    default: {
+      if (out.a == kInfinity || !out.d) {
+        out.a = std::min<std::uint64_t>(p.C, received[static_cast<std::size_t>(l)]);
+      }
+      out.d = true;
+      out.a = increment(out.a);
+      break;
+    }
+  }
+  return out;
+}
+
+class PhaseKingOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhaseKingOracle, MatchesReferenceOnRandomInputs) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int trial = 0; trial < 4000; ++trial) {
+    const int F = static_cast<int>(rng.next_below(4));
+    const int N = 3 * F + 1 + static_cast<int>(rng.next_below(4));
+    const std::uint64_t C = 2 + rng.next_below(30);
+    const phaseking::Params p{N, F, C};
+    if (N < F + 2) continue;
+    const int index = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(p.tau())));
+    const auto mode = rng.next_bool() ? phaseking::StepMode::kCounting
+                                      : phaseking::StepMode::kValue;
+    std::vector<std::uint64_t> received(static_cast<std::size_t>(N));
+    for (auto& a : received) a = rng.next_bool(0.2) ? kInfinity : rng.next_below(C);
+    const int v = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(N)));
+    const Registers own{received[static_cast<std::size_t>(v)], rng.next_bool()};
+
+    const Registers fast = phaseking::step(p, index, v, own, received, mode);
+    const Registers slow = reference_step(p, index, own, received, mode);
+    ASSERT_EQ(fast.a, slow.a) << "trial " << trial << " index " << index << " N " << N
+                              << " F " << F << " C " << C;
+    ASSERT_EQ(fast.d, slow.d) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PhaseKingOracle, ::testing::Values(1, 2, 3, 4));
+
+// --- BitVec fuzz vs bool-array model ------------------------------------------
+
+TEST(BitVecFuzz, MatchesBoolArrayModel) {
+  util::Rng rng(0xB17);
+  for (int round = 0; round < 200; ++round) {
+    util::BitVec v;
+    std::vector<bool> model(util::BitVec::kCapacityBits, false);
+    for (int op = 0; op < 60; ++op) {
+      const int width = 1 + static_cast<int>(rng.next_below(64));
+      const int offset =
+          static_cast<int>(rng.next_below(static_cast<std::uint64_t>(util::BitVec::kCapacityBits - width + 1)));
+      const std::uint64_t value = rng.next_u64();
+      v.set_bits(offset, width, value);
+      for (int b = 0; b < width; ++b) {
+        model[static_cast<std::size_t>(offset + b)] = ((value >> b) & 1U) != 0;
+      }
+      // Random readback.
+      const int rwidth = 1 + static_cast<int>(rng.next_below(64));
+      const int roffset = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(util::BitVec::kCapacityBits - rwidth + 1)));
+      std::uint64_t expect = 0;
+      for (int b = 0; b < rwidth; ++b) {
+        if (model[static_cast<std::size_t>(roffset + b)]) expect |= 1ULL << b;
+      }
+      ASSERT_EQ(v.get_bits(roffset, rwidth), expect) << "round " << round << " op " << op;
+    }
+    // truncate agrees with the model.
+    const int cut = static_cast<int>(rng.next_below(util::BitVec::kCapacityBits + 1));
+    v.truncate(cut);
+    for (int b = cut; b < util::BitVec::kCapacityBits; ++b) {
+      model[static_cast<std::size_t>(b)] = false;
+    }
+    for (int b = 0; b < util::BitVec::kCapacityBits; ++b) {
+      ASSERT_EQ(v.get_bit(b), model[static_cast<std::size_t>(b)]) << "bit " << b;
+    }
+  }
+}
+
+// --- Checker vs planted suffixes ------------------------------------------------
+
+TEST(CheckerProperty, FindsPlantedSuffixExactly) {
+  util::Rng rng(0xC43C);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::uint64_t c = 2 + rng.next_below(9);
+    const int nodes = 1 + static_cast<int>(rng.next_below(5));
+    const std::uint64_t total = 20 + rng.next_below(60);
+    const std::uint64_t planted = rng.next_below(total - 5);
+
+    sim::StabilisationChecker checker(c);
+    std::uint64_t base = rng.next_below(c);
+    std::uint64_t prev_disagree_value = 0;
+    for (std::uint64_t r = 0; r < total; ++r) {
+      std::vector<std::uint64_t> outs(static_cast<std::size_t>(nodes));
+      if (r < planted) {
+        // Noise that is guaranteed invalid at round `planted - 1`: force
+        // either disagreement (if >= 2 nodes) or a non-increment.
+        if (nodes >= 2) {
+          for (std::size_t j = 0; j < outs.size(); ++j) {
+            outs[j] = (prev_disagree_value + j) % c;  // disagreement
+          }
+          ++prev_disagree_value;
+        } else {
+          // Repeat the suffix's base value: a repeat is never an increment,
+          // and the noise cannot chain into the planted suffix either.
+          outs[0] = base;
+        }
+      } else {
+        for (auto& o : outs) o = (base + r - planted) % c;
+      }
+      checker.observe(outs);
+    }
+    ASSERT_EQ(checker.suffix_start(), planted) << "trial " << trial << " c " << c;
+    ASSERT_EQ(checker.suffix_length(), total - planted);
+  }
+}
+
+// --- BoostedCounter construction grid --------------------------------------------
+
+struct GridCase {
+  int k;
+  int F;
+  std::uint64_t C;
+};
+
+class BoostedGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(BoostedGrid, ConstructionInvariants) {
+  const auto& gc = GetParam();
+  const std::uint64_t need = boosting::required_input_modulus(gc.k, gc.F);
+  auto base = std::make_shared<counting::TrivialCounter>(need);
+  const auto b = std::make_shared<boosting::BoostedCounter>(
+      base, boosting::BoostParams{gc.k, gc.F, gc.C});
+
+  // Theorem 1 cost formulas.
+  EXPECT_EQ(b->num_nodes(), gc.k);
+  EXPECT_EQ(b->state_bits(),
+            base->state_bits() + util::ceil_log2(gc.C + 1) + 1);
+  EXPECT_EQ(*b->stabilisation_bound(), need);
+  EXPECT_EQ(b->tau(), 3 * (gc.F + 2));
+  // Block moduli are nested divisors of the input modulus.
+  for (int i = 0; i < gc.k; ++i) {
+    EXPECT_EQ(need % b->block_modulus(i), 0u) << i;
+    if (i > 0) {
+      EXPECT_EQ(b->block_modulus(i) % b->block_modulus(i - 1), 0u);
+    }
+  }
+  // Canonicalisation is total and idempotent; outputs in range.
+  util::Rng rng(77);
+  for (int t = 0; t < 20; ++t) {
+    const auto s = counting::arbitrary_state(*b, rng);
+    EXPECT_EQ(b->canonicalize(s), s);
+    EXPECT_LT(b->output(0, s), gc.C);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BoostedGrid,
+    ::testing::Values(GridCase{3, 0, 2}, GridCase{7, 2, 4}, GridCase{4, 1, 2},
+                      GridCase{4, 1, 100}, GridCase{5, 1, 7}, GridCase{6, 1, 3},
+                      GridCase{6, 1, 960}, GridCase{4, 1, 2304}),
+    [](const ::testing::TestParamInfo<GridCase>& pinfo) {
+      return "k" + std::to_string(pinfo.param.k) + "_F" + std::to_string(pinfo.param.F) +
+             "_C" + std::to_string(pinfo.param.C);
+    });
+
+// --- Planner properties across the whole schedule family -------------------------
+
+TEST(PlannerProperty, EveryPracticalPlanIsInternallyConsistent) {
+  for (int f = 1; f <= 40; ++f) {
+    const auto plan = boosting::plan_practical(f, 2);
+    // Moduli thread: level i's C equals level i+1's required input modulus.
+    for (std::size_t i = 0; i + 1 < plan.levels.size(); ++i) {
+      EXPECT_EQ(plan.levels[i].C,
+                boosting::required_input_modulus(plan.levels[i + 1].k, plan.levels[i + 1].F))
+          << "f " << f << " level " << i;
+    }
+    EXPECT_EQ(plan.base_modulus,
+              boosting::required_input_modulus(plan.levels[0].k, plan.levels[0].F));
+    // Resilience reaches the target exactly and respects F < (f+1)m.
+    int prev = 0;
+    for (const auto& lv : plan.levels) {
+      EXPECT_LT(lv.F, (prev + 1) * ((lv.k + 1) / 2));
+      prev = lv.F;
+    }
+    EXPECT_EQ(prev, f);
+    // The built algorithm matches the plan.
+    const auto algo = boosting::build_plan(plan);
+    EXPECT_EQ(algo->resilience(), f);
+    EXPECT_GT(algo->num_nodes(), 3 * f);
+  }
+}
+
+}  // namespace

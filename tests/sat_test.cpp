@@ -1,0 +1,321 @@
+// Tests for the CDCL SAT solver: hand-crafted instances, pigeonhole
+// principles (UNSAT), model validity, and randomized cross-validation
+// against a brute-force truth-table enumerator.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sat/dimacs.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace synccount::sat;
+
+TEST(SatSolver, EmptyInstanceIsSat) {
+  Solver s;
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, SingleUnit) {
+  Solver s;
+  s.add_unit(1);
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.value(1));
+}
+
+TEST(SatSolver, ContradictoryUnits) {
+  Solver s;
+  s.add_unit(1);
+  s.add_unit(-1);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, EmptyClauseIsUnsat) {
+  Solver s;
+  s.add_clause({});
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+TEST(SatSolver, SimpleImplicationChain) {
+  Solver s;
+  s.add_unit(1);
+  for (int v = 1; v < 50; ++v) s.add_binary(-v, v + 1);
+  EXPECT_EQ(s.solve(), Result::kSat);
+  for (int v = 1; v <= 50; ++v) EXPECT_TRUE(s.value(v)) << v;
+}
+
+TEST(SatSolver, TautologyIgnored) {
+  Solver s;
+  s.add_clause({1, -1});
+  s.add_unit(-1);
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_FALSE(s.value(1));
+}
+
+TEST(SatSolver, DuplicateLiteralsDeduped) {
+  Solver s;
+  s.add_clause({2, 2, 2});
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.value(2));
+}
+
+TEST(SatSolver, XorChainSat) {
+  // x1 xor x2 = 1, x2 xor x3 = 1, ... satisfiable (alternating).
+  Solver s;
+  const int n = 20;
+  for (int v = 1; v < n; ++v) {
+    s.add_binary(v, v + 1);
+    s.add_binary(-v, -(v + 1));
+  }
+  EXPECT_EQ(s.solve(), Result::kSat);
+  for (int v = 1; v < n; ++v) EXPECT_NE(s.value(v), s.value(v + 1));
+}
+
+TEST(SatSolver, OddXorCycleUnsat) {
+  // An odd cycle of inequalities is unsatisfiable.
+  Solver s;
+  const int n = 7;
+  for (int v = 1; v <= n; ++v) {
+    const int w = v % n + 1;
+    s.add_binary(v, w);
+    s.add_binary(-v, -w);
+  }
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+}
+
+// Pigeonhole principle PHP(p, h): p pigeons into h holes, UNSAT when p > h.
+void add_php(Solver& s, int pigeons, int holes) {
+  auto var = [&](int p, int h) { return p * holes + h + 1; };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<ExtLit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(var(p, h));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.add_binary(-var(p1, h), -var(p2, h));
+      }
+    }
+  }
+}
+
+TEST(SatSolver, PigeonholeUnsat) {
+  for (int holes = 2; holes <= 6; ++holes) {
+    Solver s;
+    add_php(s, holes + 1, holes);
+    EXPECT_EQ(s.solve(), Result::kUnsat) << holes;
+  }
+}
+
+TEST(SatSolver, PigeonholeSatWhenEnoughHoles) {
+  Solver s;
+  add_php(s, 5, 5);
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+  Solver s;
+  add_php(s, 9, 8);  // hard enough to exceed a tiny budget
+  const Result r = s.solve(5);
+  EXPECT_EQ(r, Result::kUnknown);
+  // Resuming with a bigger budget still gets the right answer.
+  EXPECT_EQ(s.solve(0), Result::kUnsat);
+}
+
+// --- Randomized cross-validation -------------------------------------------
+
+// Brute-force satisfiability over <= 20 variables.
+bool brute_force_sat(int num_vars, const std::vector<std::vector<ExtLit>>& clauses) {
+  for (std::uint32_t assign = 0; assign < (1U << num_vars); ++assign) {
+    bool all = true;
+    for (const auto& c : clauses) {
+      bool sat = false;
+      for (ExtLit l : c) {
+        const int v = std::abs(l) - 1;
+        const bool val = (assign >> v) & 1U;
+        if ((l > 0) == val) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+bool model_satisfies(const Solver& s, const std::vector<std::vector<ExtLit>>& clauses) {
+  for (const auto& c : clauses) {
+    bool sat = false;
+    for (ExtLit l : c) {
+      if ((l > 0) == s.value(std::abs(l))) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+class RandomCnf : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCnf, AgreesWithBruteForce) {
+  synccount::util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int instance = 0; instance < 60; ++instance) {
+    const int num_vars = 4 + static_cast<int>(rng.next_below(9));      // 4..12
+    const int num_clauses = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(num_vars * 5))) + 2;
+    std::vector<std::vector<ExtLit>> clauses;
+    for (int i = 0; i < num_clauses; ++i) {
+      const int len = 1 + static_cast<int>(rng.next_below(3));  // 1..3
+      std::vector<ExtLit> c;
+      for (int j = 0; j < len; ++j) {
+        const int v = 1 + static_cast<int>(rng.next_below(num_vars));
+        c.push_back(rng.next_bool() ? v : -v);
+      }
+      clauses.push_back(std::move(c));
+    }
+    Solver s;
+    for (int v = 0; v < num_vars; ++v) s.new_var();
+    for (const auto& c : clauses) s.add_clause(c);
+    const bool expected = brute_force_sat(num_vars, clauses);
+    const Result got = s.solve();
+    ASSERT_EQ(got == Result::kSat, expected) << "instance " << instance;
+    if (got == Result::kSat) {
+      EXPECT_TRUE(model_satisfies(s, clauses)) << "instance " << instance;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCnf, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- Assumptions -------------------------------------------------------------
+
+TEST(SatSolver, AssumptionsRestrictModels) {
+  Solver s;
+  s.add_binary(1, 2);  // x1 or x2
+  EXPECT_EQ(s.solve_assuming({-1}), Result::kSat);
+  EXPECT_FALSE(s.value(1));
+  EXPECT_TRUE(s.value(2));
+  EXPECT_EQ(s.solve_assuming({-2}), Result::kSat);
+  EXPECT_TRUE(s.value(1));
+  EXPECT_EQ(s.solve_assuming({-1, -2}), Result::kUnsatAssumptions);
+  // The instance itself is still satisfiable afterwards.
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, AssumptionsDoNotPoisonLaterCalls) {
+  Solver s;
+  s.add_ternary(1, 2, 3);
+  s.add_binary(-1, -2);
+  for (int round = 0; round < 4; ++round) {
+    EXPECT_EQ(s.solve_assuming({-3}), Result::kSat);
+    EXPECT_EQ(s.solve_assuming({-1, -2, -3}), Result::kUnsatAssumptions);
+    EXPECT_EQ(s.solve_assuming({1, 2}), Result::kUnsatAssumptions);
+    EXPECT_EQ(s.solve(), Result::kSat);
+  }
+}
+
+TEST(SatSolver, GloballyUnsatBeatsAssumptions) {
+  Solver s;
+  s.add_unit(1);
+  s.add_unit(-1);
+  EXPECT_EQ(s.solve_assuming({2}), Result::kUnsat);
+}
+
+TEST(SatSolver, AssumptionSweepMatchesFreshSolvers) {
+  // Pigeonhole with a selector: sel -> (pigeon 0 uses hole 0). Sweep the
+  // selector both ways and cross-check against dedicated solvers.
+  synccount::util::Rng rng(99);
+  for (int instance = 0; instance < 30; ++instance) {
+    const int num_vars = 5 + static_cast<int>(rng.next_below(6));
+    std::vector<std::vector<ExtLit>> clauses;
+    const int num_clauses = 3 + static_cast<int>(rng.next_below(25));
+    for (int i = 0; i < num_clauses; ++i) {
+      std::vector<ExtLit> c;
+      const int len = 1 + static_cast<int>(rng.next_below(3));
+      for (int j = 0; j < len; ++j) {
+        const int v = 1 + static_cast<int>(rng.next_below(num_vars));
+        c.push_back(rng.next_bool() ? v : -v);
+      }
+      clauses.push_back(c);
+    }
+    Solver incremental;
+    for (const auto& c : clauses) incremental.add_clause(c);
+    for (int assumed = 1; assumed <= 3; ++assumed) {
+      const std::vector<ExtLit> assumption = {assumed};
+      const Result inc = incremental.solve_assuming(assumption);
+      Solver fresh;
+      for (const auto& c : clauses) fresh.add_clause(c);
+      fresh.add_clause(assumption);
+      const Result ref = fresh.solve();
+      if (ref == Result::kSat) {
+        ASSERT_EQ(inc, Result::kSat) << "instance " << instance << " assumed " << assumed;
+      } else {
+        ASSERT_NE(inc, Result::kSat) << "instance " << instance << " assumed " << assumed;
+      }
+    }
+  }
+}
+
+TEST(SatSolver, StatsArePopulated) {
+  Solver s;
+  add_php(s, 6, 5);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().propagations, 0u);
+  EXPECT_FALSE(s.stats_string().empty());
+}
+
+// --- DIMACS -----------------------------------------------------------------
+
+TEST(Dimacs, RoundTrip) {
+  Cnf cnf;
+  cnf.add({1, -2, 3});
+  cnf.add({-1});
+  cnf.add({2, 3});
+  std::ostringstream out;
+  write_dimacs(cnf, out);
+  std::istringstream in(out.str());
+  const Cnf back = parse_dimacs(in);
+  EXPECT_EQ(back.num_vars, 3);
+  ASSERT_EQ(back.clauses.size(), 3u);
+  EXPECT_EQ(back.clauses[0], (std::vector<ExtLit>{1, -2, 3}));
+}
+
+TEST(Dimacs, ParsesCommentsAndMultilineClauses) {
+  std::istringstream in("c a comment\np cnf 3 2\n1 -2\n3 0\n-1 2 0\n");
+  const Cnf cnf = parse_dimacs(in);
+  ASSERT_EQ(cnf.clauses.size(), 2u);
+  EXPECT_EQ(cnf.clauses[0], (std::vector<ExtLit>{1, -2, 3}));
+  EXPECT_EQ(cnf.clauses[1], (std::vector<ExtLit>{-1, 2}));
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  std::istringstream no_header("1 2 0\n");
+  EXPECT_THROW(parse_dimacs(no_header), std::invalid_argument);
+  std::istringstream unterminated("p cnf 2 1\n1 2\n");
+  EXPECT_THROW(parse_dimacs(unterminated), std::invalid_argument);
+}
+
+TEST(Dimacs, LoadIntoSolver) {
+  Cnf cnf;
+  cnf.add({1, 2});
+  cnf.add({-1, 2});
+  cnf.add({-2, 3});
+  Solver s;
+  cnf.load_into(s);
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.value(2));
+  EXPECT_TRUE(s.value(3));
+}
+
+}  // namespace

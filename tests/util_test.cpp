@@ -1,0 +1,321 @@
+// Unit tests for the util module: RNG determinism and uniformity sanity,
+// bit-vector packing, integer math, statistics, tables and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitio.hpp"
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace synccount::util;
+
+// --- Rng ---------------------------------------------------------------
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroAndOne) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(123);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, 600) << "bucket " << b;
+  }
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  Rng a2(42);
+  Rng child2 = a2.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child.next_u64(), child2.next_u64());
+  // Parent and child streams differ.
+  Rng b(42);
+  Rng c = b.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += b.next_u64() == c.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+// --- BitVec ------------------------------------------------------------
+
+TEST(BitVec, SetGetRoundTripSingleWord) {
+  BitVec v;
+  v.set_bits(3, 7, 0x55);
+  EXPECT_EQ(v.get_bits(3, 7), 0x55u);
+  EXPECT_EQ(v.get_bits(0, 3), 0u);
+}
+
+TEST(BitVec, CrossWordBoundary) {
+  BitVec v;
+  v.set_bits(60, 10, 0x3ffu);
+  EXPECT_EQ(v.get_bits(60, 10), 0x3ffu);
+  v.set_bits(60, 10, 0x155u);
+  EXPECT_EQ(v.get_bits(60, 10), 0x155u);
+  EXPECT_EQ(v.get_bits(0, 60), 0u);
+  EXPECT_EQ(v.get_bits(70, 64), 0u);
+}
+
+TEST(BitVec, FullWidthField) {
+  BitVec v;
+  v.set_bits(64, 64, ~0ULL);
+  EXPECT_EQ(v.get_bits(64, 64), ~0ULL);
+  EXPECT_EQ(v.get_bits(0, 64), 0u);
+  EXPECT_EQ(v.get_bits(128, 64), 0u);
+}
+
+TEST(BitVec, OverwriteLeavesNeighboursIntact) {
+  BitVec v;
+  v.set_bits(0, 8, 0xff);
+  v.set_bits(8, 8, 0xaa);
+  v.set_bits(16, 8, 0xff);
+  v.set_bits(8, 8, 0x11);
+  EXPECT_EQ(v.get_bits(0, 8), 0xffu);
+  EXPECT_EQ(v.get_bits(8, 8), 0x11u);
+  EXPECT_EQ(v.get_bits(16, 8), 0xffu);
+}
+
+TEST(BitVec, TruncateClearsHighBits) {
+  BitVec v;
+  v.set_bits(0, 64, ~0ULL);
+  v.set_bits(64, 64, ~0ULL);
+  v.truncate(70);
+  EXPECT_EQ(v.get_bits(0, 64), ~0ULL);
+  EXPECT_EQ(v.get_bits(64, 6), 0x3fu);
+  EXPECT_EQ(v.get_bits(70, 58), 0u);
+}
+
+TEST(BitVec, EqualityAfterTruncate) {
+  BitVec a, b;
+  a.set_bits(0, 20, 0x12345);
+  a.set_bits(40, 10, 0x3ff);
+  b.set_bits(0, 20, 0x12345);
+  EXPECT_NE(a, b);
+  a.truncate(20);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BitVec, HashDiffersForDifferentValues) {
+  BitVec a, b;
+  a.set_bits(0, 10, 1);
+  b.set_bits(0, 10, 2);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BitVec, ReaderWriterSequence) {
+  BitVec v;
+  BitWriter w(v);
+  w.write(5, 17);
+  w.write(13, 4095);
+  w.write(1, 1);
+  EXPECT_EQ(w.offset(), 19);
+  BitReader r(v);
+  EXPECT_EQ(r.read(5), 17u);
+  EXPECT_EQ(r.read(13), 4095u);
+  EXPECT_EQ(r.read(1), 1u);
+}
+
+// --- math --------------------------------------------------------------
+
+TEST(Math, CeilLog2) {
+  EXPECT_EQ(ceil_log2(0), 0);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(4), 2);
+  EXPECT_EQ(ceil_log2(5), 3);
+  EXPECT_EQ(ceil_log2(1024), 10);
+  EXPECT_EQ(ceil_log2(1025), 11);
+  EXPECT_EQ(ceil_log2(~0ULL), 64);
+}
+
+TEST(Math, FloorLog2) {
+  EXPECT_EQ(floor_log2(0), -1);
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1024), 10);
+}
+
+TEST(Math, CheckedPow) {
+  EXPECT_EQ(checked_pow(2, 10), 1024u);
+  EXPECT_EQ(checked_pow(10, 0), 1u);
+  EXPECT_EQ(checked_pow(0, 5), 0u);
+  EXPECT_EQ(checked_pow(2, 63), 1ULL << 63);
+  EXPECT_FALSE(checked_pow(2, 64).has_value());
+  EXPECT_FALSE(checked_pow(10, 20).has_value());
+}
+
+TEST(Math, IpowThrowsOnOverflow) {
+  EXPECT_THROW(ipow(2, 64), std::invalid_argument);
+  EXPECT_EQ(ipow(6, 4), 1296u);
+}
+
+TEST(Math, CheckedMulAdd) {
+  EXPECT_EQ(checked_mul(3, 7), 21u);
+  EXPECT_FALSE(checked_mul(~0ULL, 2).has_value());
+  EXPECT_EQ(checked_add(1, 2), 3u);
+  EXPECT_FALSE(checked_add(~0ULL, 1).has_value());
+}
+
+TEST(Math, AddMod) {
+  EXPECT_EQ(add_mod(5, 7, 10), 2u);
+  EXPECT_EQ(add_mod(9, 1, 10), 0u);
+  // Near the top of the uint64 range.
+  const std::uint64_t m = ~0ULL - 1;
+  EXPECT_EQ(add_mod(m - 1, m - 1, m), m - 2);
+}
+
+TEST(Math, ModI64) {
+  EXPECT_EQ(mod_i64(-1, 5), 4u);
+  EXPECT_EQ(mod_i64(-5, 5), 0u);
+  EXPECT_EQ(mod_i64(7, 5), 2u);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 3), 1u);
+  EXPECT_EQ(ceil_div(3, 3), 1u);
+  EXPECT_EQ(ceil_div(4, 3), 2u);
+}
+
+TEST(Math, Lcm) {
+  EXPECT_EQ(lcm_checked(4, 6), 12u);
+  EXPECT_EQ(lcm_checked(7, 13), 91u);
+  EXPECT_THROW(lcm_checked(~0ULL, ~0ULL - 1), std::invalid_argument);
+}
+
+// --- stats -------------------------------------------------------------
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, RegressionSlope) {
+  EXPECT_NEAR(regression_slope({1, 2, 3, 4}, {2, 4, 6, 8}), 2.0, 1e-9);
+  EXPECT_NEAR(regression_slope({1, 2, 3}, {5, 5, 5}), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(regression_slope({1}, {1}), 0.0);
+}
+
+// --- table -------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(Table, PadsMissingCells) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NE(t.to_string().find("| x |"), std::string::npos);
+}
+
+// --- cli ---------------------------------------------------------------
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta=7", "--flag", "pos1"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get_int("beta", 0), 7);
+  EXPECT_TRUE(cli.get_bool("flag"));
+  EXPECT_FALSE(cli.get_bool("missing"));
+  EXPECT_EQ(cli.get_int("missing", 9), 9);
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+}
+
+TEST(Cli, StringAndDouble) {
+  const char* argv[] = {"prog", "--name=abc", "--x=2.5"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_string("name", ""), "abc");
+  EXPECT_DOUBLE_EQ(cli.get_double("x", 0), 2.5);
+}
+
+// --- check -------------------------------------------------------------
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    SC_CHECK(false, "context here");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("context here"), std::string::npos);
+  }
+  EXPECT_THROW(SC_REQUIRE(false, "x"), std::logic_error);
+}
+
+}  // namespace

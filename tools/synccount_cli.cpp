@@ -1,0 +1,241 @@
+// synccount_cli -- command-line front end for the library.
+//
+//   synccount_cli plan        --f=7 [--modulus=10] [--schedule=practical]
+//   synccount_cli run         --f=3 [--modulus=16] [--adversary=split]
+//                             [--placement=blocks|spread] [--seed=S]
+//                             [--rounds=N] [--trace=out.csv]
+//   synccount_cli synthesize  --n=4 --f=1 --states=3 [--symmetry=cyclic]
+//                             [--max-time=8] [--incremental] [--budget=K]
+//                             [--dimacs=out.cnf]
+//   synccount_cli verify      [--load=file.table]  (default: embedded tables)
+//   synccount_cli consensus   --f=1 --values=8 --proposals=5,5,5,5 [--seed=S]
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "counting/table_io.hpp"
+#include "synccount/synccount.hpp"
+
+using namespace synccount;
+
+namespace {
+
+int cmd_plan(const util::Cli& cli) {
+  const int f = static_cast<int>(cli.get_int("f", 3));
+  const std::uint64_t modulus = cli.get_u64("modulus", 10);
+  const std::string schedule = cli.get_string("schedule", "practical");
+  boosting::Plan plan;
+  if (schedule == "practical") {
+    plan = boosting::plan_practical(f, modulus);
+  } else if (schedule == "corollary1") {
+    plan = boosting::plan_corollary1(f, modulus);
+  } else if (schedule == "fixed-k") {
+    plan = boosting::plan_fixed_k(static_cast<int>(cli.get_int("k", 4)),
+                                  static_cast<int>(cli.get_int("levels", 2)), modulus);
+  } else {
+    std::cerr << "unknown schedule: " << schedule << "\n";
+    return 2;
+  }
+  const auto algo = boosting::build_plan(plan);
+  std::cout << "schedule: " << plan.label << "\n";
+  util::Table t({"level", "k", "F", "output modulus", "level cost 3(F+2)(2m)^k"});
+  t.add_row({"base", "-", "0", std::to_string(plan.base_modulus), "-"});
+  for (std::size_t i = 0; i < plan.levels.size(); ++i) {
+    const auto& lv = plan.levels[i];
+    t.add_row({std::to_string(i + 1), std::to_string(lv.k), std::to_string(lv.F),
+               std::to_string(lv.C),
+               std::to_string(boosting::required_input_modulus(lv.k, lv.F))});
+  }
+  t.print(std::cout);
+  std::cout << "\nn = " << algo->num_nodes() << ", f = " << algo->resilience()
+            << ", T bound = " << algo->stabilisation_bound().value_or(0)
+            << " rounds, S = " << algo->state_bits() << " bits/node\n";
+  return 0;
+}
+
+int cmd_run(const util::Cli& cli) {
+  const int f = static_cast<int>(cli.get_int("f", 3));
+  const std::uint64_t modulus = cli.get_u64("modulus", 16);
+  const auto algo = boosting::build_plan(boosting::plan_practical(f, modulus));
+  const int n = algo->num_nodes();
+
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  const std::string placement = cli.get_string("placement", "blocks");
+  if (placement == "spread" || f == 1) {
+    cfg.faulty = sim::faults_spread(n, f);
+  } else {
+    cfg.faulty = sim::faults_block_concentrated(3, n / 3, (f - 1) / 2, f);
+  }
+  cfg.max_rounds = cli.get_u64("rounds", algo->stabilisation_bound().value_or(2000) + 300);
+  cfg.seed = cli.get_u64("seed", 1);
+  cfg.record_outputs = cli.has("trace");
+  auto adversary = sim::make_adversary(cli.get_string("adversary", "split"));
+  const auto res = sim::run_execution(cfg, *adversary, 100);
+
+  std::cout << "algorithm:  " << algo->name() << "\n"
+            << "faulty:     ";
+  for (auto id : sim::fault_ids(cfg.faulty)) std::cout << id << ' ';
+  std::cout << "\nadversary:  " << adversary->name() << "\n"
+            << "rounds run: " << res.rounds << "\n"
+            << "stabilised: " << (res.stabilised ? "yes" : "no") << " at round "
+            << res.stabilisation_round << " (bound "
+            << algo->stabilisation_bound().value_or(0) << ")\n";
+
+  if (cli.has("trace")) {
+    const std::string path = cli.get_string("trace", "trace.csv");
+    std::ofstream out(path);
+    out << "round";
+    for (auto id : res.correct_ids) out << ",node" << id;
+    out << "\n";
+    for (std::size_t r = 0; r < res.outputs.size(); ++r) {
+      out << r;
+      for (auto v : res.outputs[r]) out << ',' << v;
+      out << "\n";
+    }
+    std::cout << "trace:      " << path << " (" << res.outputs.size() << " rounds)\n";
+  }
+  return res.stabilised ? 0 : 1;
+}
+
+counting::Symmetry parse_symmetry(const std::string& s) {
+  if (s == "uniform") return counting::Symmetry::kUniform;
+  if (s == "cyclic") return counting::Symmetry::kCyclic;
+  if (s == "per-node") return counting::Symmetry::kPerNode;
+  throw std::invalid_argument("unknown symmetry: " + s);
+}
+
+int cmd_synthesize(const util::Cli& cli) {
+  synthesis::SynthesisSpec spec;
+  spec.n = static_cast<int>(cli.get_int("n", 4));
+  spec.f = static_cast<int>(cli.get_int("f", 1));
+  spec.num_states = cli.get_u64("states", 3);
+  spec.modulus = cli.get_u64("modulus", 2);
+  spec.symmetry = parse_symmetry(cli.get_string("symmetry", "cyclic"));
+
+  if (cli.has("dimacs")) {
+    spec.max_time = static_cast<int>(cli.get_int("max-time", 8));
+    const synthesis::Encoder enc(spec);
+    const std::string path = cli.get_string("dimacs", "out.cnf");
+    std::ofstream out(path);
+    sat::write_dimacs(enc.cnf(), out);
+    std::cout << "wrote " << enc.size().variables << " vars / " << enc.size().clauses
+              << " clauses to " << path << "\n";
+    return 0;
+  }
+
+  synthesis::SynthesisOptions opt;
+  opt.min_time = static_cast<int>(cli.get_int("min-time", 1));
+  opt.max_time = static_cast<int>(cli.get_int("max-time", 8));
+  opt.conflict_budget = cli.get_u64("budget", 100000);
+  const auto out = cli.get_bool("incremental") ? synthesize_incremental(spec, opt)
+                                               : synthesize(spec, opt);
+  if (!out.found) {
+    std::cout << (out.budget_exhausted ? "budget exhausted" : "UNSAT (optimality proof)")
+              << " after " << out.total_conflicts << " conflicts\n";
+    return 1;
+  }
+  std::cout << "found: certified worst-case stabilisation " << out.exact_time
+            << " rounds (admissible bound " << out.time_bound_used << ")\n";
+  if (cli.has("save")) {
+    const std::string path = cli.get_string("save", "counter.table");
+    std::ofstream file(path);
+    counting::write_table(out.table, file);
+    std::cout << "saved to " << path << "\n";
+  }
+  std::cout << "g = {";
+  for (std::size_t i = 0; i < out.table.g.size(); ++i) {
+    std::cout << static_cast<int>(out.table.g[i]) << (i + 1 < out.table.g.size() ? "," : "");
+  }
+  std::cout << "}\nh = {";
+  for (std::size_t i = 0; i < out.table.h.size(); ++i) {
+    std::cout << static_cast<int>(out.table.h[i]) << (i + 1 < out.table.h.size() ? "," : "");
+  }
+  std::cout << "}\n";
+  return 0;
+}
+
+int cmd_verify(const util::Cli& cli) {
+  std::vector<counting::TransitionTable> tables;
+  if (cli.has("load")) {
+    std::ifstream file(cli.get_string("load", ""));
+    SC_CHECK(file.good(), "cannot open table file");
+    tables.push_back(counting::read_table(file));
+  } else {
+    tables = {synthesis::known_table_4_1_3states(), synthesis::known_table_4_1_4states()};
+  }
+  for (const auto& table : tables) {
+    const counting::TableAlgorithm algo(table);
+    const auto vr = synthesis::verify(algo);
+    std::cout << algo.name() << ": " << (vr.ok ? "VERIFIED" : ("FAILED: " + vr.failure))
+              << ", exact worst-case T = " << vr.worst_case_time << " ("
+              << vr.configurations << " configurations, " << vr.transitions
+              << " transitions)\n";
+    if (!vr.ok) return 1;
+  }
+  return 0;
+}
+
+int cmd_consensus(const util::Cli& cli) {
+  const int f = static_cast<int>(cli.get_int("f", 1));
+  const std::uint64_t values = cli.get_u64("values", 8);
+  const int tau = 3 * (f + 2);
+  const auto counter =
+      boosting::build_plan(boosting::plan_practical(f, static_cast<std::uint64_t>(tau)));
+  const int n = counter->num_nodes();
+
+  std::vector<std::uint64_t> proposals(static_cast<std::size_t>(n), 0);
+  {
+    std::istringstream ss(cli.get_string("proposals", ""));
+    std::string tok;
+    std::size_t i = 0;
+    while (std::getline(ss, tok, ',') && i < proposals.size()) {
+      proposals[i++] = std::strtoull(tok.c_str(), nullptr, 10) % values;
+    }
+  }
+  const auto svc = std::make_shared<apps::RepeatedConsensus>(counter, f, values, proposals);
+
+  sim::RunConfig cfg;
+  cfg.algo = svc;
+  cfg.faulty = sim::faults_spread(n, f);
+  cfg.max_rounds = *svc->stabilisation_bound() + 3 * static_cast<std::uint64_t>(tau);
+  cfg.seed = cli.get_u64("seed", 1);
+  cfg.record_outputs = true;
+  auto adversary = sim::make_adversary(cli.get_string("adversary", "split"));
+  const auto res = sim::run_execution(cfg, *adversary, 1);
+
+  std::cout << "service: " << svc->name() << " on " << n << " nodes, " << f
+            << " Byzantine\nproposals:";
+  for (auto p : proposals) std::cout << ' ' << p;
+  const auto& last = res.outputs.back();
+  std::cout << "\nfinal decisions:";
+  for (auto d : last) std::cout << ' ' << d;
+  const bool agreed = std::all_of(last.begin(), last.end(),
+                                  [&](std::uint64_t v) { return v == last[0]; });
+  std::cout << "\nagreement: " << (agreed ? "yes" : "NO") << "\n";
+  return agreed ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    if (argc < 2) {
+      std::cerr << "usage: synccount_cli <plan|run|synthesize|verify|consensus> [--flags]\n"
+                << "see the header of tools/synccount_cli.cpp for details\n";
+      return 2;
+    }
+    const std::string cmd = argv[1];
+    const util::Cli cli(argc - 1, argv + 1);
+    if (cmd == "plan") return cmd_plan(cli);
+    if (cmd == "run") return cmd_run(cli);
+    if (cmd == "synthesize") return cmd_synthesize(cli);
+    if (cmd == "verify") return cmd_verify(cli);
+    if (cmd == "consensus") return cmd_consensus(cli);
+    std::cerr << "unknown command: " << cmd << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
