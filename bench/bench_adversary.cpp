@@ -4,7 +4,11 @@
 // The bound must hold against all of them; the measured spread shows which
 // attacks actually hurt.
 //
-// Usage: bench_adversary [--seeds=N] [--f=3]
+// The whole ablation is ONE engine sweep: the adversary axis covers the
+// library strategies plus the construction-aware "leader-split" attack,
+// installed through the spec's adversary factory.
+//
+// Usage: bench_adversary [--seeds=N] [--f=3] [--threads=N]
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -28,67 +32,49 @@ int main(int argc, char** argv) {
   std::cout << "=== E10: adversary x fault-placement ablation on A(" << n << ", " << f
             << ") ===\nTheorem 1 bound: " << *algo->stabilisation_bound() << " rounds.\n\n";
 
-  struct Placement {
-    std::string name;
-    std::vector<bool> faulty;
-  };
-  const std::vector<Placement> placements = {
+  sim::ExperimentSpec spec;
+  spec.algo = algo;
+  spec.placements = {
       {"spread", sim::faults_spread(n, f)},
       {"block-concentrated", sim::faults_block_concentrated(k_top, block, f_inner, f)},
       {"leader-blocks", sim::faults_leader_blocks(k_top, block, f_inner, f)},
   };
+  spec.adversaries = sim::adversary_names();
+  // The construction-aware attack (decodes votes, splits leader majorities,
+  // impersonates kings) exists only for the boosted construction.
+  if (const auto boosted = std::dynamic_pointer_cast<const boosting::BoostedCounter>(algo)) {
+    spec.adversaries.push_back("leader-split");
+    spec.adversary_factory =
+        [boosted](const std::string& name) -> std::unique_ptr<sim::Adversary> {
+      if (name == "leader-split") {
+        return std::make_unique<boosting::LeaderSplitAdversary>(boosted);
+      }
+      return sim::make_adversary(name);
+    };
+  }
+  spec.seeds = seeds;
+  spec.stop_after_stable = 120;
+  spec.margin = 100;
+
+  const auto result = bench::engine(cli).run(spec);
 
   util::Table table({"adversary", "placement", "stabilised", "T measured mean (max)",
                      "within bound"});
-  for (const auto& adv_name : sim::adversary_names()) {
-    for (const auto& pl : placements) {
-      bench::MeasureOptions opt;
-      opt.seeds = seeds;
-      opt.adversaries = {adv_name};
-      opt.stop_after_stable = 120;
-      opt.margin = 100;
-      const auto m = bench::measure_stabilisation(algo, pl.faulty, opt);
-      const bool ok = m.stabilised_runs == m.runs &&
-                      m.stabilisation.max <= static_cast<double>(*algo->stabilisation_bound());
-      table.add_row({adv_name, pl.name,
-                     std::to_string(m.stabilised_runs) + "/" + std::to_string(m.runs),
+  for (std::size_t a = 0; a < spec.adversaries.size(); ++a) {
+    for (std::size_t p = 0; p < spec.placements.size(); ++p) {
+      const auto m = result.aggregate(a, p);
+      const bool ok = m.stabilised == m.runs &&
+                      m.stabilisation.max() <= static_cast<double>(*algo->stabilisation_bound());
+      table.add_row({spec.adversaries[a], spec.placements[p].name, bench::fmt_rate(m),
                      bench::fmt_rounds(m), ok ? "yes" : "NO"});
-    }
-  }
-
-  // The construction-aware attack (decodes votes, splits leader majorities,
-  // impersonates kings) is built per algorithm and benched separately.
-  if (const auto boosted = std::dynamic_pointer_cast<const boosting::BoostedCounter>(algo)) {
-    for (const auto& pl : placements) {
-      std::vector<double> samples;
-      int stab = 0;
-      for (int s = 0; s < seeds; ++s) {
-        boosting::LeaderSplitAdversary adv(boosted);
-        sim::RunConfig cfg;
-        cfg.algo = algo;
-        cfg.faulty = pl.faulty;
-        cfg.max_rounds = *algo->stabilisation_bound() + 300;
-        cfg.seed = 0x9000 + static_cast<std::uint64_t>(s) * 131;
-        cfg.stop_after_stable = 120;
-        const auto res = sim::run_execution(cfg, adv, 100);
-        if (res.stabilised) {
-          ++stab;
-          samples.push_back(static_cast<double>(res.stabilisation_round));
-        }
-      }
-      const auto summary = util::summarize(samples);
-      const bool ok = stab == seeds &&
-                      summary.max <= static_cast<double>(*algo->stabilisation_bound());
-      table.add_row({"leader-split", pl.name,
-                     std::to_string(stab) + "/" + std::to_string(seeds),
-                     util::fmt_double(summary.mean, 0) + " (max " +
-                         util::fmt_double(summary.max, 0) + ")",
-                     ok ? "yes" : "NO"});
     }
   }
   table.print(std::cout);
   std::cout << "\nAll cells must stabilise within the bound; 'echo' (a protocol-following\n"
             << "fault) and 'silent' are the benign ends; vote-splitting, lookahead and\n"
-            << "the construction-aware 'leader-split' are the aggressive ends.\n";
+            << "the construction-aware 'leader-split' are the aggressive ends.\n"
+            << "(" << result.cells.size() << " executions in "
+            << util::fmt_double(result.wall_seconds, 2) << "s on "
+            << bench::engine(cli).threads() << " threads)\n";
   return 0;
 }

@@ -1,28 +1,36 @@
-// Shared helpers for the benchmark harnesses: repeated stabilisation
-// measurements across seeds/adversaries/placements, wall-clock timing, and
-// common CLI conventions (--seeds=N, --deep for the expensive sweeps).
+// Shared helpers for the benchmark harnesses, all sitting on the batched
+// experiment engine (sim/engine.hpp): spec builders for the common
+// seeds x adversaries x placements sweeps, the engine instance shared by a
+// bench process (--threads=N / SYNCCOUNT_THREADS), and table formatting.
 #pragma once
 
-#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "sim/adversaries.hpp"
+#include "sim/engine.hpp"
 #include "sim/faults.hpp"
-#include "sim/runner.hpp"
+#include "util/cli.hpp"
 #include "util/math.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace synccount::bench {
 
-struct Measurement {
-  util::Summary stabilisation;  // observed stabilisation rounds
-  int runs = 0;
-  int stabilised_runs = 0;
-  double wall_seconds = 0.0;
-};
+// Thread count for a bench process: --threads=N beats SYNCCOUNT_THREADS
+// beats hardware concurrency (0).
+inline int thread_count(const util::Cli& cli) {
+  if (cli.has("threads")) return static_cast<int>(cli.get_int("threads", 0));
+  if (const char* env = std::getenv("SYNCCOUNT_THREADS")) return std::atoi(env);
+  return 0;
+}
+
+// The engine every bench in this process shares (one thread pool).
+inline const sim::Engine& engine(const util::Cli& cli) {
+  static const sim::Engine eng(thread_count(cli));
+  return eng;
+}
 
 struct MeasureOptions {
   int seeds = 3;
@@ -33,41 +41,37 @@ struct MeasureOptions {
   std::uint64_t stop_after_stable = 0;
 };
 
-inline Measurement measure_stabilisation(const counting::AlgorithmPtr& algo,
-                                         const std::vector<bool>& faulty,
-                                         const MeasureOptions& opt) {
-  Measurement m;
-  std::vector<double> samples;
-  const auto t0 = std::chrono::steady_clock::now();
-  for (const auto& adv_name : opt.adversaries) {
-    for (int s = 0; s < opt.seeds; ++s) {
-      sim::RunConfig cfg;
-      cfg.algo = algo;
-      cfg.faulty = faulty;
-      const auto bound = algo->stabilisation_bound();
-      cfg.max_rounds = bound ? *bound + opt.extra_rounds
-                             : (opt.horizon_override ? opt.horizon_override : 20000);
-      cfg.seed = 0x9000 + static_cast<std::uint64_t>(s) * 131;
-      cfg.stop_after_stable = opt.stop_after_stable;
-      auto adv = sim::make_adversary(adv_name);
-      const auto res = sim::run_execution(cfg, *adv, opt.margin);
-      ++m.runs;
-      if (res.stabilised) {
-        ++m.stabilised_runs;
-        samples.push_back(static_cast<double>(res.stabilisation_round));
-      }
-    }
-  }
-  m.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-  m.stabilisation = util::summarize(std::move(samples));
-  return m;
+// One-placement spec for the classic "stabilisation of algo under faults"
+// measurement; benches tweak the returned spec before running when needed.
+inline sim::ExperimentSpec make_spec(const counting::AlgorithmPtr& algo,
+                                     const std::vector<bool>& faulty,
+                                     const MeasureOptions& opt) {
+  sim::ExperimentSpec spec;
+  spec.algo = algo;
+  spec.placements = {{"", faulty}};
+  spec.adversaries = opt.adversaries;
+  spec.seeds = opt.seeds;
+  spec.extra_rounds = opt.extra_rounds;
+  spec.horizon_override = opt.horizon_override;
+  spec.margin = opt.margin;
+  spec.stop_after_stable = opt.stop_after_stable;
+  return spec;
 }
 
-inline std::string fmt_rounds(const Measurement& m) {
-  if (m.stabilised_runs == 0) return "-";
-  return util::fmt_double(m.stabilisation.mean, 0) + " (max " +
-         util::fmt_double(m.stabilisation.max, 0) + ")";
+// Runs the spec and returns the overall aggregate (the common case where a
+// bench table row is one fold over the whole grid).
+inline sim::AggregateResult measure_stabilisation(const sim::Engine& eng,
+                                                  const counting::AlgorithmPtr& algo,
+                                                  const std::vector<bool>& faulty,
+                                                  const MeasureOptions& opt) {
+  return eng.run(make_spec(algo, faulty, opt)).total;
+}
+
+inline std::string fmt_rounds(const sim::AggregateResult& agg) { return agg.fmt_rounds(); }
+
+// "stabilised/runs" cell.
+inline std::string fmt_rate(const sim::AggregateResult& agg) {
+  return std::to_string(agg.stabilised) + "/" + std::to_string(agg.runs);
 }
 
 }  // namespace synccount::bench

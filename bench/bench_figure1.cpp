@@ -10,11 +10,10 @@
 // Usage: bench_figure1 [--rounds=N] [--render-width=W]
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "boosting/boosted_counter.hpp"
 #include "boosting/planner.hpp"
 #include "counting/trivial.hpp"
-#include "sim/adversaries.hpp"
-#include "sim/runner.hpp"
 #include "util/cli.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
@@ -64,13 +63,17 @@ int main(int argc, char** argv) {
             << "k = " << k << " blocks, m = " << m << " leader candidates, tau = " << tau
             << ", block i holds its pointer for tau*(2m)^i rounds.\n\n";
 
-  sim::RunConfig cfg;
-  cfg.algo = algo;
-  cfg.max_rounds = rounds;
-  cfg.seed = 2;
-  cfg.record_states = true;
-  auto adv = sim::make_adversary("silent");
-  const auto res = sim::run_execution(cfg, *adv, 10);
+  // A 1x1x1 experiment grid: the engine handles the degenerate single-cell
+  // case too, so even trace-producing benches share the same entry point.
+  sim::ExperimentSpec spec;
+  spec.algo = algo;
+  spec.adversaries = {"silent"};
+  spec.seeds = 1;
+  spec.explicit_seeds = {2};  // pin the exact pre-engine execution
+  spec.max_rounds = rounds;
+  spec.margin = 10;
+  spec.record_states = true;
+  const auto res = bench::engine(cli).run(spec).cells.front().result;
 
   // Pointer timelines of blocks 0..2 (the figure's h, h+1, h+2).
   std::vector<std::vector<std::uint64_t>> b_of(3);

@@ -37,35 +37,36 @@ int main(int argc, char** argv) {
             << " rounds, S(B) = " << algo->state_bits() << " bits per node.\n\n";
 
   // Fault placements, in increasing nastiness (Figure 2 draws a fully faulty
-  // block plus scattered faults).
-  struct Placement {
-    std::string name;
-    std::vector<bool> faulty;
-  };
-  std::vector<Placement> placements = {
+  // block plus scattered faults); one engine sweep covers the whole
+  // placements x adversaries x seeds grid.
+  sim::ExperimentSpec spec;
+  spec.algo = algo;
+  spec.placements = {
       {"spread over all blocks", sim::faults_spread(36, 7)},
       {"one 12-node block fully faulty + spill", sim::faults_block_concentrated(3, 12, 3, 7)},
       {"leader blocks targeted", sim::faults_leader_blocks(3, 12, 3, 7)},
   };
-
-  bench::MeasureOptions opt;
-  opt.seeds = seeds;
-  opt.adversaries = deep ? std::vector<std::string>{"split", "targeted-vote", "lookahead"}
-                         : std::vector<std::string>{"split", "targeted-vote"};
-  opt.stop_after_stable = 120;
-  opt.margin = 100;
+  spec.adversaries = deep ? std::vector<std::string>{"split", "targeted-vote", "lookahead"}
+                          : std::vector<std::string>{"split", "targeted-vote"};
+  spec.seeds = seeds;
+  spec.stop_after_stable = 120;
+  spec.margin = 100;
+  const auto result = bench::engine(cli).run(spec);
 
   util::Table table({"fault placement", "runs", "stabilised", "T measured mean (max)",
                      "T bound", "bound respected"});
-  for (const auto& pl : placements) {
-    const auto m = bench::measure_stabilisation(algo, pl.faulty, opt);
-    const bool ok =
-        m.stabilised_runs == m.runs && m.stabilisation.max <= static_cast<double>(*algo->stabilisation_bound());
-    table.add_row({pl.name, std::to_string(m.runs), std::to_string(m.stabilised_runs),
+  for (std::size_t p = 0; p < spec.placements.size(); ++p) {
+    const auto m = result.aggregate(std::nullopt, p);
+    const bool ok = m.stabilised == m.runs &&
+                    m.stabilisation.max() <= static_cast<double>(*algo->stabilisation_bound());
+    table.add_row({spec.placements[p].name, std::to_string(m.runs), std::to_string(m.stabilised),
                    bench::fmt_rounds(m), util::fmt_u64(*algo->stabilisation_bound()),
                    ok ? "yes" : "NO"});
   }
   table.print(std::cout);
+  std::cout << "\n(" << result.cells.size() << " executions in "
+            << util::fmt_double(result.wall_seconds, 2) << "s on "
+            << bench::engine(cli).threads() << " threads)\n";
 
   std::cout << "\nState-bit accounting per level (S(B) = S(A) + ceil(log(C+1)) + 1):\n";
   util::Table bits({"level", "algorithm", "state bits"});

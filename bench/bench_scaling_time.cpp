@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 2));
   const bool deep = cli.get_bool("deep");
+  const auto& eng = bench::engine(cli);
 
   std::cout << "=== E5: stabilisation time vs resilience ===\n\n";
 
@@ -40,14 +41,14 @@ int main(int argc, char** argv) {
     } else {
       faulty = sim::faults_block_concentrated(3, n / 3, (f - 1) / 2, f);
     }
-    const auto m = bench::measure_stabilisation(algo, faulty, opt);
+    const auto m = bench::measure_stabilisation(eng, algo, faulty, opt);
     const auto bound = *algo->stabilisation_bound();
     table.add_row({"Thm 1 recursion", std::to_string(f), std::to_string(n),
                    util::fmt_u64(bound), bench::fmt_rounds(m),
                    util::fmt_double(static_cast<double>(bound) / f, 0)});
-    if (m.stabilised_runs > 0) {
+    if (m.stabilised > 0) {
       fs.push_back(static_cast<double>(f));
-      ts.push_back(m.stabilisation.max);
+      ts.push_back(m.stabilisation.max());
     }
   }
 
@@ -58,7 +59,7 @@ int main(int argc, char** argv) {
     std::string measured = "-";
     if (F == 1) {
       const auto m =
-          bench::measure_stabilisation(algo, sim::faults_prefix(4, 1), opt);
+          bench::measure_stabilisation(eng, algo, sim::faults_prefix(4, 1), opt);
       measured = bench::fmt_rounds(m);
     }
     const auto bound = *algo->stabilisation_bound();

@@ -30,6 +30,7 @@ class SilentAdversary final : public Adversary {
   State message(std::uint64_t round, NodeId sender, NodeId receiver,
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
+  bool receiver_oblivious() const noexcept override { return true; }
   std::string name() const override { return "silent"; }
 };
 
@@ -38,6 +39,7 @@ class EchoAdversary final : public Adversary {
   State message(std::uint64_t round, NodeId sender, NodeId receiver,
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
+  bool receiver_oblivious() const noexcept override { return true; }
   std::string name() const override { return "echo"; }
 };
 

@@ -40,6 +40,14 @@ class Adversary {
                         std::span<const State> true_states, const CountingAlgorithm& algo,
                         util::Rng& rng) = 0;
 
+  // Return true iff message() is independent of `receiver` AND draws nothing
+  // from the rng, i.e. within one round every receiver gets the same state
+  // from a given sender and querying once has no side effects. The runner
+  // then asks each faulty sender once per round and fans the answer out,
+  // hoisting the per-receiver forge-and-canonicalize work off the hot path
+  // without changing the execution (bit-for-bit, including rng streams).
+  virtual bool receiver_oblivious() const noexcept { return false; }
+
   virtual std::string name() const = 0;
 
  protected:

@@ -1,0 +1,121 @@
+#include "sim/engine.hpp"
+
+#include <chrono>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace synccount::sim {
+
+std::uint64_t cell_seed(std::uint64_t base_seed, std::size_t cell_index) noexcept {
+  return util::hash_combine(base_seed, static_cast<std::uint64_t>(cell_index));
+}
+
+void AggregateResult::fold(const RunResult& r) {
+  ++runs;
+  rounds.add(static_cast<double>(r.rounds));
+  avg_pulls.add(r.avg_pulls_per_round);
+  max_pulls = std::max(max_pulls, r.max_pulls_per_round);
+  if (r.stabilised) {
+    ++stabilised;
+    stabilisation.add(static_cast<double>(r.stabilisation_round));
+  }
+}
+
+std::string AggregateResult::fmt_rounds() const {
+  if (stabilised == 0) return "-";
+  return util::fmt_double(stabilisation.mean(), 0) + " (max " +
+         util::fmt_double(stabilisation.max(), 0) + ")";
+}
+
+AggregateResult ExperimentResult::aggregate(std::optional<std::size_t> adversary,
+                                            std::optional<std::size_t> placement) const {
+  AggregateResult agg;
+  for (const auto& c : cells) {
+    if (adversary && c.adversary != *adversary) continue;
+    if (placement && c.placement != *placement) continue;
+    agg.fold(c.result);
+  }
+  return agg;
+}
+
+Engine::Engine(int threads) {
+  if (threads != 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+}
+
+Engine::~Engine() = default;
+
+int Engine::threads() const noexcept { return pool_ ? pool_->size() : 1; }
+
+ExperimentResult Engine::run(const ExperimentSpec& spec) const {
+  SC_CHECK(spec.algo != nullptr || spec.algo_factory != nullptr,
+           "ExperimentSpec needs an algorithm or an algorithm factory");
+  SC_CHECK(!spec.adversaries.empty(), "ExperimentSpec needs at least one adversary");
+  SC_CHECK(spec.seeds > 0, "ExperimentSpec needs seeds > 0");
+  SC_CHECK(spec.explicit_seeds.empty() ||
+               spec.explicit_seeds.size() == static_cast<std::size_t>(spec.seeds),
+           "explicit_seeds must be empty or have exactly `seeds` entries");
+
+  static const std::vector<FaultPattern> kFaultFree = {{"", {}}};
+  const std::vector<FaultPattern>& placements =
+      spec.placements.empty() ? kFaultFree : spec.placements;
+
+  const std::size_t n_adv = spec.adversaries.size();
+  const std::size_t n_pl = placements.size();
+  const std::size_t n_seeds = static_cast<std::size_t>(spec.seeds);
+  const std::size_t n_cells = n_adv * n_pl * n_seeds;
+
+  // Resolve the horizon once if the algorithm is shared (the common case);
+  // per-cell algorithms resolve inside the cell.
+  const auto horizon = [&spec](const counting::CountingAlgorithm& algo) -> std::uint64_t {
+    if (spec.max_rounds != 0) return spec.max_rounds;
+    if (const auto bound = algo.stabilisation_bound()) return *bound + spec.extra_rounds;
+    return spec.horizon_override != 0 ? spec.horizon_override : 20000;
+  };
+
+  ExperimentResult out;
+  out.cells.resize(n_cells);
+
+  const auto run_cell = [&](std::size_t idx) {
+    CellOutcome& cell = out.cells[idx];
+    cell.cell_index = idx;
+    cell.seed_index = static_cast<int>(idx % n_seeds);
+    cell.placement = (idx / n_seeds) % n_pl;
+    cell.adversary = idx / (n_seeds * n_pl);
+    cell.seed = spec.explicit_seeds.empty()
+                    ? cell_seed(spec.base_seed, idx)
+                    : spec.explicit_seeds[static_cast<std::size_t>(cell.seed_index)];
+
+    RunConfig cfg;
+    cfg.algo = spec.algo_factory ? spec.algo_factory() : spec.algo;
+    cfg.faulty = placements[cell.placement].faulty;
+    cfg.max_rounds = horizon(*cfg.algo);
+    cfg.seed = cell.seed;
+    cfg.stop_after_stable = spec.stop_after_stable;
+    cfg.record_outputs = spec.record_outputs;
+    cfg.record_states = spec.record_states;
+    cfg.initial = spec.initial;
+
+    const std::string& name = spec.adversaries[cell.adversary];
+    auto adversary = spec.adversary_factory ? spec.adversary_factory(name)
+                                            : make_adversary(name);
+    SC_CHECK(adversary != nullptr, "adversary factory returned null for: " + name);
+    cell.result = run_execution(cfg, *adversary, spec.margin);
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (pool_) {
+    pool_->parallel_for(n_cells, run_cell);
+  } else {
+    for (std::size_t i = 0; i < n_cells; ++i) run_cell(i);
+  }
+  out.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+  // Deterministic fold: cell order, independent of which thread ran what.
+  for (const auto& c : out.cells) out.total.fold(c.result);
+  return out;
+}
+
+}  // namespace synccount::sim

@@ -1,0 +1,143 @@
+// Batched, multi-threaded experiment engine.
+//
+// Every empirical claim in the paper is a statistic over many executions --
+// seeds x fault placements x adversaries. The engine is the one place that
+// owns that loop: an ExperimentSpec describes the grid, Engine::run fans the
+// cells out over a work-stealing thread pool, and the per-cell RunResults are
+// folded into AggregateResults in a fixed cell order, so the aggregate is
+// bit-identical for any thread count.
+//
+// Layering: run_execution (runner.hpp) stays the single-run kernel; the
+// engine composes it. Benches, tests and the CLI sit on the engine instead
+// of hand-rolling seed loops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/adversaries.hpp"
+#include "sim/runner.hpp"
+#include "util/stats.hpp"
+
+namespace synccount::util {
+class ThreadPool;
+}  // namespace synccount::util
+
+namespace synccount::sim {
+
+// A named fault placement (one axis of the experiment grid).
+struct FaultPattern {
+  std::string name;
+  std::vector<bool> faulty;  // empty = fault-free
+};
+
+// Builds the adversary for a cell. The default factory is make_adversary;
+// benches with construction-aware attacks (e.g. leader-split) install their
+// own and fall back to make_adversary for library names.
+using AdversaryFactory = std::function<std::unique_ptr<Adversary>(const std::string& name)>;
+
+// Optional per-cell algorithm factory for algorithms that are not safe to
+// share across threads; when absent, `algo` is shared by every cell (all
+// library algorithms are immutable after construction, so sharing is the
+// norm).
+using AlgorithmFactory = std::function<counting::AlgorithmPtr()>;
+
+struct ExperimentSpec {
+  counting::AlgorithmPtr algo;
+  AlgorithmFactory algo_factory;
+
+  std::vector<std::string> adversaries = {"split"};
+  AdversaryFactory adversary_factory;
+
+  // Empty = one unnamed fault-free placement.
+  std::vector<FaultPattern> placements;
+
+  int seeds = 3;                       // executions per (adversary, placement)
+  std::uint64_t base_seed = 0x9000;    // cell seed = hash_combine(base_seed, cell_index)
+
+  // Non-empty: use these literal seeds (size must be `seeds`), indexed by
+  // seed_index, identical for every (adversary, placement). For pinning a
+  // specific execution (figure traces, regression repros) where the hashed
+  // stream would change it.
+  std::vector<std::uint64_t> explicit_seeds;
+
+  // Horizon per cell: max_rounds if non-zero; otherwise the algorithm's
+  // stabilisation bound + extra_rounds; otherwise horizon_override
+  // (or 20000 when that is 0 too).
+  std::uint64_t max_rounds = 0;
+  std::uint64_t extra_rounds = 300;
+  std::uint64_t horizon_override = 0;
+
+  std::uint64_t margin = 100;          // suffix length for "stabilised"
+  std::uint64_t stop_after_stable = 0; // early-exit (see RunConfig)
+
+  // Forwarded to RunConfig; only sensible for small grids (memory-heavy).
+  bool record_outputs = false;
+  bool record_states = false;
+  std::vector<State> initial;          // non-empty: fixed initial states
+};
+
+// One cell of the grid = one execution.
+struct CellOutcome {
+  std::size_t cell_index = 0;    // (adversary * placements + placement) * seeds + seed_index
+  std::size_t adversary = 0;     // index into spec.adversaries
+  std::size_t placement = 0;     // index into spec.placements (0 if defaulted)
+  int seed_index = 0;
+  std::uint64_t seed = 0;        // derived cell seed actually used
+  RunResult result;
+};
+
+// Order-independent fold of RunResults (the engine folds in cell order).
+struct AggregateResult {
+  std::uint64_t runs = 0;
+  std::uint64_t stabilised = 0;
+  util::StreamingStats stabilisation;  // stabilisation round, stabilised runs only
+  util::StreamingStats rounds;         // executed rounds, all runs
+  util::StreamingStats avg_pulls;      // per-run mean pulls per (node, round)
+  std::uint64_t max_pulls = 0;         // max over all runs
+
+  double stabilisation_rate() const noexcept {
+    return runs == 0 ? 0.0 : static_cast<double>(stabilised) / static_cast<double>(runs);
+  }
+  void fold(const RunResult& r);
+
+  // "mean (max N)" -- the cell format the bench tables print.
+  std::string fmt_rounds() const;
+};
+
+struct ExperimentResult {
+  std::vector<CellOutcome> cells;  // ordered by cell_index
+  AggregateResult total;
+  double wall_seconds = 0.0;
+
+  // Re-fold a slice of the grid, e.g. one (adversary, placement) pair.
+  AggregateResult aggregate(std::optional<std::size_t> adversary,
+                            std::optional<std::size_t> placement = std::nullopt) const;
+};
+
+// The deterministic per-cell seed stream.
+std::uint64_t cell_seed(std::uint64_t base_seed, std::size_t cell_index) noexcept;
+
+class Engine {
+ public:
+  // threads == 0 uses hardware concurrency; threads == 1 runs inline on the
+  // calling thread (no pool is created).
+  explicit Engine(int threads = 0);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  int threads() const noexcept;
+
+  ExperimentResult run(const ExperimentSpec& spec) const;
+
+ private:
+  std::unique_ptr<util::ThreadPool> pool_;  // null for threads == 1
+};
+
+}  // namespace synccount::sim

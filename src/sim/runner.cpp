@@ -47,12 +47,42 @@ RunResult run_execution(const RunConfig& cfg, Adversary& adversary, std::uint64_
   RunResult result;
   result.correct_ids = correct_ids;
 
+  // Scratch buffers reused across every round (the engine runs millions of
+  // rounds per experiment; no per-round allocation on the hot path).
   std::vector<State> received(nn);
   std::vector<State> next(nn);
   std::vector<std::uint64_t> outs(correct_ids.size());
+  counting::TransitionContext ctx{&rng};
+
+  // Per-sender memo of the last forged bit pattern and its canonical form:
+  // adversaries frequently resend an unchanged state (split's two values,
+  // targeted-vote's pooled replays), and canonicalize on the recursive
+  // constructions decodes the whole state, so skipping the redundant calls
+  // is a measurable win. Keyed by raw equality -- canonicalize is a pure
+  // function -- so the memo stays valid across receivers and rounds.
+  std::vector<State> memo_raw(nn);
+  std::vector<State> memo_canonical(nn);
+  std::vector<bool> memo_valid(nn, false);
+  const auto forge = [&](std::uint64_t round, counting::NodeId s, counting::NodeId receiver) {
+    const auto si = static_cast<std::size_t>(s);
+    State raw = adversary.message(round, s, receiver, states, algo, rng);
+    if (!memo_valid[si] || raw != memo_raw[si]) {
+      memo_canonical[si] = algo.canonicalize(raw);
+      memo_raw[si] = std::move(raw);
+      memo_valid[si] = true;
+    }
+    received[si] = memo_canonical[si];
+  };
+
+  // A receiver-oblivious adversary sends every receiver the same state and
+  // draws no randomness in message(), so the per-receiver forge loop can be
+  // hoisted to once per faulty sender per round without changing the
+  // execution.
+  const bool faultless = faulty_ids.empty();
+  const bool hoist_forge = !faultless && adversary.receiver_oblivious();
 
   std::uint64_t total_pulls = 0;
-  std::uint64_t pull_samples = 0;
+  std::uint64_t pull_samples = 0;  // (correct node, round) transitions executed
 
   for (std::uint64_t round = 0; round < cfg.max_rounds; ++round) {
     // Record outputs of the round-start states.
@@ -71,21 +101,27 @@ RunResult run_execution(const RunConfig& cfg, Adversary& adversary, std::uint64_
     adversary.begin_round(round, states, algo, faulty_ids, rng);
 
     // Received vector: correct senders' entries are shared; faulty senders'
-    // entries are overwritten per receiver below.
-    std::copy(states.begin(), states.end(), received.begin());
+    // entries are overwritten (per round when hoisted, else per receiver).
+    // With no faults the round-start states are delivered verbatim and the
+    // copy is skipped entirely.
+    if (!faultless) {
+      std::copy(states.begin(), states.end(), received.begin());
+      if (hoist_forge) {
+        for (const auto s : faulty_ids) forge(round, s, correct_ids.front());
+      }
+    }
+    const std::span<const State> inbox = faultless ? std::span<const State>(states)
+                                                   : std::span<const State>(received);
 
     for (const auto i : correct_ids) {
-      for (const auto s : faulty_ids) {
-        received[static_cast<std::size_t>(s)] = algo.canonicalize(
-            adversary.message(round, s, i, states, algo, rng));
+      if (!faultless && !hoist_forge) {
+        for (const auto s : faulty_ids) forge(round, s, i);
       }
-      counting::TransitionContext ctx{&rng};
-      next[static_cast<std::size_t>(i)] = algo.transition(i, received, ctx);
-      if (ctx.messages_pulled > 0) {
-        total_pulls += ctx.messages_pulled;
-        ++pull_samples;
-        result.max_pulls_per_round = std::max(result.max_pulls_per_round, ctx.messages_pulled);
-      }
+      ctx.messages_pulled = 0;
+      next[static_cast<std::size_t>(i)] = algo.transition(i, inbox, ctx);
+      total_pulls += ctx.messages_pulled;
+      ++pull_samples;
+      result.max_pulls_per_round = std::max(result.max_pulls_per_round, ctx.messages_pulled);
     }
     // Faulty nodes keep a nominal state (only the adversary ever reads it).
     for (const auto s : faulty_ids) next[static_cast<std::size_t>(s)] = states[static_cast<std::size_t>(s)];
@@ -99,6 +135,8 @@ RunResult run_execution(const RunConfig& cfg, Adversary& adversary, std::uint64_
   result.suffix_length = checker.suffix_length();
   result.max_window = checker.max_window();
   result.stabilised = result.suffix_length >= std::min<std::uint64_t>(margin, result.rounds);
+  // Mean over all executed (correct node, round) transitions, zero-pull
+  // samples included; identically 0 for pure broadcast algorithms.
   if (pull_samples > 0) {
     result.avg_pulls_per_round = static_cast<double>(total_pulls) / static_cast<double>(pull_samples);
   }

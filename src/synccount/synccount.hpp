@@ -36,6 +36,7 @@
 #include "sat/solver.hpp"                 // IWYU pragma: export
 #include "sim/adversaries.hpp"            // IWYU pragma: export
 #include "sim/checker.hpp"                // IWYU pragma: export
+#include "sim/engine.hpp"                 // IWYU pragma: export
 #include "sim/faults.hpp"                 // IWYU pragma: export
 #include "sim/runner.hpp"                 // IWYU pragma: export
 #include "synthesis/encoder.hpp"          // IWYU pragma: export

@@ -17,6 +17,61 @@ double percentile(const std::vector<double>& sorted, double p) {
 }
 }  // namespace
 
+void StreamingStats::add(double x) {
+  if (samples_.empty()) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  samples_.push_back(x);
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(samples_.size());
+  m2_ += delta * (x - mean_);
+  sorted_ = false;
+}
+
+void StreamingStats::merge(const StreamingStats& other) {
+  // Replay rather than Chan's parallel formula: bit-identical to having
+  // add()ed other's samples directly, which the determinism contract needs.
+  // By index with a saved size so that self-merge (doubling) stays defined
+  // while add() grows samples_.
+  const std::size_t n = other.samples_.size();
+  for (std::size_t i = 0; i < n; ++i) add(other.samples_[i]);
+}
+
+double StreamingStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(samples_.size() - 1));
+}
+
+double StreamingStats::quantile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    sorted_samples_ = samples_;
+    std::sort(sorted_samples_.begin(), sorted_samples_.end());
+    sorted_ = true;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  return percentile(sorted_samples_, p);
+}
+
+Summary StreamingStats::summary() const {
+  Summary s;
+  s.count = samples_.size();
+  if (samples_.empty()) return s;
+  s.mean = mean_;
+  s.stddev = stddev();
+  s.min = min_;
+  s.max = max_;
+  s.median = quantile(0.5);
+  s.p90 = quantile(0.9);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+std::string StreamingStats::to_string() const { return summary().to_string(); }
+
 Summary summarize(std::vector<double> samples) {
   Summary s;
   s.count = samples.size();

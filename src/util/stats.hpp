@@ -21,6 +21,43 @@ struct Summary {
   std::string to_string() const;
 };
 
+// Mergeable accumulator used by the batched experiment engine: add one
+// sample at a time, fold accumulators together, read summary statistics at
+// the end. Mean/variance are maintained streaming (Welford); quantiles are
+// exact, computed from the retained samples (one double per sample -- fine
+// at experiment scale, where a "sample" is a whole execution).
+//
+// Determinism contract: two accumulators fed the same samples in the same
+// order are bit-identical, which is what lets the engine produce identical
+// aggregates for any thread count (it folds per-cell results in cell order).
+class StreamingStats {
+ public:
+  void add(double x);
+  void merge(const StreamingStats& other);  // as if other's samples were add()ed in order
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  double mean() const noexcept { return mean_; }
+  double stddev() const;               // sample stddev (n - 1); 0 for n < 2
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  // Exact quantile with linear interpolation, p in [0, 1]; 0 when empty.
+  double quantile(double p) const;
+
+  Summary summary() const;             // same shape the benches already print
+  std::string to_string() const;
+
+ private:
+  double mean_ = 0.0;
+  double m2_ = 0.0;                    // sum of squared deviations (Welford)
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<double> samples_;        // retained for exact quantiles
+  mutable bool sorted_ = true;         // lazily sorted copy lives in sorted_samples_
+  mutable std::vector<double> sorted_samples_;
+};
+
 // Computes summary statistics; the input is copied and sorted internally.
 Summary summarize(std::vector<double> samples);
 

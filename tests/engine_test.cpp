@@ -1,0 +1,329 @@
+// Tests for the batched experiment engine: the thread pool, the streaming
+// accumulator, the deterministic cell-seed stream, and above all the engine
+// contract that aggregates are identical for any thread count and match a
+// hand-rolled loop of run_execution calls.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "boosting/planner.hpp"
+#include "counting/randomized.hpp"
+#include "counting/trivial.hpp"
+#include "sim/engine.hpp"
+#include "sim/faults.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace synccount;
+
+// --- ThreadPool --------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  util::ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.parallel_for(20, [&](std::size_t) { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  util::ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+// --- StreamingStats ----------------------------------------------------------
+
+TEST(StreamingStats, MatchesBatchSummary) {
+  const std::vector<double> xs = {5, 1, 4, 1, 3, 9, 2, 6};
+  util::StreamingStats acc;
+  for (double x : xs) acc.add(x);
+  const auto batch = util::summarize(xs);
+  EXPECT_EQ(acc.count(), batch.count);
+  EXPECT_DOUBLE_EQ(acc.mean(), batch.mean);
+  EXPECT_NEAR(acc.stddev(), batch.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), batch.min);
+  EXPECT_DOUBLE_EQ(acc.max(), batch.max);
+  EXPECT_DOUBLE_EQ(acc.quantile(0.5), batch.median);
+  EXPECT_DOUBLE_EQ(acc.quantile(0.9), batch.p90);
+}
+
+TEST(StreamingStats, MergeEqualsSequentialAdds) {
+  util::StreamingStats a, b, all;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  for (int i = 10; i < 25; ++i) {
+    b.add(i * 1.5);
+    all.add(i * 1.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(a.stddev(), all.stddev());
+  EXPECT_DOUBLE_EQ(a.quantile(0.95), all.quantile(0.95));
+}
+
+TEST(StreamingStats, EmptyIsZero) {
+  util::StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+// --- Cell seeds --------------------------------------------------------------
+
+TEST(Engine, CellSeedsAreDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 1000; ++i) seen.insert(sim::cell_seed(0x9000, i));
+  EXPECT_EQ(seen.size(), 1000u);
+  EXPECT_NE(sim::cell_seed(1, 0), sim::cell_seed(2, 0));
+}
+
+// --- Engine ------------------------------------------------------------------
+
+sim::ExperimentSpec small_grid_spec() {
+  sim::ExperimentSpec spec;
+  spec.algo = boosting::build_plan(boosting::plan_practical(1, 2));
+  const int n = spec.algo->num_nodes();
+  spec.placements = {{"spread", sim::faults_spread(n, 1)},
+                     {"prefix", sim::faults_prefix(n, 1)}};
+  spec.adversaries = {"split", "random"};
+  spec.seeds = 3;
+  spec.stop_after_stable = 60;
+  spec.margin = 50;
+  return spec;
+}
+
+void expect_same_aggregate(const sim::AggregateResult& a, const sim::AggregateResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.stabilised, b.stabilised);
+  EXPECT_EQ(a.max_pulls, b.max_pulls);
+  EXPECT_EQ(a.stabilisation.count(), b.stabilisation.count());
+  // Bit-identical, not just close: the fold order is fixed.
+  EXPECT_EQ(a.stabilisation.mean(), b.stabilisation.mean());
+  EXPECT_EQ(a.stabilisation.stddev(), b.stabilisation.stddev());
+  EXPECT_EQ(a.stabilisation.min(), b.stabilisation.min());
+  EXPECT_EQ(a.stabilisation.max(), b.stabilisation.max());
+  EXPECT_EQ(a.stabilisation.quantile(0.5), b.stabilisation.quantile(0.5));
+  EXPECT_EQ(a.stabilisation.quantile(0.95), b.stabilisation.quantile(0.95));
+  EXPECT_EQ(a.rounds.mean(), b.rounds.mean());
+  EXPECT_EQ(a.avg_pulls.mean(), b.avg_pulls.mean());
+}
+
+TEST(Engine, ThreadCountDoesNotChangeAggregates) {
+  const auto spec = small_grid_spec();
+  const sim::Engine serial(1);
+  const sim::Engine parallel4(4);
+  EXPECT_EQ(serial.threads(), 1);
+  EXPECT_EQ(parallel4.threads(), 4);
+
+  const auto a = serial.run(spec);
+  const auto b = parallel4.run(spec);
+
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].seed, b.cells[i].seed);
+    EXPECT_EQ(a.cells[i].result.stabilisation_round, b.cells[i].result.stabilisation_round);
+    EXPECT_EQ(a.cells[i].result.rounds, b.cells[i].result.rounds);
+  }
+  expect_same_aggregate(a.total, b.total);
+  for (std::size_t adv = 0; adv < spec.adversaries.size(); ++adv) {
+    for (std::size_t pl = 0; pl < spec.placements.size(); ++pl) {
+      expect_same_aggregate(a.aggregate(adv, pl), b.aggregate(adv, pl));
+    }
+  }
+}
+
+TEST(Engine, MatchesHandRolledRunExecutionLoop) {
+  const auto spec = small_grid_spec();
+  const sim::Engine engine(2);
+  const auto result = engine.run(spec);
+
+  // The reference loop: same grid, same cell-seed stream, plain run_execution.
+  util::StreamingStats ref_stab;
+  std::uint64_t ref_runs = 0, ref_stabilised = 0;
+  std::size_t idx = 0;
+  for (const auto& adv_name : spec.adversaries) {
+    for (const auto& placement : spec.placements) {
+      for (int s = 0; s < spec.seeds; ++s, ++idx) {
+        sim::RunConfig cfg;
+        cfg.algo = spec.algo;
+        cfg.faulty = placement.faulty;
+        cfg.max_rounds = *spec.algo->stabilisation_bound() + spec.extra_rounds;
+        cfg.seed = sim::cell_seed(spec.base_seed, idx);
+        cfg.stop_after_stable = spec.stop_after_stable;
+        auto adv = sim::make_adversary(adv_name);
+        const auto res = sim::run_execution(cfg, *adv, spec.margin);
+        ++ref_runs;
+        if (res.stabilised) {
+          ++ref_stabilised;
+          ref_stab.add(static_cast<double>(res.stabilisation_round));
+        }
+      }
+    }
+  }
+
+  EXPECT_EQ(result.total.runs, ref_runs);
+  EXPECT_EQ(result.total.stabilised, ref_stabilised);
+  EXPECT_EQ(result.total.stabilisation.count(), ref_stab.count());
+  EXPECT_EQ(result.total.stabilisation.mean(), ref_stab.mean());
+  EXPECT_EQ(result.total.stabilisation.min(), ref_stab.min());
+  EXPECT_EQ(result.total.stabilisation.max(), ref_stab.max());
+  EXPECT_EQ(result.total.stabilisation.quantile(0.5), ref_stab.quantile(0.5));
+  EXPECT_EQ(result.total.stabilisation.quantile(0.95), ref_stab.quantile(0.95));
+}
+
+TEST(Engine, DefaultPlacementIsFaultFree) {
+  sim::ExperimentSpec spec;
+  spec.algo = std::make_shared<counting::TrivialCounter>(4);
+  spec.adversaries = {"silent"};
+  spec.seeds = 2;
+  spec.max_rounds = 40;
+  spec.margin = 10;
+  const sim::Engine engine(1);
+  const auto result = engine.run(spec);
+  EXPECT_EQ(result.total.runs, 2u);
+  EXPECT_EQ(result.total.stabilised, 2u);
+}
+
+TEST(Engine, CustomAdversaryFactoryIsUsed) {
+  sim::ExperimentSpec spec;
+  spec.algo = boosting::build_plan(boosting::plan_practical(1, 2));
+  spec.placements = {{"spread", sim::faults_spread(spec.algo->num_nodes(), 1)}};
+  spec.adversaries = {"custom-silent"};
+  spec.seeds = 2;
+  spec.stop_after_stable = 60;
+  spec.margin = 50;
+  std::atomic<int> built{0};
+  spec.adversary_factory = [&built](const std::string& name) {
+    EXPECT_EQ(name, "custom-silent");
+    ++built;
+    return sim::make_adversary("silent");
+  };
+  const sim::Engine engine(2);
+  const auto result = engine.run(spec);
+  EXPECT_EQ(built.load(), 2);
+  EXPECT_EQ(result.total.runs, 2u);
+}
+
+TEST(Engine, RecordStatesSingleCell) {
+  sim::ExperimentSpec spec;
+  spec.algo = std::make_shared<counting::TrivialCounter>(8);
+  spec.adversaries = {"silent"};
+  spec.seeds = 1;
+  spec.max_rounds = 6;
+  spec.margin = 2;
+  spec.record_states = true;
+  const sim::Engine engine(1);
+  const auto result = engine.run(spec);
+  ASSERT_EQ(result.cells.size(), 1u);
+  EXPECT_EQ(result.cells.front().result.states.size(), 6u);
+}
+
+TEST(Engine, ExplicitSeedsPinTheExecution) {
+  sim::ExperimentSpec spec;
+  spec.algo = std::make_shared<counting::TrivialCounter>(8);
+  spec.adversaries = {"silent"};
+  spec.seeds = 2;
+  spec.explicit_seeds = {2, 77};
+  spec.max_rounds = 20;
+  spec.margin = 5;
+  spec.record_outputs = true;
+  const sim::Engine engine(1);
+  const auto result = engine.run(spec);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].seed, 2u);
+  EXPECT_EQ(result.cells[1].seed, 77u);
+
+  // Cell 0 must be byte-identical to a direct run_execution with seed 2.
+  sim::RunConfig cfg;
+  cfg.algo = spec.algo;
+  cfg.max_rounds = 20;
+  cfg.seed = 2;
+  cfg.record_outputs = true;
+  auto adv = sim::make_adversary("silent");
+  const auto direct = sim::run_execution(cfg, *adv, 5);
+  EXPECT_EQ(result.cells[0].result.outputs, direct.outputs);
+
+  // Size mismatch is rejected.
+  spec.explicit_seeds = {1};
+  EXPECT_THROW(engine.run(spec), std::invalid_argument);
+}
+
+TEST(Engine, RejectsEmptySpec) {
+  const sim::Engine engine(1);
+  sim::ExperimentSpec spec;
+  EXPECT_THROW(engine.run(spec), std::invalid_argument);
+  spec.algo = std::make_shared<counting::TrivialCounter>(4);
+  spec.adversaries.clear();
+  EXPECT_THROW(engine.run(spec), std::invalid_argument);
+  spec.adversaries = {"silent"};
+  spec.seeds = 0;
+  EXPECT_THROW(engine.run(spec), std::invalid_argument);
+}
+
+// --- Runner hot-path equivalence --------------------------------------------
+
+// The receiver-oblivious fast path must produce byte-identical executions to
+// the generic per-receiver path; run the same config under an adversary that
+// IS oblivious but doesn't declare it, and one that declares it.
+class UndeclaredSilent final : public sim::Adversary {
+ public:
+  sim::State message(std::uint64_t, counting::NodeId, counting::NodeId,
+                     std::span<const sim::State>, const counting::CountingAlgorithm& algo,
+                     util::Rng&) override {
+    return algo.canonicalize(sim::State{});
+  }
+  std::string name() const override { return "undeclared-silent"; }
+};
+
+TEST(Runner, ObliviousFastPathMatchesGenericPath) {
+  const auto algo = boosting::build_plan(boosting::plan_practical(1, 2));
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  cfg.faulty = sim::faults_spread(algo->num_nodes(), 1);
+  cfg.max_rounds = 120;
+  cfg.seed = 42;
+  cfg.record_outputs = true;
+
+  auto declared = sim::make_adversary("silent");
+  ASSERT_TRUE(declared->receiver_oblivious());
+  UndeclaredSilent undeclared;
+  ASSERT_FALSE(undeclared.receiver_oblivious());
+
+  const auto fast = sim::run_execution(cfg, *declared, 50);
+  const auto slow = sim::run_execution(cfg, undeclared, 50);
+  EXPECT_EQ(fast.outputs, slow.outputs);
+  EXPECT_EQ(fast.stabilisation_round, slow.stabilisation_round);
+  EXPECT_EQ(fast.rounds, slow.rounds);
+}
+
+TEST(Runner, AvgPullsIncludesZeroPullSamples) {
+  // Broadcast algorithm: nothing is ever pulled, mean must be exactly 0.
+  sim::RunConfig cfg;
+  cfg.algo = std::make_shared<counting::TrivialCounter>(4);
+  cfg.max_rounds = 10;
+  auto adv = sim::make_adversary("silent");
+  const auto res = sim::run_execution(cfg, *adv, 2);
+  EXPECT_EQ(res.max_pulls_per_round, 0u);
+  EXPECT_DOUBLE_EQ(res.avg_pulls_per_round, 0.0);
+}
+
+}  // namespace

@@ -4,6 +4,10 @@
 //   synccount_cli run         --f=3 [--modulus=16] [--adversary=split]
 //                             [--placement=blocks|spread] [--seed=S]
 //                             [--rounds=N] [--trace=out.csv]
+//   synccount_cli sweep       --f=3 [--modulus=16] [--seeds=5] [--threads=N]
+//                             [--adversaries=split,lookahead|all]
+//                             [--placements=spread,blocks,leaders]
+//                             [--base-seed=S] [--rounds=N] [--margin=M]
 //   synccount_cli synthesize  --n=4 --f=1 --states=3 [--symmetry=cyclic]
 //                             [--max-time=8] [--incremental] [--budget=K]
 //                             [--dimacs=out.cnf]
@@ -96,6 +100,99 @@ int cmd_run(const util::Cli& cli) {
     std::cout << "trace:      " << path << " (" << res.outputs.size() << " rounds)\n";
   }
   return res.stabilised ? 0 : 1;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (!tok.empty()) out.push_back(tok);
+  }
+  return out;
+}
+
+// Batched sweep over adversaries x fault placements x seeds through the
+// experiment engine; prints one aggregate row per (adversary, placement).
+int cmd_sweep(const util::Cli& cli) {
+  const int f = static_cast<int>(cli.get_int("f", 3));
+  const std::uint64_t modulus = cli.get_u64("modulus", 16);
+  const auto algo = boosting::build_plan(boosting::plan_practical(f, modulus));
+  const int n = algo->num_nodes();
+
+  sim::ExperimentSpec spec;
+  spec.algo = algo;
+
+  const std::string adv_arg = cli.get_string("adversaries", "split,random,lookahead");
+  spec.adversaries = adv_arg == "all" ? sim::adversary_names() : split_csv(adv_arg);
+
+  const bool placements_given = cli.has("placements");
+  for (const auto& name : split_csv(cli.get_string("placements", "spread,blocks"))) {
+    if (name == "spread") {
+      spec.placements.push_back({"spread", sim::faults_spread(n, f)});
+    } else if (name == "blocks" || name == "leaders") {
+      // Block-structured placements need a multi-block fault budget.
+      if (f <= 1) {
+        if (placements_given) {
+          std::cerr << "placement '" << name << "' requires --f>1 (skipped at f=" << f
+                    << ")\n";
+        }
+        continue;
+      }
+      spec.placements.push_back(
+          name == "blocks"
+              ? sim::FaultPattern{"blocks", sim::faults_block_concentrated(3, n / 3, (f - 1) / 2, f)}
+              : sim::FaultPattern{"leaders", sim::faults_leader_blocks(3, n / 3, (f - 1) / 2, f)});
+    } else if (name == "none") {
+      spec.placements.push_back({"none", {}});
+    } else {
+      std::cerr << "unknown placement: " << name << " (want spread|blocks|leaders|none)\n";
+      return 2;
+    }
+  }
+  if (spec.placements.empty()) {
+    std::cerr << "no applicable placements for f=" << f
+              << " -- pass --placements=spread or none\n";
+    return 2;
+  }
+
+  spec.seeds = static_cast<int>(cli.get_int("seeds", 5));
+  spec.base_seed = cli.get_u64("base-seed", 0x9000);
+  spec.max_rounds = cli.get_u64("rounds", 0);
+  spec.margin = cli.get_u64("margin", 100);
+  spec.stop_after_stable = cli.get_u64("stop-after-stable", 120);
+
+  const sim::Engine engine(static_cast<int>(cli.get_int("threads", 0)));
+  const auto result = engine.run(spec);
+
+  std::cout << "algorithm: " << algo->name() << " (n=" << n << ", f=" << f << ", T bound "
+            << algo->stabilisation_bound().value_or(0) << ")\n"
+            << "grid: " << spec.adversaries.size() << " adversaries x "
+            << spec.placements.size() << " placements x " << spec.seeds << " seeds = "
+            << result.cells.size() << " executions on " << engine.threads() << " threads\n\n";
+
+  util::Table table({"adversary", "placement", "stabilised", "T mean", "T p50", "T p95",
+                     "T max"});
+  for (std::size_t a = 0; a < spec.adversaries.size(); ++a) {
+    for (std::size_t p = 0; p < spec.placements.size(); ++p) {
+      const auto agg = result.aggregate(a, p);
+      const auto& st = agg.stabilisation;
+      table.add_row({spec.adversaries[a], spec.placements[p].name,
+                     std::to_string(agg.stabilised) + "/" + std::to_string(agg.runs),
+                     agg.stabilised ? util::fmt_double(st.mean(), 1) : "-",
+                     agg.stabilised ? util::fmt_double(st.quantile(0.5), 1) : "-",
+                     agg.stabilised ? util::fmt_double(st.quantile(0.95), 1) : "-",
+                     agg.stabilised ? util::fmt_double(st.max(), 0) : "-"});
+    }
+  }
+  table.print(std::cout);
+
+  const auto& t = result.total;
+  std::cout << "\ntotal: " << t.stabilised << "/" << t.runs << " stabilised ("
+            << util::fmt_double(100.0 * t.stabilisation_rate(), 1) << "%), T "
+            << t.stabilisation.to_string() << "\nwall: "
+            << util::fmt_double(result.wall_seconds, 2) << "s\n";
+  return t.stabilised == t.runs ? 0 : 1;
 }
 
 counting::Symmetry parse_symmetry(const std::string& s) {
@@ -221,7 +318,7 @@ int cmd_consensus(const util::Cli& cli) {
 int main(int argc, char** argv) {
   try {
     if (argc < 2) {
-      std::cerr << "usage: synccount_cli <plan|run|synthesize|verify|consensus> [--flags]\n"
+      std::cerr << "usage: synccount_cli <plan|run|sweep|synthesize|verify|consensus> [--flags]\n"
                 << "see the header of tools/synccount_cli.cpp for details\n";
       return 2;
     }
@@ -229,6 +326,7 @@ int main(int argc, char** argv) {
     const util::Cli cli(argc - 1, argv + 1);
     if (cmd == "plan") return cmd_plan(cli);
     if (cmd == "run") return cmd_run(cli);
+    if (cmd == "sweep") return cmd_sweep(cli);
     if (cmd == "synthesize") return cmd_synthesize(cli);
     if (cmd == "verify") return cmd_verify(cli);
     if (cmd == "consensus") return cmd_consensus(cli);
