@@ -3,7 +3,7 @@
 // built on the Theorem 1 counters: decision correctness per window after
 // stabilisation, across adversaries and proposal patterns.
 //
-// Usage: bench_consensus [--seeds=N]
+// Usage: bench_consensus [--seeds=N] [--threads=N]
 #include <iostream>
 #include <set>
 
@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   using namespace synccount;
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 3));
+  const auto& engine = bench::engine(cli);
 
   std::cout << "=== E12: repeated consensus on top of the counters ===\n\n";
 
@@ -39,24 +40,33 @@ int main(int argc, char** argv) {
         boosting::plan_practical(c.f, static_cast<std::uint64_t>(tau)));
     const int n = counter->num_nodes();
 
-    std::uint64_t windows = 0, agreement_bad = 0, validity_bad = 0;
-    for (int s = 0; s < seeds; ++s) {
-      std::vector<std::uint64_t> proposals(static_cast<std::size_t>(n));
-      for (std::size_t i = 0; i < proposals.size(); ++i) {
-        proposals[i] = c.proposals == "unanimous" ? 5 : (i % 7);
-      }
-      const auto svc = std::make_shared<apps::RepeatedConsensus>(counter, c.f, 8, proposals);
-      sim::RunConfig cfg;
-      cfg.algo = svc;
-      cfg.faulty = sim::faults_spread(n, c.f);
-      cfg.max_rounds = *svc->stabilisation_bound() + 6 * static_cast<std::uint64_t>(tau);
-      cfg.seed = 0xC0 + static_cast<std::uint64_t>(s);
-      cfg.record_outputs = true;
-      auto adv = sim::make_adversary(c.adversary);
-      const auto res = sim::run_execution(cfg, *adv, 1);
+    std::vector<std::uint64_t> proposals(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < proposals.size(); ++i) {
+      proposals[i] = c.proposals == "unanimous" ? 5 : (i % 7);
+    }
+    const auto svc = std::make_shared<apps::RepeatedConsensus>(counter, c.f, 8, proposals);
 
-      // Inspect decisions at window boundaries after the service bound.
-      const std::set<std::uint64_t> allowed(proposals.begin(), proposals.end());
+    // The seed grid runs through the engine; explicit seeds keep the
+    // executions identical to the historical bespoke loop (0xC0, 0xC1, ...).
+    sim::ExperimentSpec spec;
+    spec.algo = svc;
+    spec.adversaries = {c.adversary};
+    spec.placements = {{"spread", sim::faults_spread(n, c.f)}};
+    spec.seeds = seeds;
+    spec.explicit_seeds.resize(static_cast<std::size_t>(seeds));
+    for (int s = 0; s < seeds; ++s) {
+      spec.explicit_seeds[static_cast<std::size_t>(s)] = 0xC0 + static_cast<std::uint64_t>(s);
+    }
+    spec.max_rounds = *svc->stabilisation_bound() + 6 * static_cast<std::uint64_t>(tau);
+    spec.margin = 1;
+    spec.record_outputs = true;
+    const auto result = engine.run(spec);
+
+    // Inspect decisions at window boundaries after the service bound.
+    std::uint64_t windows = 0, agreement_bad = 0, validity_bad = 0;
+    const std::set<std::uint64_t> allowed(proposals.begin(), proposals.end());
+    for (const auto& cell : result.cells) {
+      const auto& res = cell.result;
       for (std::uint64_t r = *svc->stabilisation_bound() + 2 * static_cast<std::uint64_t>(tau);
            r < res.rounds; r += static_cast<std::uint64_t>(tau)) {
         ++windows;

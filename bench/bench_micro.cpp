@@ -1,14 +1,27 @@
 // Experiment E11: microbenchmarks (google-benchmark) for the hot paths:
 // bit-packed state access, majority voting, phase-king steps, boosted
-// transitions at several sizes, whole simulator rounds, the exact verifier
-// and SAT unit propagation.
+// transitions at several sizes, whole simulator rounds, execution backends
+// (scalar vs batched vs bit-sliced), the exact verifier and SAT unit
+// propagation.
+//
+// `bench_micro --json [path]` skips google-benchmark and runs the perf-smoke
+// comparison of the execution backends on the Table 1 instance, writing
+// BENCH_batch.json (ns per node-round, scalar vs batched, per adversary) so
+// CI records the perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
 
 #include "boosting/planner.hpp"
 #include "counting/trivial.hpp"
 #include "phaseking/phase_king.hpp"
 #include "sat/solver.hpp"
 #include "sim/adversaries.hpp"
+#include "sim/batch_runner.hpp"
 #include "sim/faults.hpp"
 #include "sim/runner.hpp"
 #include "synthesis/known_tables.hpp"
@@ -119,6 +132,142 @@ void BM_ArbitraryState(benchmark::State& state) {
 }
 BENCHMARK(BM_ArbitraryState);
 
+// --- Execution backends: scalar vs batched vs bit-sliced ---------------------
+
+struct BackendCase {
+  std::shared_ptr<const counting::TableAlgorithm> algo;
+  std::string adversary;
+  std::vector<bool> faulty;
+  std::uint64_t rounds;
+  std::vector<std::uint64_t> seeds;
+};
+
+BackendCase table1_case(const std::string& adversary, std::size_t n_seeds,
+                        std::uint64_t rounds) {
+  BackendCase c;
+  c.algo = std::make_shared<counting::TableAlgorithm>(synthesis::known_table_4_1_3states());
+  c.adversary = adversary;
+  c.faulty = sim::faults_spread(4, 1);
+  c.rounds = rounds;
+  c.seeds.resize(n_seeds);
+  for (std::size_t i = 0; i < n_seeds; ++i) c.seeds[i] = 0xBE9C + i * 31;
+  return c;
+}
+
+// Node-rounds of work in one pass over every seed of the case (per correct
+// node, matching the scalar runner's transition count).
+double node_rounds(const BackendCase& c) {
+  return static_cast<double>(c.seeds.size()) * static_cast<double>(c.rounds) *
+         static_cast<double>(c.algo->num_nodes() - sim::fault_count(c.faulty));
+}
+
+void run_scalar_case(const BackendCase& c) {
+  for (const auto seed : c.seeds) {
+    sim::RunConfig cfg;
+    cfg.algo = c.algo;
+    cfg.faulty = c.faulty;
+    cfg.max_rounds = c.rounds;
+    cfg.seed = seed;
+    auto adv = sim::make_adversary(c.adversary);
+    benchmark::DoNotOptimize(sim::run_execution(cfg, *adv, 1));
+  }
+}
+
+void run_batch_case(const BackendCase& c, sim::BatchKernel kernel) {
+  sim::BatchConfig bc;
+  bc.algo = c.algo;
+  bc.faulty = c.faulty;
+  bc.max_rounds = c.rounds;
+  bc.margin = 1;
+  bc.adversary = [&c] { return sim::make_adversary(c.adversary); };
+  bc.seeds = c.seeds;
+  bc.kernel = kernel;
+  benchmark::DoNotOptimize(sim::run_batch(bc));
+}
+
+void BM_TableBackendScalar(benchmark::State& state) {
+  const auto c = table1_case("silent", 64, 256);
+  for (auto _ : state) run_scalar_case(c);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * node_rounds(c)));
+  state.SetLabel("items = node-rounds, Table 1 n=4 f=1 |X|=3");
+}
+BENCHMARK(BM_TableBackendScalar)->Unit(benchmark::kMillisecond);
+
+void BM_TableBackendSoA(benchmark::State& state) {
+  const auto c = table1_case("silent", 64, 256);
+  for (auto _ : state) run_batch_case(c, sim::BatchKernel::kSoA);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * node_rounds(c)));
+}
+BENCHMARK(BM_TableBackendSoA)->Unit(benchmark::kMillisecond);
+
+void BM_TableBackendBitSliced(benchmark::State& state) {
+  const auto c = table1_case("silent", 64, 256);
+  for (auto _ : state) run_batch_case(c, sim::BatchKernel::kBitSliced);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * node_rounds(c)));
+}
+BENCHMARK(BM_TableBackendBitSliced)->Unit(benchmark::kMillisecond);
+
+// --- Perf smoke (--json): records the backend trajectory for CI -------------
+
+double seconds_of(const std::function<void()>& fn, int reps) {
+  // One warm-up, then the best of `reps` timed passes (robust to CI noise).
+  fn();
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    best = std::min(best, std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+  }
+  return best;
+}
+
+int run_json_smoke(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << "{\n  \"instance\": \"table1 n=4 f=1 c=2 |X|=3, 1 Byzantine (spread)\",\n"
+      << "  \"seeds\": 256, \"rounds\": 512,\n  \"results\": [";
+  bool first = true;
+  for (const std::string adversary : {"silent", "split"}) {
+    const auto c = table1_case(adversary, 256, 512);
+    const double nr = node_rounds(c);
+    const double scalar_s = seconds_of([&c] { run_scalar_case(c); }, 3);
+    const double batch_s =
+        seconds_of([&c] { run_batch_case(c, sim::BatchKernel::kAuto); }, 3);
+    const double scalar_ns = 1e9 * scalar_s / nr;
+    const double batch_ns = 1e9 * batch_s / nr;
+    out << (first ? "" : ",") << "\n    {\"adversary\": \"" << adversary
+        << "\", \"scalar_ns_per_node_round\": " << scalar_ns
+        << ", \"batch_ns_per_node_round\": " << batch_ns
+        << ", \"speedup\": " << scalar_ns / batch_ns << "}";
+    std::cout << adversary << ": scalar " << scalar_ns << " ns/node-round, batched "
+              << batch_ns << " ns/node-round, speedup " << scalar_ns / batch_ns
+              << "x\n";
+    first = false;
+  }
+  out << "\n  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return run_json_smoke(i + 1 < argc ? argv[i + 1] : "BENCH_batch.json");
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -41,6 +41,44 @@ std::size_t TransitionTable::expected_h_size() const {
                                              : num_states);
 }
 
+CompiledTable CompiledTable::compile(const TransitionTable& t) {
+  CompiledTable ct;
+  ct.n = t.n;
+  ct.num_states = t.num_states;
+  ct.modulus = t.modulus;
+  ct.bits = util::ceil_log2(t.num_states);
+  ct.g = t.g;
+
+  const auto nn = static_cast<std::size_t>(t.n);
+  std::vector<std::uint64_t> pow(nn + 1);
+  pow[0] = 1;
+  for (std::size_t u = 0; u < nn; ++u) pow[u + 1] = pow[u] * t.num_states;
+
+  // stride[i][s] = num_states^u where u is the position of sender s in the
+  // vector as seen by node i: u == s except under cyclic symmetry, where the
+  // vector is rotated so that i's own state sits at position 0.
+  ct.stride.resize(nn * nn);
+  ct.node_base.assign(nn, 0);
+  for (std::size_t i = 0; i < nn; ++i) {
+    for (std::size_t s = 0; s < nn; ++s) {
+      const std::size_t u =
+          t.symmetry == Symmetry::kCyclic ? (s + nn - i) % nn : s;
+      ct.stride[i * nn + s] = pow[u];
+    }
+    if (t.per_node()) ct.node_base[i] = static_cast<std::uint64_t>(i) * pow[nn];
+  }
+
+  // Expand h to node-major for every symmetry so out() never branches.
+  ct.h.resize(nn * static_cast<std::size_t>(t.num_states));
+  for (std::size_t i = 0; i < nn; ++i) {
+    for (std::uint64_t x = 0; x < t.num_states; ++x) {
+      const std::size_t src = t.per_node() ? i * t.num_states + x : x;
+      ct.h[i * t.num_states + x] = t.h[src];
+    }
+  }
+  return ct;
+}
+
 TableAlgorithm::TableAlgorithm(TransitionTable table)
     : table_(std::move(table)), bits_(util::ceil_log2(table_.num_states)) {
   SC_CHECK(table_.n >= 1, "table needs at least one node");
@@ -50,9 +88,7 @@ TableAlgorithm::TableAlgorithm(TransitionTable table)
   SC_CHECK(table_.h.size() == table_.expected_h_size(), "output table has wrong size");
   for (auto v : table_.g) SC_CHECK(v < table_.num_states, "transition target out of range");
   for (auto v : table_.h) SC_CHECK(v < table_.modulus, "output value out of range");
-  pow_.resize(static_cast<std::size_t>(table_.n) + 1);
-  pow_[0] = 1;
-  for (int u = 0; u < table_.n; ++u) pow_[u + 1] = pow_[u] * table_.num_states;
+  compiled_ = CompiledTable::compile(table_);
 }
 
 std::string TableAlgorithm::name() const {
@@ -64,27 +100,21 @@ std::string TableAlgorithm::name() const {
 State TableAlgorithm::transition(NodeId i, std::span<const State> received,
                                  TransitionContext& /*ctx*/) const {
   SC_ASSERT(static_cast<int>(received.size()) == table_.n);
-  std::uint64_t idx = 0;
-  const auto nn = received.size();
-  for (std::size_t u = 0; u < nn; ++u) {
-    const std::size_t sender = table_.symmetry == Symmetry::kCyclic
-                                   ? (static_cast<std::size_t>(i) + u) % nn
-                                   : u;
-    idx += (received[sender].get_bits(0, bits_) % table_.num_states) * pow_[u];
+  const std::uint64_t* stride =
+      compiled_.stride.data() + static_cast<std::size_t>(i) * received.size();
+  std::uint64_t idx = compiled_.node_base[static_cast<std::size_t>(i)];
+  for (std::size_t s = 0; s < received.size(); ++s) {
+    idx += (received[s].get_bits(0, bits_) % table_.num_states) * stride[s];
   }
-  if (table_.per_node()) {
-    idx += static_cast<std::uint64_t>(i) * pow_[static_cast<std::size_t>(table_.n)];
-  }
-  const std::uint8_t next = table_.g[static_cast<std::size_t>(idx)];
+  const std::uint8_t next = compiled_.g[static_cast<std::size_t>(idx)];
   State s;
   s.set_bits(0, bits_, next);
   return s;
 }
 
 std::uint64_t TableAlgorithm::output(NodeId i, const State& s) const {
-  std::uint64_t st = s.get_bits(0, bits_) % table_.num_states;
-  if (table_.per_node()) st += static_cast<std::uint64_t>(i) * table_.num_states;
-  return table_.h[static_cast<std::size_t>(st)];
+  const auto st = static_cast<std::uint8_t>(s.get_bits(0, bits_) % table_.num_states);
+  return compiled_.out(i, st);
 }
 
 State TableAlgorithm::canonicalize(const State& raw) const {

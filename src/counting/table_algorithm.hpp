@@ -60,6 +60,44 @@ struct TransitionTable {
   std::size_t expected_h_size() const;
 };
 
+// A TransitionTable precompiled for mass evaluation: the symmetry (cyclic
+// rotation, per-node offsets) is resolved once into per-(node, sender) radix
+// strides, so a transition is a single dot product plus one table lookup --
+// no per-message g_index recomputation, no modular rotation arithmetic. The
+// output map is expanded to node-major form so out() is branch-free. This is
+// the representation the scalar TableAlgorithm::transition and the batched
+// execution backend (sim/batch_runner.hpp) share.
+struct CompiledTable {
+  int n = 0;
+  std::uint64_t num_states = 0;
+  std::uint64_t modulus = 0;
+  int bits = 0;  // ceil(log2(num_states)) = wire bits per state
+
+  // stride[node * n + sender]: contribution of `sender`'s state index to the
+  // flat g index seen by `node`.
+  std::vector<std::uint64_t> stride;
+  // node_base[node]: constant g offset (non-zero only for per-node tables).
+  std::vector<std::uint64_t> node_base;
+  std::vector<std::uint8_t> g;  // flat transition table, shared layout
+  std::vector<std::uint8_t> h;  // expanded output map: [node * num_states + state]
+
+  static CompiledTable compile(const TransitionTable& t);
+
+  // Flat g index for `node`; idx[s] is the canonical state index sent by s.
+  std::uint64_t g_index(int node, const std::uint8_t* idx) const noexcept {
+    const std::uint64_t* st = stride.data() + static_cast<std::size_t>(node) * n;
+    std::uint64_t acc = node_base[static_cast<std::size_t>(node)];
+    for (int s = 0; s < n; ++s) acc += st[s] * idx[s];
+    return acc;
+  }
+  std::uint8_t next(int node, const std::uint8_t* idx) const noexcept {
+    return g[static_cast<std::size_t>(g_index(node, idx))];
+  }
+  std::uint8_t out(int node, std::uint8_t state) const noexcept {
+    return h[static_cast<std::size_t>(node) * num_states + state];
+  }
+};
+
 class TableAlgorithm final : public CountingAlgorithm {
  public:
   explicit TableAlgorithm(TransitionTable table);
@@ -83,11 +121,12 @@ class TableAlgorithm final : public CountingAlgorithm {
   std::uint64_t state_to_index(const State& s) const override;
 
   const TransitionTable& table() const noexcept { return table_; }
+  const CompiledTable& compiled() const noexcept { return compiled_; }
 
  private:
   TransitionTable table_;
   int bits_;
-  std::vector<std::uint64_t> pow_;  // num_states^u for u in [n]
+  CompiledTable compiled_;
 };
 
 }  // namespace synccount::counting

@@ -12,17 +12,10 @@ State random_state(const CountingAlgorithm& algo, util::Rng& rng) {
   return counting::arbitrary_state(algo, rng);
 }
 
-// Measures how "agreed" the correct nodes' outputs are: the count of the most
-// common output value. Lower is worse for the system, so the lookahead
-// adversary minimises this.
-int agreement_score(const CountingAlgorithm& algo, std::span<const State> states,
-                    std::span<const NodeId> faulty) {
-  std::vector<std::uint64_t> outs;
-  outs.reserve(states.size());
-  for (NodeId i = 0; i < static_cast<NodeId>(states.size()); ++i) {
-    if (std::find(faulty.begin(), faulty.end(), i) != faulty.end()) continue;
-    outs.push_back(algo.output(i, states[static_cast<std::size_t>(i)]));
-  }
+// Measures how "agreed" a set of outputs is: the count of the most common
+// output value. Lower is worse for the system, so the lookahead adversary
+// minimises this.
+int agreement_score(std::span<const std::uint64_t> outs) {
   int best = 0;
   for (std::size_t a = 0; a < outs.size(); ++a) {
     int cnt = 0;
@@ -104,8 +97,10 @@ State TargetedVoteAdversary::message(std::uint64_t, NodeId sender, NodeId receiv
   return pool_[std::min(idx, pool_.size() - 1)];
 }
 
-LookaheadAdversary::LookaheadAdversary(int candidates) : candidates_(candidates) {
+LookaheadAdversary::LookaheadAdversary(int candidates, int sample_receivers)
+    : candidates_(candidates), sample_receivers_(sample_receivers) {
   SC_CHECK(candidates >= 1, "need at least one candidate profile");
+  SC_CHECK(sample_receivers >= 1, "need at least one sampled receiver");
 }
 
 void LookaheadAdversary::begin_round(std::uint64_t, std::span<const State> states,
@@ -115,11 +110,50 @@ void LookaheadAdversary::begin_round(std::uint64_t, std::span<const State> state
   faulty_.assign(faulty_ids.begin(), faulty_ids.end());
   const std::size_t profile_size = faulty_.size() * static_cast<std::size_t>(n_);
 
+  // The receiver sample candidates are scored against: an even stride over
+  // the correct nodes (deterministic, so it costs no rng draws).
+  std::vector<NodeId> correct;
+  for (NodeId i = 0; i < n_; ++i) {
+    if (std::find(faulty_.begin(), faulty_.end(), i) == faulty_.end()) correct.push_back(i);
+  }
+  const std::size_t m =
+      std::min<std::size_t>(static_cast<std::size_t>(sample_receivers_), correct.size());
+  sampled_.clear();
+  for (std::size_t j = 0; j < m; ++j) sampled_.push_back(correct[j * correct.size() / m]);
+
+  std::vector<State> received(states.begin(), states.end());
+  std::vector<std::uint64_t> outs(sampled_.size());
+
+  // Score = agreement among the sampled receivers after one round under the
+  // profile; each candidate costs |sample| transitions, not one per correct
+  // node, and the scored forgeries are evaluated once per round here rather
+  // than per (sender, receiver) query in message().
+  const auto score = [&](const std::vector<State>& profile) {
+    counting::TransitionContext ctx{&rng};
+    for (std::size_t j = 0; j < sampled_.size(); ++j) {
+      const NodeId i = sampled_[j];
+      for (std::size_t sidx = 0; sidx < faulty_.size(); ++sidx) {
+        received[static_cast<std::size_t>(faulty_[sidx])] =
+            profile[sidx * static_cast<std::size_t>(n_) + static_cast<std::size_t>(i)];
+      }
+      outs[j] = algo.output(i, algo.transition(i, received, ctx));
+      for (NodeId fj : faulty_) {
+        received[static_cast<std::size_t>(fj)] = states[static_cast<std::size_t>(fj)];
+      }
+    }
+    return agreement_score(outs);
+  };
+
   std::vector<State> best_profile;
   int best_score = n_ + 1;
 
-  std::vector<State> received(states.begin(), states.end());
-  std::vector<State> next(static_cast<std::size_t>(n_));
+  // Seed the search with the previous round's winner: a profile that split
+  // the correct nodes last round usually keeps splitting them, so the random
+  // candidates only have to beat a known-good incumbent.
+  if (profile_size > 0 && cached_.size() == profile_size) {
+    best_score = score(cached_);
+    best_profile = cached_;
+  }
 
   for (int cand = 0; cand < candidates_; ++cand) {
     // Draw a candidate profile: a mix of random states and replayed correct
@@ -132,26 +166,14 @@ void LookaheadAdversary::begin_round(std::uint64_t, std::span<const State> state
         s = states[rng.next_below(states.size())];
       }
     }
-    // Simulate the round under this profile.
-    counting::TransitionContext ctx{&rng};
-    for (NodeId i = 0; i < n_; ++i) {
-      if (std::find(faulty_.begin(), faulty_.end(), i) != faulty_.end()) continue;
-      for (std::size_t sidx = 0; sidx < faulty_.size(); ++sidx) {
-        received[static_cast<std::size_t>(faulty_[sidx])] =
-            profile[sidx * static_cast<std::size_t>(n_) + static_cast<std::size_t>(i)];
-      }
-      next[static_cast<std::size_t>(i)] = algo.transition(i, received, ctx);
-      for (NodeId fj : faulty_) {
-        received[static_cast<std::size_t>(fj)] = states[static_cast<std::size_t>(fj)];
-      }
-    }
-    const int score = agreement_score(algo, next, faulty_);
-    if (score < best_score) {
-      best_score = score;
+    const int sc = score(profile);
+    if (sc < best_score) {
+      best_score = sc;
       best_profile = std::move(profile);
     }
   }
   chosen_ = std::move(best_profile);
+  cached_ = chosen_;
 }
 
 State LookaheadAdversary::message(std::uint64_t, NodeId sender, NodeId receiver,

@@ -31,6 +31,9 @@ class SilentAdversary final : public Adversary {
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
   bool receiver_oblivious() const noexcept override { return true; }
+  bool state_oblivious() const noexcept override { return true; }
+  bool begin_round_passive() const noexcept override { return true; }
+  bool forgery_static() const noexcept override { return true; }
   std::string name() const override { return "silent"; }
 };
 
@@ -40,6 +43,10 @@ class EchoAdversary final : public Adversary {
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
   bool receiver_oblivious() const noexcept override { return true; }
+  // Reads only the (faulty) sender's own nominal state, which is fixed.
+  bool state_oblivious() const noexcept override { return true; }
+  bool begin_round_passive() const noexcept override { return true; }
+  bool forgery_static() const noexcept override { return true; }
   std::string name() const override { return "echo"; }
 };
 
@@ -48,6 +55,8 @@ class RandomAdversary final : public Adversary {
   State message(std::uint64_t round, NodeId sender, NodeId receiver,
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
+  bool state_oblivious() const noexcept override { return true; }
+  bool begin_round_passive() const noexcept override { return true; }
   std::string name() const override { return "random"; }
 };
 
@@ -59,6 +68,7 @@ class SplitAdversary final : public Adversary {
   State message(std::uint64_t round, NodeId sender, NodeId receiver,
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
+  bool state_oblivious() const noexcept override { return true; }
   std::string name() const override { return "split"; }
 
  private:
@@ -71,6 +81,7 @@ class MirrorAdversary final : public Adversary {
   State message(std::uint64_t round, NodeId sender, NodeId receiver,
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
+  bool begin_round_passive() const noexcept override { return true; }
   std::string name() const override { return "mirror"; }
 
  private:
@@ -94,7 +105,13 @@ class TargetedVoteAdversary final : public Adversary {
 class LookaheadAdversary final : public Adversary {
  public:
   // candidates: number of random message profiles evaluated per round.
-  explicit LookaheadAdversary(int candidates = 4);
+  // sample_receivers: how many correct receivers each candidate is scored
+  // against. Scoring used to simulate every (candidate, correct receiver)
+  // pair, which made this adversary dominate experiment wall time; bounding
+  // the score to a fixed receiver sample and seeding the search with the
+  // previous round's winning profile keeps the attack quality while making
+  // the per-round cost O(candidates * sample) instead of O(candidates * n).
+  explicit LookaheadAdversary(int candidates = 4, int sample_receivers = 4);
 
   void begin_round(std::uint64_t round, std::span<const State> true_states,
                    const CountingAlgorithm& algo, std::span<const NodeId> faulty_ids,
@@ -102,13 +119,17 @@ class LookaheadAdversary final : public Adversary {
   State message(std::uint64_t round, NodeId sender, NodeId receiver,
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
+  bool batchable() const noexcept override { return false; }
   std::string name() const override { return "lookahead"; }
 
  private:
   int candidates_;
+  int sample_receivers_;
   std::vector<NodeId> faulty_;
+  std::vector<NodeId> sampled_;  // receiver subset candidates are scored on
   // chosen_[s * n + r] = message of faulty node faulty_[s] to receiver r.
   std::vector<State> chosen_;
+  std::vector<State> cached_;  // last round's winner, re-scored as candidate 0
   int n_ = 0;
 };
 

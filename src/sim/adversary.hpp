@@ -48,6 +48,33 @@ class Adversary {
   // without changing the execution (bit-for-bit, including rng streams).
   virtual bool receiver_oblivious() const noexcept { return false; }
 
+  // Return true iff begin_round()/message() never read the states of
+  // *correct* nodes from `true_states` (reading faulty nodes' entries is
+  // fine: their nominal states are fixed for the whole execution). The
+  // batched backend (sim/batch_runner.hpp) keeps states in an index
+  // representation and only materialises the BitVec state vector for
+  // adversaries that actually look at it.
+  virtual bool state_oblivious() const noexcept { return false; }
+
+  // Return true iff begin_round() is a no-op (the base implementation):
+  // neither draws randomness nor mutates adversary state. Skipping a no-op
+  // call is unobservable, so the batched backend elides the per-lane virtual
+  // dispatch. Strategies that override begin_round() with real work must
+  // leave this false.
+  virtual bool begin_round_passive() const noexcept { return false; }
+
+  // Return true iff, within one execution, message() returns the same value
+  // for a fixed faulty sender across all rounds and receivers and draws no
+  // randomness (e.g. silent's constant zero state, echo's replay of the
+  // sender's fixed nominal state). The batched backend then forges once per
+  // (lane, sender) for the whole execution.
+  virtual bool forgery_static() const noexcept { return false; }
+
+  // Return false for strategies whose begin_round() runs its own simulation
+  // search (e.g. lookahead): they dominate the round cost, so batching the
+  // transition buys nothing and the engine keeps them on the scalar runner.
+  virtual bool batchable() const noexcept { return true; }
+
   virtual std::string name() const = 0;
 
  protected:

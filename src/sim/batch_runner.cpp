@@ -1,0 +1,472 @@
+#include "sim/batch_runner.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <span>
+
+#include "sim/checker.hpp"
+#include "sim/faults.hpp"
+#include "util/check.hpp"
+
+namespace synccount::sim {
+
+namespace {
+
+using counting::CompiledTable;
+using counting::NodeId;
+
+constexpr std::size_t kLanesPerWord = 64;
+
+// One block of up to 64 lanes advanced in lockstep. Hot per-lane state (rng,
+// adversary, checker) lives in parallel arrays; the cold result/state
+// vectors sit in LaneCold so the round loop touches as few lines as possible.
+class Block {
+ public:
+  Block(const BatchConfig& cfg, std::span<const std::uint64_t> seeds, bool bit_sliced)
+      : cfg_(cfg),
+        algo_(*cfg.algo),
+        ct_(cfg.algo->compiled()),
+        n_(ct_.n),
+        ns_(ct_.num_states),
+        W_(seeds.size()),
+        bit_sliced_(bit_sliced) {
+    const auto nn = static_cast<std::size_t>(n_);
+
+    std::vector<bool> faulty = cfg.faulty;
+    if (faulty.empty()) faulty.assign(nn, false);
+    SC_CHECK(faulty.size() == nn, "fault vector size mismatch");
+    SC_CHECK(fault_count(faulty) <= algo_.resilience(),
+             "more faults than the algorithm's resilience");
+    faulty_ids_ = fault_ids(faulty);
+    sender_kind_.assign(nn, -1);
+    for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
+      sender_kind_[static_cast<std::size_t>(faulty_ids_[k])] = static_cast<int>(k);
+    }
+    for (int i = 0; i < n_; ++i) {
+      if (!faulty[static_cast<std::size_t>(i)]) correct_.push_back(i);
+    }
+    SC_CHECK(!correct_.empty(), "all nodes faulty");
+
+    margin_ = resolve_margin(cfg.margin, cfg.max_rounds, algo_.modulus());
+
+    if (bit_sliced_) {
+      p_.assign(nn, {0, 0});
+      np_.assign(nn, {0, 0});
+      eqc_.assign(nn, {0, 0, 0, 0});
+      eqr_.assign(nn, {0, 0, 0, 0});
+      fp_.assign(faulty_ids_.size(), {0, 0});
+      fpr_.assign(correct_.size() * faulty_ids_.size(), {0, 0});
+      // Output planes: hv_[j][b] is the set of state values whose output has
+      // bit b set for correct node j; ORing their equality masks yields the
+      // node's output bitplane.
+      std::uint64_t max_out = 0;
+      for (const NodeId i : correct_) {
+        for (std::uint64_t v = 0; v < ns_; ++v) {
+          max_out = std::max<std::uint64_t>(max_out, ct_.out(i, static_cast<std::uint8_t>(v)));
+        }
+      }
+      out_bits_ = static_cast<int>(std::bit_width(max_out));
+      hv_.assign(correct_.size() * static_cast<std::size_t>(out_bits_), 0);
+      ob_.assign(correct_.size() * static_cast<std::size_t>(out_bits_), 0);
+      for (std::size_t j = 0; j < correct_.size(); ++j) {
+        for (int b = 0; b < out_bits_; ++b) {
+          std::uint8_t mask = 0;
+          for (std::uint64_t v = 0; v < ns_; ++v) {
+            if ((ct_.out(correct_[j], static_cast<std::uint8_t>(v)) >> b) & 1) {
+              mask |= static_cast<std::uint8_t>(1u << v);
+            }
+          }
+          hv_[j * static_cast<std::size_t>(out_bits_) + static_cast<std::size_t>(b)] = mask;
+        }
+      }
+    } else {
+      SC_CHECK(ct_.g.size() < (1ULL << 31), "table too large for the SoA kernel");
+      cur_.assign(nn * W_, 0);
+      nxt_.assign(nn * W_, 0);
+      fb_.assign(faulty_ids_.size() * W_, 0);
+      fbr_.assign(correct_.size() * faulty_ids_.size() * W_, 0);
+      acc_.assign(W_, 0);
+    }
+
+    // Lane setup mirrors the scalar runner's preamble draw for draw.
+    rngs_.reserve(W_);
+    advs_.reserve(W_);
+    checkers_.reserve(W_);
+    lanes_.resize(W_);
+    for (std::size_t l = 0; l < W_; ++l) {
+      rngs_.emplace_back(seeds[l]);
+      advs_.push_back(cfg.adversary());
+      SC_CHECK(advs_.back() != nullptr, "batch adversary factory returned null");
+      checkers_.emplace_back(algo_.modulus());
+      LaneCold& ln = lanes_[l];
+      ln.result.correct_ids = correct_;
+      ln.states.resize(nn);
+      if (!cfg.initial.empty()) {
+        SC_CHECK(cfg.initial.size() == nn, "initial state vector size mismatch");
+        for (std::size_t i = 0; i < nn; ++i) ln.states[i] = algo_.canonicalize(cfg.initial[i]);
+      } else {
+        for (auto& s : ln.states) s = counting::arbitrary_state(algo_, rngs_[l]);
+      }
+      for (int i = 0; i < n_; ++i) {
+        set_idx(i, l, static_cast<std::uint8_t>(algo_.state_to_index(
+                          ln.states[static_cast<std::size_t>(i)])));
+      }
+      active_ |= 1ULL << l;
+    }
+    faultless_ = faulty_ids_.empty();
+    const Adversary& probe = *advs_.front();
+    hoist_ = !faultless_ && probe.receiver_oblivious();
+    state_oblivious_ = probe.state_oblivious();
+    // Skipping a no-op begin_round or re-forging an execution-constant
+    // message has no observable effect, so these stay bit-identical to the
+    // scalar runner while eliding most per-lane virtual dispatch.
+    passive_rounds_ = probe.begin_round_passive();
+    static_forge_ = hoist_ && probe.forgery_static();
+  }
+
+  void run() {
+    const bool recording = cfg_.record_outputs || cfg_.record_states;
+    for (std::uint64_t round = 0; round < cfg_.max_rounds && active_ != 0; ++round) {
+      // --- Round summary: outputs + agreement --------------------------------
+      // Bit-sliced kernel: one pass over the state bitplanes yields, for all
+      // 64 lanes at once, each correct node's output planes and the
+      // "all correct outputs equal" mask; the per-lane work collapses to one
+      // observe_summary call. The SoA kernel summarises per lane from the
+      // byte rows.
+      std::uint64_t agreed = ~0ULL;
+      if (bit_sliced_) {
+        for (const NodeId i : correct_) {
+          eqc_[static_cast<std::size_t>(i)] = eq_masks(p_[static_cast<std::size_t>(i)]);
+        }
+        const auto ob = static_cast<std::size_t>(out_bits_);
+        for (std::size_t j = 0; j < correct_.size(); ++j) {
+          const auto& eq = eqc_[static_cast<std::size_t>(correct_[j])];
+          for (std::size_t b = 0; b < ob; ++b) {
+            const std::uint8_t states_with_bit = hv_[j * ob + b];
+            std::uint64_t plane = 0;
+            for (std::uint64_t v = 0; v < ns_; ++v) {
+              if ((states_with_bit >> v) & 1) plane |= eq[v];
+            }
+            ob_[j * ob + b] = plane;
+          }
+        }
+        for (std::size_t j = 1; j < correct_.size(); ++j) {
+          for (std::size_t b = 0; b < ob; ++b) {
+            agreed &= ~(ob_[j * ob + b] ^ ob_[b]);
+          }
+        }
+      }
+
+      const bool will_forge = !faultless_ && !(static_forge_ && static_forged_);
+
+      // --- Per-lane pass: checker, recording, early exit, adversary ----------
+      // Lane-internal order matches the scalar runner exactly: observe,
+      // record, early-exit check, begin_round, forge per faulty sender (and
+      // per receiver when the adversary is not receiver-oblivious).
+      for (std::uint64_t m = active_; m; m &= m - 1) {
+        const auto l = static_cast<std::size_t>(std::countr_zero(m));
+        if (bit_sliced_) {
+          std::uint64_t value = 0;
+          for (int b = 0; b < out_bits_; ++b) {
+            value |= ((ob_[static_cast<std::size_t>(b)] >> l) & 1) << b;
+          }
+          checkers_[l].observe_summary(((agreed >> l) & 1) != 0, value);
+        } else {
+          bool lane_agreed = true;
+          const std::uint64_t first = ct_.out(correct_.front(), idx_of(correct_.front(), l));
+          for (std::size_t j = 1; j < correct_.size(); ++j) {
+            if (ct_.out(correct_[j], idx_of(correct_[j], l)) != first) {
+              lane_agreed = false;
+              break;
+            }
+          }
+          checkers_[l].observe_summary(lane_agreed, first);
+        }
+        if (recording) record_lane(l);
+        if (cfg_.stop_after_stable > 0 &&
+            checkers_[l].suffix_length() >= cfg_.stop_after_stable) {
+          active_ &= ~(1ULL << l);
+          continue;
+        }
+        if (passive_rounds_ && !will_forge) continue;
+        if (!state_oblivious_) refresh_states(l);
+        if (!passive_rounds_) {
+          advs_[l]->begin_round(round, lanes_[l].states, algo_, faulty_ids_, rngs_[l]);
+        }
+        if (!will_forge) continue;
+        if (hoist_) {
+          for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
+            store_forged(k, l, forge(l, round, faulty_ids_[k], correct_.front()));
+          }
+        } else {
+          // Same nested (receiver, sender) query order as the scalar runner.
+          for (std::size_t j = 0; j < correct_.size(); ++j) {
+            for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
+              store_forged_r(j, k, l, forge(l, round, faulty_ids_[k], correct_[j]));
+            }
+          }
+        }
+      }
+      if (will_forge && static_forge_) static_forged_ = true;
+      if (active_ == 0) break;
+
+      // --- Transition: all lanes in one pass ---------------------------------
+      if (bit_sliced_) {
+        transition_bit_sliced();
+      } else {
+        transition_soa();
+      }
+    }
+
+    for (std::size_t l = 0; l < W_; ++l) {
+      RunResult& r = lanes_[l].result;
+      const StabilisationChecker& ck = checkers_[l];
+      r.rounds = ck.rounds();
+      r.stabilisation_round = ck.suffix_start();
+      r.suffix_length = ck.suffix_length();
+      r.max_window = ck.max_window();
+      r.stabilised = r.suffix_length >= std::min<std::uint64_t>(margin_, r.rounds);
+      // Table algorithms never pull; avg/max stay 0 exactly as in the scalar
+      // runner's accounting.
+    }
+  }
+
+  std::vector<RunResult> take_results() {
+    std::vector<RunResult> out;
+    out.reserve(W_);
+    for (auto& ln : lanes_) out.push_back(std::move(ln.result));
+    return out;
+  }
+
+ private:
+  struct LaneCold {
+    RunResult result;
+    // Materialised BitVec states for adversary queries and recording; faulty
+    // entries are fixed for the whole run, correct entries are refreshed
+    // from the index representation on demand.
+    std::vector<State> states;
+  };
+
+  std::uint8_t idx_of(int node, std::size_t lane) const noexcept {
+    if (bit_sliced_) {
+      const auto& p = p_[static_cast<std::size_t>(node)];
+      return static_cast<std::uint8_t>(((p[0] >> lane) & 1) | (((p[1] >> lane) & 1) << 1));
+    }
+    return cur_[static_cast<std::size_t>(node) * W_ + lane];
+  }
+
+  // Scatter a 2-bit state index into the lane's slot of a bitplane pair.
+  static void set_planes(std::array<std::uint64_t, 2>& p, std::size_t lane,
+                         std::uint8_t v) noexcept {
+    p[0] = (p[0] & ~(1ULL << lane)) | (static_cast<std::uint64_t>(v & 1) << lane);
+    p[1] = (p[1] & ~(1ULL << lane)) | (static_cast<std::uint64_t>((v >> 1) & 1) << lane);
+  }
+
+  void set_idx(int node, std::size_t lane, std::uint8_t v) noexcept {
+    if (bit_sliced_) {
+      set_planes(p_[static_cast<std::size_t>(node)], lane, v);
+    } else {
+      cur_[static_cast<std::size_t>(node) * W_ + lane] = v;
+    }
+  }
+
+  // Canonical index of a forged message; equals
+  // state_to_index(canonicalize(raw)) without building the canonical state.
+  std::uint8_t forge(std::size_t lane, std::uint64_t round, NodeId sender, NodeId receiver) {
+    const State raw = advs_[lane]->message(round, sender, receiver, lanes_[lane].states,
+                                           algo_, rngs_[lane]);
+    return static_cast<std::uint8_t>(raw.get_bits(0, ct_.bits) % ns_);
+  }
+
+  void store_forged(std::size_t k, std::size_t lane, std::uint8_t v) noexcept {
+    if (bit_sliced_) {
+      set_planes(fp_[k], lane, v);
+    } else {
+      fb_[k * W_ + lane] = v;
+    }
+  }
+
+  void store_forged_r(std::size_t j, std::size_t k, std::size_t lane, std::uint8_t v) noexcept {
+    const std::size_t slot = j * faulty_ids_.size() + k;
+    if (bit_sliced_) {
+      set_planes(fpr_[slot], lane, v);
+    } else {
+      fbr_[slot * W_ + lane] = v;
+    }
+  }
+
+  void refresh_states(std::size_t lane) {
+    LaneCold& ln = lanes_[lane];
+    for (const NodeId i : correct_) {
+      State s;
+      s.set_bits(0, ct_.bits, idx_of(i, lane));
+      ln.states[static_cast<std::size_t>(i)] = s;
+    }
+  }
+
+  void record_lane(std::size_t lane) {
+    LaneCold& ln = lanes_[lane];
+    if (cfg_.record_outputs) {
+      std::vector<std::uint64_t> outs(correct_.size());
+      for (std::size_t j = 0; j < correct_.size(); ++j) {
+        outs[j] = ct_.out(correct_[j], idx_of(correct_[j], lane));
+      }
+      ln.result.outputs.push_back(std::move(outs));
+    }
+    if (cfg_.record_states) {
+      refresh_states(lane);
+      ln.result.states.push_back(ln.states);
+    }
+  }
+
+  // eq[v] = mask of lanes whose 2-bit plane value equals v.
+  static std::array<std::uint64_t, 4> eq_masks(const std::array<std::uint64_t, 2>& p) noexcept {
+    return {~p[0] & ~p[1], p[0] & ~p[1], ~p[0] & p[1], p[0] & p[1]};
+  }
+
+  void transition_bit_sliced() {
+    const auto nn = static_cast<std::size_t>(n_);
+    // eqc_ (equality bitplanes of the true states, shared by every receiver
+    // because correct senders broadcast) was computed by the round summary;
+    // forged senders get their own planes.
+    for (std::size_t j = 0; j < correct_.size(); ++j) {
+      const NodeId i = correct_[j];
+      const std::uint64_t* st = ct_.stride.data() + static_cast<std::size_t>(i) * nn;
+      // Per-sender equality masks as seen by this receiver.
+      for (std::size_t s = 0; s < nn; ++s) {
+        const int k = sender_kind_[s];
+        if (k < 0) {
+          eqr_[s] = eqc_[s];
+        } else if (hoist_) {
+          eqr_[s] = eq_masks(fp_[static_cast<std::size_t>(k)]);
+        } else {
+          eqr_[s] = eq_masks(fpr_[j * faulty_ids_.size() + static_cast<std::size_t>(k)]);
+        }
+      }
+      // Depth-first enumeration of the live part of the index space: a
+      // branch dies as soon as no active lane matches its value prefix, so
+      // after stabilisation (all lanes agreeing) a round costs O(n) words.
+      std::uint64_t np0 = 0;
+      std::uint64_t np1 = 0;
+      const auto dfs = [&](auto&& self, std::size_t s, std::uint64_t mask,
+                           std::uint64_t off) -> void {
+        if (s == nn) {
+          const std::uint8_t t = ct_.g[off];
+          if (t & 1) np0 |= mask;
+          if (t & 2) np1 |= mask;
+          return;
+        }
+        const auto& e = eqr_[s];
+        for (std::uint64_t v = 0; v < ns_; ++v) {
+          const std::uint64_t m = mask & e[v];
+          if (m != 0) self(self, s + 1, m, off + st[s] * v);
+        }
+      };
+      dfs(dfs, 0, active_, ct_.node_base[static_cast<std::size_t>(i)]);
+      np_[static_cast<std::size_t>(i)] = {np0, np1};
+    }
+    for (const NodeId i : correct_) {
+      p_[static_cast<std::size_t>(i)] = np_[static_cast<std::size_t>(i)];
+    }
+  }
+
+  void transition_soa() {
+    const auto nn = static_cast<std::size_t>(n_);
+    for (std::size_t j = 0; j < correct_.size(); ++j) {
+      const NodeId i = correct_[j];
+      const std::uint64_t* st = ct_.stride.data() + static_cast<std::size_t>(i) * nn;
+      std::fill(acc_.begin(), acc_.end(),
+                static_cast<std::uint32_t>(ct_.node_base[static_cast<std::size_t>(i)]));
+      for (std::size_t s = 0; s < nn; ++s) {
+        const int k = sender_kind_[s];
+        const std::uint8_t* src =
+            k < 0 ? cur_.data() + s * W_
+                  : (hoist_ ? fb_.data() + static_cast<std::size_t>(k) * W_
+                            : fbr_.data() +
+                                  (j * faulty_ids_.size() + static_cast<std::size_t>(k)) * W_);
+        const auto sv = static_cast<std::uint32_t>(st[s]);
+        for (std::size_t l = 0; l < W_; ++l) acc_[l] += sv * src[l];
+      }
+      std::uint8_t* dst = nxt_.data() + static_cast<std::size_t>(i) * W_;
+      for (std::size_t l = 0; l < W_; ++l) dst[l] = ct_.g[acc_[l]];
+    }
+    for (const NodeId i : correct_) {
+      std::copy_n(nxt_.data() + static_cast<std::size_t>(i) * W_, W_,
+                  cur_.data() + static_cast<std::size_t>(i) * W_);
+    }
+  }
+
+  const BatchConfig& cfg_;
+  const counting::TableAlgorithm& algo_;
+  const CompiledTable& ct_;
+  const int n_;
+  const std::uint64_t ns_;
+  const std::size_t W_;
+  const bool bit_sliced_;
+
+  std::vector<NodeId> correct_;
+  std::vector<NodeId> faulty_ids_;
+  std::vector<int> sender_kind_;  // -1 = correct, else index into faulty_ids_
+  bool faultless_ = true;
+  bool hoist_ = false;
+  bool state_oblivious_ = false;
+  bool passive_rounds_ = false;
+  bool static_forge_ = false;
+  bool static_forged_ = false;  // the one-time static forging pass has run
+  std::uint64_t margin_ = 0;
+  std::uint64_t active_ = 0;  // bitmask of lanes still running
+
+  // Hot per-lane state, parallel arrays indexed by lane.
+  std::vector<util::Rng> rngs_;
+  std::vector<std::unique_ptr<Adversary>> advs_;
+  std::vector<StabilisationChecker> checkers_;
+  std::vector<LaneCold> lanes_;
+
+  // Bit-sliced representation: [node] -> {bit0 plane, bit1 plane}.
+  std::vector<std::array<std::uint64_t, 2>> p_, np_, fp_, fpr_;
+  std::vector<std::array<std::uint64_t, 4>> eqc_;
+  std::vector<std::array<std::uint64_t, 4>> eqr_;
+  int out_bits_ = 0;                // planes per output value
+  std::vector<std::uint8_t> hv_;    // [correct j * out_bits_ + b] state-value mask
+  std::vector<std::uint64_t> ob_;   // [correct j * out_bits_ + b] output bitplane
+
+  // SoA representation: [node * W + lane] canonical state indices.
+  std::vector<std::uint8_t> cur_, nxt_, fb_, fbr_;
+  std::vector<std::uint32_t> acc_;
+};
+
+}  // namespace
+
+std::vector<RunResult> run_batch(const BatchConfig& cfg) {
+  SC_CHECK(cfg.algo != nullptr, "no algorithm given");
+  SC_CHECK(cfg.adversary != nullptr, "no adversary factory given");
+  const auto& ct = cfg.algo->compiled();
+  bool bit_sliced;
+  switch (cfg.kernel) {
+    case BatchKernel::kSoA:
+      bit_sliced = false;
+      break;
+    case BatchKernel::kBitSliced:
+      SC_CHECK(ct.num_states <= 4, "bit-sliced kernel needs num_states <= 4");
+      bit_sliced = true;
+      break;
+    default:
+      bit_sliced = ct.num_states <= 4;
+      break;
+  }
+
+  std::vector<RunResult> results;
+  results.reserve(cfg.seeds.size());
+  for (std::size_t start = 0; start < cfg.seeds.size(); start += kLanesPerWord) {
+    const std::size_t count = std::min(kLanesPerWord, cfg.seeds.size() - start);
+    Block block(cfg, std::span<const std::uint64_t>(cfg.seeds).subspan(start, count),
+                bit_sliced);
+    block.run();
+    auto part = block.take_results();
+    for (auto& r : part) results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace synccount::sim

@@ -1,0 +1,54 @@
+// Bit-parallel batched execution backend.
+//
+// run_batch advances W independent executions of the same (transition table,
+// fault placement, adversary class) cell-group in lockstep, one round at a
+// time. States live in a canonical-index representation instead of BitVecs:
+// a structure-of-arrays byte layout in the general case, and for
+// num_states <= 4 a bit-sliced layout that packs one state-bitplane of 64
+// executions into each uint64_t, so one enumeration pass over the compiled
+// table advances 64 executions per word. Per-execution randomness (initial
+// states, adversary draws) still flows through one Rng and one Adversary
+// instance per lane, invoked in exactly the scalar runner's call order, so
+// every lane's RunResult is bit-identical to run_execution on the same seed
+// -- the engine can mix backends freely without changing any aggregate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "counting/table_algorithm.hpp"
+#include "sim/adversary.hpp"
+#include "sim/runner.hpp"
+
+namespace synccount::sim {
+
+// Which transition kernel run_batch uses. kAuto picks kBitSliced whenever
+// the table allows it (num_states <= 4) and kSoA otherwise.
+enum class BatchKernel { kAuto, kSoA, kBitSliced };
+
+struct BatchConfig {
+  std::shared_ptr<const counting::TableAlgorithm> algo;
+  std::vector<bool> faulty;          // size n; empty means no faults
+  std::uint64_t max_rounds = 1000;
+  std::uint64_t margin = 0;          // 0 = resolve_margin default
+  std::uint64_t stop_after_stable = 0;
+  bool record_outputs = false;
+  bool record_states = false;
+  std::vector<State> initial;        // non-empty: fixed initial states
+
+  // Builds the adversary for one lane; called once per lane in lane order
+  // (mirroring the scalar engine, which builds one adversary per cell).
+  std::function<std::unique_ptr<Adversary>()> adversary;
+
+  std::vector<std::uint64_t> seeds;  // one execution lane per seed
+  BatchKernel kernel = BatchKernel::kAuto;
+};
+
+// Runs seeds.size() executions (internally in blocks of up to 64 lanes) and
+// returns their RunResults in seed order; result[i] is bit-identical to
+// run_execution with seed seeds[i] and the same margin.
+std::vector<RunResult> run_batch(const BatchConfig& cfg);
+
+}  // namespace synccount::sim

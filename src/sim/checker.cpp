@@ -20,18 +20,7 @@ void StabilisationChecker::observe(std::span<const std::uint64_t> outputs) {
       break;
     }
   }
-  if (!agreed) {
-    max_window_ = std::max(max_window_, round_ - suffix_start_);
-    suffix_start_ = round_ + 1;
-  } else if (prev_agreed_ && v != (prev_value_ + 1) % modulus_) {
-    // Agreement held both rounds but the counter did not advance by one:
-    // the valid suffix restarts at the current round.
-    max_window_ = std::max(max_window_, round_ - suffix_start_);
-    suffix_start_ = round_;
-  }
-  prev_agreed_ = agreed;
-  prev_value_ = v;
-  ++round_;
+  observe_summary(agreed, v);
 }
 
 }  // namespace synccount::sim

@@ -21,6 +21,26 @@ class StabilisationChecker {
   // Outputs of all *correct* nodes at the current round, any fixed order.
   void observe(std::span<const std::uint64_t> outputs);
 
+  // The same update from a precomputed round summary: whether all correct
+  // outputs agreed and the first correct node's output value. The batched
+  // backend computes these bit-parallel across 64 executions and feeds one
+  // checker per lane; observe() reduces to this, so the two entry points
+  // cannot drift apart.
+  void observe_summary(bool agreed, std::uint64_t value) noexcept {
+    if (!agreed) {
+      max_window_ = std::max(max_window_, round_ - suffix_start_);
+      suffix_start_ = round_ + 1;
+    } else if (prev_agreed_ && value != (prev_value_ + 1) % modulus_) {
+      // Agreement held both rounds but the counter did not advance by one:
+      // the valid suffix restarts at the current round.
+      max_window_ = std::max(max_window_, round_ - suffix_start_);
+      suffix_start_ = round_;
+    }
+    prev_agreed_ = agreed;
+    prev_value_ = value;
+    ++round_;
+  }
+
   // Number of rounds observed so far.
   std::uint64_t rounds() const noexcept { return round_; }
 

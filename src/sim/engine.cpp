@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "counting/table_algorithm.hpp"
+#include "sim/batch_runner.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -77,15 +79,22 @@ ExperimentResult Engine::run(const ExperimentSpec& spec) const {
   ExperimentResult out;
   out.cells.resize(n_cells);
 
-  const auto run_cell = [&](std::size_t idx) {
+  const auto seed_at = [&spec, n_seeds](std::size_t idx) {
+    return spec.explicit_seeds.empty() ? cell_seed(spec.base_seed, idx)
+                                       : spec.explicit_seeds[idx % n_seeds];
+  };
+  const auto fill_cell_coords = [&](std::size_t idx) -> CellOutcome& {
     CellOutcome& cell = out.cells[idx];
     cell.cell_index = idx;
     cell.seed_index = static_cast<int>(idx % n_seeds);
     cell.placement = (idx / n_seeds) % n_pl;
     cell.adversary = idx / (n_seeds * n_pl);
-    cell.seed = spec.explicit_seeds.empty()
-                    ? cell_seed(spec.base_seed, idx)
-                    : spec.explicit_seeds[static_cast<std::size_t>(cell.seed_index)];
+    cell.seed = seed_at(idx);
+    return cell;
+  };
+
+  const auto run_cell = [&](std::size_t idx) {
+    CellOutcome& cell = fill_cell_coords(idx);
 
     RunConfig cfg;
     cfg.algo = spec.algo_factory ? spec.algo_factory() : spec.algo;
@@ -104,11 +113,65 @@ ExperimentResult Engine::run(const ExperimentSpec& spec) const {
     cell.result = run_execution(cfg, *adversary, spec.margin);
   };
 
+  // Batch eligibility: a shared TableAlgorithm, no per-cell factories, and a
+  // batchable adversary (probed per name on a library instance). Eligible
+  // (adversary, placement) groups run their seed range through the batched
+  // backend in lockstep chunks; every other cell stays on the scalar runner.
+  const auto table_algo =
+      spec.backend == Backend::kAuto && spec.algo != nullptr && !spec.algo_factory &&
+              !spec.adversary_factory
+          ? std::dynamic_pointer_cast<const counting::TableAlgorithm>(spec.algo)
+          : nullptr;
+  std::vector<bool> adv_batchable(n_adv, false);
+  if (table_algo) {
+    for (std::size_t a = 0; a < n_adv; ++a) {
+      adv_batchable[a] = make_adversary(spec.adversaries[a])->batchable();
+    }
+  }
+
+  constexpr std::size_t kChunk = 64;  // lanes per batch task (one plane word)
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(n_cells);
+  for (std::size_t a = 0; a < n_adv; ++a) {
+    for (std::size_t p = 0; p < n_pl; ++p) {
+      const std::size_t group = (a * n_pl + p) * n_seeds;
+      if (table_algo && adv_batchable[a]) {
+        out.batched_cells += n_seeds;
+        for (std::size_t s0 = 0; s0 < n_seeds; s0 += kChunk) {
+          const std::size_t count = std::min(kChunk, n_seeds - s0);
+          tasks.push_back([&, a, group, s0, count, p] {
+            BatchConfig bc;
+            bc.algo = table_algo;
+            bc.faulty = placements[p].faulty;
+            bc.max_rounds = horizon(*spec.algo);
+            bc.margin = spec.margin;
+            bc.stop_after_stable = spec.stop_after_stable;
+            bc.record_outputs = spec.record_outputs;
+            bc.record_states = spec.record_states;
+            bc.initial = spec.initial;
+            const std::string& name = spec.adversaries[a];
+            bc.adversary = [&name] { return make_adversary(name); };
+            bc.seeds.resize(count);
+            for (std::size_t k = 0; k < count; ++k) bc.seeds[k] = seed_at(group + s0 + k);
+            auto results = run_batch(bc);
+            for (std::size_t k = 0; k < count; ++k) {
+              fill_cell_coords(group + s0 + k).result = std::move(results[k]);
+            }
+          });
+        }
+      } else {
+        for (std::size_t s = 0; s < n_seeds; ++s) {
+          tasks.push_back([&run_cell, idx = group + s] { run_cell(idx); });
+        }
+      }
+    }
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   if (pool_) {
-    pool_->parallel_for(n_cells, run_cell);
+    pool_->parallel_for(tasks.size(), [&tasks](std::size_t i) { tasks[i](); });
   } else {
-    for (std::size_t i = 0; i < n_cells; ++i) run_cell(i);
+    for (auto& task : tasks) task();
   }
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();

@@ -10,6 +10,14 @@
 // Layering: run_execution (runner.hpp) stays the single-run kernel; the
 // engine composes it. Benches, tests and the CLI sit on the engine instead
 // of hand-rolling seed loops.
+//
+// Execution backends: cells sharing (adversary, placement) form a group. A
+// group whose algorithm is a shared TableAlgorithm and whose adversary is
+// batchable runs through the bit-parallel batched backend
+// (sim/batch_runner.hpp) in lockstep chunks of up to 64 seeds; every other
+// cell (composite algorithms, per-cell factories, search adversaries like
+// lookahead) stays on the scalar runner. Both backends produce bit-identical
+// RunResults, so mixing them never changes an aggregate.
 #pragma once
 
 #include <cstdint>
@@ -46,6 +54,12 @@ using AdversaryFactory = std::function<std::unique_ptr<Adversary>(const std::str
 // norm).
 using AlgorithmFactory = std::function<counting::AlgorithmPtr()>;
 
+// Which execution backends the engine may use.
+enum class Backend {
+  kAuto,    // batched backend for eligible cell-groups, scalar otherwise
+  kScalar,  // force the scalar runner for every cell
+};
+
 struct ExperimentSpec {
   counting::AlgorithmPtr algo;
   AlgorithmFactory algo_factory;
@@ -79,6 +93,11 @@ struct ExperimentSpec {
   bool record_outputs = false;
   bool record_states = false;
   std::vector<State> initial;          // non-empty: fixed initial states
+
+  // kScalar disables the batched backend (the aggregates do not change --
+  // the backends are bit-identical -- but benches and tests use it to
+  // isolate the scalar path).
+  Backend backend = Backend::kAuto;
 };
 
 // One cell of the grid = one execution.
@@ -113,6 +132,7 @@ struct ExperimentResult {
   std::vector<CellOutcome> cells;  // ordered by cell_index
   AggregateResult total;
   double wall_seconds = 0.0;
+  std::uint64_t batched_cells = 0;  // cells that ran on the batched backend
 
   // Re-fold a slice of the grid, e.g. one (adversary, placement) pair.
   AggregateResult aggregate(std::optional<std::size_t> adversary,

@@ -7,6 +7,12 @@
 
 namespace synccount::sim {
 
+std::uint64_t resolve_margin(std::uint64_t margin, std::uint64_t max_rounds,
+                             std::uint64_t modulus) noexcept {
+  if (margin != 0) return margin;
+  return std::min<std::uint64_t>(2 * modulus + 16, std::max<std::uint64_t>(max_rounds / 4, 1));
+}
+
 RunResult run_execution(const RunConfig& cfg, Adversary& adversary, std::uint64_t margin) {
   SC_CHECK(cfg.algo != nullptr, "no algorithm given");
   const auto& algo = *cfg.algo;
@@ -39,9 +45,7 @@ RunResult run_execution(const RunConfig& cfg, Adversary& adversary, std::uint64_
     for (auto& s : states) s = counting::arbitrary_state(algo, rng);
   }
 
-  if (margin == 0) {
-    margin = std::min<std::uint64_t>(2 * algo.modulus() + 16, std::max<std::uint64_t>(cfg.max_rounds / 4, 1));
-  }
+  margin = resolve_margin(margin, cfg.max_rounds, algo.modulus());
 
   StabilisationChecker checker(algo.modulus());
   RunResult result;

@@ -54,8 +54,14 @@ struct RunResult {
   std::vector<std::vector<State>> states;
 };
 
+// The margin actually used when the caller passes 0: min(2c + 16, what fits
+// in the horizon). Shared by the scalar runner and the batched backend so
+// both paths classify "stabilised" identically.
+std::uint64_t resolve_margin(std::uint64_t margin, std::uint64_t max_rounds,
+                             std::uint64_t modulus) noexcept;
+
 // Runs the execution; `margin` is the minimal suffix length for an execution
-// to count as stabilised (default: min(2c + 16, what fits in the horizon)).
+// to count as stabilised (default: see resolve_margin).
 RunResult run_execution(const RunConfig& cfg, Adversary& adversary,
                         std::uint64_t margin = 0);
 

@@ -1,0 +1,307 @@
+// Tests for the bit-parallel batched execution backend: every lane of
+// run_batch must be bit-identical to run_execution on the same seed -- across
+// tables (cyclic / uniform / per-node / wide), kernels (bit-sliced / SoA),
+// adversaries, fault placements, batch widths and early-exit patterns -- and
+// the engine's batched dispatch must leave aggregates bit-identical to the
+// forced-scalar backend for any thread count.
+#include <gtest/gtest.h>
+
+#include "counting/table_algorithm.hpp"
+#include "sim/batch_runner.hpp"
+#include "sim/engine.hpp"
+#include "sim/faults.hpp"
+#include "synthesis/known_tables.hpp"
+
+namespace {
+
+using namespace synccount;
+
+using TablePtr = std::shared_ptr<const counting::TableAlgorithm>;
+
+TablePtr table3() {
+  return std::make_shared<counting::TableAlgorithm>(synthesis::known_table_4_1_3states());
+}
+
+TablePtr table4() {
+  return std::make_shared<counting::TableAlgorithm>(synthesis::known_table_4_1_4states());
+}
+
+// A per-node table (the symmetry branch the known tables don't cover).
+// Behaviour is arbitrary; the tests only compare backends against each other.
+TablePtr per_node_table() {
+  counting::TransitionTable t;
+  t.n = 3;
+  t.f = 0;
+  t.num_states = 2;
+  t.modulus = 2;
+  t.symmetry = counting::Symmetry::kPerNode;
+  t.g.resize(3 * 8);
+  for (std::size_t i = 0; i < t.g.size(); ++i) t.g[i] = static_cast<std::uint8_t>((i * 5 + 1) % 2);
+  t.h = {0, 1, 1, 0, 0, 1};
+  t.label = "per-node-test";
+  return std::make_shared<counting::TableAlgorithm>(std::move(t));
+}
+
+// num_states > 4: exercises the SoA kernel under kAuto.
+TablePtr wide_table() {
+  counting::TransitionTable t;
+  t.n = 3;
+  t.f = 0;
+  t.num_states = 5;
+  t.modulus = 2;
+  t.symmetry = counting::Symmetry::kUniform;
+  t.g.resize(125);
+  for (std::size_t i = 0; i < t.g.size(); ++i) t.g[i] = static_cast<std::uint8_t>((i * 7 + 3) % 5);
+  t.h = {0, 1, 0, 1, 1};
+  t.label = "wide-test";
+  return std::make_shared<counting::TableAlgorithm>(std::move(t));
+}
+
+struct RunOpts {
+  std::vector<bool> faulty;
+  std::uint64_t max_rounds = 200;
+  std::uint64_t margin = 30;
+  std::uint64_t stop_after_stable = 0;
+  bool record_outputs = false;
+  bool record_states = false;
+  std::vector<sim::State> initial;
+};
+
+sim::RunResult scalar_run(const TablePtr& algo, const std::string& adversary,
+                          std::uint64_t seed, const RunOpts& opt) {
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  cfg.faulty = opt.faulty;
+  cfg.max_rounds = opt.max_rounds;
+  cfg.seed = seed;
+  cfg.stop_after_stable = opt.stop_after_stable;
+  cfg.record_outputs = opt.record_outputs;
+  cfg.record_states = opt.record_states;
+  cfg.initial = opt.initial;
+  auto adv = sim::make_adversary(adversary);
+  return sim::run_execution(cfg, *adv, opt.margin);
+}
+
+std::vector<sim::RunResult> batch_run(const TablePtr& algo, const std::string& adversary,
+                                      const std::vector<std::uint64_t>& seeds,
+                                      const RunOpts& opt,
+                                      sim::BatchKernel kernel = sim::BatchKernel::kAuto) {
+  sim::BatchConfig bc;
+  bc.algo = algo;
+  bc.faulty = opt.faulty;
+  bc.max_rounds = opt.max_rounds;
+  bc.margin = opt.margin;
+  bc.stop_after_stable = opt.stop_after_stable;
+  bc.record_outputs = opt.record_outputs;
+  bc.record_states = opt.record_states;
+  bc.initial = opt.initial;
+  bc.adversary = [&adversary] { return sim::make_adversary(adversary); };
+  bc.seeds = seeds;
+  bc.kernel = kernel;
+  return sim::run_batch(bc);
+}
+
+void expect_same_run(const sim::RunResult& a, const sim::RunResult& b,
+                     const std::string& context) {
+  EXPECT_EQ(a.rounds, b.rounds) << context;
+  EXPECT_EQ(a.stabilisation_round, b.stabilisation_round) << context;
+  EXPECT_EQ(a.suffix_length, b.suffix_length) << context;
+  EXPECT_EQ(a.max_window, b.max_window) << context;
+  EXPECT_EQ(a.stabilised, b.stabilised) << context;
+  EXPECT_EQ(a.max_pulls_per_round, b.max_pulls_per_round) << context;
+  EXPECT_EQ(a.avg_pulls_per_round, b.avg_pulls_per_round) << context;
+  EXPECT_EQ(a.correct_ids, b.correct_ids) << context;
+  EXPECT_EQ(a.outputs, b.outputs) << context;
+  EXPECT_EQ(a.states, b.states) << context;
+}
+
+TEST(BatchRunner, MatchesScalarAcrossAdversariesPlacementsAndKernels) {
+  const std::vector<std::pair<std::string, TablePtr>> tables = {{"3states", table3()},
+                                                               {"4states", table4()}};
+  const std::vector<std::string> adversaries = {"silent", "echo",   "random",
+                                                "split",  "mirror", "targeted-vote"};
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 12345, 0xDEAD};
+  for (const auto& [tname, algo] : tables) {
+    for (const auto kernel : {sim::BatchKernel::kBitSliced, sim::BatchKernel::kSoA}) {
+      for (const auto& adv : adversaries) {
+        for (const bool with_fault : {false, true}) {
+          RunOpts opt;
+          if (with_fault) opt.faulty = sim::faults_spread(4, 1);
+          const auto batch = batch_run(algo, adv, seeds, opt, kernel);
+          ASSERT_EQ(batch.size(), seeds.size());
+          for (std::size_t i = 0; i < seeds.size(); ++i) {
+            const auto scalar = scalar_run(algo, adv, seeds[i], opt);
+            expect_same_run(batch[i], scalar,
+                            tname + "/" + adv + (with_fault ? "/f1" : "/f0") + "/seed=" +
+                                std::to_string(seeds[i]) +
+                                (kernel == sim::BatchKernel::kSoA ? "/soa" : "/bitsliced"));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchRunner, WidthsDoNotChangeResults) {
+  // Lanes stabilise (and early-exit) at different rounds within one batch;
+  // widths 1, 7, 64 and 100 cover partial words and multi-block batches.
+  const auto algo = table3();
+  RunOpts opt;
+  opt.faulty = sim::faults_spread(4, 1);
+  opt.max_rounds = 400;
+  opt.stop_after_stable = 35;
+  std::vector<std::uint64_t> seeds(100);
+  for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = 0xB000 + i * 17;
+
+  std::vector<sim::RunResult> reference;
+  for (const auto s : seeds) reference.push_back(scalar_run(algo, "random", s, opt));
+
+  for (const std::size_t width : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                                  std::size_t{100}}) {
+    const std::vector<std::uint64_t> sub(seeds.begin(), seeds.begin() + width);
+    const auto batch = batch_run(algo, "random", sub, opt);
+    ASSERT_EQ(batch.size(), width);
+    std::uint64_t distinct_rounds = 0;
+    for (std::size_t i = 0; i < width; ++i) {
+      expect_same_run(batch[i], reference[i], "width=" + std::to_string(width) +
+                                                  "/seed=" + std::to_string(sub[i]));
+      if (i > 0 && batch[i].rounds != batch[0].rounds) ++distinct_rounds;
+    }
+    if (width >= 64) {
+      EXPECT_GT(distinct_rounds, 0u)
+          << "expected lanes to early-exit at different rounds";
+    }
+  }
+}
+
+TEST(BatchRunner, RecordedTracesMatchScalar) {
+  const auto algo = table4();
+  RunOpts opt;
+  opt.faulty = sim::faults_prefix(4, 1);
+  opt.max_rounds = 60;
+  opt.record_outputs = true;
+  opt.record_states = true;
+  const std::vector<std::uint64_t> seeds = {5, 6, 7};
+  const auto batch = batch_run(algo, "split", seeds, opt);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const auto scalar = scalar_run(algo, "split", seeds[i], opt);
+    ASSERT_EQ(batch[i].outputs.size(), scalar.outputs.size());
+    ASSERT_EQ(batch[i].states.size(), scalar.states.size());
+    expect_same_run(batch[i], scalar, "traces/seed=" + std::to_string(seeds[i]));
+  }
+}
+
+TEST(BatchRunner, PerNodeSymmetryMatchesScalar) {
+  const auto algo = per_node_table();
+  RunOpts opt;
+  opt.max_rounds = 80;
+  const std::vector<std::uint64_t> seeds = {11, 22, 33, 44};
+  for (const auto kernel : {sim::BatchKernel::kBitSliced, sim::BatchKernel::kSoA}) {
+    const auto batch = batch_run(algo, "split", seeds, opt, kernel);
+    for (std::size_t i = 0; i < seeds.size(); ++i) {
+      expect_same_run(batch[i], scalar_run(algo, "split", seeds[i], opt),
+                      "per-node/seed=" + std::to_string(seeds[i]));
+    }
+  }
+}
+
+TEST(BatchRunner, WideTableFallsBackToSoA) {
+  const auto algo = wide_table();
+  RunOpts opt;
+  opt.max_rounds = 80;
+  const std::vector<std::uint64_t> seeds = {9, 10, 11};
+  const auto batch = batch_run(algo, "split", seeds, opt);  // kAuto -> SoA (5 states)
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    expect_same_run(batch[i], scalar_run(algo, "split", seeds[i], opt),
+                    "wide/seed=" + std::to_string(seeds[i]));
+  }
+  EXPECT_THROW(batch_run(algo, "split", seeds, opt, sim::BatchKernel::kBitSliced),
+               std::invalid_argument);
+}
+
+TEST(BatchRunner, FixedInitialStatesMatchScalar) {
+  const auto algo = table3();
+  RunOpts opt;
+  opt.faulty = sim::faults_spread(4, 1);
+  opt.max_rounds = 50;
+  opt.initial.resize(4);
+  for (int i = 0; i < 4; ++i) opt.initial[static_cast<std::size_t>(i)].set_bits(0, 8, 0xA5u + i);
+  const std::vector<std::uint64_t> seeds = {71, 72};
+  const auto batch = batch_run(algo, "mirror", seeds, opt);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    expect_same_run(batch[i], scalar_run(algo, "mirror", seeds[i], opt),
+                    "initial/seed=" + std::to_string(seeds[i]));
+  }
+}
+
+// --- Engine dispatch ---------------------------------------------------------
+
+void expect_same_aggregate(const sim::AggregateResult& a, const sim::AggregateResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.stabilised, b.stabilised);
+  EXPECT_EQ(a.max_pulls, b.max_pulls);
+  EXPECT_EQ(a.stabilisation.count(), b.stabilisation.count());
+  EXPECT_EQ(a.stabilisation.mean(), b.stabilisation.mean());
+  EXPECT_EQ(a.stabilisation.stddev(), b.stabilisation.stddev());
+  EXPECT_EQ(a.stabilisation.min(), b.stabilisation.min());
+  EXPECT_EQ(a.stabilisation.max(), b.stabilisation.max());
+  EXPECT_EQ(a.stabilisation.quantile(0.5), b.stabilisation.quantile(0.5));
+  EXPECT_EQ(a.stabilisation.quantile(0.95), b.stabilisation.quantile(0.95));
+  EXPECT_EQ(a.rounds.mean(), b.rounds.mean());
+  EXPECT_EQ(a.avg_pulls.mean(), b.avg_pulls.mean());
+}
+
+sim::ExperimentSpec table_grid_spec() {
+  sim::ExperimentSpec spec;
+  spec.algo = table3();
+  spec.adversaries = {"silent", "split", "random", "lookahead"};
+  spec.placements = {{"none", {}}, {"spread", sim::faults_spread(4, 1)}};
+  spec.seeds = 70;  // crosses the 64-lane chunk boundary
+  spec.stop_after_stable = 40;
+  spec.margin = 30;
+  return spec;
+}
+
+TEST(Engine, BatchedBackendIsBitIdenticalToScalarBackend) {
+  auto spec = table_grid_spec();
+  const sim::Engine engine(1);
+
+  const auto batched = engine.run(spec);
+  spec.backend = sim::Backend::kScalar;
+  const auto scalar = engine.run(spec);
+
+  // silent/split/random batch over both placements; lookahead stays scalar.
+  EXPECT_EQ(batched.batched_cells, 3u * 2u * 70u);
+  EXPECT_EQ(scalar.batched_cells, 0u);
+
+  ASSERT_EQ(batched.cells.size(), scalar.cells.size());
+  for (std::size_t i = 0; i < batched.cells.size(); ++i) {
+    EXPECT_EQ(batched.cells[i].seed, scalar.cells[i].seed);
+    EXPECT_EQ(batched.cells[i].adversary, scalar.cells[i].adversary);
+    EXPECT_EQ(batched.cells[i].placement, scalar.cells[i].placement);
+    expect_same_run(batched.cells[i].result, scalar.cells[i].result,
+                    "cell=" + std::to_string(i));
+  }
+  expect_same_aggregate(batched.total, scalar.total);
+  for (std::size_t a = 0; a < spec.adversaries.size(); ++a) {
+    for (std::size_t p = 0; p < spec.placements.size(); ++p) {
+      expect_same_aggregate(batched.aggregate(a, p), scalar.aggregate(a, p));
+    }
+  }
+}
+
+TEST(Engine, BatchedBackendIsThreadCountIndependent) {
+  const auto spec = table_grid_spec();
+  const sim::Engine serial(1);
+  const sim::Engine parallel4(4);
+  const auto a = serial.run(spec);
+  const auto b = parallel4.run(spec);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].result.rounds, b.cells[i].result.rounds);
+    EXPECT_EQ(a.cells[i].result.stabilisation_round, b.cells[i].result.stabilisation_round);
+  }
+  expect_same_aggregate(a.total, b.total);
+}
+
+}  // namespace

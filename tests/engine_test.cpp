@@ -9,9 +9,11 @@
 
 #include "boosting/planner.hpp"
 #include "counting/randomized.hpp"
+#include "counting/table_algorithm.hpp"
 #include "counting/trivial.hpp"
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
+#include "synthesis/known_tables.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -188,6 +190,42 @@ TEST(Engine, MatchesHandRolledRunExecutionLoop) {
   EXPECT_EQ(result.total.stabilisation.max(), ref_stab.max());
   EXPECT_EQ(result.total.stabilisation.quantile(0.5), ref_stab.quantile(0.5));
   EXPECT_EQ(result.total.stabilisation.quantile(0.95), ref_stab.quantile(0.95));
+}
+
+TEST(Engine, BatchedAndScalarBackendsGiveIdenticalAggregates) {
+  // A shared TableAlgorithm with batchable adversaries takes the bit-parallel
+  // batched backend; forcing Backend::kScalar must not change any aggregate
+  // bit (the full per-RunResult comparison lives in batch_runner_test.cpp).
+  sim::ExperimentSpec spec;
+  spec.algo =
+      std::make_shared<counting::TableAlgorithm>(synthesis::known_table_4_1_3states());
+  spec.adversaries = {"silent", "split", "random"};
+  spec.placements = {{"none", {}}, {"spread", sim::faults_spread(4, 1)}};
+  spec.seeds = 70;  // crosses the 64-lane chunk boundary
+  spec.stop_after_stable = 40;
+  spec.margin = 30;
+
+  const sim::Engine engine(2);
+  const auto batched = engine.run(spec);
+  EXPECT_EQ(batched.batched_cells, batched.cells.size());
+
+  spec.backend = sim::Backend::kScalar;
+  const auto scalar = engine.run(spec);
+  EXPECT_EQ(scalar.batched_cells, 0u);
+
+  ASSERT_EQ(batched.cells.size(), scalar.cells.size());
+  for (std::size_t i = 0; i < batched.cells.size(); ++i) {
+    EXPECT_EQ(batched.cells[i].seed, scalar.cells[i].seed);
+    EXPECT_EQ(batched.cells[i].result.rounds, scalar.cells[i].result.rounds);
+    EXPECT_EQ(batched.cells[i].result.stabilisation_round,
+              scalar.cells[i].result.stabilisation_round);
+  }
+  expect_same_aggregate(batched.total, scalar.total);
+  for (std::size_t adv = 0; adv < spec.adversaries.size(); ++adv) {
+    for (std::size_t pl = 0; pl < spec.placements.size(); ++pl) {
+      expect_same_aggregate(batched.aggregate(adv, pl), scalar.aggregate(adv, pl));
+    }
+  }
 }
 
 TEST(Engine, DefaultPlacementIsFaultFree) {

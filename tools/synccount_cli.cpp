@@ -5,6 +5,8 @@
 //                             [--placement=blocks|spread] [--seed=S]
 //                             [--rounds=N] [--trace=out.csv]
 //   synccount_cli sweep       --f=3 [--modulus=16] [--seeds=5] [--threads=N]
+//                             [--table=3states|4states|file.table]
+//                             [--backend=auto|scalar]
 //                             [--adversaries=split,lookahead|all]
 //                             [--placements=spread,blocks,leaders]
 //                             [--base-seed=S] [--rounds=N] [--margin=M]
@@ -114,14 +116,42 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 // Batched sweep over adversaries x fault placements x seeds through the
 // experiment engine; prints one aggregate row per (adversary, placement).
+// With --table=3states|4states|<file>, sweeps a transition-table algorithm
+// instead of a boosted counter; such sweeps run on the bit-parallel batched
+// backend (--backend=scalar forces the scalar runner).
 int cmd_sweep(const util::Cli& cli) {
-  const int f = static_cast<int>(cli.get_int("f", 3));
-  const std::uint64_t modulus = cli.get_u64("modulus", 16);
-  const auto algo = boosting::build_plan(boosting::plan_practical(f, modulus));
+  counting::AlgorithmPtr algo;
+  if (cli.has("table")) {
+    const std::string which = cli.get_string("table", "3states");
+    counting::TransitionTable table;
+    if (which == "3states") {
+      table = synthesis::known_table_4_1_3states();
+    } else if (which == "4states") {
+      table = synthesis::known_table_4_1_4states();
+    } else {
+      std::ifstream file(which);
+      SC_CHECK(file.good(), "cannot open table file: " + which);
+      table = counting::read_table(file);
+    }
+    algo = std::make_shared<counting::TableAlgorithm>(std::move(table));
+  } else {
+    const int plan_f = static_cast<int>(cli.get_int("f", 3));
+    const std::uint64_t modulus = cli.get_u64("modulus", 16);
+    algo = boosting::build_plan(boosting::plan_practical(plan_f, modulus));
+  }
+  const int f = cli.has("table") ? algo->resilience()
+                                 : static_cast<int>(cli.get_int("f", 3));
   const int n = algo->num_nodes();
 
   sim::ExperimentSpec spec;
   spec.algo = algo;
+  const std::string backend = cli.get_string("backend", "auto");
+  if (backend == "scalar") {
+    spec.backend = sim::Backend::kScalar;
+  } else if (backend != "auto") {
+    std::cerr << "unknown backend: " << backend << " (want auto|scalar)\n";
+    return 2;
+  }
 
   const std::string adv_arg = cli.get_string("adversaries", "split,random,lookahead");
   spec.adversaries = adv_arg == "all" ? sim::adversary_names() : split_csv(adv_arg);
@@ -169,7 +199,8 @@ int cmd_sweep(const util::Cli& cli) {
             << algo->stabilisation_bound().value_or(0) << ")\n"
             << "grid: " << spec.adversaries.size() << " adversaries x "
             << spec.placements.size() << " placements x " << spec.seeds << " seeds = "
-            << result.cells.size() << " executions on " << engine.threads() << " threads\n\n";
+            << result.cells.size() << " executions on " << engine.threads() << " threads ("
+            << result.batched_cells << " on the batched backend)\n\n";
 
   util::Table table({"adversary", "placement", "stabilised", "T mean", "T p50", "T p95",
                      "T max"});
