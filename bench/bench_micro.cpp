@@ -132,10 +132,10 @@ void BM_ArbitraryState(benchmark::State& state) {
 }
 BENCHMARK(BM_ArbitraryState);
 
-// --- Execution backends: scalar vs batched vs bit-sliced ---------------------
+// --- Execution backends: scalar vs batched (flat and composed) ---------------
 
 struct BackendCase {
-  std::shared_ptr<const counting::TableAlgorithm> algo;
+  counting::AlgorithmPtr algo;
   std::string adversary;
   std::vector<bool> faulty;
   std::uint64_t rounds;
@@ -151,6 +151,20 @@ BackendCase table1_case(const std::string& adversary, std::size_t n_seeds,
   c.rounds = rounds;
   c.seeds.resize(n_seeds);
   for (std::size_t i = 0; i < n_seeds; ++i) c.seeds[i] = 0xBE9C + i * 31;
+  return c;
+}
+
+// The composed-backend acceptance instance: the practical f = 2 boosted
+// counter (two levels over the trivial base, N = 12).
+BackendCase boosted_case(const std::string& adversary, std::size_t n_seeds,
+                         std::uint64_t rounds) {
+  BackendCase c;
+  c.algo = boosting::build_plan(boosting::plan_practical(2, 10));
+  c.adversary = adversary;
+  c.faulty = sim::faults_spread(c.algo->num_nodes(), 2);
+  c.rounds = rounds;
+  c.seeds.resize(n_seeds);
+  for (std::size_t i = 0; i < n_seeds; ++i) c.seeds[i] = 0xB005 + i * 37;
   return c;
 }
 
@@ -210,6 +224,23 @@ void BM_TableBackendBitSliced(benchmark::State& state) {
 }
 BENCHMARK(BM_TableBackendBitSliced)->Unit(benchmark::kMillisecond);
 
+void BM_ComposedBackendScalar(benchmark::State& state) {
+  const auto c = boosted_case("silent", 64, 64);
+  for (auto _ : state) run_scalar_case(c);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * node_rounds(c)));
+  state.SetLabel("items = node-rounds, practical(f=2, C=10), N=12");
+}
+BENCHMARK(BM_ComposedBackendScalar)->Unit(benchmark::kMillisecond);
+
+void BM_ComposedBackendBatched(benchmark::State& state) {
+  const auto c = boosted_case("silent", 64, 64);
+  for (auto _ : state) run_batch_case(c, sim::BatchKernel::kAuto);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * node_rounds(c)));
+}
+BENCHMARK(BM_ComposedBackendBatched)->Unit(benchmark::kMillisecond);
+
 // --- Perf smoke (--json): records the backend trajectory for CI -------------
 
 double seconds_of(const std::function<void()>& fn, int reps) {
@@ -226,31 +257,52 @@ double seconds_of(const std::function<void()>& fn, int reps) {
   return best;
 }
 
+struct SmokeInstance {
+  std::string name;
+  std::function<BackendCase(const std::string&)> make_case;
+};
+
 int run_json_smoke(const std::string& path) {
   std::ofstream out(path);
   if (!out.good()) {
     std::cerr << "cannot write " << path << "\n";
     return 1;
   }
-  out << "{\n  \"instance\": \"table1 n=4 f=1 c=2 |X|=3, 1 Byzantine (spread)\",\n"
-      << "  \"seeds\": 256, \"rounds\": 512,\n  \"results\": [";
-  bool first = true;
-  for (const std::string adversary : {"silent", "split"}) {
-    const auto c = table1_case(adversary, 256, 512);
-    const double nr = node_rounds(c);
-    const double scalar_s = seconds_of([&c] { run_scalar_case(c); }, 3);
-    const double batch_s =
-        seconds_of([&c] { run_batch_case(c, sim::BatchKernel::kAuto); }, 3);
-    const double scalar_ns = 1e9 * scalar_s / nr;
-    const double batch_ns = 1e9 * batch_s / nr;
-    out << (first ? "" : ",") << "\n    {\"adversary\": \"" << adversary
-        << "\", \"scalar_ns_per_node_round\": " << scalar_ns
-        << ", \"batch_ns_per_node_round\": " << batch_ns
-        << ", \"speedup\": " << scalar_ns / batch_ns << "}";
-    std::cout << adversary << ": scalar " << scalar_ns << " ns/node-round, batched "
-              << batch_ns << " ns/node-round, speedup " << scalar_ns / batch_ns
-              << "x\n";
-    first = false;
+  const std::vector<SmokeInstance> instances = {
+      {"table1 n=4 f=1 c=2 |X|=3, 1 Byzantine (spread)",
+       [](const std::string& adv) { return table1_case(adv, 256, 512); }},
+      {"boosted practical(f=2, C=10) N=12, 2 Byzantine (spread)",
+       [](const std::string& adv) { return boosted_case(adv, 64, 256); }},
+  };
+  out << "{\n  \"instances\": [";
+  bool first_instance = true;
+  for (const auto& inst : instances) {
+    // The recorded workload metadata comes from the case actually measured.
+    const auto shape = inst.make_case("silent");
+    out << (first_instance ? "" : ",") << "\n    {\"instance\": \"" << inst.name
+        << "\",\n     \"seeds\": " << shape.seeds.size() << ", \"rounds\": " << shape.rounds
+        << ",\n     \"results\": [";
+    std::cout << "=== " << inst.name << " ===\n";
+    bool first = true;
+    for (const std::string adversary : {"silent", "split"}) {
+      const auto c = inst.make_case(adversary);
+      const double nr = node_rounds(c);
+      const double scalar_s = seconds_of([&c] { run_scalar_case(c); }, 3);
+      const double batch_s =
+          seconds_of([&c] { run_batch_case(c, sim::BatchKernel::kAuto); }, 3);
+      const double scalar_ns = 1e9 * scalar_s / nr;
+      const double batch_ns = 1e9 * batch_s / nr;
+      out << (first ? "" : ",") << "\n      {\"adversary\": \"" << adversary
+          << "\", \"scalar_ns_per_node_round\": " << scalar_ns
+          << ", \"batch_ns_per_node_round\": " << batch_ns
+          << ", \"speedup\": " << scalar_ns / batch_ns << "}";
+      std::cout << adversary << ": scalar " << scalar_ns << " ns/node-round, batched "
+                << batch_ns << " ns/node-round, speedup " << scalar_ns / batch_ns
+                << "x\n";
+      first = false;
+    }
+    out << "\n     ]}";
+    first_instance = false;
   }
   out << "\n  ]\n}\n";
   std::cout << "wrote " << path << "\n";

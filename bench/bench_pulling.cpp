@@ -1,12 +1,16 @@
-// Experiments E7 and E8: the pulling model of Section 5.
+// Experiments E7 and E8: the pulling model of Section 5, driven end-to-end
+// by the experiment engine (which runs the eligible cell-groups on the
+// composed batched backend).
 //  * E7 (Theorem 4 / Corollary 4): messages pulled per node per round --
 //    O(k log eta) per level instead of n -- and the quality of counting
 //    (longest valid window) as a function of the sample size M.
 //  * E8 (Corollary 5): the pseudo-random variant with per-node sampling bits
 //    fixed once; against an oblivious adversary a good seed stabilises and
 //    then counts deterministically. We report the fraction of good seeds.
+//    The sampling seed varies per cell through the engine's per-cell
+//    algorithm factory (factory cells run on the scalar backend).
 //
-// Usage: bench_pulling [--seeds=N] [--deep]
+// Usage: bench_pulling [--seeds=N] [--deep] [--threads=N]
 #include <cmath>
 #include <iostream>
 
@@ -20,17 +24,31 @@ namespace {
 
 using namespace synccount;
 
+std::shared_ptr<pulling::PullingBoostedCounter> small_pulling(int M, pulling::SamplingMode mode,
+                                                              std::uint64_t seed) {
+  auto base = std::make_shared<counting::TrivialCounter>(2304);
+  pulling::PullParams p;
+  p.k = 4;
+  p.F = 1;
+  p.C = 8;
+  p.sample_size = M;
+  p.mode = mode;
+  p.seed = seed;
+  return std::make_shared<pulling::PullingBoostedCounter>(base, p);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 5));
   const bool deep = cli.get_bool("deep");
+  const auto& eng = bench::engine(cli);
 
   std::cout << "=== E7: pulls per round (Theorem 4 / Corollary 4) ===\n\n";
   {
     util::Table table({"f", "N", "broadcast msgs/node/round", "M", "pulls/node/round",
-                       "pull fraction"});
+                       "pull fraction", "batched cells"});
     std::vector<int> targets = {1, 3, 7};
     if (deep) targets.push_back(15);
     for (int f : targets) {
@@ -38,15 +56,17 @@ int main(int argc, char** argv) {
       const auto algo =
           pulling::build_pulling_practical(f, 16, M, pulling::SamplingMode::kFresh);
       const int N = algo->num_nodes();
-      sim::RunConfig cfg;
-      cfg.algo = algo;
-      cfg.max_rounds = 20;
-      cfg.seed = 3;
-      auto adv = sim::make_adversary("random");
-      const auto res = sim::run_execution(cfg, *adv, 2);
+      sim::ExperimentSpec spec;
+      spec.algo = algo;
+      spec.adversaries = {"random"};
+      spec.seeds = seeds;
+      spec.max_rounds = 20;
+      spec.margin = 2;
+      const auto res = eng.run(spec);
       table.add_row({std::to_string(f), std::to_string(N), std::to_string(N),
-                     std::to_string(M), std::to_string(res.max_pulls_per_round),
-                     util::fmt_double(static_cast<double>(res.max_pulls_per_round) / N, 2)});
+                     std::to_string(M), std::to_string(res.total.max_pulls),
+                     util::fmt_double(static_cast<double>(res.total.max_pulls) / N, 2),
+                     std::to_string(res.batched_cells)});
     }
     table.print(std::cout);
     std::cout << "\nAt the toy sizes a node pulls a constant multiple of log(eta) messages,\n"
@@ -58,31 +78,28 @@ int main(int argc, char** argv) {
   {
     // The harshest regime: correct fraction 3/4 vs sampled threshold 2/3.
     util::Table table({"M", "stabilised runs", "longest valid window (mean)",
-                       "longest valid window (max)"});
+                       "longest valid window (max)", "batched cells"});
     for (int M : {8, 16, 32, 64, 128, 256}) {
-      std::vector<double> windows;
-      int stab = 0;
+      sim::ExperimentSpec spec;
+      spec.algo = small_pulling(M, pulling::SamplingMode::kFresh, 0x5eed);
+      spec.adversaries = {"split"};
+      spec.placements = {{"prefix", sim::faults_prefix(4, 1)}};
+      spec.seeds = seeds;
+      spec.explicit_seeds.resize(static_cast<std::size_t>(seeds));
       for (int s = 0; s < seeds; ++s) {
-        auto base = std::make_shared<counting::TrivialCounter>(2304);
-        pulling::PullParams p;
-        p.k = 4;
-        p.F = 1;
-        p.C = 8;
-        p.sample_size = M;
-        const auto algo = std::make_shared<pulling::PullingBoostedCounter>(base, p);
-        sim::RunConfig cfg;
-        cfg.algo = algo;
-        cfg.faulty = sim::faults_prefix(4, 1);
-        cfg.max_rounds = 2304 + 600;
-        cfg.seed = 0x7000 + static_cast<std::uint64_t>(s);
-        auto adv = sim::make_adversary("split");
-        const auto res = sim::run_execution(cfg, *adv, 150);
-        stab += res.stabilised ? 1 : 0;
-        windows.push_back(static_cast<double>(res.max_window));
+        spec.explicit_seeds[static_cast<std::size_t>(s)] = 0x7000 + static_cast<std::uint64_t>(s);
+      }
+      spec.max_rounds = 2304 + 600;
+      spec.margin = 150;
+      const auto res = eng.run(spec);
+      std::vector<double> windows;
+      for (const auto& cell : res.cells) {
+        windows.push_back(static_cast<double>(cell.result.max_window));
       }
       const auto s = util::summarize(windows);
-      table.add_row({std::to_string(M), std::to_string(stab) + "/" + std::to_string(seeds),
-                     util::fmt_double(s.mean, 0), util::fmt_double(s.max, 0)});
+      table.add_row({std::to_string(M), bench::fmt_rate(res.total),
+                     util::fmt_double(s.mean, 0), util::fmt_double(s.max, 0),
+                     std::to_string(res.batched_cells)});
     }
     table.print(std::cout);
     std::cout << "\nWindows lengthen with M: the per-round failure probability decays\n"
@@ -94,29 +111,25 @@ int main(int argc, char** argv) {
   {
     util::Table table({"M", "good seeds (stabilised & persisted)", "fraction"});
     for (int M : {16, 32, 48, 96}) {
-      int good = 0;
       const int trials = std::max(seeds, 10);
+      sim::ExperimentSpec spec;
+      // One algorithm per cell: the sampling seed is the quantity under test.
+      spec.algo_factory = [M](std::size_t cell_index) {
+        return small_pulling(M, pulling::SamplingMode::kFixed,
+                             0xC0FFEE + static_cast<std::uint64_t>(cell_index) * 7919);
+      };
+      spec.adversaries = {"split"};
+      spec.placements = {{"prefix", sim::faults_prefix(4, 1)}};  // independent of the seeds
+      spec.seeds = trials;
+      spec.explicit_seeds.resize(static_cast<std::size_t>(trials));
       for (int s = 0; s < trials; ++s) {
-        auto base = std::make_shared<counting::TrivialCounter>(2304);
-        pulling::PullParams p;
-        p.k = 4;
-        p.F = 1;
-        p.C = 8;
-        p.sample_size = M;
-        p.mode = pulling::SamplingMode::kFixed;
-        p.seed = 0xC0FFEE + static_cast<std::uint64_t>(s) * 7919;
-        const auto algo = std::make_shared<pulling::PullingBoostedCounter>(base, p);
-        sim::RunConfig cfg;
-        cfg.algo = algo;
-        cfg.faulty = sim::faults_prefix(4, 1);  // chosen independently of the seeds
-        cfg.max_rounds = 2304 + 400;
-        cfg.seed = 0x8000 + static_cast<std::uint64_t>(s);
-        auto adv = sim::make_adversary("split");
-        const auto res = sim::run_execution(cfg, *adv, 200);
-        good += res.stabilised ? 1 : 0;
+        spec.explicit_seeds[static_cast<std::size_t>(s)] = 0x8000 + static_cast<std::uint64_t>(s);
       }
-      table.add_row({std::to_string(M), std::to_string(good) + "/" + std::to_string(trials),
-                     util::fmt_double(static_cast<double>(good) / trials, 2)});
+      spec.max_rounds = 2304 + 400;
+      spec.margin = 200;
+      const auto res = eng.run(spec);
+      table.add_row({std::to_string(M), bench::fmt_rate(res.total),
+                     util::fmt_double(res.total.stabilisation_rate(), 2)});
     }
     table.print(std::cout);
     std::cout << "\nWith fixed per-node sampling bits the execution is deterministic: a\n"

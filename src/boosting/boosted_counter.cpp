@@ -7,15 +7,9 @@
 
 namespace synccount::boosting {
 
-namespace {
-
-// Strict majority over small unsigned values in [0, bound): returns the value
-// occurring more than threshold times, or `fallback` if none does. The paper
-// lets the majority function return an arbitrary value when no correct
-// majority exists; like the paper we default to 0 (any fixed choice works).
 std::uint64_t strict_majority(std::span<const std::uint64_t> values, std::uint64_t bound,
                               std::size_t threshold, std::vector<std::uint32_t>& scratch,
-                              std::uint64_t fallback = 0) {
+                              std::uint64_t fallback) {
   if (scratch.size() < bound) scratch.resize(bound, 0);
   std::uint64_t winner = fallback;
   bool found = false;
@@ -29,8 +23,6 @@ std::uint64_t strict_majority(std::span<const std::uint64_t> values, std::uint64
   for (std::uint64_t v : values) scratch[static_cast<std::size_t>(v)] = 0;
   return found ? winner : fallback;
 }
-
-}  // namespace
 
 BoostedCounter::BoostedCounter(AlgorithmPtr inner, const BoostParams& params)
     : inner_(std::move(inner)), params_(params) {

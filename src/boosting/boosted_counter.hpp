@@ -33,6 +33,16 @@ using counting::AlgorithmPtr;
 using counting::NodeId;
 using counting::State;
 
+// Strict majority over small unsigned values in [0, bound): returns the value
+// occurring more than `threshold` times, or `fallback` if none does. The
+// paper lets the majority function return an arbitrary value when no correct
+// majority exists; like the paper we default to 0 (any fixed choice works).
+// Shared by the scalar votes() and the composed batched backend
+// (sim/composed_runner.hpp) so the two cannot drift apart.
+std::uint64_t strict_majority(std::span<const std::uint64_t> values, std::uint64_t bound,
+                              std::size_t threshold, std::vector<std::uint32_t>& scratch,
+                              std::uint64_t fallback = 0);
+
 struct BoostParams {
   int k = 0;           // number of blocks (>= 3)
   int F = 0;           // boosted resilience, F < (f+1)·ceil(k/2)

@@ -9,10 +9,6 @@
 
 namespace synccount::pulling {
 
-namespace {
-
-// Majority over small sampled values with a strict > half threshold;
-// defaults to 0 like the broadcast construction.
 std::uint64_t sampled_majority(std::span<const std::uint64_t> values, std::uint64_t bound,
                                std::vector<std::uint32_t>& scratch) {
   if (scratch.size() < bound) scratch.resize(bound, 0);
@@ -29,8 +25,6 @@ std::uint64_t sampled_majority(std::span<const std::uint64_t> values, std::uint6
   for (std::uint64_t v : values) scratch[static_cast<std::size_t>(v)] = 0;
   return found ? winner : 0;
 }
-
-}  // namespace
 
 PullingBoostedCounter::PullingBoostedCounter(AlgorithmPtr inner, const PullParams& params)
     : inner_(std::move(inner)), params_(params) {

@@ -43,6 +43,12 @@ struct PullParams {
   double gamma = 0.5;              // slack in the resilience constraint
 };
 
+// Majority over small sampled values with a strict > half threshold; defaults
+// to 0 like the broadcast construction. Shared by the scalar transition and
+// the composed batched backend (sim/composed_runner.hpp).
+std::uint64_t sampled_majority(std::span<const std::uint64_t> values, std::uint64_t bound,
+                               std::vector<std::uint32_t>& scratch);
+
 class PullingBoostedCounter final : public counting::CountingAlgorithm {
  public:
   PullingBoostedCounter(AlgorithmPtr inner, const PullParams& params);
@@ -61,9 +67,14 @@ class PullingBoostedCounter final : public counting::CountingAlgorithm {
   std::uint64_t output(NodeId v, const State& s) const override;
   State canonicalize(const State& raw) const override;
 
+  // --- Introspection (tests, the composed batched backend) ----------------
   int k() const noexcept { return params_.k; }
+  int m() const noexcept { return m_; }
   int tau() const noexcept { return tau_; }
   int sample_size() const noexcept { return params_.sample_size; }
+  SamplingMode mode() const noexcept { return params_.mode; }
+  std::uint64_t sampling_seed() const noexcept { return params_.seed; }
+  const CountingAlgorithm& inner() const noexcept { return *inner_; }
 
  private:
   AlgorithmPtr inner_;

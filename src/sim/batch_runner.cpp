@@ -6,6 +6,7 @@
 #include <span>
 
 #include "sim/checker.hpp"
+#include "sim/composed_runner.hpp"
 #include "sim/faults.hpp"
 #include "util/check.hpp"
 
@@ -23,10 +24,11 @@ constexpr std::size_t kLanesPerWord = 64;
 // vectors sit in LaneCold so the round loop touches as few lines as possible.
 class Block {
  public:
-  Block(const BatchConfig& cfg, std::span<const std::uint64_t> seeds, bool bit_sliced)
+  Block(const BatchConfig& cfg, const counting::TableAlgorithm& algo,
+        std::span<const std::uint64_t> seeds, bool bit_sliced)
       : cfg_(cfg),
-        algo_(*cfg.algo),
-        ct_(cfg.algo->compiled()),
+        algo_(algo),
+        ct_(algo.compiled()),
         n_(ct_.n),
         ns_(ct_.num_states),
         W_(seeds.size()),
@@ -438,10 +440,32 @@ class Block {
 
 }  // namespace
 
+bool batch_supported(const counting::AlgorithmPtr& algo) {
+  if (algo == nullptr) return false;
+  if (dynamic_cast<const counting::TableAlgorithm*>(algo.get()) != nullptr) return true;
+  return ComposedCompiledTable::compile(algo) != nullptr;
+}
+
 std::vector<RunResult> run_batch(const BatchConfig& cfg) {
   SC_CHECK(cfg.algo != nullptr, "no algorithm given");
   SC_CHECK(cfg.adversary != nullptr, "no adversary factory given");
-  const auto& ct = cfg.algo->compiled();
+
+  const auto table = std::dynamic_pointer_cast<const counting::TableAlgorithm>(cfg.algo);
+  if (table == nullptr) {
+    SC_CHECK(cfg.composed == nullptr || cfg.composed->algo.get() == cfg.algo.get(),
+             "BatchConfig::composed was compiled from a different algorithm");
+    const auto composed =
+        cfg.composed != nullptr ? cfg.composed : ComposedCompiledTable::compile(cfg.algo);
+    SC_CHECK(composed != nullptr,
+             "run_batch: unsupported algorithm (need a TableAlgorithm or a "
+             "boosted/pulling tower over a trivial or table base): " +
+                 cfg.algo->name());
+    SC_CHECK(cfg.kernel == BatchKernel::kAuto,
+             "composed algorithms support only the kAuto kernel");
+    return run_composed_batch(cfg, *composed);
+  }
+
+  const auto& ct = table->compiled();
   bool bit_sliced;
   switch (cfg.kernel) {
     case BatchKernel::kSoA:
@@ -460,7 +484,8 @@ std::vector<RunResult> run_batch(const BatchConfig& cfg) {
   results.reserve(cfg.seeds.size());
   for (std::size_t start = 0; start < cfg.seeds.size(); start += kLanesPerWord) {
     const std::size_t count = std::min(kLanesPerWord, cfg.seeds.size() - start);
-    Block block(cfg, std::span<const std::uint64_t>(cfg.seeds).subspan(start, count),
+    Block block(cfg, *table,
+                std::span<const std::uint64_t>(cfg.seeds).subspan(start, count),
                 bit_sliced);
     block.run();
     auto part = block.take_results();

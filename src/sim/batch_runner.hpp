@@ -1,16 +1,26 @@
-// Bit-parallel batched execution backend.
+// Batched execution backends.
 //
-// run_batch advances W independent executions of the same (transition table,
-// fault placement, adversary class) cell-group in lockstep, one round at a
-// time. States live in a canonical-index representation instead of BitVecs:
-// a structure-of-arrays byte layout in the general case, and for
-// num_states <= 4 a bit-sliced layout that packs one state-bitplane of 64
-// executions into each uint64_t, so one enumeration pass over the compiled
-// table advances 64 executions per word. Per-execution randomness (initial
-// states, adversary draws) still flows through one Rng and one Adversary
-// instance per lane, invoked in exactly the scalar runner's call order, so
-// every lane's RunResult is bit-identical to run_execution on the same seed
-// -- the engine can mix backends freely without changing any aggregate.
+// run_batch advances W independent executions of the same (algorithm, fault
+// placement, adversary class) cell-group in lockstep, one round at a time,
+// and dispatches on the algorithm's structure:
+//
+//  * TableAlgorithm -- the bit-parallel path. States live in a
+//    canonical-index representation instead of BitVecs: a structure-of-arrays
+//    byte layout in the general case, and for num_states <= 4 a bit-sliced
+//    layout that packs one state-bitplane of 64 executions into each
+//    uint64_t, so one enumeration pass over the compiled table advances 64
+//    executions per word.
+//  * BoostedCounter / PullingBoostedCounter towers -- the composed path
+//    (sim/composed_runner.hpp). Each boosting level is compiled into field
+//    stages (base kernel, per-copy votes, phase-king glue) evaluated on a
+//    decomposed per-node field vector, with per-copy vote sharing for
+//    receiver-oblivious adversaries.
+//
+// Per-execution randomness (initial states, adversary draws) always flows
+// through one Rng and one Adversary instance per lane, invoked in exactly
+// the scalar runner's call order, so every lane's RunResult is bit-identical
+// to run_execution on the same seed -- the engine can mix backends freely
+// without changing any aggregate.
 #pragma once
 
 #include <cstdint>
@@ -24,12 +34,22 @@
 
 namespace synccount::sim {
 
-// Which transition kernel run_batch uses. kAuto picks kBitSliced whenever
-// the table allows it (num_states <= 4) and kSoA otherwise.
+// Which transition kernel the TableAlgorithm path of run_batch uses. kAuto
+// picks kBitSliced whenever the table allows it (num_states <= 4) and kSoA
+// otherwise. Composed algorithms have a single kernel and require kAuto.
 enum class BatchKernel { kAuto, kSoA, kBitSliced };
 
+struct ComposedCompiledTable;
+
 struct BatchConfig {
-  std::shared_ptr<const counting::TableAlgorithm> algo;
+  // A TableAlgorithm or a supported composed counter (see batch_supported).
+  counting::AlgorithmPtr algo;
+
+  // Optional: the pre-compiled hierarchy of `algo` (must have been produced
+  // by ComposedCompiledTable::compile(algo)). The engine compiles once per
+  // experiment and shares it across all chunk tasks; when absent, run_batch
+  // compiles on demand.
+  std::shared_ptr<const ComposedCompiledTable> composed;
   std::vector<bool> faulty;          // size n; empty means no faults
   std::uint64_t max_rounds = 1000;
   std::uint64_t margin = 0;          // 0 = resolve_margin default
@@ -45,6 +65,13 @@ struct BatchConfig {
   std::vector<std::uint64_t> seeds;  // one execution lane per seed
   BatchKernel kernel = BatchKernel::kAuto;
 };
+
+// True iff run_batch supports `algo`: a TableAlgorithm, or a
+// BoostedCounter / PullingBoostedCounter tower over a trivial or table base.
+// A convenience probe for external callers; the engine evaluates the same
+// predicate inline (engine.cpp) so it can keep the compiled hierarchy it
+// shares across chunk tasks instead of compiling twice.
+bool batch_supported(const counting::AlgorithmPtr& algo);
 
 // Runs seeds.size() executions (internally in blocks of up to 64 lanes) and
 // returns their RunResults in seed order; result[i] is bit-identical to

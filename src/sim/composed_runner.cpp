@@ -1,0 +1,678 @@
+#include "sim/composed_runner.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <span>
+
+#include "boosting/boosted_counter.hpp"
+#include "counting/trivial.hpp"
+#include "phaseking/phase_king.hpp"
+#include "pulling/pulling_counter.hpp"
+#include "sim/checker.hpp"
+#include "sim/faults.hpp"
+#include "util/check.hpp"
+
+namespace synccount::sim {
+
+namespace {
+
+using counting::NodeId;
+using phaseking::kInfinity;
+
+constexpr std::size_t kLanesPerWord = 64;
+
+ComposedLevel make_level(ComposedLevel::Kind kind, int n, int N, int k, int m, int tau,
+                         std::uint64_t C, int F, const counting::CountingAlgorithm& inner) {
+  ComposedLevel lv;
+  lv.kind = kind;
+  lv.n = n;
+  lv.copies = N / n;
+  lv.n_inner = inner.num_nodes();
+  lv.k = k;
+  lv.m = m;
+  lv.tau = tau;
+  lv.C = C;
+  lv.pow2m.resize(static_cast<std::size_t>(k) + 1);
+  lv.pow2m[0] = 1;
+  for (int i = 1; i <= k; ++i) {
+    lv.pow2m[static_cast<std::size_t>(i)] =
+        lv.pow2m[static_cast<std::size_t>(i - 1)] * static_cast<std::uint64_t>(2 * m);
+  }
+  lv.pk = phaseking::Params{n, F, C};
+  lv.a_offset = inner.state_bits();
+  lv.a_bits = phaseking::a_bits(C);
+  return lv;
+}
+
+}  // namespace
+
+std::shared_ptr<const ComposedCompiledTable> ComposedCompiledTable::compile(
+    const counting::AlgorithmPtr& algo) {
+  if (algo == nullptr) return nullptr;
+  auto cc = std::make_shared<ComposedCompiledTable>();
+  cc->algo = algo;
+  cc->N = algo->num_nodes();
+  cc->state_bits = algo->state_bits();
+  cc->modulus = algo->modulus();
+
+  // Walk the tower top-down, collecting one ComposedLevel per wrapper.
+  std::vector<ComposedLevel> top_down;
+  const counting::CountingAlgorithm* cur = algo.get();
+  for (;;) {
+    if (const auto* b = dynamic_cast<const boosting::BoostedCounter*>(cur)) {
+      top_down.push_back(make_level(ComposedLevel::Kind::kBoosted, b->num_nodes(), cc->N,
+                                    b->k(), b->m(), b->tau(), b->modulus(), b->resilience(),
+                                    b->inner()));
+      cur = &b->inner();
+    } else if (const auto* p = dynamic_cast<const pulling::PullingBoostedCounter*>(cur)) {
+      ComposedLevel lv = make_level(ComposedLevel::Kind::kPulling, p->num_nodes(), cc->N,
+                                    p->k(), p->m(), p->tau(), p->modulus(), p->resilience(),
+                                    p->inner());
+      lv.sample_size = p->sample_size();
+      lv.fixed_sampling = p->mode() == pulling::SamplingMode::kFixed;
+      lv.sampling_seed = p->sampling_seed();
+      top_down.push_back(std::move(lv));
+      cur = &p->inner();
+    } else {
+      break;
+    }
+  }
+  if (top_down.empty()) return nullptr;  // flat algorithms go to the table path
+
+  if (const auto* t = dynamic_cast<const counting::TrivialCounter*>(cur)) {
+    cc->base.kind = ComposedBase::Kind::kTrivial;
+    cc->base.n = 1;
+    cc->base.num_states = t->modulus();
+  } else if (const auto* t2 = dynamic_cast<const counting::TableAlgorithm*>(cur)) {
+    cc->base.kind = ComposedBase::Kind::kTable;
+    cc->base.n = t2->num_nodes();
+    cc->base.num_states = t2->table().num_states;
+    cc->base.table = &t2->compiled();
+  } else {
+    return nullptr;  // unknown base: stay on the scalar runner
+  }
+  // Wider table bases would overflow the fixed per-block index scratch; such
+  // towers fall back to the scalar runner rather than failing at run time.
+  if (cc->base.n > 256) return nullptr;
+  cc->base.copies = cc->N / cc->base.n;
+  cc->base.bits = cur->state_bits();
+
+  cc->levels.assign(top_down.rbegin(), top_down.rend());
+
+  // The field layout must tile the flat state exactly: base bits, then one
+  // (a, d) register pair per level.
+  int bits = cc->base.bits;
+  for (const ComposedLevel& lv : cc->levels) {
+    SC_CHECK(lv.a_offset == bits, "composed state layout mismatch");
+    bits += lv.a_bits + 1;
+  }
+  SC_CHECK(bits == cc->state_bits, "composed state width mismatch");
+  return cc;
+}
+
+namespace {
+
+// One block of up to 64 lanes advanced in round lockstep. Master state lives
+// decomposed: base_[lane*N + node] holds the base field and a_[lvl] / d_[lvl]
+// the per-level phase-king registers; BitVec states are materialised only for
+// adversaries that read them and for record_states. All scratch is allocated
+// once here, so the round loop is allocation-free.
+class ComposedBlock {
+ public:
+  ComposedBlock(const BatchConfig& cfg, const ComposedCompiledTable& cc,
+                std::span<const std::uint64_t> seeds)
+      : cfg_(cfg), cc_(cc), algo_(*cfg.algo), N_(cc.N), L_(cc.levels.size()), W_(seeds.size()) {
+    const auto nn = static_cast<std::size_t>(N_);
+
+    std::vector<bool> faulty = cfg.faulty;
+    if (faulty.empty()) faulty.assign(nn, false);
+    SC_CHECK(faulty.size() == nn, "fault vector size mismatch");
+    SC_CHECK(fault_count(faulty) <= algo_.resilience(),
+             "more faults than the algorithm's resilience");
+    faulty_ids_ = fault_ids(faulty);
+    for (int i = 0; i < N_; ++i) {
+      if (!faulty[static_cast<std::size_t>(i)]) correct_.push_back(i);
+    }
+    SC_CHECK(!correct_.empty(), "all nodes faulty");
+
+    margin_ = resolve_margin(cfg.margin, cfg.max_rounds, algo_.modulus());
+
+    // Master fields and scratch.
+    base_.assign(nn * W_, 0);
+    a_.assign(L_, std::vector<std::uint64_t>(nn * W_, 0));
+    d_.assign(L_, std::vector<std::uint8_t>(nn * W_, 0));
+    rv_base_.assign(nn, 0);
+    rv_a_.assign(L_, std::vector<std::uint64_t>(nn, 0));
+    rv_d_.assign(L_, std::vector<std::uint8_t>(nn, 0));
+    rp_a_.assign(L_, nullptr);
+    rp_d_.assign(L_, nullptr);
+    nb_base_.assign(nn, 0);
+    nb_a_.assign(L_, std::vector<std::uint64_t>(nn, 0));
+    nb_d_.assign(L_, std::vector<std::uint8_t>(nn, 0));
+    const std::size_t nf = faulty_ids_.size();
+    fh_base_.assign(nf * W_, 0);
+    fh_a_.assign(L_, std::vector<std::uint64_t>(nf * W_, 0));
+    fh_d_.assign(L_, std::vector<std::uint8_t>(nf * W_, 0));
+    b_all_.assign(nn, 0);
+    r_all_.assign(nn, 0);
+    int max_k = 0;
+    int max_m = 0;
+    std::size_t total_copies = 0;
+    for (const ComposedLevel& lv : cc_.levels) {
+      max_k = std::max(max_k, lv.k);
+      max_m = std::max(max_m, lv.sample_size);
+      total_copies += static_cast<std::size_t>(lv.copies);
+      copy_base_.push_back(vote_B_.size());
+      vote_B_.resize(total_copies, 0);
+      vote_R_.resize(total_copies, 0);
+      vote_valid_.resize(total_copies, 0);
+    }
+    leader_.assign(static_cast<std::size_t>(max_k), 0);
+    const auto mm = static_cast<std::size_t>(max_m);
+    sample_.assign(static_cast<std::size_t>(max_k) * mm, 0);
+    mvals_.assign(mm, 0);
+    sampled_a_.assign(mm, 0);
+    outs_.assign(correct_.size(), 0);
+
+    // Lane setup mirrors the scalar runner's preamble draw for draw.
+    rngs_.reserve(W_);
+    advs_.reserve(W_);
+    checkers_.reserve(W_);
+    lanes_.resize(W_);
+    for (std::size_t l = 0; l < W_; ++l) {
+      rngs_.emplace_back(seeds[l]);
+      advs_.push_back(cfg.adversary());
+      SC_CHECK(advs_.back() != nullptr, "batch adversary factory returned null");
+      checkers_.emplace_back(algo_.modulus());
+      LaneCold& ln = lanes_[l];
+      ln.result.correct_ids = correct_;
+      ln.states.resize(nn);
+      if (!cfg.initial.empty()) {
+        SC_CHECK(cfg.initial.size() == nn, "initial state vector size mismatch");
+        for (std::size_t i = 0; i < nn; ++i) ln.states[i] = algo_.canonicalize(cfg.initial[i]);
+      } else {
+        for (auto& s : ln.states) s = counting::arbitrary_state(algo_, rngs_[l]);
+      }
+      for (int i = 0; i < N_; ++i) {
+        decompose(ln.states[static_cast<std::size_t>(i)], l * nn + static_cast<std::size_t>(i),
+                  base_, a_, d_);
+      }
+      active_ |= 1ULL << l;
+    }
+    faultless_ = faulty_ids_.empty();
+    const Adversary& probe = *advs_.front();
+    hoist_ = !faultless_ && probe.receiver_oblivious();
+    state_oblivious_ = probe.state_oblivious();
+    passive_rounds_ = probe.begin_round_passive();
+    static_forge_ = hoist_ && probe.forgery_static();
+  }
+
+  void run() {
+    const bool recording = cfg_.record_outputs || cfg_.record_states;
+    for (std::uint64_t round = 0; round < cfg_.max_rounds && active_ != 0; ++round) {
+      const bool will_forge = !faultless_ && !(static_forge_ && static_forged_);
+      for (std::uint64_t msk = active_; msk; msk &= msk - 1) {
+        const auto l = static_cast<std::size_t>(std::countr_zero(msk));
+
+        // --- Round summary: outputs + agreement (from the master fields) ----
+        const std::vector<std::uint64_t>& top_a = a_[L_ - 1];
+        const std::size_t lane_off = l * static_cast<std::size_t>(N_);
+        bool agreed = true;
+        std::uint64_t first = 0;
+        for (std::size_t j = 0; j < correct_.size(); ++j) {
+          const std::uint64_t a = top_a[lane_off + static_cast<std::size_t>(correct_[j])];
+          outs_[j] = a == kInfinity ? 0 : a;
+          if (j == 0) {
+            first = outs_[0];
+          } else if (outs_[j] != first) {
+            agreed = false;
+          }
+        }
+        checkers_[l].observe_summary(agreed, first);
+        if (recording) record_lane(l);
+        if (cfg_.stop_after_stable > 0 &&
+            checkers_[l].suffix_length() >= cfg_.stop_after_stable) {
+          active_ &= ~(1ULL << l);
+          continue;
+        }
+
+        // --- Adversary: begin_round + hoisted forging -----------------------
+        // Lane-internal call order matches the scalar runner exactly.
+        if (!(passive_rounds_ && !will_forge)) {
+          if (!state_oblivious_) refresh_states(l);
+          if (!passive_rounds_) {
+            advs_[l]->begin_round(round, lanes_[l].states, algo_, faulty_ids_, rngs_[l]);
+          }
+          if (will_forge && hoist_) {
+            for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
+              forge_into(l, round, faulty_ids_[k], correct_.front(),
+                         l * faulty_ids_.size() + k, fh_base_, fh_a_, fh_d_);
+            }
+          }
+        }
+
+        // --- Transitions ----------------------------------------------------
+        // rv is the received view: master states with faulty entries replaced
+        // by forged fields. With a receiver-oblivious adversary it is shared
+        // by every receiver, so each level copy's votes are computed once per
+        // lane; otherwise forging and transitions interleave per receiver
+        // exactly like the scalar loop (which also keeps the Rng draw order
+        // of fresh-sampling pulling levels intact).
+        load_received(l);
+        const bool shared_rv = faultless_ || hoist_;
+        if (shared_rv) std::fill(vote_valid_.begin(), vote_valid_.end(), 0);
+        for (const NodeId v : correct_) {
+          if (!shared_rv) {
+            for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
+              forge_into(l, round, faulty_ids_[k], v, static_cast<std::size_t>(faulty_ids_[k]),
+                         rv_base_, rv_a_, rv_d_);
+            }
+          }
+          transition_node(l, v, shared_rv);
+        }
+        commit(l);
+      }
+      if (will_forge && static_forge_) static_forged_ = true;
+    }
+
+    for (std::size_t l = 0; l < W_; ++l) {
+      RunResult& r = lanes_[l].result;
+      const StabilisationChecker& ck = checkers_[l];
+      r.rounds = ck.rounds();
+      r.stabilisation_round = ck.suffix_start();
+      r.suffix_length = ck.suffix_length();
+      r.max_window = ck.max_window();
+      r.stabilised = r.suffix_length >= std::min<std::uint64_t>(margin_, r.rounds);
+      if (lanes_[l].pull_samples > 0) {
+        r.avg_pulls_per_round = static_cast<double>(lanes_[l].total_pulls) /
+                                static_cast<double>(lanes_[l].pull_samples);
+      }
+    }
+  }
+
+  std::vector<RunResult> take_results() {
+    std::vector<RunResult> out;
+    out.reserve(W_);
+    for (auto& ln : lanes_) out.push_back(std::move(ln.result));
+    return out;
+  }
+
+ private:
+  struct LaneCold {
+    RunResult result;
+    // Materialised BitVec states for adversary queries and recording; faulty
+    // entries are fixed for the whole run, correct entries are refreshed
+    // from the field representation on demand.
+    std::vector<State> states;
+    std::uint64_t total_pulls = 0;
+    std::uint64_t pull_samples = 0;
+  };
+
+  // --- Field <-> BitVec -----------------------------------------------------
+
+  // Writes the decomposed fields of (canonical or raw) state `s` into slot
+  // `idx` of the given field arrays. Decomposing a raw pattern directly
+  // equals decomposing canonicalize(s): the base index reduces modulo the
+  // state count and the a register decodes by clamping, exactly as the
+  // scalar construction's canonicalize does.
+  void decompose(const State& s, std::size_t idx, std::vector<std::uint64_t>& base,
+                 std::vector<std::vector<std::uint64_t>>& a,
+                 std::vector<std::vector<std::uint8_t>>& d) const {
+    base[idx] = s.get_bits(0, cc_.base.bits) % cc_.base.num_states;
+    for (std::size_t lvl = 0; lvl < L_; ++lvl) {
+      const ComposedLevel& lv = cc_.levels[lvl];
+      a[lvl][idx] = phaseking::decode_a(s.get_bits(lv.a_offset, lv.a_bits), lv.C);
+      d[lvl][idx] = s.get_bit(lv.a_offset + lv.a_bits) ? 1 : 0;
+    }
+  }
+
+  State encode(std::size_t lane, NodeId node) const {
+    const std::size_t idx = lane * static_cast<std::size_t>(N_) + static_cast<std::size_t>(node);
+    State s;
+    s.set_bits(0, cc_.base.bits, base_[idx]);
+    for (std::size_t lvl = 0; lvl < L_; ++lvl) {
+      const ComposedLevel& lv = cc_.levels[lvl];
+      s.set_bits(lv.a_offset, lv.a_bits, phaseking::encode_a(a_[lvl][idx], lv.C));
+      s.set_bit(lv.a_offset + lv.a_bits, d_[lvl][idx] != 0);
+    }
+    return s;
+  }
+
+  void refresh_states(std::size_t lane) {
+    LaneCold& ln = lanes_[lane];
+    for (const NodeId i : correct_) ln.states[static_cast<std::size_t>(i)] = encode(lane, i);
+  }
+
+  void record_lane(std::size_t lane) {
+    LaneCold& ln = lanes_[lane];
+    if (cfg_.record_outputs) {
+      ln.result.outputs.emplace_back(outs_.begin(), outs_.end());
+    }
+    if (cfg_.record_states) {
+      refresh_states(lane);
+      ln.result.states.push_back(ln.states);
+    }
+  }
+
+  // --- Adversary messages ---------------------------------------------------
+
+  // Queries the adversary for (sender -> receiver) and decomposes the raw
+  // answer into slot `idx` of the target field arrays.
+  void forge_into(std::size_t lane, std::uint64_t round, NodeId sender, NodeId receiver,
+                  std::size_t idx, std::vector<std::uint64_t>& base,
+                  std::vector<std::vector<std::uint64_t>>& a,
+                  std::vector<std::vector<std::uint8_t>>& d) {
+    const State raw = advs_[lane]->message(round, sender, receiver, lanes_[lane].states,
+                                           algo_, rngs_[lane]);
+    decompose(raw, idx, base, a, d);
+  }
+
+  // Builds the received view of this lane. With faults, the master fields
+  // are copied into the rv buffers and the faulty entries replaced by forged
+  // fields (hoisted slots here; per-receiver forging overwrites them again
+  // inside the transition loop). Fault-free lanes deliver the round-start
+  // states verbatim, so the read pointers alias the master slice directly --
+  // no copy, exactly like the scalar runner's faultless shortcut (the
+  // transitions write only to the nb_ buffers, so there is no aliasing
+  // hazard).
+  void load_received(std::size_t lane) {
+    const auto nn = static_cast<std::size_t>(N_);
+    const std::size_t off = lane * nn;
+    if (faultless_) {
+      rp_base_ = base_.data() + off;
+      for (std::size_t lvl = 0; lvl < L_; ++lvl) {
+        rp_a_[lvl] = a_[lvl].data() + off;
+        rp_d_[lvl] = d_[lvl].data() + off;
+      }
+      return;
+    }
+    std::copy_n(base_.begin() + static_cast<std::ptrdiff_t>(off), nn, rv_base_.begin());
+    for (std::size_t lvl = 0; lvl < L_; ++lvl) {
+      std::copy_n(a_[lvl].begin() + static_cast<std::ptrdiff_t>(off), nn, rv_a_[lvl].begin());
+      std::copy_n(d_[lvl].begin() + static_cast<std::ptrdiff_t>(off), nn, rv_d_[lvl].begin());
+    }
+    rp_base_ = rv_base_.data();
+    for (std::size_t lvl = 0; lvl < L_; ++lvl) {
+      rp_a_[lvl] = rv_a_[lvl].data();
+      rp_d_[lvl] = rv_d_[lvl].data();
+    }
+    if (hoist_) {
+      for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
+        const std::size_t src = lane * faulty_ids_.size() + k;
+        const auto dst = static_cast<std::size_t>(faulty_ids_[k]);
+        rv_base_[dst] = fh_base_[src];
+        for (std::size_t lvl = 0; lvl < L_; ++lvl) {
+          rv_a_[lvl][dst] = fh_a_[lvl][src];
+          rv_d_[lvl][dst] = fh_d_[lvl][src];
+        }
+      }
+    }
+  }
+
+  // --- Level kernels --------------------------------------------------------
+
+  // Output of the inner algorithm of level `lvl` at global node u, read from
+  // the received view (exactly what block_view / the vote sampling read).
+  std::uint64_t inner_out(std::size_t lvl, NodeId u) const {
+    if (lvl == 0) {
+      if (cc_.base.kind == ComposedBase::Kind::kTrivial) {
+        return rp_base_[static_cast<std::size_t>(u)];
+      }
+      return cc_.base.table->out(u % cc_.base.n,
+                                 static_cast<std::uint8_t>(rp_base_[static_cast<std::size_t>(u)]));
+    }
+    const std::uint64_t a = rp_a_[lvl - 1][static_cast<std::size_t>(u)];
+    return a == kInfinity ? 0 : a;
+  }
+
+  // Full majority votes of one copy of a boosted level (paper step 3),
+  // mirroring BoostedCounter::votes on the received view.
+  void compute_votes(std::size_t lvl, int copy, std::uint64_t& B, std::uint64_t& R) {
+    const ComposedLevel& lv = cc_.levels[lvl];
+    const int first = copy * lv.n;
+    const auto tau = static_cast<std::uint64_t>(lv.tau);
+    const auto m = static_cast<std::uint64_t>(lv.m);
+    for (int u_local = 0; u_local < lv.n; ++u_local) {
+      const int blk = u_local / lv.n_inner;
+      const std::uint64_t cblk = tau * lv.pow2m[static_cast<std::size_t>(blk) + 1];
+      const std::uint64_t value = inner_out(lvl, first + u_local) % cblk;
+      r_all_[static_cast<std::size_t>(u_local)] = value % tau;
+      const std::uint64_t y = value / tau;
+      b_all_[static_cast<std::size_t>(u_local)] =
+          (y / lv.pow2m[static_cast<std::size_t>(blk)]) % m;
+    }
+    const auto ni = static_cast<std::size_t>(lv.n_inner);
+    for (int blk = 0; blk < lv.k; ++blk) {
+      leader_[static_cast<std::size_t>(blk)] = boosting::strict_majority(
+          std::span<const std::uint64_t>(b_all_.data() + static_cast<std::size_t>(blk) * ni, ni),
+          m, ni / 2, scratch_);
+    }
+    B = boosting::strict_majority(
+        std::span<const std::uint64_t>(leader_.data(), static_cast<std::size_t>(lv.k)), m,
+        static_cast<std::size_t>(lv.k) / 2, scratch_);
+    R = boosting::strict_majority(
+        std::span<const std::uint64_t>(r_all_.data() + static_cast<std::size_t>(B) * ni, ni),
+        tau, ni / 2, scratch_);
+  }
+
+  void boosted_step(std::size_t lvl, NodeId v, bool shared_rv) {
+    const ComposedLevel& lv = cc_.levels[lvl];
+    const int copy = v / lv.n;
+    const int v_local = v % lv.n;
+    const std::size_t slot = copy_base_[lvl] + static_cast<std::size_t>(copy);
+    std::uint64_t B;
+    std::uint64_t R;
+    if (shared_rv && vote_valid_[slot]) {
+      B = vote_B_[slot];
+      R = vote_R_[slot];
+    } else {
+      compute_votes(lvl, copy, B, R);
+      if (shared_rv) {
+        vote_B_[slot] = B;
+        vote_R_[slot] = R;
+        vote_valid_[slot] = 1;
+      }
+    }
+    const std::size_t first = static_cast<std::size_t>(copy) * static_cast<std::size_t>(lv.n);
+    const std::span<const std::uint64_t> received_a(rp_a_[lvl] + first,
+                                                    static_cast<std::size_t>(lv.n));
+    const phaseking::Registers own{rp_a_[lvl][static_cast<std::size_t>(v)],
+                                   rp_d_[lvl][static_cast<std::size_t>(v)] != 0};
+    const phaseking::Registers next =
+        phaseking::step(lv.pk, static_cast<int>(R), v_local, own, received_a);
+    nb_a_[lvl][static_cast<std::size_t>(v)] = next.a;
+    nb_d_[lvl][static_cast<std::size_t>(v)] = next.d ? 1 : 0;
+  }
+
+  // Sampled votes + sampled phase king of one pulling level (Section 5),
+  // mirroring PullingBoostedCounter::transition field for field and draw for
+  // draw (block samples in block order, then the network sample).
+  void pulling_step(std::size_t lane, std::size_t lvl, NodeId v, std::uint64_t& pulled) {
+    const ComposedLevel& lv = cc_.levels[lvl];
+    const int copy = v / lv.n;
+    const int v_local = v % lv.n;
+    const int first = copy * lv.n;
+    const auto M = static_cast<std::size_t>(lv.sample_size);
+    const auto tau = static_cast<std::uint64_t>(lv.tau);
+    const auto m = static_cast<std::uint64_t>(lv.m);
+
+    util::Rng fixed_rng(util::hash_combine(lv.sampling_seed, static_cast<std::uint64_t>(v_local)));
+    util::Rng& rng = lv.fixed_sampling ? fixed_rng : rngs_[lane];
+
+    pulled += static_cast<std::uint64_t>(lv.n_inner);  // the own-block pull (step 1)
+
+    for (int blk = 0; blk < lv.k; ++blk) {
+      std::uint32_t* sample = sample_.data() + static_cast<std::size_t>(blk) * M;
+      for (std::size_t t = 0; t < M; ++t) {
+        sample[t] =
+            static_cast<std::uint32_t>(rng.next_below(static_cast<std::uint64_t>(lv.n_inner)));
+      }
+      pulled += M;
+      const std::uint64_t cblk = tau * lv.pow2m[static_cast<std::size_t>(blk) + 1];
+      for (std::size_t t = 0; t < M; ++t) {
+        const int u = first + blk * lv.n_inner + static_cast<int>(sample[t]);
+        const std::uint64_t out = inner_out(lvl, u) % cblk;
+        const std::uint64_t y = out / tau;
+        mvals_[t] = (y / lv.pow2m[static_cast<std::size_t>(blk)]) % m;
+      }
+      leader_[static_cast<std::size_t>(blk)] = pulling::sampled_majority(
+          std::span<const std::uint64_t>(mvals_.data(), M), m, scratch_);
+    }
+    const std::uint64_t B = pulling::sampled_majority(
+        std::span<const std::uint64_t>(leader_.data(), static_cast<std::size_t>(lv.k)), m,
+        scratch_);
+
+    // R: reuse block B's samples, reading the r component this time.
+    {
+      const std::uint32_t* sample = sample_.data() + static_cast<std::size_t>(B) * M;
+      const std::uint64_t cblk = tau * lv.pow2m[static_cast<std::size_t>(B) + 1];
+      for (std::size_t t = 0; t < M; ++t) {
+        const int u = first + static_cast<int>(B) * lv.n_inner + static_cast<int>(sample[t]);
+        mvals_[t] = inner_out(lvl, u) % cblk % tau;
+      }
+    }
+    const std::uint64_t R = pulling::sampled_majority(
+        std::span<const std::uint64_t>(mvals_.data(), M), tau, scratch_);
+
+    for (std::size_t t = 0; t < M; ++t) {
+      const auto u = rng.next_below(static_cast<std::uint64_t>(lv.n));
+      sampled_a_[t] = rp_a_[lvl][static_cast<std::size_t>(first) + u];
+    }
+    pulled += M;
+    const int king = static_cast<int>(R) / 3;
+    const std::uint64_t king_a = rp_a_[lvl][static_cast<std::size_t>(first + king)];
+    pulled += 1;
+
+    const phaseking::Registers own{rp_a_[lvl][static_cast<std::size_t>(v)],
+                                   rp_d_[lvl][static_cast<std::size_t>(v)] != 0};
+    const phaseking::Registers next = phaseking::step_sampled(
+        lv.pk, static_cast<int>(R), own,
+        std::span<const std::uint64_t>(sampled_a_.data(), M), king_a);
+    nb_a_[lvl][static_cast<std::size_t>(v)] = next.a;
+    nb_d_[lvl][static_cast<std::size_t>(v)] = next.d ? 1 : 0;
+  }
+
+  void transition_node(std::size_t lane, NodeId v, bool shared_rv) {
+    // Base kernel (step 1 of the construction, recursed to the bottom).
+    if (cc_.base.kind == ComposedBase::Kind::kTrivial) {
+      nb_base_[static_cast<std::size_t>(v)] =
+          (rp_base_[static_cast<std::size_t>(v)] + 1) % cc_.base.num_states;
+    } else {
+      const int n0 = cc_.base.n;
+      const int first = (v / n0) * n0;
+      for (int s = 0; s < n0; ++s) {
+        base_idx_[static_cast<std::size_t>(s)] =
+            static_cast<std::uint8_t>(rp_base_[static_cast<std::size_t>(first + s)]);
+      }
+      nb_base_[static_cast<std::size_t>(v)] = cc_.base.table->next(v % n0, base_idx_.data());
+    }
+    // Boosting levels bottom-up: the level order matches the scalar call
+    // chain (each wrapper runs its inner transition before its own votes and
+    // phase-king step), which keeps the pulling levels' Rng draws in order.
+    std::uint64_t pulled = 0;
+    for (std::size_t lvl = 0; lvl < L_; ++lvl) {
+      if (cc_.levels[lvl].kind == ComposedLevel::Kind::kBoosted) {
+        boosted_step(lvl, v, shared_rv);
+      } else {
+        pulling_step(lane, lvl, v, pulled);
+      }
+    }
+    LaneCold& ln = lanes_[lane];
+    ln.total_pulls += pulled;
+    ++ln.pull_samples;
+    ln.result.max_pulls_per_round = std::max(ln.result.max_pulls_per_round, pulled);
+  }
+
+  void commit(std::size_t lane) {
+    const std::size_t off = lane * static_cast<std::size_t>(N_);
+    for (const NodeId v : correct_) {
+      const auto vv = static_cast<std::size_t>(v);
+      base_[off + vv] = nb_base_[vv];
+      for (std::size_t lvl = 0; lvl < L_; ++lvl) {
+        a_[lvl][off + vv] = nb_a_[lvl][vv];
+        d_[lvl][off + vv] = nb_d_[lvl][vv];
+      }
+    }
+  }
+
+  const BatchConfig& cfg_;
+  const ComposedCompiledTable& cc_;
+  const counting::CountingAlgorithm& algo_;
+  const int N_;
+  const std::size_t L_;  // number of boosting levels
+  const std::size_t W_;
+
+  std::vector<NodeId> correct_;
+  std::vector<NodeId> faulty_ids_;
+  bool faultless_ = true;
+  bool hoist_ = false;
+  bool state_oblivious_ = false;
+  bool passive_rounds_ = false;
+  bool static_forge_ = false;
+  bool static_forged_ = false;
+  std::uint64_t margin_ = 0;
+  std::uint64_t active_ = 0;  // bitmask of lanes still running
+
+  // Hot per-lane state, parallel arrays indexed by lane.
+  std::vector<util::Rng> rngs_;
+  std::vector<std::unique_ptr<Adversary>> advs_;
+  std::vector<StabilisationChecker> checkers_;
+  std::vector<LaneCold> lanes_;
+
+  // Master field representation, [lane * N + node].
+  std::vector<std::uint64_t> base_;
+  std::vector<std::vector<std::uint64_t>> a_;  // [level][lane * N + node]
+  std::vector<std::vector<std::uint8_t>> d_;
+
+  // Received view of the lane/receiver currently being advanced, [node]:
+  // reads go through the rp_ pointers, which alias the master slice on
+  // fault-free runs and the rv_ copy-with-forgeries buffers otherwise.
+  std::vector<std::uint64_t> rv_base_;
+  std::vector<std::vector<std::uint64_t>> rv_a_;
+  std::vector<std::vector<std::uint8_t>> rv_d_;
+  const std::uint64_t* rp_base_ = nullptr;
+  std::vector<const std::uint64_t*> rp_a_;
+  std::vector<const std::uint8_t*> rp_d_;
+
+  // Next-state fields of the lane currently being advanced, [node].
+  std::vector<std::uint64_t> nb_base_;
+  std::vector<std::vector<std::uint64_t>> nb_a_;
+  std::vector<std::vector<std::uint8_t>> nb_d_;
+
+  // Hoisted (receiver-oblivious) forgeries, [lane * |faulty| + k]; persists
+  // across rounds so static forgers (silent, echo) forge once per execution.
+  std::vector<std::uint64_t> fh_base_;
+  std::vector<std::vector<std::uint64_t>> fh_a_;
+  std::vector<std::vector<std::uint8_t>> fh_d_;
+
+  // Per-(level, copy) vote cache, valid within one shared-view lane round.
+  std::vector<std::size_t> copy_base_;  // [level] -> first slot of its copies
+  std::vector<std::uint64_t> vote_B_, vote_R_;
+  std::vector<std::uint8_t> vote_valid_;
+
+  // Vote / sampling scratch.
+  std::vector<std::uint64_t> b_all_, r_all_, leader_, mvals_, sampled_a_, outs_;
+  std::vector<std::uint32_t> sample_;
+  std::vector<std::uint32_t> scratch_;
+  std::array<std::uint8_t, 256> base_idx_{};
+};
+
+}  // namespace
+
+std::vector<RunResult> run_composed_batch(const BatchConfig& cfg,
+                                          const ComposedCompiledTable& cc) {
+  std::vector<RunResult> results;
+  results.reserve(cfg.seeds.size());
+  for (std::size_t start = 0; start < cfg.seeds.size(); start += kLanesPerWord) {
+    const std::size_t count = std::min(kLanesPerWord, cfg.seeds.size() - start);
+    ComposedBlock block(cfg, cc,
+                        std::span<const std::uint64_t>(cfg.seeds).subspan(start, count));
+    block.run();
+    auto part = block.take_results();
+    for (auto& r : part) results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace synccount::sim

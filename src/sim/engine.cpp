@@ -4,6 +4,7 @@
 
 #include "counting/table_algorithm.hpp"
 #include "sim/batch_runner.hpp"
+#include "sim/composed_runner.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -97,7 +98,7 @@ ExperimentResult Engine::run(const ExperimentSpec& spec) const {
     CellOutcome& cell = fill_cell_coords(idx);
 
     RunConfig cfg;
-    cfg.algo = spec.algo_factory ? spec.algo_factory() : spec.algo;
+    cfg.algo = spec.algo_factory ? spec.algo_factory(idx) : spec.algo;
     cfg.faulty = placements[cell.placement].faulty;
     cfg.max_rounds = horizon(*cfg.algo);
     cfg.seed = cell.seed;
@@ -113,17 +114,22 @@ ExperimentResult Engine::run(const ExperimentSpec& spec) const {
     cell.result = run_execution(cfg, *adversary, spec.margin);
   };
 
-  // Batch eligibility: a shared TableAlgorithm, no per-cell factories, and a
-  // batchable adversary (probed per name on a library instance). Eligible
-  // (adversary, placement) groups run their seed range through the batched
-  // backend in lockstep chunks; every other cell stays on the scalar runner.
-  const auto table_algo =
-      spec.backend == Backend::kAuto && spec.algo != nullptr && !spec.algo_factory &&
-              !spec.adversary_factory
-          ? std::dynamic_pointer_cast<const counting::TableAlgorithm>(spec.algo)
-          : nullptr;
+  // Batch eligibility: a shared batch-supported algorithm (TableAlgorithm or
+  // a composed boosted/pulling tower), no per-cell factories, and a batchable
+  // adversary (probed per name on a library instance). Eligible (adversary,
+  // placement) groups run their seed range through the batched backend in
+  // lockstep chunks; every other cell stays on the scalar runner. The
+  // composed hierarchy is compiled once here and shared by every chunk task.
+  const bool probe_batch = spec.backend == Backend::kAuto && spec.algo != nullptr &&
+                           !spec.algo_factory && !spec.adversary_factory;
+  const bool is_table =
+      probe_batch &&
+      std::dynamic_pointer_cast<const counting::TableAlgorithm>(spec.algo) != nullptr;
+  const auto composed =
+      probe_batch && !is_table ? ComposedCompiledTable::compile(spec.algo) : nullptr;
+  const bool algo_batchable = is_table || composed != nullptr;
   std::vector<bool> adv_batchable(n_adv, false);
-  if (table_algo) {
+  if (algo_batchable) {
     for (std::size_t a = 0; a < n_adv; ++a) {
       adv_batchable[a] = make_adversary(spec.adversaries[a])->batchable();
     }
@@ -135,13 +141,14 @@ ExperimentResult Engine::run(const ExperimentSpec& spec) const {
   for (std::size_t a = 0; a < n_adv; ++a) {
     for (std::size_t p = 0; p < n_pl; ++p) {
       const std::size_t group = (a * n_pl + p) * n_seeds;
-      if (table_algo && adv_batchable[a]) {
+      if (algo_batchable && adv_batchable[a]) {
         out.batched_cells += n_seeds;
         for (std::size_t s0 = 0; s0 < n_seeds; s0 += kChunk) {
           const std::size_t count = std::min(kChunk, n_seeds - s0);
           tasks.push_back([&, a, group, s0, count, p] {
             BatchConfig bc;
-            bc.algo = table_algo;
+            bc.algo = spec.algo;
+            bc.composed = composed;
             bc.faulty = placements[p].faulty;
             bc.max_rounds = horizon(*spec.algo);
             bc.margin = spec.margin;

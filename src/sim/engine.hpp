@@ -12,12 +12,14 @@
 // of hand-rolling seed loops.
 //
 // Execution backends: cells sharing (adversary, placement) form a group. A
-// group whose algorithm is a shared TableAlgorithm and whose adversary is
-// batchable runs through the bit-parallel batched backend
-// (sim/batch_runner.hpp) in lockstep chunks of up to 64 seeds; every other
-// cell (composite algorithms, per-cell factories, search adversaries like
-// lookahead) stays on the scalar runner. Both backends produce bit-identical
-// RunResults, so mixing them never changes an aggregate.
+// group whose algorithm is shared and batch-supported -- a TableAlgorithm
+// (bit-parallel path) or a BoostedCounter / PullingBoostedCounter tower
+// (composed path, sim/composed_runner.hpp) -- and whose adversary is
+// batchable runs through run_batch in lockstep chunks of up to 64 seeds;
+// every other cell (unknown compositions, per-cell factories, search
+// adversaries like lookahead) stays on the scalar runner. All backends
+// produce bit-identical RunResults, so mixing them never changes an
+// aggregate.
 #pragma once
 
 #include <cstdint>
@@ -49,10 +51,14 @@ struct FaultPattern {
 using AdversaryFactory = std::function<std::unique_ptr<Adversary>(const std::string& name)>;
 
 // Optional per-cell algorithm factory for algorithms that are not safe to
-// share across threads; when absent, `algo` is shared by every cell (all
-// library algorithms are immutable after construction, so sharing is the
-// norm).
-using AlgorithmFactory = std::function<counting::AlgorithmPtr()>;
+// share across threads or that vary across the grid (e.g. the Corollary 5
+// seed sweep varies the sampling seed per trial); when absent, `algo` is
+// shared by every cell (all library algorithms are immutable after
+// construction, so sharing is the norm). Receives the cell index; the
+// coordinates derive as seed_index = index % seeds, placement =
+// (index / seeds) % placements, adversary = index / (seeds * placements).
+// Factory-built cells always run on the scalar backend.
+using AlgorithmFactory = std::function<counting::AlgorithmPtr(std::size_t cell_index)>;
 
 // Which execution backends the engine may use.
 enum class Backend {

@@ -1,0 +1,173 @@
+// Edge-case coverage for the online stabilisation checker: fault-free (f=0)
+// executions, a single correct node, the observe / observe_summary
+// equivalence the batched backends rely on, suffix-restart semantics and the
+// stop_after_stable interplay in the runner.
+#include <gtest/gtest.h>
+
+#include "counting/table_algorithm.hpp"
+#include "counting/trivial.hpp"
+#include "sim/checker.hpp"
+#include "sim/engine.hpp"
+#include "sim/faults.hpp"
+#include "sim/runner.hpp"
+#include "synthesis/known_tables.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace synccount;
+using sim::StabilisationChecker;
+
+TEST(Checker, PerfectCountingFromRoundZero) {
+  StabilisationChecker ck(4);
+  for (std::uint64_t r = 0; r < 20; ++r) {
+    const std::uint64_t v = r % 4;
+    const std::vector<std::uint64_t> outs = {v, v, v};
+    ck.observe(outs);
+  }
+  EXPECT_EQ(ck.rounds(), 20u);
+  EXPECT_EQ(ck.suffix_start(), 0u);
+  EXPECT_EQ(ck.suffix_length(), 20u);
+  EXPECT_EQ(ck.max_window(), 20u);
+}
+
+TEST(Checker, SingleCorrectNodeNeedsOnlyIncrements) {
+  // One correct node: agreement is trivial, only the increment-by-one rule
+  // can break the suffix.
+  StabilisationChecker ck(3);
+  const std::vector<std::uint64_t> seq = {0, 1, 2, 0, 1, 1, 2, 0, 1, 2};
+  for (const std::uint64_t v : seq) {
+    const std::vector<std::uint64_t> outs = {v};
+    ck.observe(outs);
+  }
+  // The repeat at index 5 restarts the suffix at that round.
+  EXPECT_EQ(ck.rounds(), 10u);
+  EXPECT_EQ(ck.suffix_start(), 5u);
+  EXPECT_EQ(ck.suffix_length(), 5u);
+  EXPECT_EQ(ck.max_window(), 5u);  // both windows have length 5
+}
+
+TEST(Checker, DisagreementRestartsSuffixAfterTheBadRound) {
+  StabilisationChecker ck(5);
+  ck.observe(std::vector<std::uint64_t>{0, 0});
+  ck.observe(std::vector<std::uint64_t>{1, 1});
+  ck.observe(std::vector<std::uint64_t>{2, 3});  // disagreement at round 2
+  EXPECT_EQ(ck.suffix_start(), 3u);
+  EXPECT_EQ(ck.suffix_length(), 0u);
+  EXPECT_EQ(ck.max_window(), 2u);
+  ck.observe(std::vector<std::uint64_t>{3, 3});
+  ck.observe(std::vector<std::uint64_t>{4, 4});
+  ck.observe(std::vector<std::uint64_t>{0, 0});
+  EXPECT_EQ(ck.suffix_start(), 3u);
+  EXPECT_EQ(ck.suffix_length(), 3u);
+  EXPECT_EQ(ck.max_window(), 3u);
+}
+
+TEST(Checker, AgreedButNonIncrementingRestartsSuffixAtTheCurrentRound) {
+  // Agreement holds in both rounds but the counter stalls: unlike a
+  // disagreement, the *current* round can start the new suffix.
+  StabilisationChecker ck(4);
+  ck.observe(std::vector<std::uint64_t>{1, 1});
+  ck.observe(std::vector<std::uint64_t>{2, 2});
+  ck.observe(std::vector<std::uint64_t>{2, 2});  // stall at round 2
+  EXPECT_EQ(ck.suffix_start(), 2u);
+  EXPECT_EQ(ck.suffix_length(), 1u);
+  ck.observe(std::vector<std::uint64_t>{3, 3});
+  ck.observe(std::vector<std::uint64_t>{0, 0});  // wrap mod 4 is valid
+  EXPECT_EQ(ck.suffix_start(), 2u);
+  EXPECT_EQ(ck.suffix_length(), 3u);
+  EXPECT_EQ(ck.max_window(), 3u);
+}
+
+TEST(Checker, ObserveEqualsObserveSummaryOnIdenticalExecutions) {
+  // Feed the same random execution through observe() (scalar runner) and
+  // observe_summary() (batched backends); every statistic must agree after
+  // every round.
+  util::Rng rng(0xC4EC);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::uint64_t modulus = 2 + rng.next_below(6);
+    StabilisationChecker a(modulus);
+    StabilisationChecker b(modulus);
+    const int nodes = 1 + static_cast<int>(rng.next_below(4));
+    std::vector<std::uint64_t> outs(static_cast<std::size_t>(nodes));
+    for (int r = 0; r < 200; ++r) {
+      // Mostly-counting sequences with occasional disagreement/stall noise.
+      const std::uint64_t base = rng.next_bool(0.8) ? static_cast<std::uint64_t>(r) % modulus
+                                                    : rng.next_below(modulus);
+      for (auto& o : outs) {
+        o = rng.next_bool(0.9) ? base : rng.next_below(modulus);
+      }
+      a.observe(outs);
+      bool agreed = true;
+      for (const auto o : outs) {
+        if (o != outs[0]) agreed = false;
+      }
+      b.observe_summary(agreed, outs[0]);
+      ASSERT_EQ(a.rounds(), b.rounds());
+      ASSERT_EQ(a.suffix_start(), b.suffix_start());
+      ASSERT_EQ(a.suffix_length(), b.suffix_length());
+      ASSERT_EQ(a.max_window(), b.max_window());
+    }
+  }
+}
+
+TEST(Checker, RunnerStopAfterStableInterplay) {
+  // f = 0, fault-free: the known 4-node table counts perfectly once
+  // stabilised; stop_after_stable must cut the run as soon as the suffix
+  // reaches the requested length, and the reported suffix must equal it.
+  const auto algo =
+      std::make_shared<counting::TableAlgorithm>(synthesis::known_table_4_1_3states());
+  for (const std::uint64_t stop : {1u, 7u, 25u}) {
+    sim::RunConfig cfg;
+    cfg.algo = algo;
+    cfg.max_rounds = 500;
+    cfg.seed = 11;
+    cfg.stop_after_stable = stop;
+    auto adv = sim::make_adversary("silent");
+    const auto res = sim::run_execution(cfg, *adv, stop);
+    EXPECT_TRUE(res.stabilised) << "stop=" << stop;
+    EXPECT_EQ(res.suffix_length, stop) << "stop=" << stop;
+    EXPECT_LT(res.rounds, 500u) << "stop=" << stop;
+    EXPECT_EQ(res.rounds, res.stabilisation_round + stop) << "stop=" << stop;
+  }
+  // stop_after_stable = 0 runs to the horizon.
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  cfg.max_rounds = 120;
+  cfg.seed = 11;
+  auto adv = sim::make_adversary("silent");
+  const auto res = sim::run_execution(cfg, *adv, 10);
+  EXPECT_EQ(res.rounds, 120u);
+  EXPECT_TRUE(res.stabilised);
+}
+
+TEST(Checker, SingleCorrectNodeExecutionEndToEnd) {
+  // n = 4 with the full fault budget placed so only one... the table
+  // tolerates f = 1; place it and check a 3-correct-node run, then the
+  // 1-node trivial-counter extreme (a single correct node in the system).
+  const auto algo =
+      std::make_shared<counting::TableAlgorithm>(synthesis::known_table_4_1_3states());
+  sim::RunConfig cfg;
+  cfg.algo = algo;
+  cfg.faulty = sim::faults_prefix(4, 1);
+  cfg.max_rounds = 300;
+  cfg.seed = 3;
+  auto adv = sim::make_adversary("split");
+  const auto res = sim::run_execution(cfg, *adv, 30);
+  EXPECT_EQ(res.correct_ids.size(), 3u);
+  EXPECT_TRUE(res.stabilised);
+
+  const auto one = std::make_shared<counting::TrivialCounter>(6);
+  sim::RunConfig c1;
+  c1.algo = one;
+  c1.max_rounds = 40;
+  c1.seed = 5;
+  auto silent = sim::make_adversary("silent");
+  const auto r1 = sim::run_execution(c1, *silent, 10);
+  EXPECT_EQ(r1.correct_ids.size(), 1u);
+  EXPECT_TRUE(r1.stabilised);
+  EXPECT_EQ(r1.stabilisation_round, 0u);  // T = 0 from any initial state
+  EXPECT_EQ(r1.suffix_length, 40u);
+}
+
+}  // namespace

@@ -116,9 +116,10 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 // Batched sweep over adversaries x fault placements x seeds through the
 // experiment engine; prints one aggregate row per (adversary, placement).
-// With --table=3states|4states|<file>, sweeps a transition-table algorithm
-// instead of a boosted counter; such sweeps run on the bit-parallel batched
-// backend (--backend=scalar forces the scalar runner).
+// Boosted counters run on the composed batched backend (hierarchical field
+// kernels); with --table=3states|4states|<file> the sweep instead uses a
+// transition-table algorithm on the bit-parallel batched backend
+// (--backend=scalar forces the scalar runner for either).
 int cmd_sweep(const util::Cli& cli) {
   counting::AlgorithmPtr algo;
   if (cli.has("table")) {
