@@ -1,0 +1,89 @@
+// Serializable algorithm descriptions for distributed sweeps.
+//
+// A sharded sweep ships an ExperimentSpec to worker processes as JSON
+// (sim/experiment_io.hpp); the algorithm inside it cannot travel as a
+// pointer, so it travels as an AlgorithmSpec: a plain-data description that
+// `build()` turns back into the exact algorithm and `describe()` recovers
+// from a live instance. The describable family covers everything the engine
+// can batch plus its bases:
+//
+//   * trivial       -- TrivialCounter(modulus)
+//   * table         -- TableAlgorithm, sourced by registry name
+//                      (synthesis::known_table_by_name), by file path, or by
+//                      an inline synccount-table dump (counting/table_io.hpp)
+//   * tower         -- BoostedCounter / PullingBoostedCounter levels
+//                      (bottom-up) over a trivial or table base
+//
+// Round-trip contract: build(describe(a)) constructs an algorithm whose
+// executions are bit-identical to `a` under any seed/adversary -- the spec
+// captures every behavioural parameter, including the pulling levels'
+// sampling mode, seed and gamma. describe() returns nullopt for algorithms
+// outside the family (services, randomized baselines); callers must treat
+// that as "not distributable", not an error.
+//
+// The struct is algorithm-layer data, so it lives in counting/; the builder
+// in the .cpp reaches up into boosting/, pulling/ and synthesis/ (the
+// library is a single target, so the layering cost is include-only).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "counting/algorithm.hpp"
+
+namespace synccount::util {
+class Json;
+}  // namespace synccount::util
+
+namespace synccount::counting {
+
+struct AlgorithmSpec {
+  enum class Kind { kTrivial, kTable, kTower };
+
+  Kind kind = Kind::kTrivial;
+
+  // kTrivial: the counter modulus c >= 2.
+  std::uint64_t modulus = 0;
+
+  // kTable: exactly one source must be set.
+  std::string table_name;    // registry name ("3states", "4states", ...)
+  std::string table_file;    // path readable on the worker
+  std::string table_text;    // inline synccount-table dump (self-contained)
+
+  // kTower: levels bottom-up over `base` (itself kTrivial or kTable).
+  struct Level {
+    bool pulling = false;       // BoostedCounter vs PullingBoostedCounter
+    int k = 0;
+    int F = 0;
+    std::uint64_t C = 0;
+    // Pulling levels only:
+    int sample_size = 0;
+    bool fixed_sampling = false;  // SamplingMode::kFixed
+    std::uint64_t sampling_seed = 0;
+    double gamma = 0.5;
+  };
+  std::vector<Level> levels;
+  std::shared_ptr<AlgorithmSpec> base;  // shared so the spec stays copyable
+
+  bool operator==(const AlgorithmSpec& other) const;
+};
+
+// JSON codec (the wire shape; see experiment_io for the enclosing format).
+util::Json to_json(const AlgorithmSpec& spec);
+AlgorithmSpec algorithm_spec_from_json(const util::Json& j);
+
+// Recovers the spec of a live algorithm, or nullopt when the algorithm is
+// outside the describable family. Tables that match an embedded registry
+// table are described by name; anything else is inlined, so the result is
+// self-contained unless the original was loaded from a file the caller
+// wants referenced (build() accepts all three sources either way).
+std::optional<AlgorithmSpec> describe(const AlgorithmPtr& algo);
+
+// Reconstructs the algorithm. Throws std::invalid_argument (via SC_CHECK)
+// on inconsistent specs, unknown table names or unreadable table files.
+AlgorithmPtr build(const AlgorithmSpec& spec);
+
+}  // namespace synccount::counting

@@ -74,6 +74,7 @@ class PullingBoostedCounter final : public counting::CountingAlgorithm {
   int sample_size() const noexcept { return params_.sample_size; }
   SamplingMode mode() const noexcept { return params_.mode; }
   std::uint64_t sampling_seed() const noexcept { return params_.seed; }
+  double gamma() const noexcept { return params_.gamma; }
   const CountingAlgorithm& inner() const noexcept { return *inner_; }
 
  private:

@@ -167,7 +167,18 @@ class ComposedBlock {
       vote_B_.resize(total_copies, 0);
       vote_R_.resize(total_copies, 0);
       vote_valid_.resize(total_copies, 0);
+      // Faulty senders inside each copy of this level: the only received
+      // fields the copy's votes see that can differ across receivers.
+      for (int c = 0; c < lv.copies; ++c) {
+        std::vector<NodeId> in_copy;
+        for (const NodeId u : faulty_ids_) {
+          if (u >= c * lv.n && u < (c + 1) * lv.n) in_copy.push_back(u);
+        }
+        copy_faulty_.push_back(std::move(in_copy));
+      }
     }
+    vote_memo_.resize(total_copies);
+    vote_memo_used_.assign(total_copies, 0);
     leader_.assign(static_cast<std::size_t>(max_k), 0);
     const auto mm = static_cast<std::size_t>(max_m);
     sample_.assign(static_cast<std::size_t>(max_k) * mm, 0);
@@ -261,7 +272,11 @@ class ComposedBlock {
         // of fresh-sampling pulling levels intact).
         load_received(l);
         const bool shared_rv = faultless_ || hoist_;
-        if (shared_rv) std::fill(vote_valid_.begin(), vote_valid_.end(), 0);
+        if (shared_rv) {
+          std::fill(vote_valid_.begin(), vote_valid_.end(), 0);
+        } else {
+          std::fill(vote_memo_used_.begin(), vote_memo_used_.end(), 0);
+        }
         for (const NodeId v : correct_) {
           if (!shared_rv) {
             for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
@@ -463,15 +478,47 @@ class ComposedBlock {
     const std::size_t slot = copy_base_[lvl] + static_cast<std::size_t>(copy);
     std::uint64_t B;
     std::uint64_t R;
-    if (shared_rv && vote_valid_[slot]) {
-      B = vote_B_[slot];
-      R = vote_R_[slot];
-    } else {
-      compute_votes(lvl, copy, B, R);
-      if (shared_rv) {
+    if (shared_rv) {
+      if (vote_valid_[slot]) {
+        B = vote_B_[slot];
+        R = vote_R_[slot];
+      } else {
+        compute_votes(lvl, copy, B, R);
         vote_B_[slot] = B;
         vote_R_[slot] = R;
         vote_valid_[slot] = 1;
+      }
+    } else {
+      // Per-receiver forging changes only the faulty senders' fields, and
+      // structured equivocators send few distinct profiles per round (split:
+      // two), so this round's votes are memoized per (level, copy) keyed on
+      // the forged field tuple the votes actually read -- the base index for
+      // level 0, the level-below (a) register otherwise. A full key match
+      // implies identical vote inputs, so the hit path is bit-identical to
+      // recomputing.
+      key_scratch_.clear();
+      for (const NodeId u : copy_faulty_[slot]) {
+        const auto uu = static_cast<std::size_t>(u);
+        key_scratch_.push_back(lvl == 0 ? rp_base_[uu] : rp_a_[lvl - 1][uu]);
+      }
+      auto& entries = vote_memo_[slot];
+      std::size_t& used = vote_memo_used_[slot];
+      bool hit = false;
+      for (std::size_t e = 0; e < used; ++e) {
+        if (entries[e].key == key_scratch_) {
+          B = entries[e].B;
+          R = entries[e].R;
+          hit = true;
+          break;
+        }
+      }
+      if (!hit) {
+        compute_votes(lvl, copy, B, R);
+        if (used == entries.size()) entries.emplace_back();
+        entries[used].key = key_scratch_;  // assignment reuses capacity
+        entries[used].B = B;
+        entries[used].R = R;
+        ++used;
       }
     }
     const std::size_t first = static_cast<std::size_t>(copy) * static_cast<std::size_t>(lv.n);
@@ -650,6 +697,18 @@ class ComposedBlock {
   std::vector<std::size_t> copy_base_;  // [level] -> first slot of its copies
   std::vector<std::uint64_t> vote_B_, vote_R_;
   std::vector<std::uint8_t> vote_valid_;
+
+  // Per-receiver vote memo (the !shared_rv path), [slot]: votes computed this
+  // lane-round keyed on the copy's forged field tuple; entry storage persists
+  // across rounds so the round loop stays allocation-free once warm.
+  struct VoteMemoEntry {
+    std::vector<std::uint64_t> key;
+    std::uint64_t B = 0, R = 0;
+  };
+  std::vector<std::vector<NodeId>> copy_faulty_;  // [slot] -> faulty ids in the copy
+  std::vector<std::vector<VoteMemoEntry>> vote_memo_;
+  std::vector<std::size_t> vote_memo_used_;
+  std::vector<std::uint64_t> key_scratch_;
 
   // Vote / sampling scratch.
   std::vector<std::uint64_t> b_all_, r_all_, leader_, mvals_, sampled_a_, outs_;

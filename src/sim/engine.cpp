@@ -26,6 +26,42 @@ void AggregateResult::fold(const RunResult& r) {
   }
 }
 
+void AggregateResult::merge(const AggregateResult& other) {
+  runs += other.runs;
+  stabilised += other.stabilised;
+  stabilisation.merge(other.stabilisation);
+  rounds.merge(other.rounds);
+  avg_pulls.merge(other.avg_pulls);
+  max_pulls = std::max(max_pulls, other.max_pulls);
+}
+
+AggregateResult merge_aggregates(std::span<const AggregateResult> partials) {
+  AggregateResult total;
+  for (const AggregateResult& p : partials) total.merge(p);
+  return total;
+}
+
+std::size_t group_count(const ExperimentSpec& spec) {
+  // An empty placement list still runs one fault-free placement (see run()).
+  return spec.adversaries.size() * std::max<std::size_t>(spec.placements.size(), 1);
+}
+
+ShardPlan plan_shards(const ExperimentSpec& spec, int shards, int shard) {
+  SC_CHECK(shards >= 1, "need at least one shard");
+  SC_CHECK(shard >= 0 && shard < shards, "shard index out of range");
+  const std::size_t G = group_count(spec);
+  const auto K = static_cast<std::size_t>(shards);
+  const auto i = static_cast<std::size_t>(shard);
+  const std::size_t base = G / K;
+  const std::size_t extra = G % K;  // the first `extra` shards get one more
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.shard = shard;
+  plan.group_begin = i * base + std::min(i, extra);
+  plan.group_end = plan.group_begin + base + (i < extra ? 1 : 0);
+  return plan;
+}
+
 std::string AggregateResult::fmt_rounds() const {
   if (stabilised == 0) return "-";
   return util::fmt_double(stabilisation.mean(), 0) + " (max " +
@@ -52,6 +88,10 @@ Engine::~Engine() = default;
 int Engine::threads() const noexcept { return pool_ ? pool_->size() : 1; }
 
 ExperimentResult Engine::run(const ExperimentSpec& spec) const {
+  return run(spec, plan_shards(spec, 1, 0));
+}
+
+ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard) const {
   SC_CHECK(spec.algo != nullptr || spec.algo_factory != nullptr,
            "ExperimentSpec needs an algorithm or an algorithm factory");
   SC_CHECK(!spec.adversaries.empty(), "ExperimentSpec needs at least one adversary");
@@ -59,6 +99,8 @@ ExperimentResult Engine::run(const ExperimentSpec& spec) const {
   SC_CHECK(spec.explicit_seeds.empty() ||
                spec.explicit_seeds.size() == static_cast<std::size_t>(spec.seeds),
            "explicit_seeds must be empty or have exactly `seeds` entries");
+  SC_CHECK(shard.group_begin <= shard.group_end && shard.group_end <= group_count(spec),
+           "shard plan does not fit the experiment grid");
 
   static const std::vector<FaultPattern> kFaultFree = {{"", {}}};
   const std::vector<FaultPattern>& placements =
@@ -67,7 +109,10 @@ ExperimentResult Engine::run(const ExperimentSpec& spec) const {
   const std::size_t n_adv = spec.adversaries.size();
   const std::size_t n_pl = placements.size();
   const std::size_t n_seeds = static_cast<std::size_t>(spec.seeds);
-  const std::size_t n_cells = n_adv * n_pl * n_seeds;
+  // The shard's slice: cells [cell_offset, cell_offset + n_cells) of the
+  // global grid, whole (adversary, placement) groups only.
+  const std::size_t cell_offset = shard.group_begin * n_seeds;
+  const std::size_t n_cells = shard.groups() * n_seeds;
 
   // Resolve the horizon once if the algorithm is shared (the common case);
   // per-cell algorithms resolve inside the cell.
@@ -84,8 +129,10 @@ ExperimentResult Engine::run(const ExperimentSpec& spec) const {
     return spec.explicit_seeds.empty() ? cell_seed(spec.base_seed, idx)
                                        : spec.explicit_seeds[idx % n_seeds];
   };
+  // `idx` is always the global cell index; the shard's outcomes occupy
+  // out.cells[idx - cell_offset].
   const auto fill_cell_coords = [&](std::size_t idx) -> CellOutcome& {
-    CellOutcome& cell = out.cells[idx];
+    CellOutcome& cell = out.cells[idx - cell_offset];
     cell.cell_index = idx;
     cell.seed_index = static_cast<int>(idx % n_seeds);
     cell.placement = (idx / n_seeds) % n_pl;
@@ -138,38 +185,38 @@ ExperimentResult Engine::run(const ExperimentSpec& spec) const {
   constexpr std::size_t kChunk = 64;  // lanes per batch task (one plane word)
   std::vector<std::function<void()>> tasks;
   tasks.reserve(n_cells);
-  for (std::size_t a = 0; a < n_adv; ++a) {
-    for (std::size_t p = 0; p < n_pl; ++p) {
-      const std::size_t group = (a * n_pl + p) * n_seeds;
-      if (algo_batchable && adv_batchable[a]) {
-        out.batched_cells += n_seeds;
-        for (std::size_t s0 = 0; s0 < n_seeds; s0 += kChunk) {
-          const std::size_t count = std::min(kChunk, n_seeds - s0);
-          tasks.push_back([&, a, group, s0, count, p] {
-            BatchConfig bc;
-            bc.algo = spec.algo;
-            bc.composed = composed;
-            bc.faulty = placements[p].faulty;
-            bc.max_rounds = horizon(*spec.algo);
-            bc.margin = spec.margin;
-            bc.stop_after_stable = spec.stop_after_stable;
-            bc.record_outputs = spec.record_outputs;
-            bc.record_states = spec.record_states;
-            bc.initial = spec.initial;
-            const std::string& name = spec.adversaries[a];
-            bc.adversary = [&name] { return make_adversary(name); };
-            bc.seeds.resize(count);
-            for (std::size_t k = 0; k < count; ++k) bc.seeds[k] = seed_at(group + s0 + k);
-            auto results = run_batch(bc);
-            for (std::size_t k = 0; k < count; ++k) {
-              fill_cell_coords(group + s0 + k).result = std::move(results[k]);
-            }
-          });
-        }
-      } else {
-        for (std::size_t s = 0; s < n_seeds; ++s) {
-          tasks.push_back([&run_cell, idx = group + s] { run_cell(idx); });
-        }
+  for (std::size_t g = shard.group_begin; g < shard.group_end; ++g) {
+    const std::size_t a = g / n_pl;
+    const std::size_t p = g % n_pl;
+    const std::size_t group = g * n_seeds;
+    if (algo_batchable && adv_batchable[a]) {
+      out.batched_cells += n_seeds;
+      for (std::size_t s0 = 0; s0 < n_seeds; s0 += kChunk) {
+        const std::size_t count = std::min(kChunk, n_seeds - s0);
+        tasks.push_back([&, a, group, s0, count, p] {
+          BatchConfig bc;
+          bc.algo = spec.algo;
+          bc.composed = composed;
+          bc.faulty = placements[p].faulty;
+          bc.max_rounds = horizon(*spec.algo);
+          bc.margin = spec.margin;
+          bc.stop_after_stable = spec.stop_after_stable;
+          bc.record_outputs = spec.record_outputs;
+          bc.record_states = spec.record_states;
+          bc.initial = spec.initial;
+          const std::string& name = spec.adversaries[a];
+          bc.adversary = [&name] { return make_adversary(name); };
+          bc.seeds.resize(count);
+          for (std::size_t k = 0; k < count; ++k) bc.seeds[k] = seed_at(group + s0 + k);
+          auto results = run_batch(bc);
+          for (std::size_t k = 0; k < count; ++k) {
+            fill_cell_coords(group + s0 + k).result = std::move(results[k]);
+          }
+        });
+      }
+    } else {
+      for (std::size_t s = 0; s < n_seeds; ++s) {
+        tasks.push_back([&run_cell, idx = group + s] { run_cell(idx); });
       }
     }
   }

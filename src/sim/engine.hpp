@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -106,6 +107,30 @@ struct ExperimentSpec {
   Backend backend = Backend::kAuto;
 };
 
+// A contiguous slice of the grid's (adversary, placement) cell-groups: the
+// unit a distributed sweep assigns to one worker process. Partitioning on
+// whole groups (never splitting a group's seed range) keeps the batched and
+// composed backends intact inside a shard, and contiguity makes "fold the
+// shard partials in shard order" equal the single-process fold in cell
+// order -- which is what lets merged aggregates stay bit-identical.
+struct ShardPlan {
+  int shards = 1;             // total worker count K
+  int shard = 0;              // this worker's index in [0, K)
+  std::size_t group_begin = 0;  // first (adversary, placement) group, inclusive
+  std::size_t group_end = 0;    // one past the last group
+
+  std::size_t groups() const noexcept { return group_end - group_begin; }
+  bool empty() const noexcept { return group_begin == group_end; }
+};
+
+// Number of (adversary, placement) cell-groups in the grid.
+std::size_t group_count(const ExperimentSpec& spec);
+
+// Balanced contiguous partition: shard i of K receives groups
+// [i*G/K-ish ...) with the first G mod K shards one group larger; shards
+// beyond the group count come out empty (valid, they just do no work).
+ShardPlan plan_shards(const ExperimentSpec& spec, int shards, int shard);
+
 // One cell of the grid = one execution.
 struct CellOutcome {
   std::size_t cell_index = 0;    // (adversary * placements + placement) * seeds + seed_index
@@ -130,13 +155,26 @@ struct AggregateResult {
   }
   void fold(const RunResult& r);
 
+  // Folds a partial aggregate in, as if other's cells had been fold()ed here
+  // directly in order (StreamingStats::merge replays samples, so merging
+  // shard partials in shard order is bit-identical to one sequential fold).
+  void merge(const AggregateResult& other);
+
   // "mean (max N)" -- the cell format the bench tables print.
   std::string fmt_rounds() const;
 };
 
+// Folds shard partials in the given (shard) order into one aggregate;
+// bit-identical to the single-process fold when the partials cover the grid
+// in cell order, which ShardPlan's contiguous group ranges guarantee.
+AggregateResult merge_aggregates(std::span<const AggregateResult> partials);
+
 struct ExperimentResult {
-  std::vector<CellOutcome> cells;  // ordered by cell_index
-  AggregateResult total;
+  // Ordered by cell_index. For a sharded run this holds only the shard's
+  // cells (coordinates and seeds stay global, so a cell computes identically
+  // whichever shard runs it).
+  std::vector<CellOutcome> cells;
+  AggregateResult total;  // fold of `cells` in cell order (a shard partial)
   double wall_seconds = 0.0;
   std::uint64_t batched_cells = 0;  // cells that ran on the batched backend
 
@@ -161,6 +199,12 @@ class Engine {
   int threads() const noexcept;
 
   ExperimentResult run(const ExperimentSpec& spec) const;
+
+  // Runs only the shard's (adversary, placement) groups; every cell keeps
+  // its global index/seed, so the per-cell results -- and therefore the
+  // partial aggregate -- are bit-identical to the same cells of a full run.
+  // merge_aggregates over all shards' totals reproduces run(spec).total.
+  ExperimentResult run(const ExperimentSpec& spec, const ShardPlan& shard) const;
 
  private:
   std::unique_ptr<util::ThreadPool> pool_;  // null for threads == 1

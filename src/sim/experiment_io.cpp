@@ -1,0 +1,321 @@
+#include "sim/experiment_io.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "counting/algorithm_spec.hpp"
+#include "util/check.hpp"
+
+namespace synccount::sim {
+
+namespace {
+
+constexpr const char* kFormat = "synccount-sweep-partial";
+constexpr int kVersion = 1;
+
+std::string faulty_to_string(const std::vector<bool>& faulty) {
+  std::string s;
+  s.reserve(faulty.size());
+  for (const bool b : faulty) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+std::vector<bool> faulty_from_string(const std::string& s) {
+  std::vector<bool> out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    SC_CHECK(c == '0' || c == '1', "fault mask must be a 0/1 string");
+    out.push_back(c == '1');
+  }
+  return out;
+}
+
+// Inverse of BitVec::to_hex: nibble i of the value is hex digit len-1-i.
+State state_from_hex(const std::string& hex) {
+  State s;
+  SC_CHECK(!hex.empty() && hex.size() * 4 <= State::kCapacityBits,
+           "bad state hex string: " + hex);
+  for (std::size_t i = 0; i < hex.size(); ++i) {
+    const char c = hex[hex.size() - 1 - i];
+    std::uint64_t v = 0;
+    if (c >= '0' && c <= '9') {
+      v = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v = static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      SC_CHECK(false, "bad state hex string: " + hex);
+    }
+    s.set_bits(static_cast<int>(i) * 4, 4, v);
+  }
+  return s;
+}
+
+util::Json placements_to_json(const std::vector<FaultPattern>& placements) {
+  util::Json arr = util::Json::array();
+  for (const FaultPattern& p : placements) {
+    util::Json j = util::Json::object();
+    j.set("name", util::Json::string(p.name));
+    j.set("faulty", util::Json::string(faulty_to_string(p.faulty)));
+    arr.push_back(std::move(j));
+  }
+  return arr;
+}
+
+// The grid echo a partial needs for printing/validation, shared by
+// make_partial (from the spec struct via its JSON) and read_partial.
+void derive_grid(ShardPartial& partial) {
+  partial.adversaries.clear();
+  const util::Json& advs = partial.spec.at("adversaries");
+  for (std::size_t i = 0; i < advs.size(); ++i) {
+    partial.adversaries.push_back(advs.at(i).as_string());
+  }
+  partial.placement_names.clear();
+  const util::Json& placements = partial.spec.at("placements");
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    partial.placement_names.push_back(placements.at(i).at("name").as_string());
+  }
+  if (partial.placement_names.empty()) partial.placement_names.emplace_back("");
+  partial.seeds = partial.spec.at("seeds").as_int();
+  SC_CHECK(!partial.adversaries.empty() && partial.seeds > 0, "partial has an empty grid");
+}
+
+std::size_t grid_groups(const ShardPartial& partial) {
+  return partial.adversaries.size() * partial.placement_names.size();
+}
+
+}  // namespace
+
+util::Json experiment_spec_to_json(const ExperimentSpec& spec) {
+  using util::Json;
+  SC_CHECK(!spec.algo_factory, "per-cell algorithm factories are not serialisable");
+  SC_CHECK(!spec.adversary_factory,
+           "custom adversary factories are not serialisable (use library names)");
+  const auto algo_spec = counting::describe(spec.algo);
+  SC_CHECK(algo_spec.has_value(),
+           "algorithm is outside the describable family (see counting/algorithm_spec.hpp)");
+
+  Json j = Json::object();
+  j.set("algo", to_json(*algo_spec));
+  Json advs = Json::array();
+  for (const std::string& a : spec.adversaries) advs.push_back(Json::string(a));
+  j.set("adversaries", std::move(advs));
+  j.set("placements", placements_to_json(spec.placements));
+  j.set("seeds", Json::number(static_cast<std::int64_t>(spec.seeds)));
+  j.set("base_seed", Json::number(spec.base_seed));
+  if (!spec.explicit_seeds.empty()) {
+    Json seeds = Json::array();
+    for (const std::uint64_t s : spec.explicit_seeds) seeds.push_back(Json::number(s));
+    j.set("explicit_seeds", std::move(seeds));
+  }
+  j.set("max_rounds", Json::number(spec.max_rounds));
+  j.set("extra_rounds", Json::number(spec.extra_rounds));
+  j.set("horizon_override", Json::number(spec.horizon_override));
+  j.set("margin", Json::number(spec.margin));
+  j.set("stop_after_stable", Json::number(spec.stop_after_stable));
+  j.set("record_outputs", Json::boolean(spec.record_outputs));
+  j.set("record_states", Json::boolean(spec.record_states));
+  if (!spec.initial.empty()) {
+    const int bits = spec.algo->state_bits();
+    Json initial = Json::array();
+    for (const State& s : spec.initial) initial.push_back(Json::string(s.to_hex(bits)));
+    j.set("initial", std::move(initial));
+  }
+  j.set("backend",
+        Json::string(spec.backend == Backend::kScalar ? "scalar" : "auto"));
+  return j;
+}
+
+ExperimentSpec experiment_spec_from_json(const util::Json& j) {
+  ExperimentSpec spec;
+  spec.algo = counting::build(counting::algorithm_spec_from_json(j.at("algo")));
+  spec.adversaries.clear();
+  const util::Json& advs = j.at("adversaries");
+  for (std::size_t i = 0; i < advs.size(); ++i) {
+    spec.adversaries.push_back(advs.at(i).as_string());
+  }
+  const util::Json& placements = j.at("placements");
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    const util::Json& p = placements.at(i);
+    spec.placements.push_back(
+        {p.at("name").as_string(), faulty_from_string(p.at("faulty").as_string())});
+  }
+  spec.seeds = j.at("seeds").as_int();
+  spec.base_seed = j.at("base_seed").as_u64();
+  if (const auto* seeds = j.find("explicit_seeds")) {
+    for (std::size_t i = 0; i < seeds->size(); ++i) {
+      spec.explicit_seeds.push_back(seeds->at(i).as_u64());
+    }
+  }
+  spec.max_rounds = j.at("max_rounds").as_u64();
+  spec.extra_rounds = j.at("extra_rounds").as_u64();
+  spec.horizon_override = j.at("horizon_override").as_u64();
+  spec.margin = j.at("margin").as_u64();
+  spec.stop_after_stable = j.at("stop_after_stable").as_u64();
+  spec.record_outputs = j.at("record_outputs").as_bool();
+  spec.record_states = j.at("record_states").as_bool();
+  if (const auto* initial = j.find("initial")) {
+    for (std::size_t i = 0; i < initial->size(); ++i) {
+      spec.initial.push_back(state_from_hex(initial->at(i).as_string()));
+    }
+  }
+  const std::string& backend = j.at("backend").as_string();
+  SC_CHECK(backend == "auto" || backend == "scalar", "unknown backend: " + backend);
+  spec.backend = backend == "scalar" ? Backend::kScalar : Backend::kAuto;
+  return spec;
+}
+
+util::Json aggregate_to_json(const AggregateResult& agg) {
+  using util::Json;
+  Json j = Json::object();
+  j.set("runs", Json::number(agg.runs));
+  j.set("stabilised", Json::number(agg.stabilised));
+  j.set("max_pulls", Json::number(agg.max_pulls));
+  j.set("stabilisation", to_json(agg.stabilisation));
+  j.set("rounds", to_json(agg.rounds));
+  j.set("avg_pulls", to_json(agg.avg_pulls));
+  return j;
+}
+
+AggregateResult aggregate_from_json(const util::Json& j) {
+  AggregateResult agg;
+  agg.runs = j.at("runs").as_u64();
+  agg.stabilised = j.at("stabilised").as_u64();
+  agg.max_pulls = j.at("max_pulls").as_u64();
+  agg.stabilisation = util::streaming_stats_from_json(j.at("stabilisation"));
+  agg.rounds = util::streaming_stats_from_json(j.at("rounds"));
+  agg.avg_pulls = util::streaming_stats_from_json(j.at("avg_pulls"));
+  SC_CHECK(agg.rounds.count() == agg.runs && agg.avg_pulls.count() == agg.runs &&
+               agg.stabilisation.count() == agg.stabilised,
+           "aggregate sample counts disagree with run counts");
+  return agg;
+}
+
+AggregateResult ShardPartial::total() const {
+  AggregateResult total;
+  for (const Group& g : groups) total.merge(g.aggregate);
+  return total;
+}
+
+ShardPartial make_partial(const ExperimentSpec& spec, const ShardPlan& plan,
+                          const ExperimentResult& result) {
+  ShardPartial partial;
+  partial.plan = plan;
+  partial.spec = experiment_spec_to_json(spec);
+  derive_grid(partial);
+  SC_CHECK(plan.group_end <= grid_groups(partial), "shard plan does not fit the grid");
+  const std::size_t n_pl = partial.placement_names.size();
+  for (std::size_t g = plan.group_begin; g < plan.group_end; ++g) {
+    ShardPartial::Group group;
+    group.group = g;
+    group.aggregate = result.aggregate(g / n_pl, g % n_pl);
+    SC_CHECK(group.aggregate.runs == static_cast<std::uint64_t>(partial.seeds),
+             "result does not cover the shard's cells");
+    partial.groups.push_back(std::move(group));
+  }
+  return partial;
+}
+
+void write_partial(std::ostream& out, const ShardPartial& partial) {
+  using util::Json;
+  Json header = Json::object();
+  header.set("format", Json::string(kFormat));
+  header.set("version", Json::number(static_cast<std::int64_t>(kVersion)));
+  header.set("shards", Json::number(static_cast<std::int64_t>(partial.plan.shards)));
+  header.set("shard", Json::number(static_cast<std::int64_t>(partial.plan.shard)));
+  header.set("group_begin",
+             Json::number(static_cast<std::uint64_t>(partial.plan.group_begin)));
+  header.set("group_end", Json::number(static_cast<std::uint64_t>(partial.plan.group_end)));
+  header.set("spec", partial.spec);
+  out << header.dump() << '\n';
+
+  const std::size_t n_pl = partial.placement_names.size();
+  for (const ShardPartial::Group& g : partial.groups) {
+    Json line = Json::object();
+    line.set("group", Json::number(static_cast<std::uint64_t>(g.group)));
+    line.set("adversary", Json::string(partial.adversaries[g.group / n_pl]));
+    line.set("placement", Json::string(partial.placement_names[g.group % n_pl]));
+    line.set("aggregate", aggregate_to_json(g.aggregate));
+    out << line.dump() << '\n';
+  }
+}
+
+ShardPartial read_partial(std::istream& in, const std::string& source) {
+  const auto ctx = [&source](const std::string& what) { return source + ": " + what; };
+  std::string line;
+  SC_CHECK(static_cast<bool>(std::getline(in, line)), ctx("empty partial file"));
+  const util::Json header = util::Json::parse(line);
+  SC_CHECK(header.at("format").as_string() == kFormat, ctx("not a sweep-partial file"));
+  SC_CHECK(header.at("version").as_i64() == kVersion, ctx("unsupported format version"));
+
+  ShardPartial partial;
+  partial.plan.shards = header.at("shards").as_int();
+  partial.plan.shard = header.at("shard").as_int();
+  partial.plan.group_begin = header.at("group_begin").as_u64();
+  partial.plan.group_end = header.at("group_end").as_u64();
+  partial.spec = header.at("spec");
+  derive_grid(partial);
+  SC_CHECK(partial.plan.shards >= 1 && partial.plan.shard >= 0 &&
+               partial.plan.shard < partial.plan.shards,
+           ctx("bad shard coordinates"));
+  SC_CHECK(partial.plan.group_begin <= partial.plan.group_end &&
+               partial.plan.group_end <= grid_groups(partial),
+           ctx("shard group range does not fit the grid"));
+
+  const std::size_t n_pl = partial.placement_names.size();
+  std::size_t expected = partial.plan.group_begin;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    SC_CHECK(expected < partial.plan.group_end,
+             ctx("group line past the declared shard range"));
+    const util::Json g = util::Json::parse(line);
+    ShardPartial::Group group;
+    group.group = g.at("group").as_u64();
+    SC_CHECK(group.group == expected, ctx("group lines out of order"));
+    SC_CHECK(g.at("adversary").as_string() == partial.adversaries[group.group / n_pl] &&
+                 g.at("placement").as_string() == partial.placement_names[group.group % n_pl],
+             ctx("group coordinates disagree with the grid"));
+    group.aggregate = aggregate_from_json(g.at("aggregate"));
+    partial.groups.push_back(std::move(group));
+    ++expected;
+  }
+  SC_CHECK(expected == partial.plan.group_end, ctx("partial is missing group lines"));
+  return partial;
+}
+
+ShardPartial merge_partials(std::vector<ShardPartial> parts) {
+  SC_CHECK(!parts.empty(), "nothing to merge");
+  std::sort(parts.begin(), parts.end(),
+            [](const ShardPartial& a, const ShardPartial& b) {
+              return a.plan.shard < b.plan.shard;
+            });
+  const std::string spec_dump = parts.front().spec.dump();
+  const int shards = parts.front().plan.shards;
+  SC_CHECK(parts.size() == static_cast<std::size_t>(shards),
+           "expected " + std::to_string(shards) + " partials, got " +
+               std::to_string(parts.size()));
+
+  ShardPartial merged;
+  merged.plan.shards = 1;
+  merged.plan.shard = 0;
+  merged.plan.group_begin = 0;
+  merged.spec = parts.front().spec;
+  derive_grid(merged);
+
+  std::size_t next_group = 0;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    ShardPartial& p = parts[i];
+    SC_CHECK(p.plan.shard == static_cast<int>(i), "duplicate or missing shard index");
+    SC_CHECK(p.plan.shards == shards, "partials disagree on the shard count");
+    SC_CHECK(p.spec.dump() == spec_dump, "partials come from different experiment specs");
+    SC_CHECK(p.plan.group_begin == next_group,
+             "shard group ranges do not concatenate (shard " + std::to_string(i) + ")");
+    next_group = p.plan.group_end;
+    for (ShardPartial::Group& g : p.groups) merged.groups.push_back(std::move(g));
+  }
+  SC_CHECK(next_group == grid_groups(merged), "partials do not cover the whole grid");
+  merged.plan.group_end = next_group;
+  return merged;
+}
+
+}  // namespace synccount::sim

@@ -1,0 +1,88 @@
+// Wire format for distributed (sharded) sweeps.
+//
+// One huge experiment grid is split into ShardPlans (whole (adversary,
+// placement) cell-groups, engine.hpp) and farmed out to worker processes;
+// each worker serialises its partial result to a line-oriented JSON file and
+// an orchestrator -- `synccount_cli merge`, or the forking path inside
+// `synccount_cli sweep --shards=K` -- folds the partials back together.
+// Multi-machine runs are the same flow with a file copy in the middle.
+//
+// A partial file is plain JSONL (util/json.hpp):
+//
+//   line 1   header: {"format":"synccount-sweep-partial","version":1,
+//            "shards":K,"shard":i,"group_begin":b,"group_end":e,
+//            "spec":{...ExperimentSpec...}}
+//   line 2+  one line per (adversary, placement) group, in group order:
+//            {"group":g,"adversary":"split","placement":"spread",
+//             "aggregate":{...}}
+//
+// Aggregates serialise their StreamingStats as retained samples in add()
+// order, so deserialise-and-merge replays the exact fp-op sequence of a
+// single-process fold: merging the K partials of a grid is bit-identical to
+// Engine::run over the whole grid, and re-serialising the merge yields a
+// byte-identical file to a --shards=1 run (CI enforces this).
+//
+// ExperimentSpec travels minus its callbacks: the algorithm as a
+// counting::AlgorithmSpec (describe/build round-trip) and adversaries by
+// library name; specs carrying algo/adversary factories are not
+// serialisable and are rejected loudly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/json.hpp"
+
+namespace synccount::sim {
+
+// --- Type codecs -------------------------------------------------------------
+
+// Throws (SC_CHECK) when the spec carries an algo/adversary factory or an
+// algorithm outside the describable family.
+util::Json experiment_spec_to_json(const ExperimentSpec& spec);
+ExperimentSpec experiment_spec_from_json(const util::Json& j);
+
+util::Json aggregate_to_json(const AggregateResult& agg);
+AggregateResult aggregate_from_json(const util::Json& j);
+
+// --- Shard partials ----------------------------------------------------------
+
+struct ShardPartial {
+  ShardPlan plan;
+  util::Json spec;  // the ExperimentSpec JSON (grid echo; dump() compared on merge)
+
+  // Derived from `spec` for printing and validation.
+  std::vector<std::string> adversaries;
+  std::vector<std::string> placement_names;
+  int seeds = 0;
+
+  struct Group {
+    std::size_t group = 0;  // global group index: adversary * placements + placement
+    AggregateResult aggregate;
+  };
+  std::vector<Group> groups;  // in group order, covering [group_begin, group_end)
+
+  // Fold of the groups in group order == the shard's total aggregate.
+  AggregateResult total() const;
+};
+
+// Packages one worker's result (Engine::run(spec, plan)) for the wire.
+ShardPartial make_partial(const ExperimentSpec& spec, const ShardPlan& plan,
+                          const ExperimentResult& result);
+
+void write_partial(std::ostream& out, const ShardPartial& partial);
+
+// Throws std::invalid_argument on malformed input or a format/version
+// mismatch. `source` names the stream in error messages (a file path).
+ShardPartial read_partial(std::istream& in, const std::string& source = "<stream>");
+
+// Folds worker partials (any input order) into the full-grid partial
+// {shards=1, shard=0, groups [0, G)}. Requires exactly one partial per shard
+// index of a consistent grid: identical spec dumps, identical shard counts,
+// and group ranges that concatenate to the whole grid. The result
+// write_partial()s byte-identically to a single-process --shards=1 run.
+ShardPartial merge_partials(std::vector<ShardPartial> parts);
+
+}  // namespace synccount::sim

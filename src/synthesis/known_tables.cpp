@@ -1,6 +1,23 @@
 #include "synthesis/known_tables.hpp"
 
+#include <array>
+
 namespace synccount::synthesis {
+
+namespace {
+
+struct RegistryEntry {
+  const char* name;
+  counting::TransitionTable (*make)();
+};
+
+// Names match the `synccount_cli sweep --table=` spellings.
+constexpr std::array<RegistryEntry, 2> kRegistry = {{
+    {"3states", &known_table_4_1_3states},
+    {"4states", &known_table_4_1_4states},
+}};
+
+}  // namespace
 
 counting::TransitionTable known_table_4_1_3states() {
   counting::TransitionTable t;
@@ -52,6 +69,37 @@ counting::TransitionTable known_table_4_1_4states() {
   t.h = {0, 0, 1, 1};
   t.verified_time = 8;
   return t;
+}
+
+std::vector<std::string> known_table_names() {
+  std::vector<std::string> names;
+  names.reserve(kRegistry.size());
+  for (const auto& e : kRegistry) names.emplace_back(e.name);
+  return names;
+}
+
+std::optional<counting::TransitionTable> known_table_by_name(const std::string& name) {
+  for (const auto& e : kRegistry) {
+    if (name == e.name) return e.make();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> known_table_name_of(const counting::TransitionTable& table) {
+  for (const auto& e : kRegistry) {
+    const counting::TransitionTable known = e.make();
+    // Every field must match, including verified_time (it feeds
+    // stabilisation_bound() and hence the engine's default horizon) and the
+    // label (it feeds name()); a table that differs in either must travel
+    // inline or the describe/build round-trip would change behaviour.
+    if (known.n == table.n && known.f == table.f && known.num_states == table.num_states &&
+        known.modulus == table.modulus && known.symmetry == table.symmetry &&
+        known.verified_time == table.verified_time && known.label == table.label &&
+        known.g == table.g && known.h == table.h) {
+      return std::string(e.name);
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace synccount::synthesis

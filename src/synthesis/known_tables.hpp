@@ -5,6 +5,10 @@
 // so correctness never rests on the embedded data being untampered.
 #pragma once
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "counting/table_algorithm.hpp"
 
 namespace synccount::synthesis {
@@ -19,5 +23,16 @@ counting::TransitionTable known_table_4_1_3states();
 // states the uniform instance is UNSAT for every admissible time bound
 // <= 16 -- see bench_synthesis.
 counting::TransitionTable known_table_4_1_4states();
+
+// Registry keyed by the short names the CLI and the serializable
+// AlgorithmSpec (counting/algorithm_spec.hpp) use, so a worker process can
+// reconstruct an embedded table from its name alone. Unknown names return
+// nullopt.
+std::vector<std::string> known_table_names();
+std::optional<counting::TransitionTable> known_table_by_name(const std::string& name);
+
+// The registry name of `table` if its parameters and g/h entries match an
+// embedded table exactly (describe() prefers a name over an inline dump).
+std::optional<std::string> known_table_name_of(const counting::TransitionTable& table);
 
 }  // namespace synccount::synthesis

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <string>
 #include <vector>
@@ -19,6 +20,11 @@ class Cli {
   std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback = false) const;
+
+  // The parsed flag names that are not in `known`, in name order. Strict
+  // front ends (synccount_cli) reject a command line when this is non-empty
+  // instead of silently running with a typo'd flag ignored.
+  std::vector<std::string> unknown_flags(std::initializer_list<const char*> known) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -1,0 +1,448 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+
+namespace synccount::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw std::invalid_argument("json: " + what); }
+
+const char* type_name(Json::Type t) {
+  switch (t) {
+    case Json::Type::kNull: return "null";
+    case Json::Type::kBool: return "bool";
+    case Json::Type::kNumber: return "number";
+    case Json::Type::kString: return "string";
+    case Json::Type::kArray: return "array";
+    case Json::Type::kObject: return "object";
+  }
+  return "?";
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xf]);
+          out.push_back(kHex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json run() {
+    Json v = value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage at offset " + std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void err(const std::string& what) const {
+    fail(what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) err("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) err(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json value(int depth) {
+    if (depth > kMaxDepth) err("nesting too deep");
+    skip_ws();
+    switch (peek()) {
+      case '{': return object(depth);
+      case '[': return array(depth);
+      case '"': return Json::string(string());
+      case 't':
+        if (!consume_literal("true")) err("bad literal");
+        return Json::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) err("bad literal");
+        return Json::boolean(false);
+      case 'n':
+        if (!consume_literal("null")) err("bad literal");
+        return Json();
+      default: return number();
+    }
+  }
+
+  Json object(int depth) {
+    expect('{');
+    Json out = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out.set(std::move(key), value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return out;
+      if (c != ',') err("expected ',' or '}'");
+    }
+  }
+
+  Json array(int depth) {
+    expect('[');
+    Json out = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      out.push_back(value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return out;
+      if (c != ',') err("expected ',' or ']'");
+    }
+  }
+
+  unsigned hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = peek();
+      ++pos_;
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        err("bad \\u escape");
+      }
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) err("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) err("raw control character in string");
+        out.push_back(c);
+        continue;
+      }
+      const char e = peek();
+      ++pos_;
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = hex4();
+          if (cp >= 0xd800 && cp < 0xdc00) {  // high surrogate: need the pair
+            if (!consume_literal("\\u")) err("unpaired surrogate");
+            const unsigned lo = hex4();
+            if (lo < 0xdc00 || lo > 0xdfff) err("bad low surrogate");
+            cp = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+          } else if (cp >= 0xdc00 && cp < 0xe000) {
+            err("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: err("bad escape");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t d0 = pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+      if (pos_ == d0) err("expected digits");
+    };
+    const std::size_t int_start = pos_;
+    digits();
+    // RFC 8259: the integer part is "0" or starts with a nonzero digit.
+    if (text_[int_start] == '0' && pos_ - int_start > 1) err("leading zero in number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      digits();
+    }
+    Json out;
+    out.set_number_token(std::string(text_.substr(start, pos_ - start)));
+    return out;
+  }
+};
+
+}  // namespace
+
+void Json::set_number_token(std::string token) {
+  type_ = Type::kNumber;
+  scalar_ = std::move(token);
+}
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  if (!std::isfinite(v)) fail("cannot serialise a non-finite double");
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);  // shortest round-trip
+  Json j;
+  j.set_number_token(std::string(buf, res.ptr));
+  return j;
+}
+
+Json Json::number(std::uint64_t v) {
+  Json j;
+  j.set_number_token(std::to_string(v));
+  return j;
+}
+
+Json Json::number(std::int64_t v) {
+  Json j;
+  j.set_number_token(std::to_string(v));
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.scalar_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) fail(std::string("expected bool, got ") + type_name(type_));
+  return bool_;
+}
+
+double Json::as_double() const {
+  if (type_ != Type::kNumber) fail(std::string("expected number, got ") + type_name(type_));
+  double v = 0;
+  const auto res = std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), v);
+  if (res.ec != std::errc() || res.ptr != scalar_.data() + scalar_.size()) {
+    fail("bad number token: " + scalar_);
+  }
+  return v;
+}
+
+std::uint64_t Json::as_u64() const {
+  if (type_ != Type::kNumber) fail(std::string("expected number, got ") + type_name(type_));
+  std::uint64_t v = 0;
+  const auto res = std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), v);
+  if (res.ec != std::errc() || res.ptr != scalar_.data() + scalar_.size()) {
+    fail("expected unsigned integer, got: " + scalar_);
+  }
+  return v;
+}
+
+std::int64_t Json::as_i64() const {
+  if (type_ != Type::kNumber) fail(std::string("expected number, got ") + type_name(type_));
+  std::int64_t v = 0;
+  const auto res = std::from_chars(scalar_.data(), scalar_.data() + scalar_.size(), v);
+  if (res.ec != std::errc() || res.ptr != scalar_.data() + scalar_.size()) {
+    fail("expected integer, got: " + scalar_);
+  }
+  return v;
+}
+
+int Json::as_int() const {
+  const std::int64_t v = as_i64();
+  if (v < INT32_MIN || v > INT32_MAX) fail("integer out of int range: " + scalar_);
+  return static_cast<int>(v);
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) fail(std::string("expected string, got ") + type_name(type_));
+  return scalar_;
+}
+
+std::size_t Json::size() const {
+  if (type_ == Type::kArray) return items_.size();
+  if (type_ == Type::kObject) return members_.size();
+  fail(std::string("expected array or object, got ") + type_name(type_));
+}
+
+const Json& Json::at(std::size_t i) const {
+  if (type_ != Type::kArray) fail(std::string("expected array, got ") + type_name(type_));
+  if (i >= items_.size()) fail("array index out of range");
+  return items_[i];
+}
+
+void Json::push_back(Json v) {
+  if (type_ != Type::kArray) fail(std::string("expected array, got ") + type_name(type_));
+  items_.push_back(std::move(v));
+}
+
+bool Json::has(std::string_view key) const { return find(key) != nullptr; }
+
+const Json* Json::find(std::string_view key) const {
+  if (type_ != Type::kObject) fail(std::string("expected object, got ") + type_name(type_));
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* v = find(key);
+  if (v == nullptr) fail("missing key: " + std::string(key));
+  return *v;
+}
+
+void Json::set(std::string key, Json v) {
+  if (type_ != Type::kObject) fail(std::string("expected object, got ") + type_name(type_));
+  for (auto& [k, old] : members_) {
+    if (k == key) {
+      old = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(v));
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  if (type_ != Type::kObject) fail(std::string("expected object, got ") + type_name(type_));
+  return members_;
+}
+
+void Json::dump_to(std::string& out) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: out += scalar_; break;
+    case Type::kString: append_escaped(out, scalar_); break;
+    case Type::kArray: {
+      out.push_back('[');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        items_[i].dump_to(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        append_escaped(out, members_[i].first);
+        out.push_back(':');
+        members_[i].second.dump_to(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+Json Json::parse(std::string_view text) { return Parser(text).run(); }
+
+}  // namespace synccount::util

@@ -1,0 +1,89 @@
+// Minimal JSON value + codec for the distribution wire format.
+//
+// Sharded sweeps ship ExperimentSpecs to worker processes and partial
+// AggregateResults back (sim/experiment_io.hpp), one JSON object per line.
+// The codec therefore has two hard requirements the usual "just print it"
+// approach misses:
+//
+//  * Exact numeric round-trips. Doubles are rendered with std::to_chars
+//    shortest-round-trip form and integers keep full 64-bit range; a parsed
+//    number stores its original token, so parse(dump(x)).dump() == dump(x)
+//    and the merged-aggregate byte-identity contract can hold end to end.
+//  * Deterministic dumps. Object members keep insertion order (no hashing),
+//    so the same data always serialises to the same bytes.
+//
+// The model is deliberately small: null, bool, number, string, array,
+// object. parse() throws std::invalid_argument on malformed input; accessors
+// throw on type mismatches, so reading a malformed wire file fails loudly
+// instead of folding garbage into an aggregate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace synccount::util {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+
+  static Json boolean(bool b);
+  static Json number(double v);             // shortest round-trip rendering
+  static Json number(std::uint64_t v);
+  static Json number(std::int64_t v);
+  static Json number(int v) { return number(static_cast<std::int64_t>(v)); }
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+
+  // --- Scalar accessors (throw std::invalid_argument on mismatch) ----------
+  bool as_bool() const;
+  double as_double() const;
+  std::uint64_t as_u64() const;
+  std::int64_t as_i64() const;
+  int as_int() const;
+  const std::string& as_string() const;
+
+  // --- Arrays ---------------------------------------------------------------
+  std::size_t size() const;  // array or object element count
+  const Json& at(std::size_t i) const;
+  void push_back(Json v);
+
+  // --- Objects (insertion-ordered) -----------------------------------------
+  bool has(std::string_view key) const;
+  const Json* find(std::string_view key) const;  // nullptr when absent
+  const Json& at(std::string_view key) const;    // throws when absent
+  void set(std::string key, Json v);             // overwrites in place
+
+  // Members in insertion order (iteration for generic consumers).
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  // Compact single-line rendering (the line-oriented wire format).
+  std::string dump() const;
+
+  // Throws std::invalid_argument on malformed input or trailing garbage.
+  static Json parse(std::string_view text);
+
+  // Internal: install a pre-validated numeric token verbatim (the parser
+  // stores the original spelling so round-trips are byte-exact).
+  void set_number_token(std::string token);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::string scalar_;  // number token (kNumber) or string value (kString)
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+
+  void dump_to(std::string& out) const;
+};
+
+}  // namespace synccount::util

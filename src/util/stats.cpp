@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/json.hpp"
+
 namespace synccount::util {
 
 namespace {
@@ -71,6 +73,21 @@ Summary StreamingStats::summary() const {
 }
 
 std::string StreamingStats::to_string() const { return summary().to_string(); }
+
+Json to_json(const StreamingStats& stats) {
+  Json samples = Json::array();
+  for (const double x : stats.samples()) samples.push_back(Json::number(x));
+  Json j = Json::object();
+  j.set("samples", std::move(samples));
+  return j;
+}
+
+StreamingStats streaming_stats_from_json(const Json& j) {
+  StreamingStats out;
+  const Json& samples = j.at("samples");
+  for (std::size_t i = 0; i < samples.size(); ++i) out.add(samples.at(i).as_double());
+  return out;
+}
 
 Summary summarize(std::vector<double> samples) {
   Summary s;

@@ -45,6 +45,10 @@ class StreamingStats {
   // Exact quantile with linear interpolation, p in [0, 1]; 0 when empty.
   double quantile(double p) const;
 
+  // The retained samples in add() order -- what the wire codec serialises so
+  // a deserialised accumulator replays the identical fp-op sequence.
+  const std::vector<double>& samples() const noexcept { return samples_; }
+
   Summary summary() const;             // same shape the benches already print
   std::string to_string() const;
 
@@ -57,6 +61,16 @@ class StreamingStats {
   mutable bool sorted_ = true;         // lazily sorted copy lives in sorted_samples_
   mutable std::vector<double> sorted_samples_;
 };
+
+class Json;
+
+// Wire codec for StreamingStats (the sharded-sweep format of
+// sim/experiment_io.hpp): serialises the retained samples in add() order;
+// deserialisation replays them through add(), so a round-tripped accumulator
+// is bit-identical to the original -- mean/m2 follow the same fp-op
+// sequence and merged quantiles stay exact.
+Json to_json(const StreamingStats& stats);
+StreamingStats streaming_stats_from_json(const Json& j);
 
 // Computes summary statistics; the input is copied and sorted internally.
 Summary summarize(std::vector<double> samples);

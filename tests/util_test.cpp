@@ -1,5 +1,7 @@
 // Unit tests for the util module: RNG determinism and uniformity sanity,
-// bit-vector packing, integer math, statistics, tables and CLI parsing.
+// bit-vector packing, integer math, statistics (incl. the mergeable
+// accumulator's determinism contract and wire codec), JSON, tables and CLI
+// parsing.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -7,6 +9,7 @@
 #include "util/bitio.hpp"
 #include "util/check.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/math.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -270,6 +273,161 @@ TEST(Stats, RegressionSlope) {
 
 // --- table -------------------------------------------------------------
 
+// --- StreamingStats: merge determinism + wire codec --------------------
+//
+// The sharded-sweep merge path rests on one property: merging partial
+// accumulators in order is *bit-identical* to one sequential fold. These
+// tests pin that down (exact == on doubles is deliberate).
+
+// All summary fields identical, bitwise.
+void expect_identical(const StreamingStats& a, const StreamingStats& b) {
+  ASSERT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.stddev(), b.stddev());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  for (const double p : {0.0, 0.25, 0.5, 0.9, 0.95, 1.0}) {
+    EXPECT_EQ(a.quantile(p), b.quantile(p));
+  }
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+// Irrational-ish samples so every fp operation order matters.
+std::vector<double> awkward_samples(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.next_double() * 1e3 + 1.0 / 3.0);
+  return xs;
+}
+
+TEST(StreamingStats, MergeBitIdenticalToSequentialAdd) {
+  const auto xs = awkward_samples(257, 7);
+  StreamingStats all;
+  for (const double x : xs) all.add(x);
+  // Every split point, including empty prefix/suffix.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1}, std::size_t{128},
+                                std::size_t{256}, xs.size()}) {
+    StreamingStats lo, hi;
+    for (std::size_t i = 0; i < cut; ++i) lo.add(xs[i]);
+    for (std::size_t i = cut; i < xs.size(); ++i) hi.add(xs[i]);
+    lo.merge(hi);
+    expect_identical(lo, all);
+  }
+}
+
+TEST(StreamingStats, MergeAssociativeAcrossArbitrarySplits) {
+  const auto xs = awkward_samples(200, 11);
+  StreamingStats all;
+  for (const double x : xs) all.add(x);
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Split into 1..8 ordered chunks at random cut points, fold left.
+    std::set<std::size_t> cuts = {0, xs.size()};
+    const int parts = 1 + static_cast<int>(rng.next_below(8));
+    for (int i = 1; i < parts; ++i) cuts.insert(rng.next_below(xs.size()));
+    std::vector<StreamingStats> chunks;
+    auto it = cuts.begin();
+    for (std::size_t lo = *it++; it != cuts.end(); ++it) {
+      StreamingStats c;
+      for (std::size_t i = lo; i < *it; ++i) c.add(xs[i]);
+      chunks.push_back(std::move(c));
+      lo = *it;
+    }
+    StreamingStats folded;
+    for (const auto& c : chunks) folded.merge(c);
+    expect_identical(folded, all);
+  }
+}
+
+TEST(StreamingStats, SelfMergeDoublesTheSamples) {
+  StreamingStats acc;
+  for (const double x : awkward_samples(33, 5)) acc.add(x);
+  StreamingStats twice;
+  for (const double x : acc.samples()) twice.add(x);
+  for (const double x : acc.samples()) twice.add(x);
+  acc.merge(acc);  // must stay defined while add() grows samples_
+  expect_identical(acc, twice);
+}
+
+TEST(StreamingStats, JsonCodecRoundTripIsBitIdentical) {
+  StreamingStats acc;
+  for (const double x : awkward_samples(97, 13)) acc.add(x);
+  const Json j = to_json(acc);
+  const StreamingStats back = streaming_stats_from_json(Json::parse(j.dump()));
+  expect_identical(back, acc);
+  // Re-serialisation is byte-stable (the merge byte-identity contract).
+  EXPECT_EQ(to_json(back).dump(), j.dump());
+}
+
+TEST(StreamingStats, EmptyCodecRoundTrip) {
+  const StreamingStats empty;
+  const StreamingStats back = streaming_stats_from_json(Json::parse(to_json(empty).dump()));
+  EXPECT_EQ(back.count(), 0u);
+  EXPECT_EQ(back.quantile(0.5), 0.0);
+}
+
+// --- Json --------------------------------------------------------------
+
+TEST(Json, ScalarRoundTrips) {
+  EXPECT_EQ(Json::parse("null").dump(), "null");
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("false").dump(), "false");
+  EXPECT_EQ(Json::parse("-17").as_i64(), -17);
+  EXPECT_EQ(Json::parse("18446744073709551615").as_u64(), ~std::uint64_t{0});
+  EXPECT_EQ(Json::number(~std::uint64_t{0}).dump(), "18446744073709551615");
+}
+
+TEST(Json, DoubleShortestRoundTrip) {
+  for (const double v : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23, -0.0, 123456789.123456789}) {
+    const Json j = Json::number(v);
+    EXPECT_EQ(Json::parse(j.dump()).as_double(), v) << j.dump();
+  }
+}
+
+TEST(Json, NumberTokenPreservedVerbatim) {
+  // parse keeps the original spelling, so re-dumping cannot drift bytes.
+  for (const char* tok : {"1e3", "0.5", "-0.0", "2", "1.25e-7"}) {
+    EXPECT_EQ(Json::parse(tok).dump(), tok);
+  }
+}
+
+TEST(Json, StringEscapes) {
+  const Json j = Json::string("a\"b\\c\n\t\x01z");
+  EXPECT_EQ(j.dump(), "\"a\\\"b\\\\c\\n\\t\\u0001z\"");
+  EXPECT_EQ(Json::parse(j.dump()).as_string(), "a\"b\\c\n\t\x01z");
+  EXPECT_EQ(Json::parse("\"\\u00e9\\ud83d\\ude00\"").as_string(), "\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(Json, NestedStructureAndMemberOrder) {
+  Json obj = Json::object();
+  obj.set("b", Json::number(std::int64_t{1}));
+  obj.set("a", Json::number(std::int64_t{2}));
+  Json arr = Json::array();
+  arr.push_back(Json());
+  arr.push_back(Json::boolean(true));
+  obj.set("list", std::move(arr));
+  // Insertion order is preserved (deterministic dumps), not sorted.
+  EXPECT_EQ(obj.dump(), "{\"b\":1,\"a\":2,\"list\":[null,true]}");
+  const Json back = Json::parse(obj.dump());
+  EXPECT_EQ(back.dump(), obj.dump());
+  EXPECT_EQ(back.at("a").as_int(), 2);
+  EXPECT_EQ(back.at("list").size(), 2u);
+  EXPECT_TRUE(back.at("list").at(0).is_null());
+  EXPECT_EQ(back.find("missing"), nullptr);
+}
+
+TEST(Json, MalformedInputsThrow) {
+  for (const char* bad : {"", "{", "[1,", "{\"a\":}", "tru", "1.2.3", "\"unterminated",
+                          "{\"a\":1} trailing", "01", "-01.5", "nul", "\"\\q\""}) {
+    EXPECT_THROW(Json::parse(bad), std::invalid_argument) << bad;
+  }
+  EXPECT_THROW(Json::parse("123").as_string(), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"x\"").as_u64(), std::invalid_argument);
+  EXPECT_THROW(Json::parse("-1").as_u64(), std::invalid_argument);
+  EXPECT_THROW(Json::object().at("nope"), std::invalid_argument);
+}
+
 TEST(Table, RendersAlignedColumns) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1"});
@@ -307,6 +465,16 @@ TEST(Cli, StringAndDouble) {
 }
 
 // --- check -------------------------------------------------------------
+
+TEST(Cli, UnknownFlags) {
+  const char* argv[] = {"prog", "--f=3", "--seeds=5", "--bogus=1", "--typo"};
+  const Cli cli(5, argv);
+  EXPECT_TRUE(cli.unknown_flags({"f", "seeds", "bogus", "typo"}).empty());
+  const auto unknown = cli.unknown_flags({"f", "seeds"});
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0], "bogus");
+  EXPECT_EQ(unknown[1], "typo");
+}
 
 TEST(Check, ThrowsWithMessage) {
   try {

@@ -10,23 +10,85 @@
 //                             [--adversaries=split,lookahead|all]
 //                             [--placements=spread,blocks,leaders]
 //                             [--base-seed=S] [--rounds=N] [--margin=M]
+//                             [--shards=K] [--shard=i] [--emit=FILE]
+//   synccount_cli merge       FILE... [--emit=FILE]
 //   synccount_cli synthesize  --n=4 --f=1 --states=3 [--symmetry=cyclic]
 //                             [--max-time=8] [--incremental] [--budget=K]
 //                             [--dimacs=out.cnf]
 //   synccount_cli verify      [--load=file.table]  (default: embedded tables)
 //   synccount_cli consensus   --f=1 --values=8 --proposals=5,5,5,5 [--seed=S]
+//
+// Distributed sweeps: `sweep --shards=K` forks K local worker processes,
+// each running a contiguous slice of (adversary, placement) cell-groups, and
+// merges their partial files -- bit-identical to the single-process sweep.
+// `sweep --shards=K --shard=i --emit=FILE` runs one worker in the calling
+// process (the multi-machine form: run shard i per machine, copy the files,
+// `merge` them anywhere). Unknown flags and subcommands exit with status 2.
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <thread>
+
+#include "counting/algorithm_spec.hpp"
 #include "counting/table_io.hpp"
+#include "sim/experiment_io.hpp"
 #include "synccount/synccount.hpp"
 
 using namespace synccount;
 
 namespace {
 
+void usage(std::ostream& os) {
+  os << "usage: synccount_cli <command> [--flags]\n"
+        "  plan        print a Theorem 1 recursion schedule and its bounds\n"
+        "              --f --modulus --schedule=practical|corollary1|fixed-k --k --levels\n"
+        "  run         one execution with optional CSV trace\n"
+        "              --f --modulus --adversary --placement --seed --rounds --trace\n"
+        "  sweep       batched grid sweep (adversaries x placements x seeds)\n"
+        "              --f --modulus | --table=3states|4states|file.table\n"
+        "              --backend=auto|scalar --adversaries --placements --seeds\n"
+        "              --base-seed --rounds --margin --stop-after-stable --threads\n"
+        "              --shards=K [--shard=i] [--emit=FILE]  (distributed mode)\n"
+        "  merge       fold sweep worker partials: merge FILE... [--emit=FILE]\n"
+        "  synthesize  SAT-synthesize a table algorithm\n"
+        "              --n --f --states --modulus --symmetry --min-time --max-time\n"
+        "              --incremental --budget --dimacs --save\n"
+        "  verify      exact verification --load=file.table (default: embedded)\n"
+        "  consensus   repeated consensus demo --f --values --proposals --seed --adversary\n"
+        "see the header of tools/synccount_cli.cpp for details\n";
+}
+
+// Strict flag handling: a typo'd flag must fail the command, not silently
+// run a different experiment.
+int reject_unknown(const util::Cli& cli, std::initializer_list<const char*> known,
+                   bool allow_positional = false) {
+  const auto unknown = cli.unknown_flags(known);
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag" << (unknown.size() > 1 ? "s" : "") << ":";
+    for (const auto& f : unknown) std::cerr << " --" << f;
+    std::cerr << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+  if (!allow_positional && !cli.positional().empty()) {
+    std::cerr << "unexpected argument: " << cli.positional().front() << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+  return 0;
+}
+
 int cmd_plan(const util::Cli& cli) {
+  if (const int rc = reject_unknown(cli, {"f", "modulus", "schedule", "k", "levels"})) {
+    return rc;
+  }
   const int f = static_cast<int>(cli.get_int("f", 3));
   const std::uint64_t modulus = cli.get_u64("modulus", 10);
   const std::string schedule = cli.get_string("schedule", "practical");
@@ -60,6 +122,10 @@ int cmd_plan(const util::Cli& cli) {
 }
 
 int cmd_run(const util::Cli& cli) {
+  if (const int rc = reject_unknown(
+          cli, {"f", "modulus", "adversary", "placement", "seed", "rounds", "trace"})) {
+    return rc;
+  }
   const int f = static_cast<int>(cli.get_int("f", 3));
   const std::uint64_t modulus = cli.get_u64("modulus", 16);
   const auto algo = boosting::build_plan(boosting::plan_practical(f, modulus));
@@ -114,27 +180,33 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-// Batched sweep over adversaries x fault placements x seeds through the
-// experiment engine; prints one aggregate row per (adversary, placement).
-// Boosted counters run on the composed batched backend (hierarchical field
-// kernels); with --table=3states|4states|<file> the sweep instead uses a
-// transition-table algorithm on the bit-parallel batched backend
-// (--backend=scalar forces the scalar runner for either).
-int cmd_sweep(const util::Cli& cli) {
+// --- sweep -------------------------------------------------------------------
+
+// The grid a sweep command line describes; shared by the single-process,
+// worker and orchestrator paths (a worker must reconstruct the exact spec
+// from the same flags).
+struct SweepGrid {
+  counting::AlgorithmPtr algo;
+  sim::ExperimentSpec spec;
+  int n = 0;
+  int f = 0;
+};
+
+int build_sweep_grid(const util::Cli& cli, SweepGrid& out) {
   counting::AlgorithmPtr algo;
   if (cli.has("table")) {
+    // Resolve through the same AlgorithmSpec path a deserialised worker
+    // spec takes, so registry names and table files cannot drift between
+    // the CLI and the wire format.
     const std::string which = cli.get_string("table", "3states");
-    counting::TransitionTable table;
-    if (which == "3states") {
-      table = synthesis::known_table_4_1_3states();
-    } else if (which == "4states") {
-      table = synthesis::known_table_4_1_4states();
+    counting::AlgorithmSpec tspec;
+    tspec.kind = counting::AlgorithmSpec::Kind::kTable;
+    if (synthesis::known_table_by_name(which).has_value()) {
+      tspec.table_name = which;
     } else {
-      std::ifstream file(which);
-      SC_CHECK(file.good(), "cannot open table file: " + which);
-      table = counting::read_table(file);
+      tspec.table_file = which;
     }
-    algo = std::make_shared<counting::TableAlgorithm>(std::move(table));
+    algo = counting::build(tspec);
   } else {
     const int plan_f = static_cast<int>(cli.get_int("f", 3));
     const std::uint64_t modulus = cli.get_u64("modulus", 16);
@@ -193,38 +265,278 @@ int cmd_sweep(const util::Cli& cli) {
   spec.margin = cli.get_u64("margin", 100);
   spec.stop_after_stable = cli.get_u64("stop-after-stable", 120);
 
-  const sim::Engine engine(static_cast<int>(cli.get_int("threads", 0)));
-  const auto result = engine.run(spec);
+  out.algo = std::move(algo);
+  out.spec = std::move(spec);
+  out.n = n;
+  out.f = f;
+  return 0;
+}
 
-  std::cout << "algorithm: " << algo->name() << " (n=" << n << ", f=" << f << ", T bound "
-            << algo->stabilisation_bound().value_or(0) << ")\n"
-            << "grid: " << spec.adversaries.size() << " adversaries x "
-            << spec.placements.size() << " placements x " << spec.seeds << " seeds = "
-            << result.cells.size() << " executions on " << engine.threads() << " threads ("
-            << result.batched_cells << " on the batched backend)\n\n";
+void print_grid_header(const SweepGrid& g) {
+  std::cout << "algorithm: " << g.algo->name() << " (n=" << g.n << ", f=" << g.f
+            << ", T bound " << g.algo->stabilisation_bound().value_or(0) << ")\n";
+}
 
+// The per-(adversary, placement) table plus the grand total, printed from a
+// full-grid partial -- identical whether the groups were computed here or
+// merged from worker files.
+int print_partial_table(const sim::ShardPartial& partial) {
   util::Table table({"adversary", "placement", "stabilised", "T mean", "T p50", "T p95",
                      "T max"});
-  for (std::size_t a = 0; a < spec.adversaries.size(); ++a) {
-    for (std::size_t p = 0; p < spec.placements.size(); ++p) {
-      const auto agg = result.aggregate(a, p);
-      const auto& st = agg.stabilisation;
-      table.add_row({spec.adversaries[a], spec.placements[p].name,
-                     std::to_string(agg.stabilised) + "/" + std::to_string(agg.runs),
-                     agg.stabilised ? util::fmt_double(st.mean(), 1) : "-",
-                     agg.stabilised ? util::fmt_double(st.quantile(0.5), 1) : "-",
-                     agg.stabilised ? util::fmt_double(st.quantile(0.95), 1) : "-",
-                     agg.stabilised ? util::fmt_double(st.max(), 0) : "-"});
-    }
+  for (const auto& g : partial.groups) {
+    const auto& agg = g.aggregate;
+    const auto& st = agg.stabilisation;
+    table.add_row({partial.adversaries[g.group / partial.placement_names.size()],
+                   partial.placement_names[g.group % partial.placement_names.size()],
+                   std::to_string(agg.stabilised) + "/" + std::to_string(agg.runs),
+                   agg.stabilised ? util::fmt_double(st.mean(), 1) : "-",
+                   agg.stabilised ? util::fmt_double(st.quantile(0.5), 1) : "-",
+                   agg.stabilised ? util::fmt_double(st.quantile(0.95), 1) : "-",
+                   agg.stabilised ? util::fmt_double(st.max(), 0) : "-"});
   }
   table.print(std::cout);
 
-  const auto& t = result.total;
+  const auto t = partial.total();
   std::cout << "\ntotal: " << t.stabilised << "/" << t.runs << " stabilised ("
             << util::fmt_double(100.0 * t.stabilisation_rate(), 1) << "%), T "
-            << t.stabilisation.to_string() << "\nwall: "
-            << util::fmt_double(result.wall_seconds, 2) << "s\n";
+            << t.stabilisation.to_string() << "\n";
   return t.stabilised == t.runs ? 0 : 1;
+}
+
+int emit_partial(const std::string& path, const sim::ShardPartial& partial) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  sim::write_partial(out, partial);
+  out.close();  // flush now: close-time errors (ENOSPC) must fail the worker
+  if (!out.good()) {
+    std::cerr << "error writing " << path << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+// Forks one worker per shard (re-executing this binary) and waits for all of
+// them; multi-machine runs do exactly this by hand, one shard per machine.
+int run_worker_processes(const std::string& exe,
+                         const std::vector<std::vector<std::string>>& worker_args) {
+  std::vector<pid_t> pids;
+  bool spawn_failed = false;
+  for (const auto& args : worker_args) {
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      spawn_failed = true;
+      break;  // reap the workers already running before reporting failure
+    }
+    if (pid == 0) {
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (const auto& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+      argv.push_back(nullptr);
+      // execvp: self_exe falls back to argv[0] where /proc/self/exe is
+      // unavailable, and a bare program name then needs the PATH search.
+      execvp(exe.c_str(), argv.data());
+      std::perror("execvp");
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+  int failures = 0;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (waitpid(pid, &status, 0) < 0 || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    std::cerr << failures << " worker process(es) failed\n";
+  }
+  return (failures > 0 || spawn_failed) ? 1 : 0;
+}
+
+int cmd_sweep(const util::Cli& cli, const std::string& exe,
+              const std::vector<std::string>& raw_args) {
+  if (const int rc = reject_unknown(
+          cli, {"f", "modulus", "table", "backend", "adversaries", "placements", "seeds",
+                "base-seed", "rounds", "margin", "stop-after-stable", "threads", "shards",
+                "shard", "emit"})) {
+    return rc;
+  }
+  SweepGrid grid;
+  if (const int rc = build_sweep_grid(cli, grid)) return rc;
+  const sim::ExperimentSpec& spec = grid.spec;
+
+  const int shards = static_cast<int>(cli.get_int("shards", 1));
+  if (shards < 1) {
+    std::cerr << "--shards must be >= 1\n";
+    return 2;
+  }
+  const std::string emit = cli.get_string("emit", "");
+  // A bare `--emit` parses as the boolean value "true"; writing a file
+  // literally named "true" is always a forgotten =FILE.
+  if (cli.has("emit") && emit == "true") {
+    std::cerr << "--emit requires a file: --emit=FILE\n";
+    return 2;
+  }
+  const int threads = static_cast<int>(cli.get_int("threads", 0));
+
+  // --- Worker mode: run one shard, emit the partial, stay quiet ------------
+  if (cli.has("shard")) {
+    const int shard = static_cast<int>(cli.get_int("shard", 0));
+    if (shard < 0 || shard >= shards) {
+      std::cerr << "--shard must be in [0, " << shards << ")\n";
+      return 2;
+    }
+    if (emit.empty()) {
+      std::cerr << "worker mode (--shard) requires --emit=FILE\n";
+      return 2;
+    }
+    const auto plan = sim::plan_shards(spec, shards, shard);
+    const sim::Engine engine(threads);
+    const auto result = engine.run(spec, plan);
+    const auto partial = sim::make_partial(spec, plan, result);
+    if (const int rc = emit_partial(emit, partial)) return rc;
+    std::cout << "shard " << shard << "/" << shards << ": groups [" << plan.group_begin
+              << "," << plan.group_end << ") of " << sim::group_count(spec) << ", "
+              << result.cells.size() << " cells (" << result.batched_cells
+              << " batched), wall " << util::fmt_double(result.wall_seconds, 2) << "s -> "
+              << emit << "\n";
+    return 0;
+  }
+
+  // --- Single process: the grid in one engine run --------------------------
+  if (shards == 1) {
+    const sim::Engine engine(threads);
+    const auto result = engine.run(spec);
+    const auto partial = sim::make_partial(spec, sim::plan_shards(spec, 1, 0), result);
+    print_grid_header(grid);
+    std::cout << "grid: " << spec.adversaries.size() << " adversaries x "
+              << spec.placements.size() << " placements x " << spec.seeds << " seeds = "
+              << result.cells.size() << " executions on " << engine.threads()
+              << " threads (" << result.batched_cells << " on the batched backend)\n\n";
+    if (!emit.empty()) {
+      if (const int rc = emit_partial(emit, partial)) return rc;
+    }
+    const int rc = print_partial_table(partial);
+    std::cout << "wall: " << util::fmt_double(result.wall_seconds, 2) << "s\n";
+    return rc;
+  }
+
+  // --- Orchestrator: fork K local workers and merge their partials ---------
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::string> worker_files;
+  const bool keep_partials = !emit.empty();
+  std::string tmp_base;
+  if (!keep_partials) {
+    tmp_base = (std::filesystem::temp_directory_path() /
+                ("synccount-sweep-" + std::to_string(getpid()) + "-shard"))
+                   .string();
+  }
+  // The workers run concurrently, so --threads (or hardware concurrency) is
+  // a *total* budget split across them -- forwarding it verbatim would
+  // oversubscribe the machine K-fold.
+  const int total_threads =
+      threads > 0 ? threads
+                  : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int worker_threads = std::max(1, total_threads / shards);
+  std::vector<std::vector<std::string>> worker_args;
+  for (int i = 0; i < shards; ++i) {
+    const std::string file = keep_partials ? emit + ".shard" + std::to_string(i)
+                                           : tmp_base + std::to_string(i) + ".jsonl";
+    worker_files.push_back(file);
+    std::vector<std::string> args = {exe, "sweep"};
+    for (const auto& a : raw_args) {
+      if (a.rfind("--shards", 0) == 0 || a.rfind("--shard", 0) == 0 ||
+          a.rfind("--emit", 0) == 0 || a.rfind("--threads", 0) == 0) {
+        continue;  // replaced below (--shards is re-added explicitly)
+      }
+      args.push_back(a);
+    }
+    args.push_back("--shards=" + std::to_string(shards));
+    args.push_back("--shard=" + std::to_string(i));
+    args.push_back("--threads=" + std::to_string(worker_threads));
+    args.push_back("--emit=" + file);
+    worker_args.push_back(std::move(args));
+  }
+
+  print_grid_header(grid);
+  std::cout << "grid: " << spec.adversaries.size() << " adversaries x "
+            << spec.placements.size() << " placements x " << spec.seeds << " seeds = "
+            << sim::group_count(spec) * static_cast<std::size_t>(spec.seeds)
+            << " executions across " << shards << " worker processes\n";
+  const int spawn_rc = run_worker_processes(exe, worker_args);
+
+  std::vector<sim::ShardPartial> parts;
+  int read_rc = 0;
+  if (spawn_rc == 0) {
+    for (const auto& file : worker_files) {
+      std::ifstream in(file);
+      if (!in.good()) {
+        std::cerr << "missing worker partial: " << file << "\n";
+        read_rc = 1;
+        break;
+      }
+      parts.push_back(sim::read_partial(in, file));
+    }
+  }
+  if (!keep_partials) {
+    for (const auto& file : worker_files) std::remove(file.c_str());
+  }
+  if (spawn_rc != 0 || read_rc != 0) return 1;
+
+  const auto merged = sim::merge_partials(std::move(parts));
+  std::cout << "\n";
+  if (!emit.empty()) {
+    if (const int rc = emit_partial(emit, merged)) return rc;
+  }
+  const int rc = print_partial_table(merged);
+  std::cout << "wall: "
+            << util::fmt_double(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count(),
+                                2)
+            << "s (" << shards << " workers)\n";
+  return rc;
+}
+
+int cmd_merge(const util::Cli& cli) {
+  if (const int rc = reject_unknown(cli, {"emit"}, /*allow_positional=*/true)) return rc;
+  if (cli.has("emit") && cli.get_string("emit", "") == "true") {
+    std::cerr << "--emit requires a file: --emit=FILE\n";
+    return 2;
+  }
+  const auto& files = cli.positional();
+  if (files.empty()) {
+    std::cerr << "merge needs at least one partial file\n";
+    return 2;
+  }
+  std::vector<sim::ShardPartial> parts;
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    if (!in.good()) {
+      std::cerr << "cannot open " << file << "\n";
+      return 1;
+    }
+    parts.push_back(sim::read_partial(in, file));
+  }
+  const auto merged = sim::merge_partials(std::move(parts));
+
+  // Rebuild the algorithm from the spec echo for the header line (also
+  // validates that this machine can reconstruct the experiment).
+  const auto algo =
+      counting::build(counting::algorithm_spec_from_json(merged.spec.at("algo")));
+  std::cout << "algorithm: " << algo->name() << " (n=" << algo->num_nodes() << ", f="
+            << algo->resilience() << ")\n"
+            << "grid: " << merged.adversaries.size() << " adversaries x "
+            << merged.placement_names.size() << " placements x " << merged.seeds
+            << " seeds, merged from " << files.size() << " partial(s)\n\n";
+  if (cli.has("emit")) {
+    if (const int rc = emit_partial(cli.get_string("emit", ""), merged)) return rc;
+  }
+  return print_partial_table(merged);
 }
 
 counting::Symmetry parse_symmetry(const std::string& s) {
@@ -235,6 +547,11 @@ counting::Symmetry parse_symmetry(const std::string& s) {
 }
 
 int cmd_synthesize(const util::Cli& cli) {
+  if (const int rc = reject_unknown(
+          cli, {"n", "f", "states", "modulus", "symmetry", "max-time", "min-time",
+                "incremental", "budget", "dimacs", "save"})) {
+    return rc;
+  }
   synthesis::SynthesisSpec spec;
   spec.n = static_cast<int>(cli.get_int("n", 4));
   spec.f = static_cast<int>(cli.get_int("f", 1));
@@ -285,6 +602,7 @@ int cmd_synthesize(const util::Cli& cli) {
 }
 
 int cmd_verify(const util::Cli& cli) {
+  if (const int rc = reject_unknown(cli, {"load"})) return rc;
   std::vector<counting::TransitionTable> tables;
   if (cli.has("load")) {
     std::ifstream file(cli.get_string("load", ""));
@@ -306,6 +624,10 @@ int cmd_verify(const util::Cli& cli) {
 }
 
 int cmd_consensus(const util::Cli& cli) {
+  if (const int rc =
+          reject_unknown(cli, {"f", "values", "proposals", "seed", "adversary"})) {
+    return rc;
+  }
   const int f = static_cast<int>(cli.get_int("f", 1));
   const std::uint64_t values = cli.get_u64("values", 8);
   const int tau = 3 * (f + 2);
@@ -345,24 +667,39 @@ int cmd_consensus(const util::Cli& cli) {
   return agreed ? 0 : 1;
 }
 
+// Path of the running binary, for re-exec'ing worker processes.
+std::string self_exe(const char* argv0) {
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len > 0) {
+    buf[len] = '\0';
+    return std::string(buf);
+  }
+  return std::string(argv0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     if (argc < 2) {
-      std::cerr << "usage: synccount_cli <plan|run|sweep|synthesize|verify|consensus> [--flags]\n"
-                << "see the header of tools/synccount_cli.cpp for details\n";
+      usage(std::cerr);
       return 2;
     }
     const std::string cmd = argv[1];
     const util::Cli cli(argc - 1, argv + 1);
     if (cmd == "plan") return cmd_plan(cli);
     if (cmd == "run") return cmd_run(cli);
-    if (cmd == "sweep") return cmd_sweep(cli);
+    if (cmd == "sweep") {
+      return cmd_sweep(cli, self_exe(argv[0]),
+                       std::vector<std::string>(argv + 2, argv + argc));
+    }
+    if (cmd == "merge") return cmd_merge(cli);
     if (cmd == "synthesize") return cmd_synthesize(cli);
     if (cmd == "verify") return cmd_verify(cli);
     if (cmd == "consensus") return cmd_consensus(cli);
     std::cerr << "unknown command: " << cmd << "\n";
+    usage(std::cerr);
     return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
