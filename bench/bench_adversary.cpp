@@ -56,7 +56,8 @@ int main(int argc, char** argv) {
   spec.stop_after_stable = 120;
   spec.margin = 100;
 
-  const auto result = bench::engine(cli).run(spec);
+  const bench::Harness harness(cli);
+  const auto result = harness.run("E10", spec);
 
   util::Table table({"adversary", "placement", "stabilised", "T measured mean (max)",
                      "within bound"});
@@ -75,6 +76,6 @@ int main(int argc, char** argv) {
             << "the construction-aware 'leader-split' are the aggressive ends.\n"
             << "(" << result.cells.size() << " executions in "
             << util::fmt_double(result.wall_seconds, 2) << "s on "
-            << bench::engine(cli).threads() << " threads)\n";
+            << harness.threads() << " threads)\n";
   return 0;
 }

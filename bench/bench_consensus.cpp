@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   using namespace synccount;
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 3));
-  const auto& engine = bench::engine(cli);
+  const bench::Harness harness(cli);
 
   std::cout << "=== E12: repeated consensus on top of the counters ===\n\n";
 
@@ -59,8 +59,11 @@ int main(int argc, char** argv) {
     }
     spec.max_rounds = *svc->stabilisation_bound() + 6 * static_cast<std::uint64_t>(tau);
     spec.margin = 1;
-    spec.record_outputs = true;
-    const auto result = engine.run(spec);
+    // The window inspection below needs the full output traces retained.
+    sim::RecordSink record(/*outputs=*/true);
+    const auto result = harness.run(
+        "E12-f" + std::to_string(c.f) + "-" + c.proposals + "-" + c.adversary, spec,
+        {&record});
 
     // Inspect decisions at window boundaries after the service bound.
     std::uint64_t windows = 0, agreement_bad = 0, validity_bad = 0;

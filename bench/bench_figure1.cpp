@@ -65,6 +65,9 @@ int main(int argc, char** argv) {
 
   // A 1x1x1 experiment grid: the engine handles the degenerate single-cell
   // case too, so even trace-producing benches share the same entry point.
+  // The state trace is requested through a RecordSink (the spec itself stays
+  // pure data).
+  const bench::Harness harness(cli);
   sim::ExperimentSpec spec;
   spec.algo = algo;
   spec.adversaries = {"silent"};
@@ -72,8 +75,8 @@ int main(int argc, char** argv) {
   spec.explicit_seeds = {2};  // pin the exact pre-engine execution
   spec.max_rounds = rounds;
   spec.margin = 10;
-  spec.record_states = true;
-  const auto res = bench::engine(cli).run(spec).cells.front().result;
+  sim::RecordSink record(/*outputs=*/false, /*states=*/true);
+  const auto res = harness.run("figure1", spec, {&record}).cells.front().result;
 
   // Pointer timelines of blocks 0..2 (the figure's h, h+1, h+2).
   std::vector<std::vector<std::uint64_t>> b_of(3);

@@ -37,8 +37,9 @@ int main(int argc, char** argv) {
             << " rounds, S(B) = " << algo->state_bits() << " bits per node.\n\n";
 
   // Fault placements, in increasing nastiness (Figure 2 draws a fully faulty
-  // block plus scattered faults); one engine sweep covers the whole
+  // block plus scattered faults); one declarative spec covers the whole
   // placements x adversaries x seeds grid.
+  const bench::Harness harness(cli);
   sim::ExperimentSpec spec;
   spec.algo = algo;
   spec.placements = {
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
   spec.seeds = seeds;
   spec.stop_after_stable = 120;
   spec.margin = 100;
-  const auto result = bench::engine(cli).run(spec);
+  const auto result = harness.run("figure2", spec);
 
   util::Table table({"fault placement", "runs", "stabilised", "T measured mean (max)",
                      "T bound", "bound respected"});
@@ -66,7 +67,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(" << result.cells.size() << " executions in "
             << util::fmt_double(result.wall_seconds, 2) << "s on "
-            << bench::engine(cli).threads() << " threads)\n";
+            << harness.threads() << " threads)\n";
 
   std::cout << "\nState-bit accounting per level (S(B) = S(A) + ceil(log(C+1)) + 1):\n";
   util::Table bits({"level", "algorithm", "state bits"});

@@ -7,8 +7,10 @@
 //  * E8 (Corollary 5): the pseudo-random variant with per-node sampling bits
 //    fixed once; against an oblivious adversary a good seed stabilises and
 //    then counts deterministically. We report the fraction of good seeds.
-//    The sampling seed varies per cell through the engine's per-cell
-//    algorithm factory (factory cells run on the scalar backend).
+//    The sampling seed is a declarative sweep axis: one AlgorithmSpec
+//    variant per trial (counting::sweep_u64 over "sampling_seed"), so the
+//    whole experiment serialises and replays via spec files (variant cells
+//    run on the scalar backend).
 //
 // Usage: bench_pulling [--seeds=N] [--deep] [--threads=N]
 #include <cmath>
@@ -43,7 +45,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 5));
   const bool deep = cli.get_bool("deep");
-  const auto& eng = bench::engine(cli);
+  const bench::Harness harness(cli);
 
   std::cout << "=== E7: pulls per round (Theorem 4 / Corollary 4) ===\n\n";
   {
@@ -62,7 +64,7 @@ int main(int argc, char** argv) {
       spec.seeds = seeds;
       spec.max_rounds = 20;
       spec.margin = 2;
-      const auto res = eng.run(spec);
+      const auto res = harness.run("E7-f" + std::to_string(f), spec);
       table.add_row({std::to_string(f), std::to_string(N), std::to_string(N),
                      std::to_string(M), std::to_string(res.total.max_pulls),
                      util::fmt_double(static_cast<double>(res.total.max_pulls) / N, 2),
@@ -91,7 +93,7 @@ int main(int argc, char** argv) {
       }
       spec.max_rounds = 2304 + 600;
       spec.margin = 150;
-      const auto res = eng.run(spec);
+      const auto res = harness.run("E7b-M" + std::to_string(M), spec);
       std::vector<double> windows;
       for (const auto& cell : res.cells) {
         windows.push_back(static_cast<double>(cell.result.max_window));
@@ -113,11 +115,15 @@ int main(int argc, char** argv) {
     for (int M : {16, 32, 48, 96}) {
       const int trials = std::max(seeds, 10);
       sim::ExperimentSpec spec;
-      // One algorithm per cell: the sampling seed is the quantity under test.
-      spec.algo_factory = [M](std::size_t cell_index) {
-        return small_pulling(M, pulling::SamplingMode::kFixed,
-                             0xC0FFEE + static_cast<std::uint64_t>(cell_index) * 7919);
-      };
+      // One algorithm variant per trial: the sampling seed is the quantity
+      // under test, swept as data over the seed axis.
+      std::vector<std::uint64_t> sampling_seeds;
+      for (int t = 0; t < trials; ++t) {
+        sampling_seeds.push_back(0xC0FFEE + static_cast<std::uint64_t>(t) * 7919);
+      }
+      spec.variants = counting::sweep_u64(
+          *counting::describe(small_pulling(M, pulling::SamplingMode::kFixed, 0)),
+          "sampling_seed", sampling_seeds);
       spec.adversaries = {"split"};
       spec.placements = {{"prefix", sim::faults_prefix(4, 1)}};  // independent of the seeds
       spec.seeds = trials;
@@ -127,7 +133,7 @@ int main(int argc, char** argv) {
       }
       spec.max_rounds = 2304 + 400;
       spec.margin = 200;
-      const auto res = eng.run(spec);
+      const auto res = harness.run("E8-M" + std::to_string(M), spec);
       table.add_row({std::to_string(M), bench::fmt_rate(res.total),
                      util::fmt_double(res.total.stabilisation_rate(), 2)});
     }

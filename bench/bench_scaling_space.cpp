@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int max_f = static_cast<int>(cli.get_int("max-f", 1023));
   const int seeds = static_cast<int>(cli.get_int("seeds", 3));
+  const bench::Harness harness(cli);
 
   std::cout << "=== E6: state bits vs resilience ===\n\n";
 
@@ -51,7 +52,8 @@ int main(int argc, char** argv) {
     opt.seeds = seeds;
     opt.stop_after_stable = 120;
     const auto agg = bench::measure_stabilisation(
-        bench::engine(cli), algo, sim::faults_spread(algo->num_nodes(), f), opt);
+        harness, "E6-f" + std::to_string(f), algo,
+        sim::faults_spread(algo->num_nodes(), f), opt);
     measured.add_row({std::to_string(f), std::to_string(algo->num_nodes()),
                       std::to_string(algo->state_bits()),
                       std::to_string(algo->stabilisation_bound().value_or(0)),

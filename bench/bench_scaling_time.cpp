@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 2));
   const bool deep = cli.get_bool("deep");
-  const auto& eng = bench::engine(cli);
+  const bench::Harness harness(cli);
 
   std::cout << "=== E5: stabilisation time vs resilience ===\n\n";
 
@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
     } else {
       faulty = sim::faults_block_concentrated(3, n / 3, (f - 1) / 2, f);
     }
-    const auto m = bench::measure_stabilisation(eng, algo, faulty, opt);
+    const auto m = bench::measure_stabilisation(harness, "E5-thm1-f" + std::to_string(f),
+                                                algo, faulty, opt);
     const auto bound = *algo->stabilisation_bound();
     table.add_row({"Thm 1 recursion", std::to_string(f), std::to_string(n),
                    util::fmt_u64(bound), bench::fmt_rounds(m),
@@ -58,8 +59,8 @@ int main(int argc, char** argv) {
     const auto algo = boosting::build_plan(boosting::plan_corollary1(F, 2));
     std::string measured = "-";
     if (F == 1) {
-      const auto m =
-          bench::measure_stabilisation(eng, algo, sim::faults_prefix(4, 1), opt);
+      const auto m = bench::measure_stabilisation(harness, "E5-cor1-f1", algo,
+                                                  sim::faults_prefix(4, 1), opt);
       measured = bench::fmt_rounds(m);
     }
     const auto bound = *algo->stabilisation_bound();

@@ -37,8 +37,8 @@ struct Row {
 // Empirical cross-check of a freshly synthesised table: run it through the
 // experiment engine (batched backend) and confirm no execution stabilises
 // later than the verifier-certified exact worst case.
-std::string engine_check(const sim::Engine& eng, const synthesis::SynthesisOutcome& out,
-                         int sim_seeds) {
+std::string engine_check(const bench::Harness& harness, const std::string& label,
+                         const synthesis::SynthesisOutcome& out, int sim_seeds) {
   const auto algo = std::make_shared<counting::TableAlgorithm>(out.table);
   sim::ExperimentSpec spec;
   spec.algo = algo;
@@ -47,7 +47,7 @@ std::string engine_check(const sim::Engine& eng, const synthesis::SynthesisOutco
   spec.seeds = sim_seeds;
   spec.max_rounds = out.exact_time + 64;
   spec.margin = 32;
-  const auto res = eng.run(spec);
+  const auto res = harness.run(label, spec);
   std::uint64_t worst = 0;
   for (const auto& cell : res.cells) {
     worst = std::max(worst, cell.result.stabilisation_round);
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   const bool deep = cli.get_bool("deep");
   const std::uint64_t budget = cli.get_u64("budget", 120000);
   const int sim_seeds = static_cast<int>(cli.get_int("sim-seeds", 64));
-  const auto& eng = bench::engine(cli);
+  const bench::Harness harness(cli);
 
   std::cout << "=== E9: SAT-based algorithm synthesis (reproducing [4,5]) ===\n\n";
 
@@ -146,7 +146,8 @@ int main(int argc, char** argv) {
                      std::to_string(out.last_size.variables),
                      std::to_string(out.last_size.clauses),
                      std::to_string(out.total_conflicts), util::fmt_double(secs, 2),
-                     out.found ? engine_check(eng, out, sim_seeds) : "-"});
+                     out.found ? engine_check(harness, "E9-check-" + row.what, out, sim_seeds)
+                               : "-"});
     }
   }
   table.print(std::cout);

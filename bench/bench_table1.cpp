@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
   const int seeds = static_cast<int>(cli.get_int("seeds", 3));
   const bool deep = cli.get_bool("deep");
-  const auto& eng = bench::engine(cli);
+  const bench::Harness harness(cli);
 
   std::cout << "=== Table 1 (reproduction): synchronous 2-counting algorithms ===\n"
             << "Stabilisation 'measured' = mean (max) over seeds x {split, random"
@@ -59,7 +59,9 @@ int main(int argc, char** argv) {
     const auto algo = std::make_shared<counting::RandomizedCounter>(n, f, 2);
     bench::MeasureOptions ropt = opt;
     ropt.horizon_override = 60000;
-    const auto m = bench::measure_stabilisation(eng, algo, sim::faults_prefix(n, f), ropt);
+    const auto m = bench::measure_stabilisation(
+        harness, "randomized-n" + std::to_string(n) + "-f" + std::to_string(f), algo,
+        sim::faults_prefix(n, f), ropt);
     table.add_row({"[6,7] randomized", std::to_string(n), std::to_string(f),
                    "2^{2(n-f)} exp.", "-", bench::fmt_rounds(m),
                    std::to_string(algo->state_bits()), "no", "measured"});
@@ -68,7 +70,8 @@ int main(int argc, char** argv) {
   // --- Computer-designed blocks (the [5] rows) --------------------------------
   {
     const auto algo = synthesis::computer_designed_4_1();
-    const auto m = bench::measure_stabilisation(eng, algo, sim::faults_prefix(4, 1), opt);
+    const auto m = bench::measure_stabilisation(harness, "synthesized-3states", algo,
+                                                sim::faults_prefix(4, 1), opt);
     table.add_row({"[5]-style synthesized (3 states, cyclic)", "4", "1", "7", bound_str(algo),
                    bench::fmt_rounds(m), std::to_string(algo->state_bits()), "yes",
                    "synthesized+verified"});
@@ -76,7 +79,8 @@ int main(int argc, char** argv) {
   {
     const auto algo =
         std::make_shared<counting::TableAlgorithm>(synthesis::known_table_4_1_4states());
-    const auto m = bench::measure_stabilisation(eng, algo, sim::faults_prefix(4, 1), opt);
+    const auto m = bench::measure_stabilisation(harness, "synthesized-4states", algo,
+                                                sim::faults_prefix(4, 1), opt);
     table.add_row({"[5]-style synthesized (4 states, uniform)", "4", "1", "7", bound_str(algo),
                    bench::fmt_rounds(m), std::to_string(algo->state_bits()), "yes",
                    "synthesized+verified"});
@@ -85,7 +89,8 @@ int main(int argc, char** argv) {
   // --- Corollary 1: optimal resilience, f^{O(f)} time --------------------------
   {
     const auto algo = boosting::build_plan(boosting::plan_corollary1(1, 2));
-    const auto m = bench::measure_stabilisation(eng, algo, sim::faults_prefix(4, 1), opt);
+    const auto m = bench::measure_stabilisation(harness, "corollary1-f1", algo,
+                                                sim::faults_prefix(4, 1), opt);
     table.add_row({"Cor. 1 (trivial base, k=3F+1)", "4", "1", "f^{O(f)}", bound_str(algo),
                    bench::fmt_rounds(m), std::to_string(algo->state_bits()), "yes", "measured"});
   }
@@ -106,7 +111,8 @@ int main(int argc, char** argv) {
     const int f_inner = f == 1 ? 0 : (f - 1) / 2;
     const auto faulty = f == 1 ? sim::faults_prefix(n, f)
                                : sim::faults_block_concentrated(3, block, f_inner, f);
-    const auto m = bench::measure_stabilisation(eng, algo, faulty, opt);
+    const auto m = bench::measure_stabilisation(harness, "thm1-f" + std::to_string(f),
+                                                algo, faulty, opt);
     table.add_row({"this work (Thm 1 recursion)", std::to_string(n), std::to_string(f), "O(f)",
                    bound_str(algo), bench::fmt_rounds(m), std::to_string(algo->state_bits()),
                    "yes", "measured"});
@@ -114,7 +120,7 @@ int main(int argc, char** argv) {
   if (deep) {
     const auto algo = boosting::build_plan(boosting::plan_practical(15, 2));
     const auto faulty = sim::faults_block_concentrated(3, 36, 7, 15);
-    const auto m = bench::measure_stabilisation(eng, algo, faulty, opt);
+    const auto m = bench::measure_stabilisation(harness, "thm1-f15", algo, faulty, opt);
     table.add_row({"this work (Thm 1 recursion)", std::to_string(algo->num_nodes()), "15",
                    "O(f)", bound_str(algo), bench::fmt_rounds(m),
                    std::to_string(algo->state_bits()), "yes", "measured"});

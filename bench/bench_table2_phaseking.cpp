@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
             << "instruction sets; the sweep runs on the composed batched backend.\n\n";
   {
     util::Table t2({"f", "plan", "N", "tau", "batched cells", "stabilised", "T mean (max)"});
-    const auto& eng = bench::engine(cli);
+    const bench::Harness harness(cli);
     for (int f = 1; f <= std::min(max_f, 3); ++f) {
       const auto plan = boosting::plan_practical(f, 16);
       const auto algo = boosting::build_plan(plan);
@@ -126,7 +126,7 @@ int main(int argc, char** argv) {
       spec.seeds = std::max(1, trials / 10);
       spec.margin = 100;
       spec.stop_after_stable = 120;
-      const auto res = eng.run(spec);
+      const auto res = harness.run("E4b-f" + std::to_string(f), spec);
       t2.add_row({std::to_string(f), plan.label, std::to_string(algo->num_nodes()),
                   std::to_string(3 * (f + 2)), std::to_string(res.batched_cells),
                   bench::fmt_rate(res.total), bench::fmt_rounds(res.total)});

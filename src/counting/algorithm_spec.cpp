@@ -1,6 +1,7 @@
 #include "counting/algorithm_spec.hpp"
 
 #include <fstream>
+#include <limits>
 
 #include "boosting/boosted_counter.hpp"
 #include "boosting/planner.hpp"
@@ -225,6 +226,70 @@ AlgorithmPtr build(const AlgorithmSpec& spec) {
   }
   SC_CHECK(false, "unreachable");
   return nullptr;
+}
+
+namespace {
+
+AlgorithmSpec::Level& top_level(AlgorithmSpec& spec, const std::string& param) {
+  SC_CHECK(spec.kind == AlgorithmSpec::Kind::kTower && !spec.levels.empty(),
+           "sweep param '" + param + "' needs a tower spec");
+  return spec.levels.back();
+}
+
+AlgorithmSpec::Level& top_pulling_level(AlgorithmSpec& spec, const std::string& param) {
+  AlgorithmSpec::Level& lv = top_level(spec, param);
+  SC_CHECK(lv.pulling, "sweep param '" + param + "' needs a pulling top level");
+  return lv;
+}
+
+}  // namespace
+
+std::vector<AlgorithmSpec> sweep_u64(const AlgorithmSpec& base, const std::string& param,
+                                     const std::vector<std::uint64_t>& values) {
+  // int-typed params must not truncate silently -- a wrapped value is a
+  // different algorithm, and every other bad input here throws.
+  const auto as_int = [&param](std::uint64_t v) {
+    SC_CHECK(v <= static_cast<std::uint64_t>(std::numeric_limits<int>::max()),
+             "sweep value out of range for '" + param + "': " + std::to_string(v));
+    return static_cast<int>(v);
+  };
+  std::vector<AlgorithmSpec> out;
+  out.reserve(values.size());
+  for (const std::uint64_t v : values) {
+    AlgorithmSpec spec = base;
+    if (param == "sampling_seed") {
+      top_pulling_level(spec, param).sampling_seed = v;
+    } else if (param == "sample_size") {
+      top_pulling_level(spec, param).sample_size = as_int(v);
+    } else if (param == "C") {
+      top_level(spec, param).C = v;
+    } else if (param == "k") {
+      top_level(spec, param).k = as_int(v);
+    } else if (param == "F") {
+      top_level(spec, param).F = as_int(v);
+    } else if (param == "modulus") {
+      SC_CHECK(spec.kind == AlgorithmSpec::Kind::kTrivial,
+               "sweep param 'modulus' needs a trivial spec");
+      spec.modulus = v;
+    } else {
+      SC_CHECK(false, "unknown integer sweep param: " + param);
+    }
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::vector<AlgorithmSpec> sweep_double(const AlgorithmSpec& base, const std::string& param,
+                                        const std::vector<double>& values) {
+  std::vector<AlgorithmSpec> out;
+  out.reserve(values.size());
+  for (const double v : values) {
+    AlgorithmSpec spec = base;
+    SC_CHECK(param == "gamma", "unknown floating sweep param: " + param);
+    top_pulling_level(spec, param).gamma = v;
+    out.push_back(std::move(spec));
+  }
+  return out;
 }
 
 }  // namespace synccount::counting

@@ -86,4 +86,23 @@ std::optional<AlgorithmSpec> describe(const AlgorithmPtr& algo);
 // on inconsistent specs, unknown table names or unreadable table files.
 AlgorithmPtr build(const AlgorithmSpec& spec);
 
+// --- Sweep axes --------------------------------------------------------------
+//
+// Per-cell algorithm parameterisation expressed as data: one variant of
+// `base` per value, with `param` applied to the top level of a tower or to a
+// trivial base. The result feeds sim::ExperimentSpec::variants (one variant
+// per seed index), which replaces the old non-serialisable per-cell
+// algorithm factory -- an axis travels through spec files as the expanded
+// variant list, so a worker rebuilds the exact per-cell algorithms.
+//
+// Integer params: "sampling_seed" | "sample_size" | "C" | "k" | "F" (top
+// tower level; sampling params require a pulling level) and "modulus"
+// (trivial spec). Throws on an unknown param or a kind mismatch.
+std::vector<AlgorithmSpec> sweep_u64(const AlgorithmSpec& base, const std::string& param,
+                                     const std::vector<std::uint64_t>& values);
+
+// Floating params: "gamma" (top pulling level only).
+std::vector<AlgorithmSpec> sweep_double(const AlgorithmSpec& base, const std::string& param,
+                                        const std::vector<double>& values);
+
 }  // namespace synccount::counting

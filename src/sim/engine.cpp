@@ -1,10 +1,12 @@
 #include "sim/engine.hpp"
 
 #include <chrono>
+#include <mutex>
 
 #include "counting/table_algorithm.hpp"
 #include "sim/batch_runner.hpp"
 #include "sim/composed_runner.hpp"
+#include "sim/sink.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -44,6 +46,14 @@ AggregateResult merge_aggregates(std::span<const AggregateResult> partials) {
 std::size_t group_count(const ExperimentSpec& spec) {
   // An empty placement list still runs one fault-free placement (see run()).
   return spec.adversaries.size() * std::max<std::size_t>(spec.placements.size(), 1);
+}
+
+counting::AlgorithmPtr spec_algorithm(const ExperimentSpec& spec) {
+  if (spec.algo != nullptr) return spec.algo;
+  if (spec.algorithm.has_value()) return counting::build(*spec.algorithm);
+  SC_CHECK(!spec.variants.empty(),
+           "ExperimentSpec needs one of algo/algorithm/variants");
+  return counting::build(spec.variants.front());
 }
 
 ShardPlan plan_shards(const ExperimentSpec& spec, int shards, int shard) {
@@ -88,23 +98,56 @@ Engine::~Engine() = default;
 int Engine::threads() const noexcept { return pool_ ? pool_->size() : 1; }
 
 ExperimentResult Engine::run(const ExperimentSpec& spec) const {
-  return run(spec, plan_shards(spec, 1, 0));
+  return run(spec, plan_shards(spec, 1, 0), {});
 }
 
-ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard) const {
-  SC_CHECK(spec.algo != nullptr || spec.algo_factory != nullptr,
-           "ExperimentSpec needs an algorithm or an algorithm factory");
+ExperimentResult Engine::run(const ExperimentSpec& spec, const SinkList& sinks) const {
+  return run(spec, plan_shards(spec, 1, 0), sinks);
+}
+
+ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
+                             const SinkList& sinks) const {
+  const int algo_sources = static_cast<int>(spec.algo != nullptr) +
+                           static_cast<int>(spec.algorithm.has_value()) +
+                           static_cast<int>(!spec.variants.empty());
+  SC_CHECK(algo_sources == 1,
+           "ExperimentSpec needs exactly one of algo/algorithm/variants");
   SC_CHECK(!spec.adversaries.empty(), "ExperimentSpec needs at least one adversary");
   SC_CHECK(spec.seeds > 0, "ExperimentSpec needs seeds > 0");
   SC_CHECK(spec.explicit_seeds.empty() ||
                spec.explicit_seeds.size() == static_cast<std::size_t>(spec.seeds),
            "explicit_seeds must be empty or have exactly `seeds` entries");
+  SC_CHECK(spec.variants.empty() ||
+               spec.variants.size() == static_cast<std::size_t>(spec.seeds),
+           "variants must be empty or have exactly `seeds` entries");
   SC_CHECK(shard.group_begin <= shard.group_end && shard.group_end <= group_count(spec),
            "shard plan does not fit the experiment grid");
 
   static const std::vector<FaultPattern> kFaultFree = {{"", {}}};
   const std::vector<FaultPattern>& placements =
       spec.placements.empty() ? kFaultFree : spec.placements;
+
+  // Resolve the declarative algorithm sources once; cells share the result
+  // (library algorithms are immutable after construction). A variant axis
+  // builds one algorithm per seed index, shared across groups.
+  const counting::AlgorithmPtr shared_algo =
+      spec.algo != nullptr ? spec.algo
+      : spec.algorithm.has_value() ? counting::build(*spec.algorithm)
+                                   : nullptr;
+  std::vector<counting::AlgorithmPtr> variant_algos;
+  variant_algos.reserve(spec.variants.size());
+  for (const counting::AlgorithmSpec& v : spec.variants) {
+    variant_algos.push_back(counting::build(v));
+  }
+
+  // What the runner must record, unioned over the sinks; recordings are
+  // dropped again after delivery unless some sink retains them.
+  bool rec_outputs = false, rec_states = false, retain = false;
+  for (Sink* sink : sinks) {
+    rec_outputs = rec_outputs || sink->wants_outputs();
+    rec_states = rec_states || sink->wants_states();
+    retain = retain || sink->retain_traces();
+  }
 
   const std::size_t n_adv = spec.adversaries.size();
   const std::size_t n_pl = placements.size();
@@ -145,13 +188,15 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard)
     CellOutcome& cell = fill_cell_coords(idx);
 
     RunConfig cfg;
-    cfg.algo = spec.algo_factory ? spec.algo_factory(idx) : spec.algo;
+    cfg.algo = variant_algos.empty()
+                   ? shared_algo
+                   : variant_algos[static_cast<std::size_t>(cell.seed_index)];
     cfg.faulty = placements[cell.placement].faulty;
     cfg.max_rounds = horizon(*cfg.algo);
     cfg.seed = cell.seed;
     cfg.stop_after_stable = spec.stop_after_stable;
-    cfg.record_outputs = spec.record_outputs;
-    cfg.record_states = spec.record_states;
+    cfg.record_outputs = rec_outputs;
+    cfg.record_states = rec_states;
     cfg.initial = spec.initial;
 
     const std::string& name = spec.adversaries[cell.adversary];
@@ -161,19 +206,51 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard)
     cell.result = run_execution(cfg, *adversary, spec.margin);
   };
 
+  // Ordered sink delivery: a group is delivered (cells in cell order, then
+  // the group aggregate) once it and every group before it in the shard has
+  // finished -- so streaming sinks observe a deterministic prefix no matter
+  // which threads finish first. One thread delivers at a time; sinks need
+  // not be thread-safe.
+  const std::size_t n_groups = shard.groups();
+  std::mutex sink_mu;
+  std::vector<std::size_t> cells_pending(n_groups, n_seeds);
+  std::size_t next_delivery = 0;  // local group index
+  const auto group_finished = [&](std::size_t local_group, std::size_t count) {
+    if (sinks.empty()) return;
+    const std::lock_guard<std::mutex> lock(sink_mu);
+    cells_pending[local_group] -= count;
+    while (next_delivery < n_groups && cells_pending[next_delivery] == 0) {
+      const std::size_t first = next_delivery * n_seeds;
+      AggregateResult agg;
+      for (std::size_t k = 0; k < n_seeds; ++k) {
+        CellOutcome& cell = out.cells[first + k];
+        for (Sink* sink : sinks) sink->on_cell(cell);
+        agg.fold(cell.result);
+        if ((rec_outputs || rec_states) && !retain) {
+          cell.result.outputs = {};
+          cell.result.states = {};
+        }
+      }
+      for (Sink* sink : sinks) {
+        sink->on_group(shard.group_begin + next_delivery, agg);
+      }
+      ++next_delivery;
+    }
+  };
+
   // Batch eligibility: a shared batch-supported algorithm (TableAlgorithm or
-  // a composed boosted/pulling tower), no per-cell factories, and a batchable
+  // a composed boosted/pulling tower), no per-seed variants, and a batchable
   // adversary (probed per name on a library instance). Eligible (adversary,
   // placement) groups run their seed range through the batched backend in
   // lockstep chunks; every other cell stays on the scalar runner. The
   // composed hierarchy is compiled once here and shared by every chunk task.
-  const bool probe_batch = spec.backend == Backend::kAuto && spec.algo != nullptr &&
-                           !spec.algo_factory && !spec.adversary_factory;
+  const bool probe_batch = spec.backend == Backend::kAuto && shared_algo != nullptr &&
+                           !spec.adversary_factory;
   const bool is_table =
       probe_batch &&
-      std::dynamic_pointer_cast<const counting::TableAlgorithm>(spec.algo) != nullptr;
+      std::dynamic_pointer_cast<const counting::TableAlgorithm>(shared_algo) != nullptr;
   const auto composed =
-      probe_batch && !is_table ? ComposedCompiledTable::compile(spec.algo) : nullptr;
+      probe_batch && !is_table ? ComposedCompiledTable::compile(shared_algo) : nullptr;
   const bool algo_batchable = is_table || composed != nullptr;
   std::vector<bool> adv_batchable(n_adv, false);
   if (algo_batchable) {
@@ -182,6 +259,8 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard)
     }
   }
 
+  for (Sink* sink : sinks) sink->on_start(spec, shard);
+
   constexpr std::size_t kChunk = 64;  // lanes per batch task (one plane word)
   std::vector<std::function<void()>> tasks;
   tasks.reserve(n_cells);
@@ -189,20 +268,21 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard)
     const std::size_t a = g / n_pl;
     const std::size_t p = g % n_pl;
     const std::size_t group = g * n_seeds;
+    const std::size_t local_group = g - shard.group_begin;
     if (algo_batchable && adv_batchable[a]) {
       out.batched_cells += n_seeds;
       for (std::size_t s0 = 0; s0 < n_seeds; s0 += kChunk) {
         const std::size_t count = std::min(kChunk, n_seeds - s0);
-        tasks.push_back([&, a, group, s0, count, p] {
+        tasks.push_back([&, a, group, s0, count, p, local_group] {
           BatchConfig bc;
-          bc.algo = spec.algo;
+          bc.algo = shared_algo;
           bc.composed = composed;
           bc.faulty = placements[p].faulty;
-          bc.max_rounds = horizon(*spec.algo);
+          bc.max_rounds = horizon(*shared_algo);
           bc.margin = spec.margin;
           bc.stop_after_stable = spec.stop_after_stable;
-          bc.record_outputs = spec.record_outputs;
-          bc.record_states = spec.record_states;
+          bc.record_outputs = rec_outputs;
+          bc.record_states = rec_states;
           bc.initial = spec.initial;
           const std::string& name = spec.adversaries[a];
           bc.adversary = [&name] { return make_adversary(name); };
@@ -212,18 +292,35 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard)
           for (std::size_t k = 0; k < count; ++k) {
             fill_cell_coords(group + s0 + k).result = std::move(results[k]);
           }
+          group_finished(local_group, count);
         });
       }
     } else {
       for (std::size_t s = 0; s < n_seeds; ++s) {
-        tasks.push_back([&run_cell, idx = group + s] { run_cell(idx); });
+        tasks.push_back([&run_cell, &group_finished, local_group, idx = group + s] {
+          run_cell(idx);
+          group_finished(local_group, 1);
+        });
       }
     }
   }
 
   const auto t0 = std::chrono::steady_clock::now();
   if (pool_) {
-    pool_->parallel_for(tasks.size(), [&tasks](std::size_t i) { tasks[i](); });
+    // Contain task failures (a sink hitting ENOSPC, a bad adversary name):
+    // an exception escaping into a pool worker would std::terminate the
+    // process, so capture the first one and rethrow it on this thread.
+    std::mutex failure_mu;
+    std::exception_ptr failure;
+    pool_->parallel_for(tasks.size(), [&](std::size_t i) {
+      try {
+        tasks[i]();
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mu);
+        if (!failure) failure = std::current_exception();
+      }
+    });
+    if (failure) std::rethrow_exception(failure);
   } else {
     for (auto& task : tasks) task();
   }
@@ -232,6 +329,7 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard)
 
   // Deterministic fold: cell order, independent of which thread ran what.
   for (const auto& c : out.cells) out.total.fold(c.result);
+  for (Sink* sink : sinks) sink->on_done(out);
   return out;
 }
 

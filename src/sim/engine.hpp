@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "counting/algorithm_spec.hpp"
 #include "sim/adversaries.hpp"
 #include "sim/runner.hpp"
 #include "util/stats.hpp"
@@ -48,18 +49,9 @@ struct FaultPattern {
 
 // Builds the adversary for a cell. The default factory is make_adversary;
 // benches with construction-aware attacks (e.g. leader-split) install their
-// own and fall back to make_adversary for library names.
+// own and fall back to make_adversary for library names. In-process only:
+// specs carrying a custom factory are not serialisable.
 using AdversaryFactory = std::function<std::unique_ptr<Adversary>(const std::string& name)>;
-
-// Optional per-cell algorithm factory for algorithms that are not safe to
-// share across threads or that vary across the grid (e.g. the Corollary 5
-// seed sweep varies the sampling seed per trial); when absent, `algo` is
-// shared by every cell (all library algorithms are immutable after
-// construction, so sharing is the norm). Receives the cell index; the
-// coordinates derive as seed_index = index % seeds, placement =
-// (index / seeds) % placements, adversary = index / (seeds * placements).
-// Factory-built cells always run on the scalar backend.
-using AlgorithmFactory = std::function<counting::AlgorithmPtr(std::size_t cell_index)>;
 
 // Which execution backends the engine may use.
 enum class Backend {
@@ -67,12 +59,45 @@ enum class Backend {
   kScalar,  // force the scalar runner for every cell
 };
 
+// Declarative description of one result sink (sim/sink.hpp). Sink configs
+// travel inside spec files, so `synccount_cli sweep --spec=FILE` reproduces
+// the exact observer setup of an in-process run; make_sinks() instantiates
+// them. File-writing sinks of a sharded run (plan.shards > 1) write to
+// `path + ".shard<i>"` so concurrent workers never share a file.
+struct SinkConfig {
+  enum class Kind {
+    kTrace,       // stream one line per execution to `path` (jsonl or csv)
+    kProgress,    // per-group progress lines on stderr
+    kCheckpoint,  // append shard partials to `path` as groups complete
+  };
+  Kind kind = Kind::kTrace;
+  std::string path;              // trace / checkpoint target file
+  std::string format = "jsonl";  // trace: "jsonl" | "csv"
+  bool outputs = false;          // trace: embed per-round outputs (jsonl only)
+};
+
+// The experiment grid, data-first: a serialized spec is the single source of
+// truth for a run, so every field is either plain data or an explicitly
+// in-process escape hatch that experiment_io rejects. Exactly one of
+// `algorithm`, `variants`, `algo` must be set.
 struct ExperimentSpec {
+  // The algorithm, declaratively (counting::build runs once per Engine::run).
+  std::optional<counting::AlgorithmSpec> algorithm;
+
+  // Per-seed-index algorithm variants: a sweep axis expressed as data (see
+  // counting::sweep_u64/sweep_double), e.g. the Corollary 5 per-trial
+  // sampling seeds. Size must equal `seeds`; the cells at seed_index s run
+  // variants[s] (each variant is built once and shared across groups).
+  // Variant cells always run on the scalar backend.
+  std::vector<counting::AlgorithmSpec> variants;
+
+  // In-process escape hatch for algorithms outside the describable family
+  // (services, randomized baselines). Specs carrying it serialise only if
+  // counting::describe(algo) succeeds.
   counting::AlgorithmPtr algo;
-  AlgorithmFactory algo_factory;
 
   std::vector<std::string> adversaries = {"split"};
-  AdversaryFactory adversary_factory;
+  AdversaryFactory adversary_factory;  // in-process only, not serialisable
 
   // Empty = one unnamed fault-free placement.
   std::vector<FaultPattern> placements;
@@ -96,16 +121,24 @@ struct ExperimentSpec {
   std::uint64_t margin = 100;          // suffix length for "stabilised"
   std::uint64_t stop_after_stable = 0; // early-exit (see RunConfig)
 
-  // Forwarded to RunConfig; only sensible for small grids (memory-heavy).
-  bool record_outputs = false;
-  bool record_states = false;
   std::vector<State> initial;          // non-empty: fixed initial states
 
   // kScalar disables the batched backend (the aggregates do not change --
   // the backends are bit-identical -- but benches and tests use it to
   // isolate the scalar path).
   Backend backend = Backend::kAuto;
+
+  // Declarative result sinks. Engine::run does not instantiate these itself
+  // (it delivers to whatever SinkList it is handed); front ends call
+  // make_sinks(spec, plan) and pass the result in, so a spec file carries
+  // its observer setup to workers.
+  std::vector<SinkConfig> sinks;
 };
+
+// The shared algorithm a spec describes: `algo` if set, else the built
+// `algorithm`, else the variant at seed index 0 (for grid headers and
+// horizon probes; the engine builds every variant itself).
+counting::AlgorithmPtr spec_algorithm(const ExperimentSpec& spec);
 
 // A contiguous slice of the grid's (adversary, placement) cell-groups: the
 // unit a distributed sweep assigns to one worker process. Partitioning on
@@ -186,6 +219,14 @@ struct ExperimentResult {
 // The deterministic per-cell seed stream.
 std::uint64_t cell_seed(std::uint64_t base_seed, std::size_t cell_index) noexcept;
 
+// Observer over a run's results (defined in sim/sink.hpp). Sinks receive
+// cells in global cell order and groups in group order, whatever the thread
+// count or backend mix -- groups are delivered as soon as every preceding
+// group has finished, so streaming sinks (checkpoints, traces) see a
+// deterministic, resumable prefix at every instant.
+class Sink;
+using SinkList = std::vector<Sink*>;
+
 class Engine {
  public:
   // threads == 0 uses hardware concurrency; threads == 1 runs inline on the
@@ -199,12 +240,19 @@ class Engine {
   int threads() const noexcept;
 
   ExperimentResult run(const ExperimentSpec& spec) const;
+  ExperimentResult run(const ExperimentSpec& spec, const SinkList& sinks) const;
 
   // Runs only the shard's (adversary, placement) groups; every cell keeps
   // its global index/seed, so the per-cell results -- and therefore the
   // partial aggregate -- are bit-identical to the same cells of a full run.
   // merge_aggregates over all shards' totals reproduces run(spec).total.
-  ExperimentResult run(const ExperimentSpec& spec, const ShardPlan& shard) const;
+  //
+  // Execution traces (outputs/states) are recorded per cell iff some sink
+  // wants them, and are dropped from the returned cells after sink delivery
+  // unless a sink retains them (RecordSink) -- streaming a huge grid to disk
+  // never buffers every trace in memory.
+  ExperimentResult run(const ExperimentSpec& spec, const ShardPlan& shard,
+                       const SinkList& sinks = {}) const;
 
  private:
   std::unique_ptr<util::ThreadPool> pool_;  // null for threads == 1

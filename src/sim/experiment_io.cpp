@@ -1,8 +1,11 @@
 #include "sim/experiment_io.hpp"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "counting/algorithm_spec.hpp"
 #include "util/check.hpp"
@@ -11,8 +14,11 @@ namespace synccount::sim {
 
 namespace {
 
-constexpr const char* kFormat = "synccount-sweep-partial";
-constexpr int kVersion = 1;
+constexpr const char* kPartialFormat = "synccount-sweep-partial";
+constexpr int kPartialVersion = 2;  // v2: declarative specs (variants + sinks,
+                                    // record_* flags retired)
+constexpr const char* kSpecFormat = "synccount-spec";
+constexpr int kSpecVersion = 1;
 
 std::string faulty_to_string(const std::vector<bool>& faulty) {
   std::string s;
@@ -62,6 +68,48 @@ util::Json placements_to_json(const std::vector<FaultPattern>& placements) {
   return arr;
 }
 
+util::Json sink_config_to_json(const SinkConfig& cfg) {
+  using util::Json;
+  Json j = Json::object();
+  switch (cfg.kind) {
+    case SinkConfig::Kind::kTrace:
+      j.set("kind", Json::string("trace"));
+      j.set("path", Json::string(cfg.path));
+      j.set("format", Json::string(cfg.format));
+      j.set("outputs", Json::boolean(cfg.outputs));
+      break;
+    case SinkConfig::Kind::kProgress:
+      j.set("kind", Json::string("progress"));
+      break;
+    case SinkConfig::Kind::kCheckpoint:
+      j.set("kind", Json::string("checkpoint"));
+      j.set("path", Json::string(cfg.path));
+      break;
+  }
+  return j;
+}
+
+SinkConfig sink_config_from_json(const util::Json& j) {
+  SinkConfig cfg;
+  const std::string& kind = j.at("kind").as_string();
+  if (kind == "trace") {
+    cfg.kind = SinkConfig::Kind::kTrace;
+    cfg.path = j.at("path").as_string();
+    cfg.format = j.at("format").as_string();
+    cfg.outputs = j.at("outputs").as_bool();
+    SC_CHECK(cfg.format == "jsonl" || cfg.format == "csv",
+             "unknown trace format: " + cfg.format);
+  } else if (kind == "progress") {
+    cfg.kind = SinkConfig::Kind::kProgress;
+  } else if (kind == "checkpoint") {
+    cfg.kind = SinkConfig::Kind::kCheckpoint;
+    cfg.path = j.at("path").as_string();
+  } else {
+    SC_CHECK(false, "unknown sink kind: " + kind);
+  }
+  return cfg;
+}
+
 // The grid echo a partial needs for printing/validation, shared by
 // make_partial (from the spec struct via its JSON) and read_partial.
 void derive_grid(ShardPartial& partial) {
@@ -84,19 +132,51 @@ std::size_t grid_groups(const ShardPartial& partial) {
   return partial.adversaries.size() * partial.placement_names.size();
 }
 
+// Parses one wire line with the source + line number attached to any JSON
+// error, so a truncated or corrupted file names itself instead of failing
+// with a bare parser message.
+util::Json parse_wire_line(const std::string& line, const std::string& source,
+                           std::size_t line_no) {
+  try {
+    return util::Json::parse(line);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(source + ":" + std::to_string(line_no) +
+                                ": bad JSON (truncated file?): " + e.what());
+  }
+}
+
 }  // namespace
+
+void grid_names(const ExperimentSpec& spec, std::vector<std::string>& adversaries,
+                std::vector<std::string>& placements) {
+  adversaries = spec.adversaries;
+  placements.clear();
+  for (const FaultPattern& p : spec.placements) placements.push_back(p.name);
+  if (placements.empty()) placements.emplace_back("");
+}
 
 util::Json experiment_spec_to_json(const ExperimentSpec& spec) {
   using util::Json;
-  SC_CHECK(!spec.algo_factory, "per-cell algorithm factories are not serialisable");
   SC_CHECK(!spec.adversary_factory,
            "custom adversary factories are not serialisable (use library names)");
-  const auto algo_spec = counting::describe(spec.algo);
-  SC_CHECK(algo_spec.has_value(),
-           "algorithm is outside the describable family (see counting/algorithm_spec.hpp)");
+  const int sources = static_cast<int>(spec.algo != nullptr) +
+                      static_cast<int>(spec.algorithm.has_value()) +
+                      static_cast<int>(!spec.variants.empty());
+  SC_CHECK(sources == 1, "ExperimentSpec needs exactly one of algo/algorithm/variants");
 
   Json j = Json::object();
-  j.set("algo", to_json(*algo_spec));
+  if (spec.algorithm.has_value()) {
+    j.set("algo", to_json(*spec.algorithm));
+  } else if (!spec.variants.empty()) {
+    Json variants = Json::array();
+    for (const counting::AlgorithmSpec& v : spec.variants) variants.push_back(to_json(v));
+    j.set("variants", std::move(variants));
+  } else {
+    const auto algo_spec = counting::describe(spec.algo);
+    SC_CHECK(algo_spec.has_value(),
+             "algorithm is outside the describable family (see counting/algorithm_spec.hpp)");
+    j.set("algo", to_json(*algo_spec));
+  }
   Json advs = Json::array();
   for (const std::string& a : spec.adversaries) advs.push_back(Json::string(a));
   j.set("adversaries", std::move(advs));
@@ -113,22 +193,34 @@ util::Json experiment_spec_to_json(const ExperimentSpec& spec) {
   j.set("horizon_override", Json::number(spec.horizon_override));
   j.set("margin", Json::number(spec.margin));
   j.set("stop_after_stable", Json::number(spec.stop_after_stable));
-  j.set("record_outputs", Json::boolean(spec.record_outputs));
-  j.set("record_states", Json::boolean(spec.record_states));
   if (!spec.initial.empty()) {
-    const int bits = spec.algo->state_bits();
+    const int bits = spec_algorithm(spec)->state_bits();
     Json initial = Json::array();
     for (const State& s : spec.initial) initial.push_back(Json::string(s.to_hex(bits)));
     j.set("initial", std::move(initial));
   }
   j.set("backend",
         Json::string(spec.backend == Backend::kScalar ? "scalar" : "auto"));
+  if (!spec.sinks.empty()) {
+    Json sinks = Json::array();
+    for (const SinkConfig& s : spec.sinks) sinks.push_back(sink_config_to_json(s));
+    j.set("sinks", std::move(sinks));
+  }
   return j;
 }
 
 ExperimentSpec experiment_spec_from_json(const util::Json& j) {
   ExperimentSpec spec;
-  spec.algo = counting::build(counting::algorithm_spec_from_json(j.at("algo")));
+  if (const auto* algo = j.find("algo")) {
+    spec.algorithm = counting::algorithm_spec_from_json(*algo);
+  }
+  if (const auto* variants = j.find("variants")) {
+    for (std::size_t i = 0; i < variants->size(); ++i) {
+      spec.variants.push_back(counting::algorithm_spec_from_json(variants->at(i)));
+    }
+  }
+  SC_CHECK(spec.algorithm.has_value() != !spec.variants.empty(),
+           "spec needs exactly one of algo/variants");
   spec.adversaries.clear();
   const util::Json& advs = j.at("adversaries");
   for (std::size_t i = 0; i < advs.size(); ++i) {
@@ -152,8 +244,6 @@ ExperimentSpec experiment_spec_from_json(const util::Json& j) {
   spec.horizon_override = j.at("horizon_override").as_u64();
   spec.margin = j.at("margin").as_u64();
   spec.stop_after_stable = j.at("stop_after_stable").as_u64();
-  spec.record_outputs = j.at("record_outputs").as_bool();
-  spec.record_states = j.at("record_states").as_bool();
   if (const auto* initial = j.find("initial")) {
     for (std::size_t i = 0; i < initial->size(); ++i) {
       spec.initial.push_back(state_from_hex(initial->at(i).as_string()));
@@ -162,7 +252,34 @@ ExperimentSpec experiment_spec_from_json(const util::Json& j) {
   const std::string& backend = j.at("backend").as_string();
   SC_CHECK(backend == "auto" || backend == "scalar", "unknown backend: " + backend);
   spec.backend = backend == "scalar" ? Backend::kScalar : Backend::kAuto;
+  if (const auto* sinks = j.find("sinks")) {
+    for (std::size_t i = 0; i < sinks->size(); ++i) {
+      spec.sinks.push_back(sink_config_from_json(sinks->at(i)));
+    }
+  }
   return spec;
+}
+
+void write_spec_file(std::ostream& out, const ExperimentSpec& spec) {
+  using util::Json;
+  Json j = Json::object();
+  j.set("format", Json::string(kSpecFormat));
+  j.set("version", Json::number(static_cast<std::int64_t>(kSpecVersion)));
+  j.set("spec", experiment_spec_to_json(spec));
+  out << j.dump() << '\n';
+}
+
+ExperimentSpec read_spec_file(std::istream& in, const std::string& source) {
+  const auto ctx = [&source](const std::string& what) { return source + ": " + what; };
+  std::string line;
+  SC_CHECK(static_cast<bool>(std::getline(in, line)), ctx("empty spec file"));
+  const util::Json j = parse_wire_line(line, source, 1);
+  SC_CHECK(j.has("format") && j.at("format").as_string() == kSpecFormat,
+           ctx("not a synccount-spec file"));
+  SC_CHECK(j.at("version").as_i64() == kSpecVersion,
+           ctx("unsupported spec version " + j.at("version").dump() + " (want " +
+               std::to_string(kSpecVersion) + ")"));
+  return experiment_spec_from_json(j.at("spec"));
 }
 
 util::Json aggregate_to_json(const AggregateResult& agg) {
@@ -216,27 +333,38 @@ ShardPartial make_partial(const ExperimentSpec& spec, const ShardPlan& plan,
   return partial;
 }
 
-void write_partial(std::ostream& out, const ShardPartial& partial) {
+void write_partial_header(std::ostream& out, const ShardPlan& plan, const util::Json& spec) {
   using util::Json;
   Json header = Json::object();
-  header.set("format", Json::string(kFormat));
-  header.set("version", Json::number(static_cast<std::int64_t>(kVersion)));
-  header.set("shards", Json::number(static_cast<std::int64_t>(partial.plan.shards)));
-  header.set("shard", Json::number(static_cast<std::int64_t>(partial.plan.shard)));
-  header.set("group_begin",
-             Json::number(static_cast<std::uint64_t>(partial.plan.group_begin)));
-  header.set("group_end", Json::number(static_cast<std::uint64_t>(partial.plan.group_end)));
-  header.set("spec", partial.spec);
+  header.set("format", Json::string(kPartialFormat));
+  header.set("version", Json::number(static_cast<std::int64_t>(kPartialVersion)));
+  header.set("shards", Json::number(static_cast<std::int64_t>(plan.shards)));
+  header.set("shard", Json::number(static_cast<std::int64_t>(plan.shard)));
+  header.set("group_begin", Json::number(static_cast<std::uint64_t>(plan.group_begin)));
+  header.set("group_end", Json::number(static_cast<std::uint64_t>(plan.group_end)));
+  header.set("spec", spec);
   out << header.dump() << '\n';
+}
 
-  const std::size_t n_pl = partial.placement_names.size();
+void write_partial_group(std::ostream& out, std::size_t group,
+                         const std::vector<std::string>& adversaries,
+                         const std::vector<std::string>& placements,
+                         const AggregateResult& aggregate) {
+  using util::Json;
+  const std::size_t n_pl = placements.size();
+  Json line = Json::object();
+  line.set("group", Json::number(static_cast<std::uint64_t>(group)));
+  line.set("adversary", Json::string(adversaries[group / n_pl]));
+  line.set("placement", Json::string(placements[group % n_pl]));
+  line.set("aggregate", aggregate_to_json(aggregate));
+  out << line.dump() << '\n';
+}
+
+void write_partial(std::ostream& out, const ShardPartial& partial) {
+  write_partial_header(out, partial.plan, partial.spec);
   for (const ShardPartial::Group& g : partial.groups) {
-    Json line = Json::object();
-    line.set("group", Json::number(static_cast<std::uint64_t>(g.group)));
-    line.set("adversary", Json::string(partial.adversaries[g.group / n_pl]));
-    line.set("placement", Json::string(partial.placement_names[g.group % n_pl]));
-    line.set("aggregate", aggregate_to_json(g.aggregate));
-    out << line.dump() << '\n';
+    write_partial_group(out, g.group, partial.adversaries, partial.placement_names,
+                        g.aggregate);
   }
 }
 
@@ -244,9 +372,12 @@ ShardPartial read_partial(std::istream& in, const std::string& source) {
   const auto ctx = [&source](const std::string& what) { return source + ": " + what; };
   std::string line;
   SC_CHECK(static_cast<bool>(std::getline(in, line)), ctx("empty partial file"));
-  const util::Json header = util::Json::parse(line);
-  SC_CHECK(header.at("format").as_string() == kFormat, ctx("not a sweep-partial file"));
-  SC_CHECK(header.at("version").as_i64() == kVersion, ctx("unsupported format version"));
+  const util::Json header = parse_wire_line(line, source, 1);
+  SC_CHECK(header.has("format") && header.at("format").as_string() == kPartialFormat,
+           ctx("not a sweep-partial file"));
+  SC_CHECK(header.at("version").as_i64() == kPartialVersion,
+           ctx("unsupported format version " + header.at("version").dump() + " (want " +
+               std::to_string(kPartialVersion) + ")"));
 
   ShardPartial partial;
   partial.plan.shards = header.at("shards").as_int();
@@ -264,11 +395,14 @@ ShardPartial read_partial(std::istream& in, const std::string& source) {
 
   const std::size_t n_pl = partial.placement_names.size();
   std::size_t expected = partial.plan.group_begin;
+  std::size_t line_no = 1;
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty()) continue;
+    const util::Json g = parse_wire_line(line, source, line_no);
+    SC_CHECK(!g.has("format"), ctx("duplicate header line (two partials concatenated?)"));
     SC_CHECK(expected < partial.plan.group_end,
              ctx("group line past the declared shard range"));
-    const util::Json g = util::Json::parse(line);
     ShardPartial::Group group;
     group.group = g.at("group").as_u64();
     SC_CHECK(group.group == expected, ctx("group lines out of order"));
@@ -316,6 +450,92 @@ ShardPartial merge_partials(std::vector<ShardPartial> parts) {
   SC_CHECK(next_group == grid_groups(merged), "partials do not cover the whole grid");
   merged.plan.group_end = next_group;
   return merged;
+}
+
+CheckpointState read_checkpoint(const std::string& path, const ExperimentSpec& spec,
+                                const ShardPlan& plan) {
+  CheckpointState state;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return state;  // no file yet: fresh start
+
+  const auto ctx = [&path](const std::string& what) { return path + ": " + what; };
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (content.empty()) return state;
+
+  // Walk complete ('\n'-terminated) lines only; a line the dying worker
+  // never finished is not part of the resumable prefix.
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  std::vector<std::string> adversaries, placements;
+  grid_names(spec, adversaries, placements);
+  const std::string expected_spec = experiment_spec_to_json(spec).dump();
+  std::size_t expected_group = plan.group_begin;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) break;  // incomplete last line: stop here
+    const std::string line = content.substr(pos, nl - pos);
+    ++line_no;
+    if (!state.header_present) {
+      // Header damage is not resumable-from-zero: silently restarting would
+      // clobber a file the caller thought held progress.
+      const util::Json header = parse_wire_line(line, path, line_no);
+      SC_CHECK(header.has("format") && header.at("format").as_string() == kPartialFormat,
+               ctx("not a checkpoint (sweep-partial) file"));
+      SC_CHECK(header.at("version").as_i64() == kPartialVersion,
+               ctx("unsupported format version"));
+      SC_CHECK(header.at("spec").dump() == expected_spec,
+               ctx("checkpoint belongs to a different experiment spec"));
+      SC_CHECK(header.at("shards").as_int() == plan.shards &&
+                   header.at("shard").as_int() == plan.shard &&
+                   header.at("group_begin").as_u64() == plan.group_begin &&
+                   header.at("group_end").as_u64() == plan.group_end,
+               ctx("checkpoint belongs to a different shard plan"));
+      state.header_present = true;
+    } else {
+      // Group lines: accept the well-formed in-order prefix, stop at the
+      // first line that does not extend it.
+      util::Json g;
+      try {
+        g = util::Json::parse(line);
+        if (!g.has("group") || g.at("group").as_u64() != expected_group ||
+            expected_group >= plan.group_end) {
+          break;
+        }
+        (void)aggregate_from_json(g.at("aggregate"));
+      } catch (const std::invalid_argument&) {
+        break;
+      }
+      ++expected_group;
+    }
+    pos = nl + 1;
+    state.valid_bytes = pos;
+  }
+  state.next_group = state.header_present ? expected_group : plan.group_begin;
+  return state;
+}
+
+void truncate_to_lines(const std::string& path, std::uint64_t lines) {
+  // Streaming scan + in-place resize: resumed trace files can be huge (the
+  // whole point of streaming sinks), so never slurp or rewrite them.
+  std::uint64_t keep_bytes = 0;
+  {
+    std::ifstream in(path, std::ios::binary);
+    SC_CHECK(in.good(), "cannot open for truncation: " + path);
+    std::uint64_t seen = 0;
+    char buf[1 << 16];
+    while (seen < lines && in) {
+      in.read(buf, sizeof(buf));
+      const std::streamsize got = in.gcount();
+      for (std::streamsize i = 0; i < got && seen < lines; ++i) {
+        ++keep_bytes;
+        if (buf[i] == '\n') ++seen;
+      }
+    }
+    SC_CHECK(seen == lines, path + ": has only " + std::to_string(seen) +
+                                " complete lines, need " + std::to_string(lines));
+  }
+  std::filesystem::resize_file(path, keep_bytes);
 }
 
 }  // namespace synccount::sim

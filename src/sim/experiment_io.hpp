@@ -9,7 +9,7 @@
 //
 // A partial file is plain JSONL (util/json.hpp):
 //
-//   line 1   header: {"format":"synccount-sweep-partial","version":1,
+//   line 1   header: {"format":"synccount-sweep-partial","version":2,
 //            "shards":K,"shard":i,"group_begin":b,"group_end":e,
 //            "spec":{...ExperimentSpec...}}
 //   line 2+  one line per (adversary, placement) group, in group order:
@@ -22,12 +22,21 @@
 // Engine::run over the whole grid, and re-serialising the merge yields a
 // byte-identical file to a --shards=1 run (CI enforces this).
 //
-// ExperimentSpec travels minus its callbacks: the algorithm as a
-// counting::AlgorithmSpec (describe/build round-trip) and adversaries by
-// library name; specs carrying algo/adversary factories are not
-// serialisable and are rejected loudly.
+// ExperimentSpec travels as data end to end: the algorithm as a
+// counting::AlgorithmSpec (or a variant list -- a sweep axis in expanded
+// form), adversaries by library name, and sink configs verbatim; specs
+// carrying a custom adversary factory, or an `algo` pointer outside the
+// describable family, are not serialisable and are rejected loudly.
+//
+// Spec files (`synccount_cli plan --emit` / `sweep --spec`) are one JSON
+// line: {"format":"synccount-spec","version":1,"spec":{...}}.
+//
+// Checkpoint files (CheckpointSink, sim/sink.hpp) are shard-partial files
+// grown one group line at a time; read_checkpoint scans a possibly
+// truncated checkpoint and reports where a resumed worker must restart.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -39,10 +48,18 @@ namespace synccount::sim {
 
 // --- Type codecs -------------------------------------------------------------
 
-// Throws (SC_CHECK) when the spec carries an algo/adversary factory or an
-// algorithm outside the describable family.
+// Throws (SC_CHECK) when the spec carries an adversary factory or an `algo`
+// pointer outside the describable family.
 util::Json experiment_spec_to_json(const ExperimentSpec& spec);
 ExperimentSpec experiment_spec_from_json(const util::Json& j);
+
+// --- Spec files --------------------------------------------------------------
+
+void write_spec_file(std::ostream& out, const ExperimentSpec& spec);
+
+// Throws std::invalid_argument on malformed input or a format/version
+// mismatch. `source` names the stream in error messages (a file path).
+ExperimentSpec read_spec_file(std::istream& in, const std::string& source = "<stream>");
 
 util::Json aggregate_to_json(const AggregateResult& agg);
 AggregateResult aggregate_from_json(const util::Json& j);
@@ -74,6 +91,21 @@ ShardPartial make_partial(const ExperimentSpec& spec, const ShardPlan& plan,
 
 void write_partial(std::ostream& out, const ShardPartial& partial);
 
+// The two line shapes of a partial file, exposed so CheckpointSink can grow
+// one incrementally; write_partial is exactly header + group lines.
+// `adversaries`/`placements` are the grid echo names (placements resolved to
+// the one unnamed fault-free pattern when the spec has none).
+void write_partial_header(std::ostream& out, const ShardPlan& plan, const util::Json& spec);
+void write_partial_group(std::ostream& out, std::size_t group,
+                         const std::vector<std::string>& adversaries,
+                         const std::vector<std::string>& placements,
+                         const AggregateResult& aggregate);
+
+// The grid-echo names of a spec (adversaries, resolved placement names);
+// what the per-line writers above and the streaming sinks need.
+void grid_names(const ExperimentSpec& spec, std::vector<std::string>& adversaries,
+                std::vector<std::string>& placements);
+
 // Throws std::invalid_argument on malformed input or a format/version
 // mismatch. `source` names the stream in error messages (a file path).
 ShardPartial read_partial(std::istream& in, const std::string& source = "<stream>");
@@ -84,5 +116,32 @@ ShardPartial read_partial(std::istream& in, const std::string& source = "<stream
 // and group ranges that concatenate to the whole grid. The result
 // write_partial()s byte-identically to a single-process --shards=1 run.
 ShardPartial merge_partials(std::vector<ShardPartial> parts);
+
+// --- Checkpoints -------------------------------------------------------------
+
+// What a tolerant scan of a (possibly truncated) checkpoint file found.
+struct CheckpointState {
+  bool header_present = false;    // false: file missing/empty -> fresh start
+  std::size_t next_group = 0;     // first group NOT in the file
+  std::uint64_t valid_bytes = 0;  // prefix length ending at the last complete line
+};
+
+// Scans `path` for a resumable prefix of the shard-partial format: a header
+// matching `spec` (by serialized dump) and `plan`, followed by group lines
+// in order. Scanning stops at the first incomplete or malformed line (a
+// preempted worker may have died mid-write); everything after `valid_bytes`
+// must be truncated away before appending. Throws std::invalid_argument
+// when a header IS present but belongs to a different spec or plan --
+// resuming someone else's checkpoint is always a caller mistake.
+CheckpointState read_checkpoint(const std::string& path, const ExperimentSpec& spec,
+                                const ShardPlan& plan);
+
+// Truncates `path` to its first `lines` complete ('\n'-terminated) lines:
+// the resume surgery for line-oriented companion files (trace sinks flush at
+// group boundaries BEFORE the checkpoint line is written, so a checkpointed
+// group implies its trace rows are on disk -- possibly followed by rows of
+// groups the checkpoint never recorded, which this cuts away). Throws when
+// the file has fewer complete lines than requested.
+void truncate_to_lines(const std::string& path, std::uint64_t lines);
 
 }  // namespace synccount::sim

@@ -1,0 +1,204 @@
+#include "sim/sink.hpp"
+
+#include <iostream>
+
+#include "sim/experiment_io.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace synccount::sim {
+
+namespace {
+
+// Shortest-round-trip double rendering shared with the wire format, so trace
+// files are byte-stable across platforms with the same fp behaviour.
+std::string fmt_number(double v) { return util::Json::number(v).dump(); }
+
+}  // namespace
+
+// --- MemorySink --------------------------------------------------------------
+
+void MemorySink::on_cell(const CellOutcome& cell) { cells_.push_back(cell); }
+
+void MemorySink::on_group(std::size_t group, const AggregateResult& aggregate) {
+  groups_.push_back({group, aggregate});
+}
+
+AggregateResult MemorySink::total() const {
+  AggregateResult total;
+  for (const Group& g : groups_) total.merge(g.aggregate);
+  return total;
+}
+
+// --- TraceSink ---------------------------------------------------------------
+
+TraceSink::TraceSink(std::string path, std::string format, bool outputs, bool resume)
+    : path_(std::move(path)), csv_(format == "csv"), outputs_(outputs), resume_(resume) {
+  SC_CHECK(format == "jsonl" || format == "csv", "unknown trace format: " + format);
+  SC_CHECK(!path_.empty(), "trace sink needs a path");
+  SC_CHECK(!(csv_ && outputs_), "per-round outputs require the jsonl trace format");
+}
+
+void TraceSink::on_start(const ExperimentSpec& spec, const ShardPlan& plan) {
+  (void)plan;
+  grid_names(spec, adversaries_, placements_);
+  out_.open(path_, std::ios::binary | (resume_ ? std::ios::app : std::ios::trunc));
+  SC_CHECK(out_.good(), "cannot write trace file: " + path_);
+  if (csv_ && out_.tellp() == 0) {
+    out_ << "cell,adversary,placement,seed_index,seed,rounds,stabilised,"
+            "stabilisation_round,suffix_length,max_window,max_pulls,avg_pulls\n";
+  }
+  // Flush now: trace sinks start before checkpoint sinks (make_sinks order),
+  // so once a checkpoint header exists on disk the CSV header does too --
+  // otherwise a worker killed before the first group would leave a
+  // checkpoint that resume validates against an empty trace file.
+  out_.flush();
+  SC_CHECK(out_.good(), "error writing trace file: " + path_);
+}
+
+void TraceSink::on_cell(const CellOutcome& cell) {
+  const RunResult& r = cell.result;
+  if (csv_) {
+    out_ << cell.cell_index << ',' << adversaries_[cell.adversary] << ','
+         << placements_[cell.placement] << ',' << cell.seed_index << ',' << cell.seed
+         << ',' << r.rounds << ',' << (r.stabilised ? 1 : 0) << ','
+         << r.stabilisation_round << ',' << r.suffix_length << ',' << r.max_window << ','
+         << r.max_pulls_per_round << ',' << fmt_number(r.avg_pulls_per_round) << '\n';
+    return;
+  }
+  using util::Json;
+  Json j = Json::object();
+  j.set("cell", Json::number(static_cast<std::uint64_t>(cell.cell_index)));
+  j.set("adversary", Json::string(adversaries_[cell.adversary]));
+  j.set("placement", Json::string(placements_[cell.placement]));
+  j.set("seed_index", Json::number(cell.seed_index));
+  j.set("seed", Json::number(cell.seed));
+  j.set("rounds", Json::number(r.rounds));
+  j.set("stabilised", Json::boolean(r.stabilised));
+  j.set("stabilisation_round", Json::number(r.stabilisation_round));
+  j.set("suffix_length", Json::number(r.suffix_length));
+  j.set("max_window", Json::number(r.max_window));
+  j.set("max_pulls", Json::number(r.max_pulls_per_round));
+  j.set("avg_pulls", Json::number(r.avg_pulls_per_round));
+  if (outputs_) {
+    Json ids = Json::array();
+    for (const auto id : r.correct_ids) {
+      ids.push_back(Json::number(static_cast<std::int64_t>(id)));
+    }
+    j.set("correct_ids", std::move(ids));
+    Json rounds = Json::array();
+    for (const auto& round : r.outputs) {
+      Json row = Json::array();
+      for (const std::uint64_t v : round) row.push_back(Json::number(v));
+      rounds.push_back(std::move(row));
+    }
+    j.set("outputs", std::move(rounds));
+  }
+  out_ << j.dump() << '\n';
+}
+
+void TraceSink::on_group(std::size_t group, const AggregateResult& aggregate) {
+  (void)group;
+  (void)aggregate;
+  // Group-boundary flush: once a checkpoint sink (delivered after this one,
+  // see make_sinks) records the group, its trace rows are durably on disk.
+  out_.flush();
+  SC_CHECK(out_.good(), "error writing trace file: " + path_);
+}
+
+void TraceSink::on_done(const ExperimentResult& result) {
+  (void)result;
+  out_.flush();
+  SC_CHECK(out_.good(), "error writing trace file: " + path_);
+}
+
+// --- ProgressSink ------------------------------------------------------------
+
+ProgressSink::ProgressSink(std::ostream* os) : os_(os != nullptr ? os : &std::cerr) {}
+
+void ProgressSink::on_start(const ExperimentSpec& spec, const ShardPlan& plan) {
+  grid_names(spec, adversaries_, placements_);
+  done_groups_ = 0;
+  done_cells_ = 0;
+  total_groups_ = plan.groups();
+  total_cells_ = plan.groups() * static_cast<std::uint64_t>(spec.seeds);
+}
+
+void ProgressSink::on_group(std::size_t group, const AggregateResult& aggregate) {
+  ++done_groups_;
+  done_cells_ += aggregate.runs;
+  const std::size_t n_pl = placements_.size();
+  *os_ << "[" << done_groups_ << "/" << total_groups_ << "] "
+       << adversaries_[group / n_pl];
+  if (!placements_[group % n_pl].empty()) *os_ << " / " << placements_[group % n_pl];
+  *os_ << ": " << aggregate.stabilised << "/" << aggregate.runs << " stabilised ("
+       << done_cells_ << "/" << total_cells_ << " cells)" << std::endl;
+}
+
+// --- CheckpointSink ----------------------------------------------------------
+
+CheckpointSink::CheckpointSink(std::string path, bool resume)
+    : path_(std::move(path)), resume_(resume) {
+  SC_CHECK(!path_.empty(), "checkpoint sink needs a path");
+}
+
+void CheckpointSink::on_start(const ExperimentSpec& spec, const ShardPlan& plan) {
+  grid_names(spec, adversaries_, placements_);
+  const util::Json spec_json = experiment_spec_to_json(spec);
+  out_.open(path_, std::ios::binary | (resume_ ? std::ios::app : std::ios::trunc));
+  SC_CHECK(out_.good(), "cannot write checkpoint file: " + path_);
+  if (!resume_) {
+    write_partial_header(out_, plan, spec_json);
+    out_.flush();
+    SC_CHECK(out_.good(), "error writing checkpoint file: " + path_);
+  }
+}
+
+void CheckpointSink::on_group(std::size_t group, const AggregateResult& aggregate) {
+  // One flushed line per finished group: the durable unit of progress a
+  // preempted worker resumes from.
+  write_partial_group(out_, group, adversaries_, placements_, aggregate);
+  out_.flush();
+  SC_CHECK(out_.good(), "error writing checkpoint file: " + path_);
+}
+
+// --- Declarative construction ------------------------------------------------
+
+std::string sink_path(const SinkConfig& cfg, const ShardPlan& plan) {
+  if (plan.shards <= 1) return cfg.path;
+  return cfg.path + ".shard" + std::to_string(plan.shard);
+}
+
+std::vector<std::unique_ptr<Sink>> make_sinks(const ExperimentSpec& spec,
+                                              const ShardPlan& plan, bool resume) {
+  // Checkpoints go last: at a group boundary every companion sink has
+  // flushed before the checkpoint line that promises their data is on disk.
+  std::vector<std::unique_ptr<Sink>> sinks;
+  for (const SinkConfig& cfg : spec.sinks) {
+    switch (cfg.kind) {
+      case SinkConfig::Kind::kTrace:
+        sinks.push_back(std::make_unique<TraceSink>(sink_path(cfg, plan), cfg.format,
+                                                    cfg.outputs, resume));
+        break;
+      case SinkConfig::Kind::kProgress:
+        sinks.push_back(std::make_unique<ProgressSink>());
+        break;
+      case SinkConfig::Kind::kCheckpoint:
+        break;  // below
+    }
+  }
+  for (const SinkConfig& cfg : spec.sinks) {
+    if (cfg.kind == SinkConfig::Kind::kCheckpoint) {
+      sinks.push_back(std::make_unique<CheckpointSink>(sink_path(cfg, plan), resume));
+    }
+  }
+  return sinks;
+}
+
+SinkList sink_list(const std::vector<std::unique_ptr<Sink>>& owned, const SinkList& extra) {
+  SinkList all = extra;
+  for (const auto& sink : owned) all.push_back(sink.get());
+  return all;
+}
+
+}  // namespace synccount::sim

@@ -38,6 +38,7 @@
 #include "sim/checker.hpp"                // IWYU pragma: export
 #include "sim/engine.hpp"                 // IWYU pragma: export
 #include "sim/faults.hpp"                 // IWYU pragma: export
+#include "sim/sink.hpp"                   // IWYU pragma: export
 #include "sim/runner.hpp"                 // IWYU pragma: export
 #include "synthesis/encoder.hpp"          // IWYU pragma: export
 #include "synthesis/game_adversary.hpp"   // IWYU pragma: export

@@ -51,6 +51,21 @@ bool Cli::get_bool(const std::string& name, bool fallback) const {
   return it->second == "true" || it->second == "1" || it->second == "yes";
 }
 
+std::vector<std::string> Cli::get_list(const std::string& name,
+                                       const std::string& fallback) const {
+  const std::string value = get_string(name, fallback);
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > start) out.push_back(value.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
 std::vector<std::string> Cli::unknown_flags(std::initializer_list<const char*> known) const {
   std::vector<std::string> unknown;
   for (const auto& [name, value] : flags_) {

@@ -21,6 +21,11 @@ class Cli {
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback = false) const;
 
+  // Comma-separated list flag (`--adversaries=split,random`); empty items
+  // are dropped. When the flag is absent, `fallback` is split the same way.
+  std::vector<std::string> get_list(const std::string& name,
+                                    const std::string& fallback) const;
+
   // The parsed flag names that are not in `known`, in name order. Strict
   // front ends (synccount_cli) reject a command line when this is non-empty
   // instead of silently running with a typo'd flag ignored.

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "boosting/planner.hpp"
+#include "counting/algorithm_spec.hpp"
 #include "counting/trivial.hpp"
 #include "pulling/pulling_counter.hpp"
 #include "sim/batch_runner.hpp"
@@ -349,14 +350,15 @@ TEST(Engine, ComposedBackendIsThreadCountIndependent) {
   expect_same_aggregate(a.total, b.total);
 }
 
-TEST(Engine, PerCellAlgorithmFactoryReceivesCellIndex) {
+TEST(Engine, PerSeedVariantAxisMatchesScalarRuns) {
   // The Corollary 5 pattern: the algorithm itself varies across the grid
-  // (per-trial sampling seeds); factory cells must stay on the scalar path.
+  // (per-trial sampling seeds), now expressed as a declarative sweep axis --
+  // one AlgorithmSpec variant per seed index; variant cells must stay on the
+  // scalar path.
   sim::ExperimentSpec spec;
-  std::vector<std::uint64_t> seen_seeds;
-  spec.algo_factory = [](std::size_t cell_index) {
-    return pulling_counter(8, pulling::SamplingMode::kFixed, 0x1000 + cell_index);
-  };
+  spec.variants = counting::sweep_u64(
+      *counting::describe(pulling_counter(8, pulling::SamplingMode::kFixed, 0)),
+      "sampling_seed", {0x1000, 0x1001, 0x1002});
   spec.adversaries = {"split"};
   spec.placements = {{"", sim::faults_prefix(4, 1)}};
   spec.seeds = 3;
@@ -374,7 +376,7 @@ TEST(Engine, PerCellAlgorithmFactoryReceivesCellIndex) {
     opt.margin = 10;
     const auto ref = scalar_run(pulling_counter(8, pulling::SamplingMode::kFixed, 0x1000 + i),
                                 "split", res.cells[i].seed, opt);
-    expect_same_run(res.cells[i].result, ref, "factory-cell=" + std::to_string(i));
+    expect_same_run(res.cells[i].result, ref, "variant-cell=" + std::to_string(i));
   }
 }
 

@@ -13,6 +13,7 @@
 #include "counting/trivial.hpp"
 #include "sim/engine.hpp"
 #include "sim/faults.hpp"
+#include "sim/sink.hpp"
 #include "synthesis/known_tables.hpp"
 #include "util/thread_pool.hpp"
 
@@ -268,9 +269,9 @@ TEST(Engine, RecordStatesSingleCell) {
   spec.seeds = 1;
   spec.max_rounds = 6;
   spec.margin = 2;
-  spec.record_states = true;
+  sim::RecordSink record(/*outputs=*/false, /*states=*/true);
   const sim::Engine engine(1);
-  const auto result = engine.run(spec);
+  const auto result = engine.run(spec, {&record});
   ASSERT_EQ(result.cells.size(), 1u);
   EXPECT_EQ(result.cells.front().result.states.size(), 6u);
 }
@@ -283,9 +284,9 @@ TEST(Engine, ExplicitSeedsPinTheExecution) {
   spec.explicit_seeds = {2, 77};
   spec.max_rounds = 20;
   spec.margin = 5;
-  spec.record_outputs = true;
+  sim::RecordSink record(/*outputs=*/true);
   const sim::Engine engine(1);
-  const auto result = engine.run(spec);
+  const auto result = engine.run(spec, {&record});
   ASSERT_EQ(result.cells.size(), 2u);
   EXPECT_EQ(result.cells[0].seed, 2u);
   EXPECT_EQ(result.cells[1].seed, 77u);

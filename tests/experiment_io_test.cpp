@@ -1,0 +1,172 @@
+// Error-path tests for the wire formats (sim/experiment_io.hpp): spec files
+// (format/version gates), shard partials (truncated JSONL, duplicate
+// headers, corrupted lines), checkpoint scanning tolerance, and the
+// line-truncation surgery used on resume. The happy paths live in
+// shard_test.cpp and sink_test.cpp.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "counting/table_algorithm.hpp"
+#include "sim/engine.hpp"
+#include "sim/experiment_io.hpp"
+#include "sim/faults.hpp"
+#include "synthesis/known_tables.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace synccount;
+
+sim::ExperimentSpec small_spec() {
+  sim::ExperimentSpec spec;
+  counting::AlgorithmSpec algo;
+  algo.kind = counting::AlgorithmSpec::Kind::kTable;
+  algo.table_name = "3states";
+  spec.algorithm = algo;
+  spec.adversaries = {"split", "silent"};
+  spec.placements = {{"spread", sim::faults_spread(4, 1)}};
+  spec.seeds = 4;
+  spec.max_rounds = 48;
+  spec.margin = 8;
+  return spec;
+}
+
+std::string spec_file_text(const sim::ExperimentSpec& spec) {
+  std::ostringstream out;
+  write_spec_file(out, spec);
+  return out.str();
+}
+
+std::string partial_text(const sim::ExperimentSpec& spec) {
+  const auto plan = sim::plan_shards(spec, 1, 0);
+  const auto result = sim::Engine(1).run(spec, plan);
+  std::ostringstream out;
+  write_partial(out, make_partial(spec, plan, result));
+  return out.str();
+}
+
+void expect_read_spec_throws(const std::string& text, const std::string& what) {
+  std::istringstream in(text);
+  try {
+    sim::read_spec_file(in, "test.json");
+    FAIL() << "expected failure: " << what;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(what), std::string::npos) << e.what();
+  }
+}
+
+void expect_read_partial_throws(const std::string& text, const std::string& what) {
+  std::istringstream in(text);
+  try {
+    sim::read_partial(in, "test.jsonl");
+    FAIL() << "expected failure: " << what;
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(what), std::string::npos) << e.what();
+  }
+}
+
+// --- Spec files --------------------------------------------------------------
+
+TEST(SpecFile, RoundTripsByteStable) {
+  const auto spec = small_spec();
+  const std::string text = spec_file_text(spec);
+  std::istringstream in(text);
+  const sim::ExperimentSpec back = sim::read_spec_file(in, "spec.json");
+  EXPECT_EQ(spec_file_text(back), text);
+  // The round-tripped spec drives the engine identically.
+  const auto a = sim::Engine(1).run(spec);
+  const auto b = sim::Engine(1).run(back);
+  EXPECT_EQ(sim::aggregate_to_json(a.total).dump(), sim::aggregate_to_json(b.total).dump());
+}
+
+TEST(SpecFile, RejectsEmptyWrongFormatAndUnknownVersion) {
+  expect_read_spec_throws("", "empty spec file");
+  expect_read_spec_throws("{\"format\":\"something-else\",\"version\":1,\"spec\":{}}\n",
+                          "not a synccount-spec file");
+  std::string text = spec_file_text(small_spec());
+  const std::string v1 = "\"version\":1";
+  text.replace(text.find(v1), v1.size(), "\"version\":99");
+  expect_read_spec_throws(text, "unsupported spec version");
+}
+
+TEST(SpecFile, RejectsTruncatedJson) {
+  const std::string text = spec_file_text(small_spec());
+  expect_read_spec_throws(text.substr(0, text.size() / 2), "bad JSON");
+}
+
+// --- Partial files -----------------------------------------------------------
+
+TEST(ReadPartial, RejectsUnknownVersion) {
+  std::string text = partial_text(small_spec());
+  const std::string v = "\"version\":2";
+  ASSERT_NE(text.find(v), std::string::npos);
+  text.replace(text.find(v), v.size(), "\"version\":1");
+  expect_read_partial_throws(text, "unsupported format version");
+}
+
+TEST(ReadPartial, RejectsTruncatedFiles) {
+  const std::string text = partial_text(small_spec());
+  // Cut in the middle of the last group line: the damaged line must fail
+  // with a contextful JSON error, not be silently dropped.
+  expect_read_partial_throws(text.substr(0, text.size() - 20), "bad JSON");
+  // Cut a whole group line (file ends cleanly but the range is incomplete).
+  const std::size_t last_line_start = text.rfind('\n', text.size() - 2) + 1;
+  expect_read_partial_throws(text.substr(0, last_line_start), "missing group lines");
+}
+
+TEST(ReadPartial, RejectsDuplicateHeaders) {
+  const std::string text = partial_text(small_spec());
+  const std::string header = text.substr(0, text.find('\n') + 1);
+  // Two concatenated partials (a botched file copy): the second header must
+  // be called out as such.
+  expect_read_partial_throws(text + header, "duplicate header line");
+  // A header straight after the first one, before any group line.
+  const std::string body = text.substr(text.find('\n') + 1);
+  expect_read_partial_throws(header + header + body, "duplicate header line");
+}
+
+TEST(ReadPartial, RejectsCorruptedAggregates) {
+  std::string text = partial_text(small_spec());
+  // Tamper with a sample count so the aggregate invariant breaks.
+  const std::string runs = "\"runs\":4";
+  ASSERT_NE(text.find(runs), std::string::npos);
+  text.replace(text.find(runs), runs.size(), "\"runs\":5");
+  expect_read_partial_throws(text, "sample counts disagree");
+}
+
+// --- truncate_to_lines -------------------------------------------------------
+
+struct TempFile {
+  TempFile() {
+    static int counter = 0;
+    path = (std::filesystem::temp_directory_path() /
+            ("synccount-io-test-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter++)))
+               .string();
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(TruncateToLines, KeepsExactlyTheRequestedPrefix) {
+  TempFile f;
+  {
+    std::ofstream out(f.path, std::ios::binary);
+    out << "one\ntwo\nthree\nfour (unterminated";
+  }
+  sim::truncate_to_lines(f.path, 2);
+  std::ifstream in(f.path, std::ios::binary);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "one\ntwo\n");
+  // Asking for more complete lines than exist is an error, not silent loss.
+  EXPECT_THROW(sim::truncate_to_lines(f.path, 3), std::invalid_argument);
+}
+
+}  // namespace

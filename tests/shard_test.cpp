@@ -11,6 +11,7 @@
 
 #include "boosting/planner.hpp"
 #include "counting/algorithm_spec.hpp"
+#include "counting/randomized.hpp"
 #include "counting/table_algorithm.hpp"
 #include "counting/table_io.hpp"
 #include "counting/trivial.hpp"
@@ -233,8 +234,10 @@ TEST(ExperimentSpecCodec, RoundTripPreservesEveryField) {
   spec.seeds = 3;
   spec.extra_rounds = 123;
   spec.horizon_override = 9999;
-  spec.record_outputs = true;
   spec.backend = sim::Backend::kScalar;
+  spec.sinks.push_back({sim::SinkConfig::Kind::kTrace, "t.jsonl", "csv", false});
+  spec.sinks.push_back({sim::SinkConfig::Kind::kProgress, "", "jsonl", false});
+  spec.sinks.push_back({sim::SinkConfig::Kind::kCheckpoint, "ck.jsonl", "jsonl", false});
   spec.initial.resize(4);
   for (int i = 0; i < 4; ++i) {
     spec.initial[static_cast<std::size_t>(i)].set_bits(0, 2, static_cast<std::uint64_t>(i % 3));
@@ -260,23 +263,55 @@ TEST(ExperimentSpecCodec, RoundTripPreservesEveryField) {
   EXPECT_EQ(back.horizon_override, spec.horizon_override);
   EXPECT_EQ(back.margin, spec.margin);
   EXPECT_EQ(back.stop_after_stable, spec.stop_after_stable);
-  EXPECT_EQ(back.record_outputs, spec.record_outputs);
-  EXPECT_EQ(back.record_states, spec.record_states);
   EXPECT_EQ(back.backend, spec.backend);
+  ASSERT_EQ(back.sinks.size(), spec.sinks.size());
+  for (std::size_t i = 0; i < spec.sinks.size(); ++i) {
+    EXPECT_EQ(back.sinks[i].kind, spec.sinks[i].kind);
+    EXPECT_EQ(back.sinks[i].path, spec.sinks[i].path);
+    EXPECT_EQ(back.sinks[i].format, spec.sinks[i].format);
+    EXPECT_EQ(back.sinks[i].outputs, spec.sinks[i].outputs);
+  }
   ASSERT_EQ(back.initial.size(), spec.initial.size());
   for (std::size_t i = 0; i < spec.initial.size(); ++i) {
     EXPECT_EQ(back.initial[i], spec.initial[i]);
   }
 }
 
-TEST(ExperimentSpecCodec, RejectsFactories) {
+TEST(ExperimentSpecCodec, RejectsNonDeclarativeSpecs) {
+  // Custom adversary factories have no serialized form.
   sim::ExperimentSpec spec = table_grid_spec();
-  spec.algo_factory = [&spec](std::size_t) { return spec.algo; };
+  spec.adversary_factory = [](const std::string& name) { return sim::make_adversary(name); };
   EXPECT_THROW(sim::experiment_spec_to_json(spec), std::invalid_argument);
 
+  // An `algo` pointer outside the describable family cannot travel either.
   sim::ExperimentSpec spec2 = table_grid_spec();
-  spec2.adversary_factory = [](const std::string& name) { return sim::make_adversary(name); };
+  spec2.algo = std::make_shared<counting::RandomizedCounter>(4, 1, 2);
   EXPECT_THROW(sim::experiment_spec_to_json(spec2), std::invalid_argument);
+
+  // ... and exactly one algorithm source must be set.
+  sim::ExperimentSpec spec3 = table_grid_spec();
+  spec3.algorithm = *counting::describe(spec3.algo);
+  EXPECT_THROW(sim::experiment_spec_to_json(spec3), std::invalid_argument);
+}
+
+TEST(ExperimentSpecCodec, VariantAxisRoundTrips) {
+  sim::ExperimentSpec spec;
+  spec.variants = counting::sweep_u64(
+      *counting::describe(pulling::build_pulling_practical(
+          1, 8, 6, pulling::SamplingMode::kFixed, 0)),
+      "sampling_seed", {7, 8, 9});
+  spec.adversaries = {"split"};
+  spec.seeds = 3;
+  spec.max_rounds = 32;
+  const util::Json j = sim::experiment_spec_to_json(spec);
+  const sim::ExperimentSpec back =
+      sim::experiment_spec_from_json(util::Json::parse(j.dump()));
+  EXPECT_EQ(sim::experiment_spec_to_json(back).dump(), j.dump());
+  ASSERT_EQ(back.variants.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(back.variants[i] == spec.variants[i]) << i;
+  }
+  EXPECT_FALSE(back.algorithm.has_value());
 }
 
 TEST(AggregateCodec, RoundTripIsBitIdentical) {

@@ -1,6 +1,9 @@
 // synccount_cli -- command-line front end for the library.
 //
 //   synccount_cli plan        --f=7 [--modulus=10] [--schedule=practical]
+//               (spec mode)   [sweep grid flags] [sink flags] --emit=SPEC.json
+//                             [--shards=K]  (emit a runnable experiment spec
+//                             without running it, plus the shard plan)
 //   synccount_cli run         --f=3 [--modulus=16] [--adversary=split]
 //                             [--placement=blocks|spread] [--seed=S]
 //                             [--rounds=N] [--trace=out.csv]
@@ -10,13 +13,25 @@
 //                             [--adversaries=split,lookahead|all]
 //                             [--placements=spread,blocks,leaders]
 //                             [--base-seed=S] [--rounds=N] [--margin=M]
+//                             [sink flags: --trace=FILE --trace-format=jsonl|csv
+//                              --trace-outputs --checkpoint=FILE --progress]
 //                             [--shards=K] [--shard=i] [--emit=FILE]
+//   synccount_cli sweep       --spec=SPEC.json [--resume] [--threads=N]
+//                             [--shards=K] [--shard=i] [--emit=FILE] [--progress]
 //   synccount_cli merge       FILE... [--emit=FILE]
 //   synccount_cli synthesize  --n=4 --f=1 --states=3 [--symmetry=cyclic]
 //                             [--max-time=8] [--incremental] [--budget=K]
 //                             [--dimacs=out.cnf]
 //   synccount_cli verify      [--load=file.table]  (default: embedded tables)
 //   synccount_cli consensus   --f=1 --values=8 --proposals=5,5,5,5 [--seed=S]
+//
+// Declarative sweeps: a spec file is the single source of truth for a run --
+// `plan ... --emit=spec.json` writes one without running anything, and
+// `sweep --spec=spec.json` executes it with the sinks (trace, progress,
+// checkpoint) the spec configures. With a checkpoint sink configured, a
+// killed worker restarts from the last finished cell-group via
+// `sweep --spec=spec.json --resume`, and the completed checkpoint file is
+// byte-identical to an uninterrupted worker's partial.
 //
 // Distributed sweeps: `sweep --shards=K` forks K local worker processes,
 // each running a contiguous slice of (adversary, placement) cell-groups, and
@@ -39,6 +54,7 @@
 #include "counting/algorithm_spec.hpp"
 #include "counting/table_io.hpp"
 #include "sim/experiment_io.hpp"
+#include "sim/sink.hpp"
 #include "synccount/synccount.hpp"
 
 using namespace synccount;
@@ -49,13 +65,20 @@ void usage(std::ostream& os) {
   os << "usage: synccount_cli <command> [--flags]\n"
         "  plan        print a Theorem 1 recursion schedule and its bounds\n"
         "              --f --modulus --schedule=practical|corollary1|fixed-k --k --levels\n"
+        "              with --emit=SPEC.json: build an experiment spec from the sweep\n"
+        "              grid + sink flags below and write it WITHOUT running; --shards=K\n"
+        "              additionally prints the per-worker shard plan\n"
         "  run         one execution with optional CSV trace\n"
         "              --f --modulus --adversary --placement --seed --rounds --trace\n"
         "  sweep       batched grid sweep (adversaries x placements x seeds)\n"
         "              --f --modulus | --table=3states|4states|file.table\n"
         "              --backend=auto|scalar --adversaries --placements --seeds\n"
         "              --base-seed --rounds --margin --stop-after-stable --threads\n"
+        "              sink flags: --trace=FILE --trace-format=jsonl|csv\n"
+        "              --trace-outputs --checkpoint=FILE --progress\n"
         "              --shards=K [--shard=i] [--emit=FILE]  (distributed mode)\n"
+        "              --spec=SPEC.json [--resume]  (run a spec file; --resume\n"
+        "              restarts a checkpointed run from the last finished group)\n"
         "  merge       fold sweep worker partials: merge FILE... [--emit=FILE]\n"
         "  synthesize  SAT-synthesize a table algorithm\n"
         "              --n --f --states --modulus --symmetry --min-time --max-time\n"
@@ -85,9 +108,31 @@ int reject_unknown(const util::Cli& cli, std::initializer_list<const char*> know
   return 0;
 }
 
+// Defined with the sweep machinery below: `plan --emit=SPEC.json` builds the
+// sweep grid + sink configs from flags and writes a spec file without
+// running anything.
+int cmd_plan_spec(const util::Cli& cli);
+
 int cmd_plan(const util::Cli& cli) {
-  if (const int rc = reject_unknown(cli, {"f", "modulus", "schedule", "k", "levels"})) {
+  if (const int rc = reject_unknown(
+          cli, {"f", "modulus", "schedule", "k", "levels",
+                // Spec-emission mode shares the sweep grid + sink flags.
+                "table", "backend", "adversaries", "placements", "seeds", "base-seed",
+                "rounds", "margin", "stop-after-stable", "shards", "emit", "trace",
+                "trace-format", "trace-outputs", "checkpoint", "progress"})) {
     return rc;
+  }
+  if (cli.has("emit")) return cmd_plan_spec(cli);
+  // Without --emit the sweep-grid/sink flags would be silently ignored --
+  // keep the strict-CLI promise and refuse them instead.
+  for (const char* flag :
+       {"table", "backend", "adversaries", "placements", "seeds", "base-seed", "rounds",
+        "margin", "stop-after-stable", "shards", "trace", "trace-format",
+        "trace-outputs", "checkpoint", "progress"}) {
+    if (cli.has(flag)) {
+      std::cerr << "--" << flag << " requires spec-emission mode: plan ... --emit=SPEC.json\n";
+      return 2;
+    }
   }
   const int f = static_cast<int>(cli.get_int("f", 3));
   const std::uint64_t modulus = cli.get_u64("modulus", 10);
@@ -170,54 +215,45 @@ int cmd_run(const util::Cli& cli) {
   return res.stabilised ? 0 : 1;
 }
 
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::istringstream ss(s);
-  std::string tok;
-  while (std::getline(ss, tok, ',')) {
-    if (!tok.empty()) out.push_back(tok);
-  }
-  return out;
-}
-
 // --- sweep -------------------------------------------------------------------
 
 // The grid a sweep command line describes; shared by the single-process,
 // worker and orchestrator paths (a worker must reconstruct the exact spec
-// from the same flags).
+// from the same flags or read the same spec file). The ExperimentSpec is
+// fully declarative (`spec.algorithm`), so it serialises as-is.
 struct SweepGrid {
-  counting::AlgorithmPtr algo;
+  counting::AlgorithmPtr algo;  // built once for header printing
   sim::ExperimentSpec spec;
   int n = 0;
   int f = 0;
 };
 
 int build_sweep_grid(const util::Cli& cli, SweepGrid& out) {
-  counting::AlgorithmPtr algo;
+  counting::AlgorithmSpec algo_spec;
   if (cli.has("table")) {
     // Resolve through the same AlgorithmSpec path a deserialised worker
     // spec takes, so registry names and table files cannot drift between
     // the CLI and the wire format.
     const std::string which = cli.get_string("table", "3states");
-    counting::AlgorithmSpec tspec;
-    tspec.kind = counting::AlgorithmSpec::Kind::kTable;
+    algo_spec.kind = counting::AlgorithmSpec::Kind::kTable;
     if (synthesis::known_table_by_name(which).has_value()) {
-      tspec.table_name = which;
+      algo_spec.table_name = which;
     } else {
-      tspec.table_file = which;
+      algo_spec.table_file = which;
     }
-    algo = counting::build(tspec);
   } else {
     const int plan_f = static_cast<int>(cli.get_int("f", 3));
     const std::uint64_t modulus = cli.get_u64("modulus", 16);
-    algo = boosting::build_plan(boosting::plan_practical(plan_f, modulus));
+    algo_spec = *counting::describe(
+        boosting::build_plan(boosting::plan_practical(plan_f, modulus)));
   }
+  counting::AlgorithmPtr algo = counting::build(algo_spec);
   const int f = cli.has("table") ? algo->resilience()
                                  : static_cast<int>(cli.get_int("f", 3));
   const int n = algo->num_nodes();
 
   sim::ExperimentSpec spec;
-  spec.algo = algo;
+  spec.algorithm = std::move(algo_spec);
   const std::string backend = cli.get_string("backend", "auto");
   if (backend == "scalar") {
     spec.backend = sim::Backend::kScalar;
@@ -227,10 +263,11 @@ int build_sweep_grid(const util::Cli& cli, SweepGrid& out) {
   }
 
   const std::string adv_arg = cli.get_string("adversaries", "split,random,lookahead");
-  spec.adversaries = adv_arg == "all" ? sim::adversary_names() : split_csv(adv_arg);
+  spec.adversaries =
+      adv_arg == "all" ? sim::adversary_names() : cli.get_list("adversaries", adv_arg);
 
   const bool placements_given = cli.has("placements");
-  for (const auto& name : split_csv(cli.get_string("placements", "spread,blocks"))) {
+  for (const auto& name : cli.get_list("placements", "spread,blocks")) {
     if (name == "spread") {
       spec.placements.push_back({"spread", sim::faults_spread(n, f)});
     } else if (name == "blocks" || name == "leaders") {
@@ -270,6 +307,55 @@ int build_sweep_grid(const util::Cli& cli, SweepGrid& out) {
   out.n = n;
   out.f = f;
   return 0;
+}
+
+// Turns the sink flags into declarative SinkConfigs on the spec, so a spec
+// emitted by `plan` or rebuilt by a worker from the same flags carries the
+// identical observer setup.
+int apply_sink_flags(const util::Cli& cli, sim::ExperimentSpec& spec) {
+  if (cli.has("trace")) {
+    sim::SinkConfig cfg;
+    cfg.kind = sim::SinkConfig::Kind::kTrace;
+    cfg.path = cli.get_string("trace", "");
+    if (cfg.path.empty() || cfg.path == "true") {
+      std::cerr << "--trace requires a file: --trace=FILE\n";
+      return 2;
+    }
+    cfg.format = cli.get_string("trace-format", "jsonl");
+    if (cfg.format != "jsonl" && cfg.format != "csv") {
+      std::cerr << "unknown trace format: " << cfg.format << " (want jsonl|csv)\n";
+      return 2;
+    }
+    cfg.outputs = cli.get_bool("trace-outputs");
+    if (cfg.outputs && cfg.format == "csv") {
+      std::cerr << "--trace-outputs requires --trace-format=jsonl\n";
+      return 2;
+    }
+    spec.sinks.push_back(std::move(cfg));
+  }
+  if (cli.has("checkpoint")) {
+    sim::SinkConfig cfg;
+    cfg.kind = sim::SinkConfig::Kind::kCheckpoint;
+    cfg.path = cli.get_string("checkpoint", "");
+    if (cfg.path.empty() || cfg.path == "true") {
+      std::cerr << "--checkpoint requires a file: --checkpoint=FILE\n";
+      return 2;
+    }
+    spec.sinks.push_back(std::move(cfg));
+  }
+  if (cli.get_bool("progress")) {
+    sim::SinkConfig cfg;
+    cfg.kind = sim::SinkConfig::Kind::kProgress;
+    spec.sinks.push_back(std::move(cfg));
+  }
+  return 0;
+}
+
+const sim::SinkConfig* checkpoint_config(const sim::ExperimentSpec& spec) {
+  for (const sim::SinkConfig& cfg : spec.sinks) {
+    if (cfg.kind == sim::SinkConfig::Kind::kCheckpoint) return &cfg;
+  }
+  return nullptr;
 }
 
 void print_grid_header(const SweepGrid& g) {
@@ -318,6 +404,80 @@ int emit_partial(const std::string& path, const sim::ShardPartial& partial) {
   return 0;
 }
 
+// `plan --emit=SPEC.json`: build the grid + sink configs from flags and
+// write the spec file -- the whole experiment as data, nothing executed.
+// With --shards=K the per-worker group assignment is printed too, so an
+// operator can eyeball the split before handing shards to machines.
+int cmd_plan_spec(const util::Cli& cli) {
+  const std::string emit = cli.get_string("emit", "");
+  if (emit.empty() || emit == "true") {
+    std::cerr << "--emit requires a file: --emit=SPEC.json\n";
+    return 2;
+  }
+  // Spec emission builds the practical-schedule sweep grid; the schedule
+  // flags of the bounds-printing mode would be silently ignored here, which
+  // must fail loudly instead of emitting a spec for a different algorithm.
+  for (const char* flag : {"schedule", "k", "levels"}) {
+    if (cli.has(flag)) {
+      std::cerr << "--" << flag << " applies to the schedule-printing mode and "
+                   "conflicts with --emit (spec emission uses the practical plan; "
+                   "use --table=... for table algorithms)\n";
+      return 2;
+    }
+  }
+  SweepGrid grid;
+  if (const int rc = build_sweep_grid(cli, grid)) return rc;
+  if (const int rc = apply_sink_flags(cli, grid.spec)) return rc;
+
+  std::ofstream out(emit);
+  if (!out.good()) {
+    std::cerr << "cannot write " << emit << "\n";
+    return 1;
+  }
+  sim::write_spec_file(out, grid.spec);
+  out.close();
+  if (!out.good()) {
+    std::cerr << "error writing " << emit << "\n";
+    return 1;
+  }
+
+  print_grid_header(grid);
+  const sim::ExperimentSpec& spec = grid.spec;
+  const std::size_t groups = sim::group_count(spec);
+  std::cout << "grid: " << spec.adversaries.size() << " adversaries x "
+            << std::max<std::size_t>(spec.placements.size(), 1) << " placements x "
+            << spec.seeds << " seeds = " << groups * static_cast<std::size_t>(spec.seeds)
+            << " executions in " << groups << " cell-groups\n";
+  for (const sim::SinkConfig& cfg : spec.sinks) {
+    switch (cfg.kind) {
+      case sim::SinkConfig::Kind::kTrace:
+        std::cout << "sink: trace -> " << cfg.path << " (" << cfg.format
+                  << (cfg.outputs ? ", with outputs" : "") << ")\n";
+        break;
+      case sim::SinkConfig::Kind::kProgress:
+        std::cout << "sink: progress (stderr)\n";
+        break;
+      case sim::SinkConfig::Kind::kCheckpoint:
+        std::cout << "sink: checkpoint -> " << cfg.path << " (resumable with --resume)\n";
+        break;
+    }
+  }
+  const int shards = static_cast<int>(cli.get_int("shards", 1));
+  if (shards > 1) {
+    util::Table t({"shard", "groups [begin, end)", "cells"});
+    for (int i = 0; i < shards; ++i) {
+      const auto plan = sim::plan_shards(spec, shards, i);
+      t.add_row({std::to_string(i),
+                 "[" + std::to_string(plan.group_begin) + ", " +
+                     std::to_string(plan.group_end) + ")",
+                 std::to_string(plan.groups() * static_cast<std::size_t>(spec.seeds))});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "spec: " << emit << "  (run: synccount_cli sweep --spec=" << emit << ")\n";
+  return 0;
+}
+
 // Forks one worker per shard (re-executing this binary) and waits for all of
 // them; multi-machine runs do exactly this by hand, one shard per machine.
 int run_worker_processes(const std::string& exe,
@@ -357,17 +517,120 @@ int run_worker_processes(const std::string& exe,
   return (failures > 0 || spawn_failed) ? 1 : 0;
 }
 
+// Runs one shard with its configured sinks, honouring --resume: when a
+// usable checkpoint prefix exists, the already-finished groups are skipped,
+// the checkpoint (and its companion trace files) are truncated to the clean
+// prefix and appended to, and the full partial is read back from the
+// completed checkpoint file -- byte-identical to an uninterrupted run.
+// Returns an exit code; on 0 fills `partial` (and `executed` with what THIS
+// process actually ran, which is less than the shard after a resume).
+int run_shard(const sim::ExperimentSpec& spec, const sim::ShardPlan& plan, int threads,
+              bool resume, const sim::SinkList& extra, sim::ShardPartial& partial,
+              sim::ExperimentResult& executed) {
+  sim::ShardPlan run_plan = plan;
+  bool append = false;
+  std::string ck_path;
+  if (resume) {
+    const sim::SinkConfig* ck = checkpoint_config(spec);
+    if (ck == nullptr) {
+      std::cerr << "--resume needs a checkpoint sink in the spec "
+                   "(plan/sweep --checkpoint=FILE)\n";
+      return 2;
+    }
+    ck_path = sim::sink_path(*ck, plan);
+    const auto state = sim::read_checkpoint(ck_path, spec, plan);
+    if (state.header_present) {
+      std::filesystem::resize_file(ck_path, state.valid_bytes);
+      // Companion trace files flush before the checkpoint line, so they hold
+      // at least the checkpointed groups' rows; cut them back to exactly
+      // those before appending.
+      for (const sim::SinkConfig& cfg : spec.sinks) {
+        if (cfg.kind != sim::SinkConfig::Kind::kTrace) continue;
+        const std::uint64_t rows =
+            (state.next_group - plan.group_begin) * static_cast<std::uint64_t>(spec.seeds) +
+            (cfg.format == "csv" ? 1 : 0);
+        sim::truncate_to_lines(sim::sink_path(cfg, plan), rows);
+      }
+      run_plan.group_begin = state.next_group;
+      append = true;
+      std::cout << "resume: " << ck_path << " holds groups [" << plan.group_begin << ","
+                << state.next_group << "); running [" << state.next_group << ","
+                << plan.group_end << ")\n";
+    }
+  }
+
+  const auto owned = sim::make_sinks(spec, plan, append);
+  const sim::Engine engine(threads);
+  executed = engine.run(spec, run_plan, sim::sink_list(owned, extra));
+
+  if (append) {
+    std::ifstream in(ck_path);
+    if (!in.good()) {
+      std::cerr << "cannot re-read checkpoint " << ck_path << "\n";
+      return 1;
+    }
+    partial = sim::read_partial(in, ck_path);
+  } else {
+    partial = sim::make_partial(spec, plan, executed);
+  }
+  return 0;
+}
+
 int cmd_sweep(const util::Cli& cli, const std::string& exe,
               const std::vector<std::string>& raw_args) {
   if (const int rc = reject_unknown(
           cli, {"f", "modulus", "table", "backend", "adversaries", "placements", "seeds",
                 "base-seed", "rounds", "margin", "stop-after-stable", "threads", "shards",
-                "shard", "emit"})) {
+                "shard", "emit", "spec", "resume", "trace", "trace-format",
+                "trace-outputs", "checkpoint", "progress"})) {
     return rc;
   }
   SweepGrid grid;
-  if (const int rc = build_sweep_grid(cli, grid)) return rc;
+  if (cli.has("spec")) {
+    // The spec file is the single source of truth; grid and sink flags would
+    // silently disagree with it, so they are rejected outright.
+    for (const char* flag :
+         {"f", "modulus", "table", "backend", "adversaries", "placements", "seeds",
+          "base-seed", "rounds", "margin", "stop-after-stable", "trace", "trace-format",
+          "trace-outputs", "checkpoint"}) {
+      if (cli.has(flag)) {
+        std::cerr << "--" << flag << " conflicts with --spec (the spec file defines it)\n";
+        return 2;
+      }
+    }
+    const std::string path = cli.get_string("spec", "");
+    if (path.empty() || path == "true") {
+      std::cerr << "--spec requires a file: --spec=SPEC.json\n";
+      return 2;
+    }
+    std::ifstream in(path);
+    if (!in.good()) {
+      std::cerr << "cannot open " << path << "\n";
+      return 1;
+    }
+    grid.spec = sim::read_spec_file(in, path);
+    grid.algo = sim::spec_algorithm(grid.spec);
+    grid.n = grid.algo->num_nodes();
+    grid.f = grid.algo->resilience();
+  } else {
+    if (cli.get_bool("resume")) {
+      // Resuming against flag-built specs invites drift (one changed flag ==
+      // a different experiment); the checkpoint flow is spec-file-driven.
+      std::cerr << "--resume requires --spec=SPEC.json (emit one with `plan --emit`)\n";
+      return 2;
+    }
+    if (const int rc = build_sweep_grid(cli, grid)) return rc;
+    if (const int rc = apply_sink_flags(cli, grid.spec)) return rc;
+  }
   const sim::ExperimentSpec& spec = grid.spec;
+  const bool resume = cli.get_bool("resume");
+
+  // --progress on a --spec run attaches an extra in-process sink instead of
+  // mutating the spec (the spec's serialized form must stay stable for
+  // checkpoint validation).
+  sim::ProgressSink progress;
+  sim::SinkList extra;
+  if (cli.has("spec") && cli.get_bool("progress")) extra.push_back(&progress);
 
   const int shards = static_cast<int>(cli.get_int("shards", 1));
   if (shards < 1) {
@@ -395,33 +658,39 @@ int cmd_sweep(const util::Cli& cli, const std::string& exe,
       return 2;
     }
     const auto plan = sim::plan_shards(spec, shards, shard);
-    const sim::Engine engine(threads);
-    const auto result = engine.run(spec, plan);
-    const auto partial = sim::make_partial(spec, plan, result);
+    sim::ShardPartial partial;
+    sim::ExperimentResult executed;
+    if (const int rc = run_shard(spec, plan, threads, resume, extra, partial, executed)) {
+      return rc;
+    }
     if (const int rc = emit_partial(emit, partial)) return rc;
     std::cout << "shard " << shard << "/" << shards << ": groups [" << plan.group_begin
               << "," << plan.group_end << ") of " << sim::group_count(spec) << ", "
-              << result.cells.size() << " cells (" << result.batched_cells
-              << " batched), wall " << util::fmt_double(result.wall_seconds, 2) << "s -> "
-              << emit << "\n";
+              << executed.cells.size() << " cells run (" << executed.batched_cells
+              << " batched), wall " << util::fmt_double(executed.wall_seconds, 2)
+              << "s -> " << emit << "\n";
     return 0;
   }
 
   // --- Single process: the grid in one engine run --------------------------
   if (shards == 1) {
-    const sim::Engine engine(threads);
-    const auto result = engine.run(spec);
-    const auto partial = sim::make_partial(spec, sim::plan_shards(spec, 1, 0), result);
+    const auto plan = sim::plan_shards(spec, 1, 0);
+    sim::ShardPartial partial;
+    sim::ExperimentResult executed;
+    if (const int rc = run_shard(spec, plan, threads, resume, extra, partial, executed)) {
+      return rc;
+    }
     print_grid_header(grid);
     std::cout << "grid: " << spec.adversaries.size() << " adversaries x "
-              << spec.placements.size() << " placements x " << spec.seeds << " seeds = "
-              << result.cells.size() << " executions on " << engine.threads()
-              << " threads (" << result.batched_cells << " on the batched backend)\n\n";
+              << std::max<std::size_t>(spec.placements.size(), 1) << " placements x "
+              << spec.seeds << " seeds; " << executed.cells.size()
+              << " executions run this process (" << executed.batched_cells
+              << " on the batched backend)\n\n";
     if (!emit.empty()) {
       if (const int rc = emit_partial(emit, partial)) return rc;
     }
     const int rc = print_partial_table(partial);
-    std::cout << "wall: " << util::fmt_double(result.wall_seconds, 2) << "s\n";
+    std::cout << "wall: " << util::fmt_double(executed.wall_seconds, 2) << "s\n";
     return rc;
   }
 
@@ -464,7 +733,8 @@ int cmd_sweep(const util::Cli& cli, const std::string& exe,
 
   print_grid_header(grid);
   std::cout << "grid: " << spec.adversaries.size() << " adversaries x "
-            << spec.placements.size() << " placements x " << spec.seeds << " seeds = "
+            << std::max<std::size_t>(spec.placements.size(), 1) << " placements x "
+            << spec.seeds << " seeds = "
             << sim::group_count(spec) * static_cast<std::size_t>(spec.seeds)
             << " executions across " << shards << " worker processes\n";
   const int spawn_rc = run_worker_processes(exe, worker_args);
@@ -526,8 +796,7 @@ int cmd_merge(const util::Cli& cli) {
 
   // Rebuild the algorithm from the spec echo for the header line (also
   // validates that this machine can reconstruct the experiment).
-  const auto algo =
-      counting::build(counting::algorithm_spec_from_json(merged.spec.at("algo")));
+  const auto algo = sim::spec_algorithm(sim::experiment_spec_from_json(merged.spec));
   std::cout << "algorithm: " << algo->name() << " (n=" << algo->num_nodes() << ", f="
             << algo->resilience() << ")\n"
             << "grid: " << merged.adversaries.size() << " adversaries x "
