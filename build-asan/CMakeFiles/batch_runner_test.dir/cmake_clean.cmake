@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_runner_test.dir/tests/batch_runner_test.cpp.o"
+  "CMakeFiles/batch_runner_test.dir/tests/batch_runner_test.cpp.o.d"
+  "batch_runner_test"
+  "batch_runner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

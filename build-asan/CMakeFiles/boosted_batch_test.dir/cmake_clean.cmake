@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosted_batch_test.dir/tests/boosted_batch_test.cpp.o"
+  "CMakeFiles/boosted_batch_test.dir/tests/boosted_batch_test.cpp.o.d"
+  "boosted_batch_test"
+  "boosted_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosted_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

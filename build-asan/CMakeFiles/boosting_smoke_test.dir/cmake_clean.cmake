@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_smoke_test.dir/tests/boosting_smoke_test.cpp.o"
+  "CMakeFiles/boosting_smoke_test.dir/tests/boosting_smoke_test.cpp.o.d"
+  "boosting_smoke_test"
+  "boosting_smoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_smoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boosting_test.dir/tests/boosting_test.cpp.o"
+  "CMakeFiles/boosting_test.dir/tests/boosting_test.cpp.o.d"
+  "boosting_test"
+  "boosting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boosting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiled_table_fuzz_test.dir/tests/compiled_table_fuzz_test.cpp.o"
+  "CMakeFiles/compiled_table_fuzz_test.dir/tests/compiled_table_fuzz_test.cpp.o.d"
+  "compiled_table_fuzz_test"
+  "compiled_table_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiled_table_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_io_test.dir/tests/experiment_io_test.cpp.o"
+  "CMakeFiles/experiment_io_test.dir/tests/experiment_io_test.cpp.o.d"
+  "experiment_io_test"
+  "experiment_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/game_adversary_test.dir/tests/game_adversary_test.cpp.o"
+  "CMakeFiles/game_adversary_test.dir/tests/game_adversary_test.cpp.o.d"
+  "game_adversary_test"
+  "game_adversary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/game_adversary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

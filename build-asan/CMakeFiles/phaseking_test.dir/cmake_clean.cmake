@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phaseking_test.dir/tests/phaseking_test.cpp.o"
+  "CMakeFiles/phaseking_test.dir/tests/phaseking_test.cpp.o.d"
+  "phaseking_test"
+  "phaseking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phaseking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pulling_test.dir/tests/pulling_test.cpp.o"
+  "CMakeFiles/pulling_test.dir/tests/pulling_test.cpp.o.d"
+  "pulling_test"
+  "pulling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pulling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

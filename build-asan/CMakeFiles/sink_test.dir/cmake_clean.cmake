@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sink_test.dir/tests/sink_test.cpp.o"
+  "CMakeFiles/sink_test.dir/tests/sink_test.cpp.o.d"
+  "sink_test"
+  "sink_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/repeated_consensus.cpp" "CMakeFiles/synccount.dir/src/apps/repeated_consensus.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/apps/repeated_consensus.cpp.o.d"
+  "/root/repo/src/apps/tdma.cpp" "CMakeFiles/synccount.dir/src/apps/tdma.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/apps/tdma.cpp.o.d"
+  "/root/repo/src/boosting/boosted_counter.cpp" "CMakeFiles/synccount.dir/src/boosting/boosted_counter.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/boosting/boosted_counter.cpp.o.d"
+  "/root/repo/src/boosting/leader_split_adversary.cpp" "CMakeFiles/synccount.dir/src/boosting/leader_split_adversary.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/boosting/leader_split_adversary.cpp.o.d"
+  "/root/repo/src/boosting/planner.cpp" "CMakeFiles/synccount.dir/src/boosting/planner.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/boosting/planner.cpp.o.d"
+  "/root/repo/src/counting/algorithm.cpp" "CMakeFiles/synccount.dir/src/counting/algorithm.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/counting/algorithm.cpp.o.d"
+  "/root/repo/src/counting/algorithm_spec.cpp" "CMakeFiles/synccount.dir/src/counting/algorithm_spec.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/counting/algorithm_spec.cpp.o.d"
+  "/root/repo/src/counting/randomized.cpp" "CMakeFiles/synccount.dir/src/counting/randomized.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/counting/randomized.cpp.o.d"
+  "/root/repo/src/counting/table_algorithm.cpp" "CMakeFiles/synccount.dir/src/counting/table_algorithm.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/counting/table_algorithm.cpp.o.d"
+  "/root/repo/src/counting/table_io.cpp" "CMakeFiles/synccount.dir/src/counting/table_io.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/counting/table_io.cpp.o.d"
+  "/root/repo/src/counting/trivial.cpp" "CMakeFiles/synccount.dir/src/counting/trivial.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/counting/trivial.cpp.o.d"
+  "/root/repo/src/phaseking/consensus.cpp" "CMakeFiles/synccount.dir/src/phaseking/consensus.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/phaseking/consensus.cpp.o.d"
+  "/root/repo/src/phaseking/phase_king.cpp" "CMakeFiles/synccount.dir/src/phaseking/phase_king.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/phaseking/phase_king.cpp.o.d"
+  "/root/repo/src/pulling/pulling_counter.cpp" "CMakeFiles/synccount.dir/src/pulling/pulling_counter.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/pulling/pulling_counter.cpp.o.d"
+  "/root/repo/src/sat/dimacs.cpp" "CMakeFiles/synccount.dir/src/sat/dimacs.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/sat/dimacs.cpp.o.d"
+  "/root/repo/src/sat/solver.cpp" "CMakeFiles/synccount.dir/src/sat/solver.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/sat/solver.cpp.o.d"
+  "/root/repo/src/sim/adversaries.cpp" "CMakeFiles/synccount.dir/src/sim/adversaries.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/sim/adversaries.cpp.o.d"
+  "/root/repo/src/sim/adversary.cpp" "CMakeFiles/synccount.dir/src/sim/adversary.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/sim/adversary.cpp.o.d"
+  "/root/repo/src/sim/batch_runner.cpp" "CMakeFiles/synccount.dir/src/sim/batch_runner.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/sim/batch_runner.cpp.o.d"
+  "/root/repo/src/sim/checker.cpp" "CMakeFiles/synccount.dir/src/sim/checker.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/sim/checker.cpp.o.d"
+  "/root/repo/src/sim/composed_runner.cpp" "CMakeFiles/synccount.dir/src/sim/composed_runner.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/sim/composed_runner.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "CMakeFiles/synccount.dir/src/sim/engine.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/experiment_io.cpp" "CMakeFiles/synccount.dir/src/sim/experiment_io.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/sim/experiment_io.cpp.o.d"
+  "/root/repo/src/sim/faults.cpp" "CMakeFiles/synccount.dir/src/sim/faults.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/sim/faults.cpp.o.d"
+  "/root/repo/src/sim/runner.cpp" "CMakeFiles/synccount.dir/src/sim/runner.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/sim/runner.cpp.o.d"
+  "/root/repo/src/sim/sink.cpp" "CMakeFiles/synccount.dir/src/sim/sink.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/sim/sink.cpp.o.d"
+  "/root/repo/src/synthesis/encoder.cpp" "CMakeFiles/synccount.dir/src/synthesis/encoder.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/synthesis/encoder.cpp.o.d"
+  "/root/repo/src/synthesis/game_adversary.cpp" "CMakeFiles/synccount.dir/src/synthesis/game_adversary.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/synthesis/game_adversary.cpp.o.d"
+  "/root/repo/src/synthesis/known_tables.cpp" "CMakeFiles/synccount.dir/src/synthesis/known_tables.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/synthesis/known_tables.cpp.o.d"
+  "/root/repo/src/synthesis/synthesize.cpp" "CMakeFiles/synccount.dir/src/synthesis/synthesize.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/synthesis/synthesize.cpp.o.d"
+  "/root/repo/src/synthesis/verifier.cpp" "CMakeFiles/synccount.dir/src/synthesis/verifier.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/synthesis/verifier.cpp.o.d"
+  "/root/repo/src/util/bitio.cpp" "CMakeFiles/synccount.dir/src/util/bitio.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/util/bitio.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "CMakeFiles/synccount.dir/src/util/cli.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/util/cli.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "CMakeFiles/synccount.dir/src/util/json.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/util/json.cpp.o.d"
+  "/root/repo/src/util/math.cpp" "CMakeFiles/synccount.dir/src/util/math.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/util/math.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/synccount.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/synccount.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/synccount.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "CMakeFiles/synccount.dir/src/util/thread_pool.cpp.o" "gcc" "CMakeFiles/synccount.dir/src/util/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

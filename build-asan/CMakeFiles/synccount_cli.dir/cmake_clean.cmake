@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synccount_cli.dir/tools/synccount_cli.cpp.o"
+  "CMakeFiles/synccount_cli.dir/tools/synccount_cli.cpp.o.d"
+  "synccount_cli"
+  "synccount_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synccount_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesis_test.dir/tests/synthesis_test.cpp.o"
+  "CMakeFiles/synthesis_test.dir/tests/synthesis_test.cpp.o.d"
+  "synthesis_test"
+  "synthesis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
