@@ -168,6 +168,22 @@ BackendCase boosted_case(const std::string& adversary, std::size_t n_seeds,
   return c;
 }
 
+// The n >= 32 composed instance: the practical f = 7 tower (three boosting
+// levels over the trivial base, N = 36). Exercises the profiled composed
+// batch path at a size where the scalar runner's per-(receiver, sender)
+// forging and per-node tower transitions dominate.
+BackendCase large_case(const std::string& adversary, std::size_t n_seeds,
+                       std::uint64_t rounds) {
+  BackendCase c;
+  c.algo = boosting::build_plan(boosting::plan_practical(7, 10));
+  c.adversary = adversary;
+  c.faulty = sim::faults_spread(c.algo->num_nodes(), 7);
+  c.rounds = rounds;
+  c.seeds.resize(n_seeds);
+  for (std::size_t i = 0; i < n_seeds; ++i) c.seeds[i] = 0x1A26E + i * 41;
+  return c;
+}
+
 // Node-rounds of work in one pass over every seed of the case (per correct
 // node, matching the scalar runner's transition count).
 double node_rounds(const BackendCase& c) {
@@ -273,6 +289,8 @@ int run_json_smoke(const std::string& path) {
        [](const std::string& adv) { return table1_case(adv, 256, 512); }},
       {"boosted practical(f=2, C=10) N=12, 2 Byzantine (spread)",
        [](const std::string& adv) { return boosted_case(adv, 64, 256); }},
+      {"boosted practical(f=7, C=10) N=36, 7 Byzantine (spread)",
+       [](const std::string& adv) { return large_case(adv, 64, 64); }},
   };
   out << "{\n  \"instances\": [";
   bool first_instance = true;

@@ -1,6 +1,7 @@
 #include "sim/adversaries.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "util/check.hpp"
 
@@ -10,6 +11,21 @@ namespace {
 
 State random_state(const CountingAlgorithm& algo, util::Rng& rng) {
   return counting::arbitrary_state(algo, rng);
+}
+
+// Draws exactly the bit chunks of counting::arbitrary_state but skips the
+// canonical decode. Every consumer reduces a raw pattern identically to
+// canonicalize (the scalar runner canonicalises delivered messages itself;
+// the batched runners reduce raw fields directly), so a strategy may hand
+// out raw states as long as the rng draw sequence is unchanged -- which it
+// is, canonicalize being draw-free.
+State raw_random_state(const CountingAlgorithm& algo, util::Rng& rng) {
+  State raw;
+  const int bits = algo.state_bits();
+  for (int off = 0; off < bits; off += 64) {
+    raw.set_bits(off, std::min(64, bits - off), rng.next_u64());
+  }
+  return raw;
 }
 
 // Measures how "agreed" a set of outputs is: the count of the most common
@@ -47,13 +63,180 @@ State RandomAdversary::message(std::uint64_t, NodeId, NodeId, std::span<const St
 void SplitAdversary::begin_round(std::uint64_t, std::span<const State>,
                                  const CountingAlgorithm& algo, std::span<const NodeId>,
                                  util::Rng& rng) {
-  even_ = random_state(algo, rng);
-  odd_ = random_state(algo, rng);
+  even_ = raw_random_state(algo, rng);
+  odd_ = raw_random_state(algo, rng);
 }
 
 State SplitAdversary::message(std::uint64_t, NodeId, NodeId receiver, std::span<const State>,
                               const CountingAlgorithm&, util::Rng&) {
   return receiver % 2 == 0 ? even_ : odd_;
+}
+
+void SplitAdversary::forge_block(std::uint64_t round, std::span<const State> true_states,
+                                 const CountingAlgorithm& algo,
+                                 std::span<const NodeId> faulty_ids,
+                                 std::span<const NodeId> /*correct_ids*/, util::Rng& rng,
+                                 ForgedRound& out) {
+  begin_round(round, true_states, algo, faulty_ids, rng);
+  const std::size_t nf = faulty_ids.size();
+  out.num_profiles = 2;
+  out.states.resize(2 * nf);
+  for (std::size_t k = 0; k < nf; ++k) {
+    out.states[k] = even_;
+    out.states[nf + k] = odd_;
+  }
+  // The parity map never changes, so fill it only when the size does.
+  if (out.profile_of.size() != true_states.size()) {
+    out.profile_of.resize(true_states.size());
+    for (std::size_t r = 0; r < out.profile_of.size(); ++r) {
+      out.profile_of[r] = static_cast<std::uint16_t>(r & 1);
+    }
+  }
+}
+
+void RandomAdversary::forge_block(std::uint64_t, std::span<const State> true_states,
+                                  const CountingAlgorithm& algo,
+                                  std::span<const NodeId> faulty_ids,
+                                  std::span<const NodeId> correct_ids, util::Rng& rng,
+                                  ForgedRound& out) {
+  // begin_round is passive; the draws happen per (receiver, sender) in the
+  // scalar runner's nested query order.
+  const std::size_t nf = faulty_ids.size();
+  out.num_profiles = static_cast<int>(correct_ids.size());
+  out.states.resize(correct_ids.size() * nf);
+  out.profile_of.assign(true_states.size(), 0);
+  for (std::size_t j = 0; j < correct_ids.size(); ++j) {
+    out.profile_of[static_cast<std::size_t>(correct_ids[j])] = static_cast<std::uint16_t>(j);
+    for (std::size_t k = 0; k < nf; ++k) {
+      out.states[j * nf + k] = raw_random_state(algo, rng);
+    }
+  }
+}
+
+bool SplitAdversary::forge_block_idx(std::uint64_t /*round*/, std::span<const State> true_states,
+                                     const CountingAlgorithm& algo,
+                                     std::span<const NodeId> faulty_ids,
+                                     std::span<const NodeId> /*correct_ids*/, util::Rng& rng,
+                                     ForgedRound& out) {
+  if (!idx_guard(ig_, algo)) return false;
+  // Same two draws as begin_round (even, then odd), minus the State traffic.
+  const std::uint8_t even = raw_random_idx(ig_, rng);
+  const std::uint8_t odd = raw_random_idx(ig_, rng);
+  const std::size_t nf = faulty_ids.size();
+  out.num_profiles = 2;
+  out.idx.resize(2 * nf);
+  for (std::size_t k = 0; k < nf; ++k) {
+    out.idx[k] = even;
+    out.idx[nf + k] = odd;
+  }
+  if (out.profile_of.size() != true_states.size()) {
+    out.profile_of.resize(true_states.size());
+    for (std::size_t r = 0; r < out.profile_of.size(); ++r) {
+      out.profile_of[r] = static_cast<std::uint16_t>(r & 1);
+    }
+  }
+  return true;
+}
+
+bool SplitAdversary::forge_lanes_idx(std::uint64_t /*round*/, const CountingAlgorithm& algo,
+                                     std::span<const NodeId> faulty_ids,
+                                     std::span<const NodeId> correct_ids,
+                                     std::span<util::Rng> rngs,
+                                     std::span<const std::uint64_t> active,
+                                     std::uint8_t* out_idx, ForgedRound& out) {
+  if (!idx_guard(ig_, algo)) return false;
+  const std::size_t nf = faulty_ids.size();
+  const std::size_t L = rngs.size();
+  const std::size_t n = faulty_ids.size() + correct_ids.size();
+  out.num_profiles = 2;
+  if (out.profile_of.size() != n) {
+    out.profile_of.resize(n);
+    for (std::size_t r = 0; r < n; ++r) out.profile_of[r] = static_cast<std::uint16_t>(r & 1);
+  }
+  if (ig_.bits == 0) {
+    std::fill(out_idx, out_idx + 2 * nf * L, std::uint8_t{0});
+    return true;
+  }
+  const std::uint64_t mask = ig_.mask;
+  const std::uint64_t ns = ig_.ns;
+  for (std::size_t w = 0; w < active.size(); ++w) {
+    for (std::uint64_t m = active[w]; m; m &= m - 1) {
+      const std::size_t l = w * 64 + static_cast<std::size_t>(std::countr_zero(m));
+      util::Rng& rng = rngs[l];
+      // Same two draws as begin_round: even receivers' value, then odd's.
+      // The reductions are branchless -- a data-dependent branch here
+      // mispredicts on every non-power-of-two |X|.
+      std::uint64_t even = rng.next_u64() & mask;
+      even -= ns & -static_cast<std::uint64_t>(even >= ns);
+      std::uint64_t odd = rng.next_u64() & mask;
+      odd -= ns & -static_cast<std::uint64_t>(odd >= ns);
+      for (std::size_t k = 0; k < nf; ++k) {
+        out_idx[k * L + l] = static_cast<std::uint8_t>(even);
+        out_idx[(nf + k) * L + l] = static_cast<std::uint8_t>(odd);
+      }
+    }
+  }
+  return true;
+}
+
+bool RandomAdversary::forge_block_idx(std::uint64_t /*round*/, std::span<const State> true_states,
+                                      const CountingAlgorithm& algo,
+                                      std::span<const NodeId> faulty_ids,
+                                      std::span<const NodeId> correct_ids, util::Rng& rng,
+                                      ForgedRound& out) {
+  if (!idx_guard(ig_, algo)) return false;
+  const std::size_t nf = faulty_ids.size();
+  out.num_profiles = static_cast<int>(correct_ids.size());
+  out.idx.resize(correct_ids.size() * nf);
+  out.profile_of.assign(true_states.size(), 0);
+  for (std::size_t j = 0; j < correct_ids.size(); ++j) {
+    out.profile_of[static_cast<std::size_t>(correct_ids[j])] = static_cast<std::uint16_t>(j);
+    for (std::size_t k = 0; k < nf; ++k) {
+      out.idx[j * nf + k] = raw_random_idx(ig_, rng);
+    }
+  }
+  return true;
+}
+
+bool RandomAdversary::forge_lanes_idx(std::uint64_t /*round*/, const CountingAlgorithm& algo,
+                                      std::span<const NodeId> faulty_ids,
+                                      std::span<const NodeId> correct_ids,
+                                      std::span<util::Rng> rngs,
+                                      std::span<const std::uint64_t> active,
+                                      std::uint8_t* out_idx, ForgedRound& out) {
+  if (!idx_guard(ig_, algo)) return false;
+  const std::size_t nf = faulty_ids.size();
+  const std::size_t L = rngs.size();
+  const std::size_t slots = correct_ids.size() * nf;
+  const std::size_t n = faulty_ids.size() + correct_ids.size();
+  out.num_profiles = static_cast<int>(correct_ids.size());
+  if (out.profile_of.size() != n) {
+    out.profile_of.assign(n, 0);
+    for (std::size_t j = 0; j < correct_ids.size(); ++j) {
+      out.profile_of[static_cast<std::size_t>(correct_ids[j])] = static_cast<std::uint16_t>(j);
+    }
+  }
+  if (ig_.bits == 0) {
+    std::fill(out_idx, out_idx + slots * L, std::uint8_t{0});
+    return true;
+  }
+  const std::uint64_t mask = ig_.mask;
+  const std::uint64_t ns = ig_.ns;
+  for (std::size_t w = 0; w < active.size(); ++w) {
+    for (std::uint64_t m = active[w]; m; m &= m - 1) {
+      const std::size_t l = w * 64 + static_cast<std::size_t>(std::countr_zero(m));
+      util::Rng& rng = rngs[l];
+      // Scalar draw order: nested (correct receiver, faulty sender).
+      // Branchless reduction -- a data-dependent branch mispredicts on every
+      // non-power-of-two |X|.
+      for (std::size_t s = 0; s < slots; ++s) {
+        std::uint64_t v = rng.next_u64() & mask;
+        v -= ns & -static_cast<std::uint64_t>(v >= ns);
+        out_idx[s * L + l] = static_cast<std::uint8_t>(v);
+      }
+    }
+  }
+  return true;
 }
 
 State MirrorAdversary::message(std::uint64_t round, NodeId sender, NodeId receiver,

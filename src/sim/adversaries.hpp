@@ -34,6 +34,7 @@ class SilentAdversary final : public Adversary {
   bool state_oblivious() const noexcept override { return true; }
   bool begin_round_passive() const noexcept override { return true; }
   bool forgery_static() const noexcept override { return true; }
+  bool message_draw_free() const noexcept override { return true; }
   std::string name() const override { return "silent"; }
 };
 
@@ -47,6 +48,7 @@ class EchoAdversary final : public Adversary {
   bool state_oblivious() const noexcept override { return true; }
   bool begin_round_passive() const noexcept override { return true; }
   bool forgery_static() const noexcept override { return true; }
+  bool message_draw_free() const noexcept override { return true; }
   std::string name() const override { return "echo"; }
 };
 
@@ -55,9 +57,28 @@ class RandomAdversary final : public Adversary {
   State message(std::uint64_t round, NodeId sender, NodeId receiver,
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
+  // Draws the same bit chunks as message() but keeps the raw pattern: the
+  // batched consumers reduce it identically to canonicalize, so the per-query
+  // canonical decode drops off the hot path.
+  void forge_block(std::uint64_t round, std::span<const State> true_states,
+                   const CountingAlgorithm& algo, std::span<const NodeId> faulty_ids,
+                   std::span<const NodeId> correct_ids, util::Rng& rng,
+                   ForgedRound& out) override;
+  bool forge_block_idx(std::uint64_t round, std::span<const State> true_states,
+                       const CountingAlgorithm& algo, std::span<const NodeId> faulty_ids,
+                       std::span<const NodeId> correct_ids, util::Rng& rng,
+                       ForgedRound& out) override;
+  bool forge_lanes_idx(std::uint64_t round, const CountingAlgorithm& algo,
+                       std::span<const NodeId> faulty_ids,
+                       std::span<const NodeId> correct_ids, std::span<util::Rng> rngs,
+                       std::span<const std::uint64_t> active, std::uint8_t* out_idx,
+                       ForgedRound& out) override;
   bool state_oblivious() const noexcept override { return true; }
   bool begin_round_passive() const noexcept override { return true; }
   std::string name() const override { return "random"; }
+
+ private:
+  IdxGuard ig_;
 };
 
 class SplitAdversary final : public Adversary {
@@ -68,12 +89,29 @@ class SplitAdversary final : public Adversary {
   State message(std::uint64_t round, NodeId sender, NodeId receiver,
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
+  // Two profiles (receiver parity), so the batched backends canonicalise and
+  // vote twice per round instead of once per correct receiver.
+  void forge_block(std::uint64_t round, std::span<const State> true_states,
+                   const CountingAlgorithm& algo, std::span<const NodeId> faulty_ids,
+                   std::span<const NodeId> correct_ids, util::Rng& rng,
+                   ForgedRound& out) override;
+  bool forge_block_idx(std::uint64_t round, std::span<const State> true_states,
+                       const CountingAlgorithm& algo, std::span<const NodeId> faulty_ids,
+                       std::span<const NodeId> correct_ids, util::Rng& rng,
+                       ForgedRound& out) override;
+  bool forge_lanes_idx(std::uint64_t round, const CountingAlgorithm& algo,
+                       std::span<const NodeId> faulty_ids,
+                       std::span<const NodeId> correct_ids, std::span<util::Rng> rngs,
+                       std::span<const std::uint64_t> active, std::uint8_t* out_idx,
+                       ForgedRound& out) override;
   bool state_oblivious() const noexcept override { return true; }
+  bool message_draw_free() const noexcept override { return true; }
   std::string name() const override { return "split"; }
 
  private:
   State even_;
   State odd_;
+  IdxGuard ig_;
 };
 
 class MirrorAdversary final : public Adversary {
@@ -82,6 +120,7 @@ class MirrorAdversary final : public Adversary {
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
   bool begin_round_passive() const noexcept override { return true; }
+  bool message_draw_free() const noexcept override { return true; }
   std::string name() const override { return "mirror"; }
 
  private:
@@ -96,6 +135,9 @@ class TargetedVoteAdversary final : public Adversary {
   State message(std::uint64_t round, NodeId sender, NodeId receiver,
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
+  // message()'s random fallback only fires when pool_ is empty, which cannot
+  // happen in a run (there is always at least one correct node to harvest).
+  bool message_draw_free() const noexcept override { return true; }
   std::string name() const override { return "targeted-vote"; }
 
  private:
@@ -120,6 +162,10 @@ class LookaheadAdversary final : public Adversary {
                 std::span<const State> true_states, const CountingAlgorithm& algo,
                 util::Rng& rng) override;
   bool batchable() const noexcept override { return false; }
+  // message() replays the profile chosen in begin_round(); its random
+  // fallback only fires for non-faulty senders, which the runners never ask
+  // about.
+  bool message_draw_free() const noexcept override { return true; }
   std::string name() const override { return "lookahead"; }
 
  private:

@@ -21,6 +21,36 @@ using counting::CountingAlgorithm;
 using counting::NodeId;
 using counting::State;
 
+// One round's worth of forged messages, produced in bulk by
+// Adversary::forge_block for the batched backends. Rather than one state per
+// (sender, receiver) pair, the round is described as `num_profiles` distinct
+// receiver views plus a map from receiver to profile: structured equivocators
+// send very few distinct values per round (split: two), so the backends
+// canonicalise, decompose and vote per *profile* instead of per receiver.
+//
+// Contract:
+//  * states[p * num_faulty + k] is the (possibly raw, uncanonicalised) state
+//    profile p receives from faulty sender faulty_ids[k]. Raw patterns are
+//    allowed because every consumer reduces them exactly like canonicalize
+//    (see the decompose-raw note in composed_runner.cpp).
+//  * profile_of[receiver] names the profile each receiver observes; an empty
+//    vector means every receiver sees profile 0. Only correct receivers'
+//    entries are read.
+//  * profile_of must be a pure function of (round, faulty_ids, n) -- never of
+//    the rng or the states -- so that all lanes of a batch block share one
+//    receiver-to-profile map per round. The batched runners assert this.
+struct ForgedRound {
+  int num_profiles = 0;
+  std::vector<State> states;
+  std::vector<std::uint16_t> profile_of;
+
+  // Index fast path (see Adversary::forge_block_idx): canonical state
+  // indices, same [p * num_faulty + k] layout as `states`. Exactly one of
+  // `states` / `idx` is meaningful per call, depending on the entry point
+  // that filled this ForgedRound.
+  std::vector<std::uint8_t> idx;
+};
+
 class Adversary {
  public:
   virtual ~Adversary() = default;
@@ -39,6 +69,56 @@ class Adversary {
   virtual State message(std::uint64_t round, NodeId sender, NodeId receiver,
                         std::span<const State> true_states, const CountingAlgorithm& algo,
                         util::Rng& rng) = 0;
+
+  // Batched entry point: performs this round's *entire* adversary work --
+  // begin_round plus every message query -- and writes the forged messages
+  // into `out` as receiver profiles (see ForgedRound). The default
+  // implementation delegates to begin_round()/message() in exactly the scalar
+  // runner's call order (one query per faulty sender when receiver_oblivious,
+  // else the nested (correct receiver, faulty sender) loop), so any adversary
+  // is batchable-correct out of the box; strategies with structure override
+  // it to emit few profiles and skip the per-receiver virtual dispatch.
+  // Overrides must draw from `rng` in exactly the order the scalar path
+  // would, so lanes stay bit-identical to run_execution.
+  virtual void forge_block(std::uint64_t round, std::span<const State> true_states,
+                           const CountingAlgorithm& algo, std::span<const NodeId> faulty_ids,
+                           std::span<const NodeId> correct_ids, util::Rng& rng,
+                           ForgedRound& out);
+
+  // Fast variant of forge_block for algorithms whose states are canonical
+  // table indices (num_states <= 256, state_bits <= 64): fills
+  // out.num_profiles / out.profile_of / out.idx -- drawing from `rng` in
+  // exactly forge_block's order -- and returns true. The default returns
+  // false (no index path); callers then fall back to forge_block and reduce
+  // the BitVec states themselves. Worth overriding only for draw-heavy
+  // strategies (split, random), where skipping the 256-bit state round-trip
+  // leaves the rng draws as the dominant per-lane cost.
+  virtual bool forge_block_idx(std::uint64_t round, std::span<const State> true_states,
+                               const CountingAlgorithm& algo,
+                               std::span<const NodeId> faulty_ids,
+                               std::span<const NodeId> correct_ids, util::Rng& rng,
+                               ForgedRound& out);
+
+  // Lane-batched index forging: one call forges the whole round for every
+  // lane whose bit is set in `active` (word w bit b = lane 64w + b; lane
+  // count = rngs.size()), amortising the virtual dispatch and keeping the
+  // draw loop hot. For each active lane l it must draw from rngs[l] exactly
+  // as forge_block would for that lane (lanes are independent rng streams,
+  // so cross-lane order is free) and write the canonical indices slot-major:
+  // out_idx[(p * |faulty_ids| + k) * rngs.size() + l]. The lane-invariant
+  // profile geometry (num_profiles, profile_of) is written to `out`;
+  // out.states / out.idx are not touched. Returns false when the strategy or
+  // algorithm does not admit the path -- only state-oblivious strategies
+  // with per-lane-stateless forging can override this, since it sees neither
+  // true_states nor the per-lane adversary instances. A false return must
+  // leave every rng untouched (the caller re-forges through the per-lane
+  // entry points). The default returns false.
+  virtual bool forge_lanes_idx(std::uint64_t round, const CountingAlgorithm& algo,
+                               std::span<const NodeId> faulty_ids,
+                               std::span<const NodeId> correct_ids,
+                               std::span<util::Rng> rngs,
+                               std::span<const std::uint64_t> active, std::uint8_t* out_idx,
+                               ForgedRound& out);
 
   // Return true iff message() is independent of `receiver` AND draws nothing
   // from the rng, i.e. within one round every receiver gets the same state
@@ -70,6 +150,13 @@ class Adversary {
   // (lane, sender) for the whole execution.
   virtual bool forgery_static() const noexcept { return false; }
 
+  // Return true iff message() never draws from the rng (begin_round may).
+  // Forging then contributes nothing to the lane's rng stream, so the
+  // composed batch runner may hoist all of a round's forging ahead of the
+  // transitions even when the tower itself draws randomness (fresh-sampling
+  // pulling levels) without perturbing the draw order.
+  virtual bool message_draw_free() const noexcept { return false; }
+
   // Return false for strategies whose begin_round() runs its own simulation
   // search (e.g. lookahead): they dominate the round cost, so batching the
   // transition buys nothing and the engine keeps them on the scalar runner.
@@ -79,6 +166,36 @@ class Adversary {
 
  protected:
   Adversary() = default;
+
+  // Cached forge_block_idx admission check, keyed by the algorithm instance
+  // so the per-round fast path costs one pointer compare instead of two
+  // virtual queries. Overriders keep one of these per adversary; the batched
+  // runners hold the algorithm alive for the whole run, so the key cannot
+  // dangle mid-batch.
+  struct IdxGuard {
+    const CountingAlgorithm* algo = nullptr;
+    bool ok = false;           // index path admissible for this algorithm
+    std::uint32_t ns = 0;      // |X|
+    std::uint64_t mask = 0;    // (1 << state_bits) - 1
+    int bits = 0;              // state_bits
+  };
+
+  // Refreshes `g` if `algo` changed; returns g.ok. Admissible iff the state
+  // space is enumerable with |X| <= 256 and state_bits <= 64 (one raw draw
+  // chunk, so the idx path's rng sequence matches raw_random_state's).
+  static bool idx_guard(IdxGuard& g, const CountingAlgorithm& algo);
+
+  // Draw-order-compatible uniform canonical index: one next_u64() per state
+  // (exactly the chunk sequence of a raw arbitrary-state draw for
+  // state_bits <= 64), reduced like the table consumers reduce a raw
+  // pattern -- low `bits` bits, then mod |X|. bits = ceil_log2(|X|) keeps
+  // 2^bits <= 2|X|, so the mod is a single conditional subtract.
+  static std::uint8_t raw_random_idx(const IdxGuard& g, util::Rng& rng) noexcept {
+    if (g.bits == 0) return 0;  // |X| = 1: the raw draw has no chunks
+    std::uint64_t v = rng.next_u64() & g.mask;
+    v -= g.ns & -static_cast<std::uint64_t>(v >= g.ns);  // branchless v %= |X|
+    return static_cast<std::uint8_t>(v);
+  }
 };
 
 }  // namespace synccount::sim

@@ -3,6 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <cstdlib>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 #include <span>
 
 #include "sim/checker.hpp"
@@ -12,6 +17,23 @@
 
 namespace synccount::sim {
 
+int default_batch_words() noexcept {
+  static const int words = [] {
+    if (const char* env = std::getenv("SYNCCOUNT_BATCH_WORDS")) {
+      const int v = std::atoi(env);
+      if (v == 1 || v == 2 || v == 4 || v == 8) return v;
+    }
+#if defined(__x86_64__) || defined(__i386__)
+    if (__builtin_cpu_supports("avx512f")) return 8;
+    if (__builtin_cpu_supports("avx2")) return 4;
+    return 2;
+#else
+    return 4;
+#endif
+  }();
+  return words;
+}
+
 namespace {
 
 using counting::CompiledTable;
@@ -19,11 +41,57 @@ using counting::NodeId;
 
 constexpr std::size_t kLanesPerWord = 64;
 
-// One block of up to 64 lanes advanced in lockstep. Hot per-lane state (rng,
-// adversary, checker) lives in parallel arrays; the cold result/state
-// vectors sit in LaneCold so the round loop touches as few lines as possible.
+#if defined(__x86_64__)
+// Transposes 64 contiguous 2-bit state indices (one byte each) into a pair of
+// bitplane words via byte-lane movemask: shifting bit b of each byte to the
+// byte's MSB and taking VPMOVMSKB yields 32 plane bits per vector. Cross-byte
+// spill from the 64-bit-lane shift never lands on an MSB, so the extraction
+// is exact for byte values < 4.
+__attribute__((target("avx2"))) inline void planes_from_bytes_avx2(const std::uint8_t* src,
+                                                                   std::uint64_t& b0,
+                                                                   std::uint64_t& b1) {
+  const __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
+  const __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 32));
+  const auto l0 = static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_slli_epi64(lo, 7)));
+  const auto h0 = static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_slli_epi64(hi, 7)));
+  const auto l1 = static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_slli_epi64(lo, 6)));
+  const auto h1 = static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_slli_epi64(hi, 6)));
+  b0 = static_cast<std::uint64_t>(l0) | (static_cast<std::uint64_t>(h0) << 32);
+  b1 = static_cast<std::uint64_t>(l1) | (static_cast<std::uint64_t>(h1) << 32);
+}
+#endif
+
+// Portable transpose of `count` (<= 64) state-index bytes into bitplanes.
+inline void planes_from_bytes(const std::uint8_t* src, std::size_t count, std::uint64_t& b0,
+                              std::uint64_t& b1) noexcept {
+#if defined(__x86_64__)
+  static const bool kHaveAvx2 = __builtin_cpu_supports("avx2");
+  if (kHaveAvx2 && count == kLanesPerWord) {
+    planes_from_bytes_avx2(src, b0, b1);
+    return;
+  }
+#endif
+  b0 = 0;
+  b1 = 0;
+  for (std::size_t b = 0; b < count; ++b) {
+    const auto v = static_cast<std::uint64_t>(src[b]);
+    b0 |= (v & 1) << b;
+    b1 |= ((v >> 1) & 1) << b;
+  }
+}
+
+// One block of up to 64 * NW lanes advanced in lockstep. NW is the plane
+// word count (1/2/4/8): every bitplane is an array of NW uint64_t, so the
+// word-wise loops below auto-vectorise into 64*NW-bit operations. Hot
+// per-lane state (rng, adversary, checker) lives in parallel arrays; the
+// cold result/state vectors sit in LaneCold so the round loop touches as few
+// lines as possible.
+template <int NW>
 class Block {
  public:
+  using Mask = std::array<std::uint64_t, NW>;
+  static constexpr std::size_t kLanes = kLanesPerWord * static_cast<std::size_t>(NW);
+
   Block(const BatchConfig& cfg, const counting::TableAlgorithm& algo,
         std::span<const std::uint64_t> seeds, bool bit_sliced)
       : cfg_(cfg),
@@ -33,6 +101,7 @@ class Block {
         ns_(ct_.num_states),
         W_(seeds.size()),
         bit_sliced_(bit_sliced) {
+    SC_REQUIRE(W_ <= kLanes, "batch block overflow");
     const auto nn = static_cast<std::size_t>(n_);
 
     std::vector<bool> faulty = cfg.faulty;
@@ -49,16 +118,15 @@ class Block {
       if (!faulty[static_cast<std::size_t>(i)]) correct_.push_back(i);
     }
     SC_CHECK(!correct_.empty(), "all nodes faulty");
+    prof_.assign(correct_.size(), 0);
 
     margin_ = resolve_margin(cfg.margin, cfg.max_rounds, algo_.modulus());
 
     if (bit_sliced_) {
-      p_.assign(nn, {0, 0});
-      np_.assign(nn, {0, 0});
-      eqc_.assign(nn, {0, 0, 0, 0});
-      eqr_.assign(nn, {0, 0, 0, 0});
-      fp_.assign(faulty_ids_.size(), {0, 0});
-      fpr_.assign(correct_.size() * faulty_ids_.size(), {0, 0});
+      p_.assign(nn, {});
+      np_.assign(nn, {});
+      eqc_.assign(nn, {});
+      eqp_.assign(nn, nullptr);
       // Output planes: hv_[j][b] is the set of state values whose output has
       // bit b set for correct node j; ORing their equality masks yields the
       // node's output bitplane.
@@ -70,7 +138,7 @@ class Block {
       }
       out_bits_ = static_cast<int>(std::bit_width(max_out));
       hv_.assign(correct_.size() * static_cast<std::size_t>(out_bits_), 0);
-      ob_.assign(correct_.size() * static_cast<std::size_t>(out_bits_), 0);
+      ob_.assign(correct_.size() * static_cast<std::size_t>(out_bits_), Mask{});
       for (std::size_t j = 0; j < correct_.size(); ++j) {
         for (int b = 0; b < out_bits_; ++b) {
           std::uint8_t mask = 0;
@@ -86,8 +154,6 @@ class Block {
       SC_CHECK(ct_.g.size() < (1ULL << 31), "table too large for the SoA kernel");
       cur_.assign(nn * W_, 0);
       nxt_.assign(nn * W_, 0);
-      fb_.assign(faulty_ids_.size() * W_, 0);
-      fbr_.assign(correct_.size() * faulty_ids_.size() * W_, 0);
       acc_.assign(W_, 0);
     }
 
@@ -96,6 +162,7 @@ class Block {
     advs_.reserve(W_);
     checkers_.reserve(W_);
     lanes_.resize(W_);
+    frs_.resize(W_);
     for (std::size_t l = 0; l < W_; ++l) {
       rngs_.emplace_back(seeds[l]);
       advs_.push_back(cfg.adversary());
@@ -114,29 +181,29 @@ class Block {
         set_idx(i, l, static_cast<std::uint8_t>(algo_.state_to_index(
                           ln.states[static_cast<std::size_t>(i)])));
       }
-      active_ |= 1ULL << l;
+      active_[l / kLanesPerWord] |= 1ULL << (l % kLanesPerWord);
     }
     faultless_ = faulty_ids_.empty();
     const Adversary& probe = *advs_.front();
-    hoist_ = !faultless_ && probe.receiver_oblivious();
     state_oblivious_ = probe.state_oblivious();
     // Skipping a no-op begin_round or re-forging an execution-constant
     // message has no observable effect, so these stay bit-identical to the
     // scalar runner while eliding most per-lane virtual dispatch.
     passive_rounds_ = probe.begin_round_passive();
-    static_forge_ = hoist_ && probe.forgery_static();
+    static_forge_ = !faultless_ && probe.receiver_oblivious() && probe.forgery_static();
   }
 
   void run() {
     const bool recording = cfg_.record_outputs || cfg_.record_states;
-    for (std::uint64_t round = 0; round < cfg_.max_rounds && active_ != 0; ++round) {
+    for (std::uint64_t round = 0; round < cfg_.max_rounds && mask_any(active_); ++round) {
       // --- Round summary: outputs + agreement --------------------------------
       // Bit-sliced kernel: one pass over the state bitplanes yields, for all
-      // 64 lanes at once, each correct node's output planes and the
-      // "all correct outputs equal" mask; the per-lane work collapses to one
+      // lanes at once, each correct node's output planes and the "all correct
+      // outputs equal" mask; the per-lane work collapses to one
       // observe_summary call. The SoA kernel summarises per lane from the
       // byte rows.
-      std::uint64_t agreed = ~0ULL;
+      Mask agreed;
+      agreed.fill(~0ULL);
       if (bit_sliced_) {
         for (const NodeId i : correct_) {
           eqc_[static_cast<std::size_t>(i)] = eq_masks(p_[static_cast<std::size_t>(i)]);
@@ -146,16 +213,20 @@ class Block {
           const auto& eq = eqc_[static_cast<std::size_t>(correct_[j])];
           for (std::size_t b = 0; b < ob; ++b) {
             const std::uint8_t states_with_bit = hv_[j * ob + b];
-            std::uint64_t plane = 0;
+            Mask plane{};
             for (std::uint64_t v = 0; v < ns_; ++v) {
-              if ((states_with_bit >> v) & 1) plane |= eq[v];
+              if ((states_with_bit >> v) & 1) {
+                for (int w = 0; w < NW; ++w) plane[w] |= eq[v][w];
+              }
             }
             ob_[j * ob + b] = plane;
           }
         }
         for (std::size_t j = 1; j < correct_.size(); ++j) {
           for (std::size_t b = 0; b < ob; ++b) {
-            agreed &= ~(ob_[j * ob + b] ^ ob_[b]);
+            for (int w = 0; w < NW; ++w) {
+              agreed[w] &= ~(ob_[j * ob + b][w] ^ ob_[b][w]);
+            }
           }
         }
       }
@@ -164,54 +235,48 @@ class Block {
 
       // --- Per-lane pass: checker, recording, early exit, adversary ----------
       // Lane-internal order matches the scalar runner exactly: observe,
-      // record, early-exit check, begin_round, forge per faulty sender (and
-      // per receiver when the adversary is not receiver-oblivious).
-      for (std::uint64_t m = active_; m; m &= m - 1) {
-        const auto l = static_cast<std::size_t>(std::countr_zero(m));
-        if (bit_sliced_) {
-          std::uint64_t value = 0;
-          for (int b = 0; b < out_bits_; ++b) {
-            value |= ((ob_[static_cast<std::size_t>(b)] >> l) & 1) << b;
-          }
-          checkers_[l].observe_summary(((agreed >> l) & 1) != 0, value);
-        } else {
-          bool lane_agreed = true;
-          const std::uint64_t first = ct_.out(correct_.front(), idx_of(correct_.front(), l));
-          for (std::size_t j = 1; j < correct_.size(); ++j) {
-            if (ct_.out(correct_[j], idx_of(correct_[j], l)) != first) {
-              lane_agreed = false;
-              break;
+      // record, early-exit check, then the adversary's whole round through
+      // forge_block (begin_round plus every message query, in the scalar
+      // call order).
+      for (int w = 0; w < NW; ++w) {
+        for (std::uint64_t m = active_[w]; m; m &= m - 1) {
+          const auto bit = static_cast<std::size_t>(std::countr_zero(m));
+          const std::size_t l = static_cast<std::size_t>(w) * kLanesPerWord + bit;
+          if (bit_sliced_) {
+            std::uint64_t value = 0;
+            for (int b = 0; b < out_bits_; ++b) {
+              value |= ((ob_[static_cast<std::size_t>(b)][w] >> bit) & 1) << b;
             }
+            checkers_[l].observe_summary(((agreed[w] >> bit) & 1) != 0, value);
+          } else {
+            bool lane_agreed = true;
+            const std::uint64_t first = ct_.out(correct_.front(), idx_of(correct_.front(), l));
+            for (std::size_t j = 1; j < correct_.size(); ++j) {
+              if (ct_.out(correct_[j], idx_of(correct_[j], l)) != first) {
+                lane_agreed = false;
+                break;
+              }
+            }
+            checkers_[l].observe_summary(lane_agreed, first);
           }
-          checkers_[l].observe_summary(lane_agreed, first);
-        }
-        if (recording) record_lane(l);
-        if (cfg_.stop_after_stable > 0 &&
-            checkers_[l].suffix_length() >= cfg_.stop_after_stable) {
-          active_ &= ~(1ULL << l);
-          continue;
-        }
-        if (passive_rounds_ && !will_forge) continue;
-        if (!state_oblivious_) refresh_states(l);
-        if (!passive_rounds_) {
+          if (recording) record_lane(l);
+          if (cfg_.stop_after_stable > 0 &&
+              checkers_[l].suffix_length() >= cfg_.stop_after_stable) {
+            active_[w] &= ~(1ULL << bit);
+            continue;
+          }
+          if (will_forge || passive_rounds_) continue;
+          if (!state_oblivious_) refresh_states(l);
           advs_[l]->begin_round(round, lanes_[l].states, algo_, faulty_ids_, rngs_[l]);
         }
-        if (!will_forge) continue;
-        if (hoist_) {
-          for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
-            store_forged(k, l, forge(l, round, faulty_ids_[k], correct_.front()));
-          }
-        } else {
-          // Same nested (receiver, sender) query order as the scalar runner.
-          for (std::size_t j = 0; j < correct_.size(); ++j) {
-            for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
-              store_forged_r(j, k, l, forge(l, round, faulty_ids_[k], correct_[j]));
-            }
-          }
-        }
       }
+      // Forging runs below the per-lane pass so that one lane-batched
+      // adversary call can serve the whole block. The deferral is
+      // unobservable: nothing between a lane's observe and its forging draws
+      // from its rng, and lanes are independent streams.
+      if (will_forge) forge_lanes(round);
       if (will_forge && static_forge_) static_forged_ = true;
-      if (active_ == 0) break;
+      if (!mask_any(active_)) break;
 
       // --- Transition: all lanes in one pass ---------------------------------
       if (bit_sliced_) {
@@ -250,19 +315,28 @@ class Block {
     std::vector<State> states;
   };
 
+  static bool mask_any(const Mask& m) noexcept {
+    std::uint64_t r = 0;
+    for (int w = 0; w < NW; ++w) r |= m[w];
+    return r != 0;
+  }
+
   std::uint8_t idx_of(int node, std::size_t lane) const noexcept {
     if (bit_sliced_) {
       const auto& p = p_[static_cast<std::size_t>(node)];
-      return static_cast<std::uint8_t>(((p[0] >> lane) & 1) | (((p[1] >> lane) & 1) << 1));
+      const std::size_t w = lane / kLanesPerWord;
+      const std::size_t bit = lane % kLanesPerWord;
+      return static_cast<std::uint8_t>(((p[0][w] >> bit) & 1) | (((p[1][w] >> bit) & 1) << 1));
     }
     return cur_[static_cast<std::size_t>(node) * W_ + lane];
   }
 
   // Scatter a 2-bit state index into the lane's slot of a bitplane pair.
-  static void set_planes(std::array<std::uint64_t, 2>& p, std::size_t lane,
-                         std::uint8_t v) noexcept {
-    p[0] = (p[0] & ~(1ULL << lane)) | (static_cast<std::uint64_t>(v & 1) << lane);
-    p[1] = (p[1] & ~(1ULL << lane)) | (static_cast<std::uint64_t>((v >> 1) & 1) << lane);
+  static void set_planes(std::array<Mask, 2>& p, std::size_t lane, std::uint8_t v) noexcept {
+    const std::size_t w = lane / kLanesPerWord;
+    const std::size_t bit = lane % kLanesPerWord;
+    p[0][w] = (p[0][w] & ~(1ULL << bit)) | (static_cast<std::uint64_t>(v & 1) << bit);
+    p[1][w] = (p[1][w] & ~(1ULL << bit)) | (static_cast<std::uint64_t>((v >> 1) & 1) << bit);
   }
 
   void set_idx(int node, std::size_t lane, std::uint8_t v) noexcept {
@@ -273,28 +347,122 @@ class Block {
     }
   }
 
-  // Canonical index of a forged message; equals
-  // state_to_index(canonicalize(raw)) without building the canonical state.
-  std::uint8_t forge(std::size_t lane, std::uint64_t round, NodeId sender, NodeId receiver) {
-    const State raw = advs_[lane]->message(round, sender, receiver, lanes_[lane].states,
-                                           algo_, rngs_[lane]);
-    return static_cast<std::uint8_t>(raw.get_bits(0, ct_.bits) % ns_);
-  }
-
-  void store_forged(std::size_t k, std::size_t lane, std::uint8_t v) noexcept {
+  // Establishes this round's profile geometry from the first forging lane:
+  // the profile count, the correct-receiver-to-profile map, and the forged
+  // plane / byte-row storage ((profile, sender) slots).
+  void set_profiles(const ForgedRound& fr) {
+    SC_REQUIRE(fr.num_profiles >= 1, "forge_block produced no profiles");
+    nprof_ = fr.num_profiles;
+    const std::size_t slots = static_cast<std::size_t>(nprof_) * faulty_ids_.size();
     if (bit_sliced_) {
-      set_planes(fp_[k], lane, v);
-    } else {
-      fb_[k * W_ + lane] = v;
+      if (fpp_.size() < slots) {
+        fpp_.resize(slots);
+        eqf_.resize(slots);
+      }
+    } else if (fbp_.size() < slots * W_) {
+      fbp_.resize(slots * W_);
+    }
+    for (std::size_t j = 0; j < correct_.size(); ++j) {
+      prof_[j] = fr.profile_of.empty()
+                     ? 0
+                     : fr.profile_of[static_cast<std::size_t>(correct_[j])];
+      SC_ASSERT(prof_[j] < nprof_);
     }
   }
 
-  void store_forged_r(std::size_t j, std::size_t k, std::size_t lane, std::uint8_t v) noexcept {
-    const std::size_t slot = j * faulty_ids_.size() + k;
+  // Forges the round for every lane still in active_. Tries the lane-batched
+  // index entry point first -- one virtual call and one flat slot-major index
+  // buffer for the whole block -- and falls back to the per-lane entry points
+  // (idx, then full forge_block) the first time the adversary declines.
+  void forge_lanes(std::uint64_t round) {
+    const std::size_t nf = faulty_ids_.size();
+    if (lanes_batched_) {
+      if (fidx_.empty()) fidx_.assign(correct_.size() * nf * W_, 0);
+      ForgedRound& fr = frs_.front();
+      if (advs_.front()->forge_lanes_idx(round, algo_, faulty_ids_, correct_,
+                                         std::span<util::Rng>(rngs_),
+                                         std::span<const std::uint64_t>(active_.data(), NW),
+                                         fidx_.data(), fr)) {
+        set_profiles(fr);
+        scatter_forged(static_cast<std::size_t>(nprof_) * nf);
+        return;
+      }
+      // Declining is rng-neutral (see the contract), so the per-lane
+      // fallback below re-forges from an untouched stream.
+      lanes_batched_ = false;
+    }
+    const ForgedRound* first_fr = nullptr;
+    for (int w = 0; w < NW; ++w) {
+      for (std::uint64_t m = active_[w]; m; m &= m - 1) {
+        const std::size_t l = static_cast<std::size_t>(w) * kLanesPerWord +
+                              static_cast<std::size_t>(std::countr_zero(m));
+        if (!state_oblivious_) refresh_states(l);
+        ForgedRound& fr = frs_[l];
+        // Index fast path first: draw-heavy strategies fill canonical
+        // indices directly, skipping the 256-bit State round-trip that
+        // otherwise dominates the per-lane forging cost.
+        const bool idx_path = advs_[l]->forge_block_idx(round, lanes_[l].states, algo_,
+                                                        faulty_ids_, correct_, rngs_[l], fr);
+        if (!idx_path) {
+          advs_[l]->forge_block(round, lanes_[l].states, algo_, faulty_ids_, correct_,
+                                rngs_[l], fr);
+        }
+        if (first_fr == nullptr) {
+          first_fr = &fr;
+          set_profiles(fr);
+        } else {
+          // The receiver-to-profile map must be lane-invariant (see the
+          // ForgedRound contract); only the profile payloads may differ.
+          SC_ASSERT(fr.num_profiles == nprof_ && fr.profile_of == first_fr->profile_of);
+        }
+        const std::size_t slots = static_cast<std::size_t>(nprof_) * nf;
+        if (idx_path) {
+          for (std::size_t s = 0; s < slots; ++s) store_forged(s, l, fr.idx[s]);
+        } else {
+          for (std::size_t s = 0; s < slots; ++s) {
+            // bits = ceil_log2(ns) keeps the raw field below 2*ns, so the
+            // canonical reduction is a conditional subtract, not a divide.
+            std::uint64_t v = fr.states[s].get_bits(0, ct_.bits);
+            if (v >= ns_) v -= ns_;
+            store_forged(s, l, static_cast<std::uint8_t>(v));
+          }
+        }
+      }
+    }
+  }
+
+  // Moves the lane-batched index buffer (fidx_, slot-major: [slot * W + lane])
+  // into the kernel's forged storage. The SoA rows ARE that layout, so the
+  // buffer is copied row-wise. Bit-sliced planes are rebuilt one whole word
+  // at a time from 64 contiguous bytes -- per-lane set_planes would
+  // read-modify-write the same plane word 64 times in a serial dependency
+  // chain. Inactive lanes contribute stale bits; that is fine, every plane
+  // consumer masks with active_.
+  void scatter_forged(std::size_t slots) {
+    if (!bit_sliced_) {
+      std::copy_n(fidx_.data(), slots * W_, fbp_.data());
+      return;
+    }
+    for (std::size_t s = 0; s < slots; ++s) {
+      const std::uint8_t* row = fidx_.data() + s * W_;
+      for (int w = 0; w < NW; ++w) {
+        const std::size_t base = static_cast<std::size_t>(w) * kLanesPerWord;
+        if (base >= W_) break;
+        const std::size_t count = std::min(kLanesPerWord, W_ - base);
+        std::uint64_t b0 = 0;
+        std::uint64_t b1 = 0;
+        planes_from_bytes(row + base, count, b0, b1);
+        fpp_[s][0][w] = b0;
+        fpp_[s][1][w] = b1;
+      }
+    }
+  }
+
+  void store_forged(std::size_t slot, std::size_t lane, std::uint8_t v) noexcept {
     if (bit_sliced_) {
-      set_planes(fpr_[slot], lane, v);
+      set_planes(fpp_[slot], lane, v);
     } else {
-      fbr_[slot * W_ + lane] = v;
+      fbp_[slot * W_ + lane] = v;
     }
   }
 
@@ -323,46 +491,62 @@ class Block {
   }
 
   // eq[v] = mask of lanes whose 2-bit plane value equals v.
-  static std::array<std::uint64_t, 4> eq_masks(const std::array<std::uint64_t, 2>& p) noexcept {
-    return {~p[0] & ~p[1], p[0] & ~p[1], ~p[0] & p[1], p[0] & p[1]};
+  static std::array<Mask, 4> eq_masks(const std::array<Mask, 2>& p) noexcept {
+    std::array<Mask, 4> e;
+    for (int w = 0; w < NW; ++w) {
+      e[0][w] = ~p[0][w] & ~p[1][w];
+      e[1][w] = p[0][w] & ~p[1][w];
+      e[2][w] = ~p[0][w] & p[1][w];
+      e[3][w] = p[0][w] & p[1][w];
+    }
+    return e;
   }
 
   void transition_bit_sliced() {
     const auto nn = static_cast<std::size_t>(n_);
+    const std::size_t nf = faulty_ids_.size();
     // eqc_ (equality bitplanes of the true states, shared by every receiver
     // because correct senders broadcast) was computed by the round summary;
-    // forged senders get their own planes.
+    // each (profile, sender) forgery gets its own planes, shared by all
+    // receivers mapped to that profile.
+    for (std::size_t s = 0; s < static_cast<std::size_t>(nprof_) * nf; ++s) {
+      eqf_[s] = eq_masks(fpp_[s]);
+    }
     for (std::size_t j = 0; j < correct_.size(); ++j) {
       const NodeId i = correct_[j];
       const std::uint64_t* st = ct_.stride.data() + static_cast<std::size_t>(i) * nn;
-      // Per-sender equality masks as seen by this receiver.
+      // Per-sender equality masks as seen by this receiver's profile.
+      const std::size_t pbase = static_cast<std::size_t>(prof_[j]) * nf;
       for (std::size_t s = 0; s < nn; ++s) {
         const int k = sender_kind_[s];
-        if (k < 0) {
-          eqr_[s] = eqc_[s];
-        } else if (hoist_) {
-          eqr_[s] = eq_masks(fp_[static_cast<std::size_t>(k)]);
-        } else {
-          eqr_[s] = eq_masks(fpr_[j * faulty_ids_.size() + static_cast<std::size_t>(k)]);
-        }
+        eqp_[s] = k < 0 ? &eqc_[s] : &eqf_[pbase + static_cast<std::size_t>(k)];
       }
       // Depth-first enumeration of the live part of the index space: a
       // branch dies as soon as no active lane matches its value prefix, so
       // after stabilisation (all lanes agreeing) a round costs O(n) words.
-      std::uint64_t np0 = 0;
-      std::uint64_t np1 = 0;
-      const auto dfs = [&](auto&& self, std::size_t s, std::uint64_t mask,
+      Mask np0{};
+      Mask np1{};
+      const auto dfs = [&](auto&& self, std::size_t s, const Mask& mask,
                            std::uint64_t off) -> void {
         if (s == nn) {
           const std::uint8_t t = ct_.g[off];
-          if (t & 1) np0 |= mask;
-          if (t & 2) np1 |= mask;
+          if (t & 1) {
+            for (int w = 0; w < NW; ++w) np0[w] |= mask[w];
+          }
+          if (t & 2) {
+            for (int w = 0; w < NW; ++w) np1[w] |= mask[w];
+          }
           return;
         }
-        const auto& e = eqr_[s];
+        const auto& e = *eqp_[s];
         for (std::uint64_t v = 0; v < ns_; ++v) {
-          const std::uint64_t m = mask & e[v];
-          if (m != 0) self(self, s + 1, m, off + st[s] * v);
+          Mask sub;
+          std::uint64_t alive = 0;
+          for (int w = 0; w < NW; ++w) {
+            sub[w] = mask[w] & e[v][w];
+            alive |= sub[w];
+          }
+          if (alive != 0) self(self, s + 1, sub, off + st[s] * v);
         }
       };
       dfs(dfs, 0, active_, ct_.node_base[static_cast<std::size_t>(i)]);
@@ -375,18 +559,18 @@ class Block {
 
   void transition_soa() {
     const auto nn = static_cast<std::size_t>(n_);
+    const std::size_t nf = faulty_ids_.size();
     for (std::size_t j = 0; j < correct_.size(); ++j) {
       const NodeId i = correct_[j];
       const std::uint64_t* st = ct_.stride.data() + static_cast<std::size_t>(i) * nn;
+      const std::size_t pbase = static_cast<std::size_t>(prof_[j]) * nf;
       std::fill(acc_.begin(), acc_.end(),
                 static_cast<std::uint32_t>(ct_.node_base[static_cast<std::size_t>(i)]));
       for (std::size_t s = 0; s < nn; ++s) {
         const int k = sender_kind_[s];
         const std::uint8_t* src =
             k < 0 ? cur_.data() + s * W_
-                  : (hoist_ ? fb_.data() + static_cast<std::size_t>(k) * W_
-                            : fbr_.data() +
-                                  (j * faulty_ids_.size() + static_cast<std::size_t>(k)) * W_);
+                  : fbp_.data() + (pbase + static_cast<std::size_t>(k)) * W_;
         const auto sv = static_cast<std::uint32_t>(st[s]);
         for (std::size_t l = 0; l < W_; ++l) acc_[l] += sv * src[l];
       }
@@ -411,32 +595,57 @@ class Block {
   std::vector<NodeId> faulty_ids_;
   std::vector<int> sender_kind_;  // -1 = correct, else index into faulty_ids_
   bool faultless_ = true;
-  bool hoist_ = false;
   bool state_oblivious_ = false;
   bool passive_rounds_ = false;
   bool static_forge_ = false;
   bool static_forged_ = false;  // the one-time static forging pass has run
   std::uint64_t margin_ = 0;
-  std::uint64_t active_ = 0;  // bitmask of lanes still running
+  Mask active_{};  // bitmask of lanes still running
 
   // Hot per-lane state, parallel arrays indexed by lane.
   std::vector<util::Rng> rngs_;
   std::vector<std::unique_ptr<Adversary>> advs_;
   std::vector<StabilisationChecker> checkers_;
   std::vector<LaneCold> lanes_;
+  std::vector<ForgedRound> frs_;  // per-lane forgery scratch (persists across rounds)
+
+  // Lane-batched forging: the slot-major [slot * W + lane] index buffer the
+  // adversary fills, and whether the lane-batched entry point is still worth
+  // trying (cleared on its first decline).
+  std::vector<std::uint8_t> fidx_;
+  bool lanes_batched_ = true;
+
+  // This round's profile geometry (persists across rounds for static
+  // forgers): profile count, per-correct-receiver profile index, and the
+  // forged (profile, sender) slots.
+  int nprof_ = 1;
+  std::vector<std::uint16_t> prof_;  // [correct j] -> profile index
 
   // Bit-sliced representation: [node] -> {bit0 plane, bit1 plane}.
-  std::vector<std::array<std::uint64_t, 2>> p_, np_, fp_, fpr_;
-  std::vector<std::array<std::uint64_t, 4>> eqc_;
-  std::vector<std::array<std::uint64_t, 4>> eqr_;
-  int out_bits_ = 0;                // planes per output value
-  std::vector<std::uint8_t> hv_;    // [correct j * out_bits_ + b] state-value mask
-  std::vector<std::uint64_t> ob_;   // [correct j * out_bits_ + b] output bitplane
+  std::vector<std::array<Mask, 2>> p_, np_;
+  std::vector<std::array<Mask, 2>> fpp_;         // [profile * |faulty| + k]
+  std::vector<std::array<Mask, 4>> eqc_;         // [node] true-state equality planes
+  std::vector<std::array<Mask, 4>> eqf_;         // [profile * |faulty| + k]
+  std::vector<const std::array<Mask, 4>*> eqp_;  // [sender] view of the current receiver
+  int out_bits_ = 0;              // planes per output value
+  std::vector<std::uint8_t> hv_;  // [correct j * out_bits_ + b] state-value mask
+  std::vector<Mask> ob_;          // [correct j * out_bits_ + b] output bitplane
 
-  // SoA representation: [node * W + lane] canonical state indices.
-  std::vector<std::uint8_t> cur_, nxt_, fb_, fbr_;
+  // SoA representation: [node * W + lane] canonical state indices; forged
+  // rows are [(profile * |faulty| + k) * W + lane].
+  std::vector<std::uint8_t> cur_, nxt_, fbp_;
   std::vector<std::uint32_t> acc_;
 };
+
+template <int NW>
+void run_table_block(const BatchConfig& cfg, const counting::TableAlgorithm& table,
+                     std::span<const std::uint64_t> seeds, bool bit_sliced,
+                     std::vector<RunResult>& results) {
+  Block<NW> block(cfg, table, seeds, bit_sliced);
+  block.run();
+  auto part = block.take_results();
+  for (auto& r : part) results.push_back(std::move(r));
+}
 
 }  // namespace
 
@@ -449,6 +658,9 @@ bool batch_supported(const counting::AlgorithmPtr& algo) {
 std::vector<RunResult> run_batch(const BatchConfig& cfg) {
   SC_CHECK(cfg.algo != nullptr, "no algorithm given");
   SC_CHECK(cfg.adversary != nullptr, "no adversary factory given");
+  SC_CHECK(cfg.words == 0 || cfg.words == 1 || cfg.words == 2 || cfg.words == 4 ||
+               cfg.words == 8,
+           "BatchConfig::words must be 0 (auto), 1, 2, 4 or 8");
 
   const auto table = std::dynamic_pointer_cast<const counting::TableAlgorithm>(cfg.algo);
   if (table == nullptr) {
@@ -460,8 +672,6 @@ std::vector<RunResult> run_batch(const BatchConfig& cfg) {
              "run_batch: unsupported algorithm (need a TableAlgorithm or a "
              "boosted/pulling tower over a trivial or table base): " +
                  cfg.algo->name());
-    SC_CHECK(cfg.kernel == BatchKernel::kAuto,
-             "composed algorithms support only the kAuto kernel");
     return run_composed_batch(cfg, *composed);
   }
 
@@ -480,16 +690,31 @@ std::vector<RunResult> run_batch(const BatchConfig& cfg) {
       break;
   }
 
+  const int words = cfg.words == 0 ? default_batch_words() : cfg.words;
+  const std::size_t block_lanes = kLanesPerWord * static_cast<std::size_t>(words);
   std::vector<RunResult> results;
   results.reserve(cfg.seeds.size());
-  for (std::size_t start = 0; start < cfg.seeds.size(); start += kLanesPerWord) {
-    const std::size_t count = std::min(kLanesPerWord, cfg.seeds.size() - start);
-    Block block(cfg, *table,
-                std::span<const std::uint64_t>(cfg.seeds).subspan(start, count),
-                bit_sliced);
-    block.run();
-    auto part = block.take_results();
-    for (auto& r : part) results.push_back(std::move(r));
+  for (std::size_t start = 0; start < cfg.seeds.size(); start += block_lanes) {
+    const std::size_t count = std::min(block_lanes, cfg.seeds.size() - start);
+    const auto seeds = std::span<const std::uint64_t>(cfg.seeds).subspan(start, count);
+    // Tail blocks shrink to the smallest plane width covering the remaining
+    // lanes; the width never changes per-lane results.
+    int nw = 1;
+    while (kLanesPerWord * static_cast<std::size_t>(nw) < count) nw *= 2;
+    switch (nw) {
+      case 1:
+        run_table_block<1>(cfg, *table, seeds, bit_sliced, results);
+        break;
+      case 2:
+        run_table_block<2>(cfg, *table, seeds, bit_sliced, results);
+        break;
+      case 4:
+        run_table_block<4>(cfg, *table, seeds, bit_sliced, results);
+        break;
+      default:
+        run_table_block<8>(cfg, *table, seeds, bit_sliced, results);
+        break;
+    }
   }
   return results;
 }

@@ -8,13 +8,22 @@
 //    canonical-index representation instead of BitVecs: a structure-of-arrays
 //    byte layout in the general case, and for num_states <= 4 a bit-sliced
 //    layout that packs one state-bitplane of 64 executions into each
-//    uint64_t, so one enumeration pass over the compiled table advances 64
-//    executions per word.
+//    uint64_t. Planes are multi-word (1/2/4/8 x uint64_t, i.e. up to
+//    512-bit, auto-vectorised), so one enumeration pass over the compiled
+//    table advances up to 512 executions; the width is picked once per
+//    process from the host ISA (default_batch_words) unless pinned via
+//    BatchConfig::words.
 //  * BoostedCounter / PullingBoostedCounter towers -- the composed path
 //    (sim/composed_runner.hpp). Each boosting level is compiled into field
 //    stages (base kernel, per-copy votes, phase-king glue) evaluated on a
 //    decomposed per-node field vector, with per-copy vote sharing for
 //    receiver-oblivious adversaries.
+//
+// Forged messages are produced per lane-round through the adversary's bulk
+// entry point (Adversary::forge_block): a handful of receiver *profiles*
+// plus a lane-invariant receiver-to-profile map, so the kernels build
+// equality planes / byte rows once per (profile, sender) instead of once per
+// receiver.
 //
 // Per-execution randomness (initial states, adversary draws) always flows
 // through one Rng and one Adversary instance per lane, invoked in exactly
@@ -36,8 +45,18 @@ namespace synccount::sim {
 
 // Which transition kernel the TableAlgorithm path of run_batch uses. kAuto
 // picks kBitSliced whenever the table allows it (num_states <= 4) and kSoA
-// otherwise. Composed algorithms have a single kernel and require kAuto.
+// otherwise. Composed algorithms have a single kernel and accept only kAuto;
+// run_batch / run_composed_batch throw std::invalid_argument on kSoA or
+// kBitSliced rather than silently ignoring the request.
 enum class BatchKernel { kAuto, kSoA, kBitSliced };
+
+// Plane words per batch block on the TableAlgorithm path: the word count the
+// process-wide auto width (BatchConfig::words == 0) resolves to. Picked once
+// per process from the host ISA -- 8 (512-bit planes) with AVX-512F, 4
+// (256-bit) with AVX2, else 2 -- and overridable for experiments via the
+// SYNCCOUNT_BATCH_WORDS environment variable (1, 2, 4 or 8). The width never
+// changes results, only how many executions one table pass advances.
+int default_batch_words() noexcept;
 
 struct ComposedCompiledTable;
 
@@ -64,6 +83,12 @@ struct BatchConfig {
 
   std::vector<std::uint64_t> seeds;  // one execution lane per seed
   BatchKernel kernel = BatchKernel::kAuto;
+
+  // Plane words per block on the TableAlgorithm path: 0 = auto
+  // (default_batch_words), else 1, 2, 4 or 8. Tail blocks shrink to the
+  // smallest width covering the remaining seeds. The composed path ignores
+  // this (its blocks are single-word); any other value throws.
+  int words = 0;
 };
 
 // True iff run_batch supports `algo`: a TableAlgorithm, or a
@@ -73,9 +98,9 @@ struct BatchConfig {
 // shares across chunk tasks instead of compiling twice.
 bool batch_supported(const counting::AlgorithmPtr& algo);
 
-// Runs seeds.size() executions (internally in blocks of up to 64 lanes) and
-// returns their RunResults in seed order; result[i] is bit-identical to
-// run_execution with seed seeds[i] and the same margin.
+// Runs seeds.size() executions (internally in blocks of up to 64 * words
+// lanes) and returns their RunResults in seed order; result[i] is
+// bit-identical to run_execution with seed seeds[i] and the same margin.
 std::vector<RunResult> run_batch(const BatchConfig& cfg);
 
 }  // namespace synccount::sim

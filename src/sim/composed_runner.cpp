@@ -118,6 +118,29 @@ namespace {
 // the per-level phase-king registers; BitVec states are materialised only for
 // adversaries that read them and for record_states. All scratch is allocated
 // once here, so the round loop is allocation-free.
+//
+// Rounds run in one of two modes, picked once per block from the adversary's
+// declared traits:
+//
+//  * Profiled (the default). Each forging lane calls Adversary::forge_block
+//    once per round, yielding a handful of receiver profiles plus a
+//    lane-invariant receiver-to-profile map. The round then splits into two
+//    passes: pass 1 does the per-lane summary / adversary work and decomposes
+//    the forged profiles, an optional cross-lane bit-sliced base transition
+//    runs in between (table bases with num_states <= 4 keep a second,
+//    bitplane copy of the base field, so one DFS over the compiled table
+//    advances all 64 lanes), and pass 2 applies each receiver's profile to
+//    the received view and runs the vote / phase-king glue, with votes cached
+//    per (level copy, profile) -- copies without faulty senders collapse to
+//    one profile-independent entry. Valid whenever hoisting every adversary
+//    query before the transitions preserves the lane's rng draw sequence:
+//    always for faultless lanes and receiver-oblivious adversaries (the
+//    scalar runner hoists those itself), and otherwise when the adversary's
+//    message() is draw-free or the tower has no fresh-sampling pulling level.
+//  * Interleaved (the remaining case: a receiver-dependent, drawing adversary
+//    under a fresh-sampling pulling tower). Forging and transitions alternate
+//    per receiver exactly like the scalar loop, with votes memoized per
+//    (level, copy) keyed on the forged field tuple they read.
 class ComposedBlock {
  public:
   ComposedBlock(const BatchConfig& cfg, const ComposedCompiledTable& cc,
@@ -150,23 +173,16 @@ class ComposedBlock {
     nb_base_.assign(nn, 0);
     nb_a_.assign(L_, std::vector<std::uint64_t>(nn, 0));
     nb_d_.assign(L_, std::vector<std::uint8_t>(nn, 0));
-    const std::size_t nf = faulty_ids_.size();
-    fh_base_.assign(nf * W_, 0);
-    fh_a_.assign(L_, std::vector<std::uint64_t>(nf * W_, 0));
-    fh_d_.assign(L_, std::vector<std::uint8_t>(nf * W_, 0));
     b_all_.assign(nn, 0);
     r_all_.assign(nn, 0);
     int max_k = 0;
     int max_m = 0;
-    std::size_t total_copies = 0;
+    total_copies_ = 0;
     for (const ComposedLevel& lv : cc_.levels) {
       max_k = std::max(max_k, lv.k);
       max_m = std::max(max_m, lv.sample_size);
-      total_copies += static_cast<std::size_t>(lv.copies);
-      copy_base_.push_back(vote_B_.size());
-      vote_B_.resize(total_copies, 0);
-      vote_R_.resize(total_copies, 0);
-      vote_valid_.resize(total_copies, 0);
+      copy_base_.push_back(total_copies_);
+      total_copies_ += static_cast<std::size_t>(lv.copies);
       // Faulty senders inside each copy of this level: the only received
       // fields the copy's votes see that can differ across receivers.
       for (int c = 0; c < lv.copies; ++c) {
@@ -177,8 +193,11 @@ class ComposedBlock {
         copy_faulty_.push_back(std::move(in_copy));
       }
     }
-    vote_memo_.resize(total_copies);
-    vote_memo_used_.assign(total_copies, 0);
+    vote_B_.assign(total_copies_, 0);
+    vote_R_.assign(total_copies_, 0);
+    vote_valid_.assign(total_copies_, 0);
+    vote_memo_.resize(total_copies_);
+    vote_memo_used_.assign(total_copies_, 0);
     leader_.assign(static_cast<std::size_t>(max_k), 0);
     const auto mm = static_cast<std::size_t>(max_m);
     sample_.assign(static_cast<std::size_t>(max_k) * mm, 0);
@@ -212,81 +231,55 @@ class ComposedBlock {
       active_ |= 1ULL << l;
     }
     faultless_ = faulty_ids_.empty();
+    bool tower_draws = false;
+    for (const ComposedLevel& lv : cc_.levels) {
+      if (lv.kind == ComposedLevel::Kind::kPulling && !lv.fixed_sampling) tower_draws = true;
+    }
     const Adversary& probe = *advs_.front();
-    hoist_ = !faultless_ && probe.receiver_oblivious();
     state_oblivious_ = probe.state_oblivious();
     passive_rounds_ = probe.begin_round_passive();
-    static_forge_ = hoist_ && probe.forgery_static();
+    interleaved_ = !faultless_ && !probe.receiver_oblivious() && !probe.message_draw_free() &&
+                   tower_draws;
+    static_forge_ = !faultless_ && probe.receiver_oblivious() && probe.forgery_static();
+    // Transitions draw iff the tower has a fresh-sampling pulling level, so
+    // without one the profiled pass may group receivers by profile (one
+    // received-view rebuild per profile instead of per receiver) without
+    // disturbing any lane's draw sequence.
+    reorder_ok_ = !tower_draws;
+    bs_base_ = cc_.base.kind == ComposedBase::Kind::kTable && cc_.base.num_states <= 4 &&
+               !interleaved_;
+
+    // Profile state starts in the 1-profile shape shared by faultless lanes
+    // and receiver-oblivious adversaries; set_profiles regrows on demand.
+    prof_node_.assign(nn, 0);
+    order_ = correct_;
+    frs_.resize(W_);
+    resize_profiles(1);
+    if (bs_base_) {
+      pb_.assign(nn, {});
+      npb_.assign(nn, {});
+      eqcb_.assign(nn, {});
+      eqpb_.assign(static_cast<std::size_t>(cc_.base.n), nullptr);
+      bsender_kind_.assign(nn, -1);
+      for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
+        bsender_kind_[static_cast<std::size_t>(faulty_ids_[k])] = static_cast<int>(k);
+      }
+      for (std::size_t l = 0; l < W_; ++l) {
+        for (std::size_t i = 0; i < nn; ++i) {
+          set_planes(pb_[i], l, static_cast<std::uint8_t>(base_[l * nn + i]));
+        }
+      }
+    }
   }
 
   void run() {
     const bool recording = cfg_.record_outputs || cfg_.record_states;
     for (std::uint64_t round = 0; round < cfg_.max_rounds && active_ != 0; ++round) {
       const bool will_forge = !faultless_ && !(static_forge_ && static_forged_);
-      for (std::uint64_t msk = active_; msk; msk &= msk - 1) {
-        const auto l = static_cast<std::size_t>(std::countr_zero(msk));
-
-        // --- Round summary: outputs + agreement (from the master fields) ----
-        const std::vector<std::uint64_t>& top_a = a_[L_ - 1];
-        const std::size_t lane_off = l * static_cast<std::size_t>(N_);
-        bool agreed = true;
-        std::uint64_t first = 0;
-        for (std::size_t j = 0; j < correct_.size(); ++j) {
-          const std::uint64_t a = top_a[lane_off + static_cast<std::size_t>(correct_[j])];
-          outs_[j] = a == kInfinity ? 0 : a;
-          if (j == 0) {
-            first = outs_[0];
-          } else if (outs_[j] != first) {
-            agreed = false;
-          }
-        }
-        checkers_[l].observe_summary(agreed, first);
-        if (recording) record_lane(l);
-        if (cfg_.stop_after_stable > 0 &&
-            checkers_[l].suffix_length() >= cfg_.stop_after_stable) {
-          active_ &= ~(1ULL << l);
-          continue;
-        }
-
-        // --- Adversary: begin_round + hoisted forging -----------------------
-        // Lane-internal call order matches the scalar runner exactly.
-        if (!(passive_rounds_ && !will_forge)) {
-          if (!state_oblivious_) refresh_states(l);
-          if (!passive_rounds_) {
-            advs_[l]->begin_round(round, lanes_[l].states, algo_, faulty_ids_, rngs_[l]);
-          }
-          if (will_forge && hoist_) {
-            for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
-              forge_into(l, round, faulty_ids_[k], correct_.front(),
-                         l * faulty_ids_.size() + k, fh_base_, fh_a_, fh_d_);
-            }
-          }
-        }
-
-        // --- Transitions ----------------------------------------------------
-        // rv is the received view: master states with faulty entries replaced
-        // by forged fields. With a receiver-oblivious adversary it is shared
-        // by every receiver, so each level copy's votes are computed once per
-        // lane; otherwise forging and transitions interleave per receiver
-        // exactly like the scalar loop (which also keeps the Rng draw order
-        // of fresh-sampling pulling levels intact).
-        load_received(l);
-        const bool shared_rv = faultless_ || hoist_;
-        if (shared_rv) {
-          std::fill(vote_valid_.begin(), vote_valid_.end(), 0);
-        } else {
-          std::fill(vote_memo_used_.begin(), vote_memo_used_.end(), 0);
-        }
-        for (const NodeId v : correct_) {
-          if (!shared_rv) {
-            for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
-              forge_into(l, round, faulty_ids_[k], v, static_cast<std::size_t>(faulty_ids_[k]),
-                         rv_base_, rv_a_, rv_d_);
-            }
-          }
-          transition_node(l, v, shared_rv);
-        }
-        commit(l);
+      if (interleaved_) {
+        round_interleaved(round, recording);
+      } else {
+        round_profiled(round, recording, will_forge);
       }
       if (will_forge && static_forge_) static_forged_ = true;
     }
@@ -323,6 +316,116 @@ class ComposedBlock {
     std::uint64_t total_pulls = 0;
     std::uint64_t pull_samples = 0;
   };
+
+  // --- Round summary: outputs + agreement (from the master fields) ----------
+  // Returns false if the lane early-exited (stop_after_stable reached).
+  bool observe_lane(std::size_t l, bool recording) {
+    const std::vector<std::uint64_t>& top_a = a_[L_ - 1];
+    const std::size_t lane_off = l * static_cast<std::size_t>(N_);
+    bool agreed = true;
+    std::uint64_t first = 0;
+    for (std::size_t j = 0; j < correct_.size(); ++j) {
+      const std::uint64_t a = top_a[lane_off + static_cast<std::size_t>(correct_[j])];
+      outs_[j] = a == kInfinity ? 0 : a;
+      if (j == 0) {
+        first = outs_[0];
+      } else if (outs_[j] != first) {
+        agreed = false;
+      }
+    }
+    checkers_[l].observe_summary(agreed, first);
+    if (recording) record_lane(l);
+    if (cfg_.stop_after_stable > 0 && checkers_[l].suffix_length() >= cfg_.stop_after_stable) {
+      active_ &= ~(1ULL << l);
+      return false;
+    }
+    return true;
+  }
+
+  // --- Profiled rounds ------------------------------------------------------
+
+  void round_profiled(std::uint64_t round, bool recording, bool will_forge) {
+    // Pass 1: per-lane summary + adversary work. Lane-internal call order
+    // matches the scalar runner exactly (forge_block runs begin_round before
+    // its message queries).
+    bool profiles_set = false;
+    [[maybe_unused]] std::size_t first_lane = 0;
+    for (std::uint64_t msk = active_; msk; msk &= msk - 1) {
+      const auto l = static_cast<std::size_t>(std::countr_zero(msk));
+      if (!observe_lane(l, recording)) continue;
+      if (will_forge) {
+        if (!state_oblivious_) refresh_states(l);
+        ForgedRound& fr = frs_[l];
+        advs_[l]->forge_block(round, lanes_[l].states, algo_, faulty_ids_, correct_, rngs_[l],
+                              fr);
+        if (!profiles_set) {
+          set_profiles(fr);
+          profiles_set = true;
+          first_lane = l;
+        } else {
+          // The profile geometry must be a pure function of (round, faults,
+          // n) -- lane-invariant by the forge_block contract.
+          SC_ASSERT(fr.num_profiles == nprof_);
+          SC_ASSERT(fr.profile_of == frs_[first_lane].profile_of);
+        }
+        decompose_lane_profiles(l);
+      } else if (!passive_rounds_) {
+        if (!state_oblivious_) refresh_states(l);
+        advs_[l]->begin_round(round, lanes_[l].states, algo_, faulty_ids_, rngs_[l]);
+      }
+    }
+    if (active_ == 0) return;
+
+    // Cross-lane base transition: one DFS over the compiled base table per
+    // correct node advances every lane's base field at once.
+    if (bs_base_) base_transition_bit_sliced();
+
+    // Pass 2: received views, votes, phase-king glue, commit.
+    for (std::uint64_t msk = active_; msk; msk &= msk - 1) {
+      const auto l = static_cast<std::size_t>(std::countr_zero(msk));
+      load_received(l);
+      std::fill(vote_valid_.begin(), vote_valid_.end(), 0);
+      if (faultless_) {
+        for (const NodeId v : correct_) transition_node(l, v, 0, /*memo=*/false);
+      } else {
+        int cur = -1;
+        for (const NodeId v : order_) {
+          const int pv = nprof_ == 1 ? 0 : prof_node_[static_cast<std::size_t>(v)];
+          if (pv != cur) {
+            apply_profile(l, pv);
+            cur = pv;
+          }
+          transition_node(l, v, pv, /*memo=*/false);
+        }
+      }
+      commit(l);
+    }
+    if (bs_base_) commit_planes();
+  }
+
+  // --- Interleaved rounds (receiver-dependent drawing adversary over a
+  // fresh-sampling pulling tower) ---------------------------------------------
+
+  void round_interleaved(std::uint64_t round, bool recording) {
+    for (std::uint64_t msk = active_; msk; msk &= msk - 1) {
+      const auto l = static_cast<std::size_t>(std::countr_zero(msk));
+      if (!observe_lane(l, recording)) continue;
+      if (!state_oblivious_) refresh_states(l);
+      if (!passive_rounds_) {
+        advs_[l]->begin_round(round, lanes_[l].states, algo_, faulty_ids_, rngs_[l]);
+      }
+      load_received(l);
+      std::fill(vote_memo_used_.begin(), vote_memo_used_.end(), 0);
+      for (const NodeId v : correct_) {
+        for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
+          forge_into(l, round, faulty_ids_[k], v, static_cast<std::size_t>(faulty_ids_[k]),
+                     rv_base_, rv_a_, rv_d_);
+        }
+        transition_node(l, v, 0, /*memo=*/true);
+      }
+      commit(l);
+    }
+  }
 
   // --- Field <-> BitVec -----------------------------------------------------
 
@@ -370,7 +473,89 @@ class ComposedBlock {
     }
   }
 
-  // --- Adversary messages ---------------------------------------------------
+  // --- Forged profiles ------------------------------------------------------
+
+  // Grows the per-(profile, faulty sender) storage to `nprof` profiles. The
+  // profile slot stride is S_ = nprof * |faulty|; per-lane decomposed fields
+  // live at [lane * S_ + slot] so one lane's profiles stay contiguous.
+  void resize_profiles(int nprof) {
+    nprof_ = nprof;
+    S_ = static_cast<std::size_t>(nprof_) * faulty_ids_.size();
+    pf_base_.assign(S_ * W_, 0);
+    pf_a_.assign(L_, std::vector<std::uint64_t>(S_ * W_, 0));
+    pf_d_.assign(L_, std::vector<std::uint8_t>(S_ * W_, 0));
+    vote_B_.assign(total_copies_ * static_cast<std::size_t>(nprof_), 0);
+    vote_R_.assign(total_copies_ * static_cast<std::size_t>(nprof_), 0);
+    vote_valid_.assign(total_copies_ * static_cast<std::size_t>(nprof_), 0);
+    if (bs_base_) {
+      fpb_.assign(S_, {});
+      eqfb_.assign(S_, {});
+    }
+  }
+
+  // Establishes this round's profile geometry from the first forging lane:
+  // the profile count, the receiver-to-profile map, and (when reordering is
+  // draw-safe) the profile-grouped receiver order.
+  void set_profiles(const ForgedRound& fr) {
+    SC_REQUIRE(fr.num_profiles >= 1, "forge_block produced no profiles");
+    if (fr.num_profiles != nprof_) resize_profiles(fr.num_profiles);
+    if (fr.profile_of.empty()) {
+      std::fill(prof_node_.begin(), prof_node_.end(), std::uint16_t{0});
+    } else {
+      SC_REQUIRE(fr.profile_of.size() == prof_node_.size(),
+                 "forge_block profile map has wrong size");
+      std::copy(fr.profile_of.begin(), fr.profile_of.end(), prof_node_.begin());
+    }
+    if (reorder_ok_ && nprof_ > 1) {
+      // Counting sort of the correct receivers by profile: transitions are
+      // draw-free here, so grouping rebuilds the received view once per
+      // profile without changing any per-node result.
+      count_scratch_.assign(static_cast<std::size_t>(nprof_) + 1, 0);
+      for (const NodeId v : correct_) {
+        const std::uint16_t p = prof_node_[static_cast<std::size_t>(v)];
+        SC_ASSERT(p < nprof_);
+        ++count_scratch_[static_cast<std::size_t>(p) + 1];
+      }
+      for (std::size_t p = 1; p < count_scratch_.size(); ++p) {
+        count_scratch_[p] += count_scratch_[p - 1];
+      }
+      for (const NodeId v : correct_) {
+        order_[count_scratch_[prof_node_[static_cast<std::size_t>(v)]]++] = v;
+      }
+    } else {
+      std::copy(correct_.begin(), correct_.end(), order_.begin());
+    }
+  }
+
+  // Decomposes lane `lane`'s forged states into its profile field slots and,
+  // on the bit-sliced base path, scatters the base indices into the forged
+  // bitplanes. Persists across rounds, so static forgers pay this once.
+  void decompose_lane_profiles(std::size_t lane) {
+    const ForgedRound& fr = frs_[lane];
+    SC_ASSERT(fr.states.size() == S_);
+    for (std::size_t s = 0; s < S_; ++s) {
+      const std::size_t idx = lane * S_ + s;
+      decompose(fr.states[s], idx, pf_base_, pf_a_, pf_d_);
+      if (bs_base_) {
+        set_planes(fpb_[s], lane, static_cast<std::uint8_t>(pf_base_[idx]));
+      }
+    }
+  }
+
+  // Overwrites the received view's faulty entries with profile `pv`'s fields.
+  void apply_profile(std::size_t lane, int pv) {
+    const std::size_t off = lane * S_ + static_cast<std::size_t>(pv) * faulty_ids_.size();
+    for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
+      const auto dst = static_cast<std::size_t>(faulty_ids_[k]);
+      rv_base_[dst] = pf_base_[off + k];
+      for (std::size_t lvl = 0; lvl < L_; ++lvl) {
+        rv_a_[lvl][dst] = pf_a_[lvl][off + k];
+        rv_d_[lvl][dst] = pf_d_[lvl][off + k];
+      }
+    }
+  }
+
+  // --- Adversary messages (interleaved mode) --------------------------------
 
   // Queries the adversary for (sender -> receiver) and decomposes the raw
   // answer into slot `idx` of the target field arrays.
@@ -383,14 +568,13 @@ class ComposedBlock {
     decompose(raw, idx, base, a, d);
   }
 
-  // Builds the received view of this lane. With faults, the master fields
-  // are copied into the rv buffers and the faulty entries replaced by forged
-  // fields (hoisted slots here; per-receiver forging overwrites them again
-  // inside the transition loop). Fault-free lanes deliver the round-start
-  // states verbatim, so the read pointers alias the master slice directly --
-  // no copy, exactly like the scalar runner's faultless shortcut (the
-  // transitions write only to the nb_ buffers, so there is no aliasing
-  // hazard).
+  // Builds the received view of this lane: the master fields copied into the
+  // rv buffers, with the faulty entries overwritten afterwards (apply_profile
+  // in profiled mode, per-receiver forge_into in interleaved mode).
+  // Fault-free lanes deliver the round-start states verbatim, so the read
+  // pointers alias the master slice directly -- no copy, exactly like the
+  // scalar runner's faultless shortcut (the transitions write only to the
+  // nb_ buffers, so there is no aliasing hazard).
   void load_received(std::size_t lane) {
     const auto nn = static_cast<std::size_t>(N_);
     const std::size_t off = lane * nn;
@@ -412,16 +596,75 @@ class ComposedBlock {
       rp_a_[lvl] = rv_a_[lvl].data();
       rp_d_[lvl] = rv_d_[lvl].data();
     }
-    if (hoist_) {
-      for (std::size_t k = 0; k < faulty_ids_.size(); ++k) {
-        const std::size_t src = lane * faulty_ids_.size() + k;
-        const auto dst = static_cast<std::size_t>(faulty_ids_[k]);
-        rv_base_[dst] = fh_base_[src];
-        for (std::size_t lvl = 0; lvl < L_; ++lvl) {
-          rv_a_[lvl][dst] = fh_a_[lvl][src];
-          rv_d_[lvl][dst] = fh_d_[lvl][src];
-        }
+  }
+
+  // --- Bit-sliced base ------------------------------------------------------
+
+  // Scatter a 2-bit state index into the lane's slot of a bitplane pair.
+  static void set_planes(std::array<std::uint64_t, 2>& p, std::size_t lane,
+                         std::uint8_t v) noexcept {
+    p[0] = (p[0] & ~(1ULL << lane)) | (static_cast<std::uint64_t>(v & 1) << lane);
+    p[1] = (p[1] & ~(1ULL << lane)) | (static_cast<std::uint64_t>((v >> 1) & 1) << lane);
+  }
+
+  // eq[c] = mask of lanes whose 2-bit plane value equals c.
+  static std::array<std::uint64_t, 4> eq_masks(const std::array<std::uint64_t, 2>& p) noexcept {
+    return {~p[0] & ~p[1], p[0] & ~p[1], ~p[0] & p[1], p[0] & p[1]};
+  }
+
+  // Advances every active lane's base field in one cross-lane pass: equality
+  // bitplanes per sender (master planes for correct senders, forged planes
+  // per (profile, sender) otherwise), then per correct node a depth-first
+  // enumeration of the live part of its base copy's index space -- a branch
+  // dies as soon as no active lane matches its value prefix, so after
+  // stabilisation a pass costs O(base.n) words per node.
+  void base_transition_bit_sliced() {
+    const counting::CompiledTable& t = *cc_.base.table;
+    const int n0 = cc_.base.n;
+    const std::uint64_t ns = cc_.base.num_states;
+    const std::size_t nf = faulty_ids_.size();
+    for (std::size_t u = 0; u < static_cast<std::size_t>(N_); ++u) {
+      eqcb_[u] = eq_masks(pb_[u]);
+    }
+    for (std::size_t s = 0; s < S_; ++s) eqfb_[s] = eq_masks(fpb_[s]);
+    for (const NodeId v : correct_) {
+      const int v_local = v % n0;
+      const int first = (v / n0) * n0;
+      const std::uint64_t* st = t.stride.data() + static_cast<std::size_t>(v_local) * n0;
+      const std::size_t pbase =
+          (nprof_ == 1 ? 0 : static_cast<std::size_t>(prof_node_[static_cast<std::size_t>(v)])) *
+          nf;
+      for (int s = 0; s < n0; ++s) {
+        const int k = bsender_kind_[static_cast<std::size_t>(first + s)];
+        eqpb_[static_cast<std::size_t>(s)] =
+            k < 0 ? &eqcb_[static_cast<std::size_t>(first + s)]
+                  : &eqfb_[pbase + static_cast<std::size_t>(k)];
       }
+      std::uint64_t np0 = 0;
+      std::uint64_t np1 = 0;
+      const auto dfs = [&](auto&& self, int s, std::uint64_t mask, std::uint64_t off) -> void {
+        if (s == n0) {
+          const std::uint8_t nx = t.g[off];
+          if (nx & 1) np0 |= mask;
+          if (nx & 2) np1 |= mask;
+          return;
+        }
+        const auto& e = *eqpb_[static_cast<std::size_t>(s)];
+        for (std::uint64_t c = 0; c < ns; ++c) {
+          const std::uint64_t sub = mask & e[c];
+          if (sub != 0) self(self, s + 1, sub, off + st[s] * c);
+        }
+      };
+      dfs(dfs, 0, active_, t.node_base[static_cast<std::size_t>(v_local)]);
+      npb_[static_cast<std::size_t>(v)] = {np0, np1};
+    }
+  }
+
+  void commit_planes() {
+    for (const NodeId v : correct_) {
+      const auto vv = static_cast<std::size_t>(v);
+      pb_[vv][0] = (pb_[vv][0] & ~active_) | (npb_[vv][0] & active_);
+      pb_[vv][1] = (pb_[vv][1] & ~active_) | (npb_[vv][1] & active_);
     }
   }
 
@@ -471,55 +714,67 @@ class ComposedBlock {
         tau, ni / 2, scratch_);
   }
 
-  void boosted_step(std::size_t lvl, NodeId v, bool shared_rv) {
+  // Profiled-mode vote lookup: direct-indexed per (level copy, profile).
+  // Copies without faulty senders read the same fields under every profile,
+  // so they collapse onto the profile-0 entry.
+  void boosted_votes_profiled(std::size_t lvl, int copy, std::size_t slot, int pv,
+                              std::uint64_t& B, std::uint64_t& R) {
+    const int p_eff = copy_faulty_[slot].empty() ? 0 : pv;
+    const std::size_t cidx =
+        slot * static_cast<std::size_t>(nprof_) + static_cast<std::size_t>(p_eff);
+    if (vote_valid_[cidx]) {
+      B = vote_B_[cidx];
+      R = vote_R_[cidx];
+      return;
+    }
+    compute_votes(lvl, copy, B, R);
+    vote_B_[cidx] = B;
+    vote_R_[cidx] = R;
+    vote_valid_[cidx] = 1;
+  }
+
+  // Interleaved-mode vote lookup. Per-receiver forging changes only the
+  // faulty senders' fields, and structured equivocators send few distinct
+  // values per round, so this round's votes are memoized per (level, copy)
+  // keyed on the forged field tuple the votes actually read -- the base index
+  // for level 0, the level-below (a) register otherwise. A full key match
+  // implies identical vote inputs, so the hit path is bit-identical to
+  // recomputing.
+  void boosted_votes_memo(std::size_t lvl, int copy, std::size_t slot, std::uint64_t& B,
+                          std::uint64_t& R) {
+    key_scratch_.clear();
+    for (const NodeId u : copy_faulty_[slot]) {
+      const auto uu = static_cast<std::size_t>(u);
+      key_scratch_.push_back(lvl == 0 ? rp_base_[uu] : rp_a_[lvl - 1][uu]);
+    }
+    auto& entries = vote_memo_[slot];
+    std::size_t& used = vote_memo_used_[slot];
+    for (std::size_t e = 0; e < used; ++e) {
+      if (entries[e].key == key_scratch_) {
+        B = entries[e].B;
+        R = entries[e].R;
+        return;
+      }
+    }
+    compute_votes(lvl, copy, B, R);
+    if (used == entries.size()) entries.emplace_back();
+    entries[used].key = key_scratch_;  // assignment reuses capacity
+    entries[used].B = B;
+    entries[used].R = R;
+    ++used;
+  }
+
+  void boosted_step(std::size_t lvl, NodeId v, int pv, bool memo) {
     const ComposedLevel& lv = cc_.levels[lvl];
     const int copy = v / lv.n;
     const int v_local = v % lv.n;
     const std::size_t slot = copy_base_[lvl] + static_cast<std::size_t>(copy);
     std::uint64_t B;
     std::uint64_t R;
-    if (shared_rv) {
-      if (vote_valid_[slot]) {
-        B = vote_B_[slot];
-        R = vote_R_[slot];
-      } else {
-        compute_votes(lvl, copy, B, R);
-        vote_B_[slot] = B;
-        vote_R_[slot] = R;
-        vote_valid_[slot] = 1;
-      }
+    if (memo) {
+      boosted_votes_memo(lvl, copy, slot, B, R);
     } else {
-      // Per-receiver forging changes only the faulty senders' fields, and
-      // structured equivocators send few distinct profiles per round (split:
-      // two), so this round's votes are memoized per (level, copy) keyed on
-      // the forged field tuple the votes actually read -- the base index for
-      // level 0, the level-below (a) register otherwise. A full key match
-      // implies identical vote inputs, so the hit path is bit-identical to
-      // recomputing.
-      key_scratch_.clear();
-      for (const NodeId u : copy_faulty_[slot]) {
-        const auto uu = static_cast<std::size_t>(u);
-        key_scratch_.push_back(lvl == 0 ? rp_base_[uu] : rp_a_[lvl - 1][uu]);
-      }
-      auto& entries = vote_memo_[slot];
-      std::size_t& used = vote_memo_used_[slot];
-      bool hit = false;
-      for (std::size_t e = 0; e < used; ++e) {
-        if (entries[e].key == key_scratch_) {
-          B = entries[e].B;
-          R = entries[e].R;
-          hit = true;
-          break;
-        }
-      }
-      if (!hit) {
-        compute_votes(lvl, copy, B, R);
-        if (used == entries.size()) entries.emplace_back();
-        entries[used].key = key_scratch_;  // assignment reuses capacity
-        entries[used].B = B;
-        entries[used].R = R;
-        ++used;
-      }
+      boosted_votes_profiled(lvl, copy, slot, pv, B, R);
     }
     const std::size_t first = static_cast<std::size_t>(copy) * static_cast<std::size_t>(lv.n);
     const std::span<const std::uint64_t> received_a(rp_a_[lvl] + first,
@@ -600,11 +855,15 @@ class ComposedBlock {
     nb_d_[lvl][static_cast<std::size_t>(v)] = next.d ? 1 : 0;
   }
 
-  void transition_node(std::size_t lane, NodeId v, bool shared_rv) {
-    // Base kernel (step 1 of the construction, recursed to the bottom).
-    if (cc_.base.kind == ComposedBase::Kind::kTrivial) {
-      nb_base_[static_cast<std::size_t>(v)] =
-          (rp_base_[static_cast<std::size_t>(v)] + 1) % cc_.base.num_states;
+  void transition_node(std::size_t lane, NodeId v, int pv, bool memo) {
+    // Base kernel (step 1 of the construction, recursed to the bottom). On
+    // the bit-sliced path the cross-lane pass already produced every lane's
+    // next base index; extract this lane's bit pair.
+    const auto vv = static_cast<std::size_t>(v);
+    if (bs_base_) {
+      nb_base_[vv] = ((npb_[vv][0] >> lane) & 1) | (((npb_[vv][1] >> lane) & 1) << 1);
+    } else if (cc_.base.kind == ComposedBase::Kind::kTrivial) {
+      nb_base_[vv] = (rp_base_[vv] + 1) % cc_.base.num_states;
     } else {
       const int n0 = cc_.base.n;
       const int first = (v / n0) * n0;
@@ -612,7 +871,7 @@ class ComposedBlock {
         base_idx_[static_cast<std::size_t>(s)] =
             static_cast<std::uint8_t>(rp_base_[static_cast<std::size_t>(first + s)]);
       }
-      nb_base_[static_cast<std::size_t>(v)] = cc_.base.table->next(v % n0, base_idx_.data());
+      nb_base_[vv] = cc_.base.table->next(v % n0, base_idx_.data());
     }
     // Boosting levels bottom-up: the level order matches the scalar call
     // chain (each wrapper runs its inner transition before its own votes and
@@ -620,7 +879,7 @@ class ComposedBlock {
     std::uint64_t pulled = 0;
     for (std::size_t lvl = 0; lvl < L_; ++lvl) {
       if (cc_.levels[lvl].kind == ComposedLevel::Kind::kBoosted) {
-        boosted_step(lvl, v, shared_rv);
+        boosted_step(lvl, v, pv, memo);
       } else {
         pulling_step(lane, lvl, v, pulled);
       }
@@ -653,9 +912,11 @@ class ComposedBlock {
   std::vector<NodeId> correct_;
   std::vector<NodeId> faulty_ids_;
   bool faultless_ = true;
-  bool hoist_ = false;
   bool state_oblivious_ = false;
   bool passive_rounds_ = false;
+  bool interleaved_ = false;
+  bool reorder_ok_ = false;
+  bool bs_base_ = false;
   bool static_forge_ = false;
   bool static_forged_ = false;
   std::uint64_t margin_ = 0;
@@ -687,18 +948,28 @@ class ComposedBlock {
   std::vector<std::vector<std::uint64_t>> nb_a_;
   std::vector<std::vector<std::uint8_t>> nb_d_;
 
-  // Hoisted (receiver-oblivious) forgeries, [lane * |faulty| + k]; persists
-  // across rounds so static forgers (silent, echo) forge once per execution.
-  std::vector<std::uint64_t> fh_base_;
-  std::vector<std::vector<std::uint64_t>> fh_a_;
-  std::vector<std::vector<std::uint8_t>> fh_d_;
+  // Forged profiles (profiled mode). frs_ is each lane's ForgedRound storage
+  // (reused across rounds); pf_* are the decomposed per-lane profile fields,
+  // [lane * S_ + profile * |faulty| + k]; prof_node_ maps receivers to
+  // profiles and order_ is the (possibly profile-grouped) receiver order.
+  int nprof_ = 1;
+  std::size_t S_ = 0;  // profile slot stride: nprof_ * |faulty|
+  std::vector<ForgedRound> frs_;
+  std::vector<std::uint64_t> pf_base_;
+  std::vector<std::vector<std::uint64_t>> pf_a_;
+  std::vector<std::vector<std::uint8_t>> pf_d_;
+  std::vector<std::uint16_t> prof_node_;
+  std::vector<NodeId> order_;
+  std::vector<std::size_t> count_scratch_;
 
-  // Per-(level, copy) vote cache, valid within one shared-view lane round.
+  // Per-(level copy, profile) vote cache, valid within one profiled lane
+  // round; [slot * nprof_ + p_eff].
+  std::size_t total_copies_ = 0;
   std::vector<std::size_t> copy_base_;  // [level] -> first slot of its copies
   std::vector<std::uint64_t> vote_B_, vote_R_;
   std::vector<std::uint8_t> vote_valid_;
 
-  // Per-receiver vote memo (the !shared_rv path), [slot]: votes computed this
+  // Per-receiver vote memo (interleaved mode), [slot]: votes computed this
   // lane-round keyed on the copy's forged field tuple; entry storage persists
   // across rounds so the round loop stays allocation-free once warm.
   struct VoteMemoEntry {
@@ -709,6 +980,15 @@ class ComposedBlock {
   std::vector<std::vector<VoteMemoEntry>> vote_memo_;
   std::vector<std::size_t> vote_memo_used_;
   std::vector<std::uint64_t> key_scratch_;
+
+  // Bit-sliced base planes (bs_base_ only): pb_ mirrors base_ as per-node
+  // {bit0, bit1} lane bitplanes (committed in lockstep with the master),
+  // npb_ the next-round planes, fpb_ the forged planes per profile slot, and
+  // eqcb_/eqfb_/eqpb_ the per-round equality planes and per-sender view.
+  std::vector<std::array<std::uint64_t, 2>> pb_, npb_, fpb_;
+  std::vector<std::array<std::uint64_t, 4>> eqcb_, eqfb_;
+  std::vector<const std::array<std::uint64_t, 4>*> eqpb_;
+  std::vector<int> bsender_kind_;  // [node] -> -1 correct, else faulty index k
 
   // Vote / sampling scratch.
   std::vector<std::uint64_t> b_all_, r_all_, leader_, mvals_, sampled_a_, outs_;
@@ -721,6 +1001,9 @@ class ComposedBlock {
 
 std::vector<RunResult> run_composed_batch(const BatchConfig& cfg,
                                           const ComposedCompiledTable& cc) {
+  SC_CHECK(cfg.kernel == BatchKernel::kAuto,
+           "composed (boosted/pulling) algorithms run a single fixed kernel; "
+           "BatchConfig::kernel must be kAuto");
   std::vector<RunResult> results;
   results.reserve(cfg.seeds.size());
   for (std::size_t start = 0; start < cfg.seeds.size(); start += kLanesPerWord) {

@@ -11,17 +11,30 @@
 // geometry, moduli, (2m)^i powers, phase-king parameters).
 //
 // run_composed_batch then advances up to 64 executions per block in round
-// lockstep on that representation: per round and lane it decomposes forged
-// messages once per sender (instead of re-decoding BitVecs at every level of
-// every receiver's transition), evaluates the base kernel (trivial increment
-// or the shared CompiledTable), computes each level's votes once per level
-// copy when the adversary is receiver-oblivious, and runs the shared
-// phaseking::step / step_sampled glue per node -- with zero per-round heap
-// allocation. Per-lane Rng and Adversary instances are invoked in exactly
-// the scalar runner's call order (including the per-receiver interleaving of
-// forging and transitions, which matters for the fresh-sampling pulling
-// levels), so every lane's RunResult is bit-identical to run_execution on
-// the same seed.
+// lockstep on that representation, in one of two modes:
+//
+//  * Profiled (the common case): the adversary's whole round is collected
+//    up front through Adversary::forge_block as a few receiver profiles
+//    plus a lane-invariant receiver-to-profile map, decomposed once per
+//    (profile, sender) instead of re-decoding BitVecs at every level of
+//    every receiver's transition. Each level's votes are computed once per
+//    level copy (receiver-oblivious adversaries) or once per (profile,
+//    copy) with memoisation keyed on the forged field tuple the votes
+//    read, and the shared phaseking::step / step_sampled glue runs per
+//    node -- zero per-round heap allocation. When the base is a
+//    num_states <= 4 table, its kernel additionally runs on the flat
+//    path's bit-sliced planes: one cross-lane DFS over the compiled base
+//    table advances every lane's base field at once.
+//
+//  * Interleaved (fresh-sampling pulling towers under adversaries whose
+//    message() draws randomness): forging stays interleaved with the
+//    per-receiver transitions, preserving the scalar draw order exactly.
+//
+// Per-lane Rng and Adversary instances are invoked in exactly the scalar
+// runner's call order in both modes, so every lane's RunResult is
+// bit-identical to run_execution on the same seed. The composed path has a
+// single kernel: BatchConfig::kernel must be kAuto (kSoA / kBitSliced
+// throw std::invalid_argument).
 #pragma once
 
 #include <cstdint>

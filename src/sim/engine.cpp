@@ -261,7 +261,12 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
 
   for (Sink* sink : sinks) sink->on_start(spec, shard);
 
-  constexpr std::size_t kChunk = 64;  // lanes per batch task (one plane word)
+  // Lanes per batch task: table groups fill one full-width multi-word block
+  // (64 * default_batch_words() lanes per table pass); composed blocks are
+  // single-word. Chunking at the block size keeps one task == one block, so
+  // widening the planes does not shrink the per-task work below it.
+  const std::size_t chunk =
+      is_table ? 64 * static_cast<std::size_t>(default_batch_words()) : 64;
   std::vector<std::function<void()>> tasks;
   tasks.reserve(n_cells);
   for (std::size_t g = shard.group_begin; g < shard.group_end; ++g) {
@@ -271,8 +276,8 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
     const std::size_t local_group = g - shard.group_begin;
     if (algo_batchable && adv_batchable[a]) {
       out.batched_cells += n_seeds;
-      for (std::size_t s0 = 0; s0 < n_seeds; s0 += kChunk) {
-        const std::size_t count = std::min(kChunk, n_seeds - s0);
+      for (std::size_t s0 = 0; s0 < n_seeds; s0 += chunk) {
+        const std::size_t count = std::min(chunk, n_seeds - s0);
         tasks.push_back([&, a, group, s0, count, p, local_group] {
           BatchConfig bc;
           bc.algo = shared_algo;

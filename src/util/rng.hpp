@@ -22,8 +22,20 @@ class Rng {
  public:
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
 
-  // Uniform 64-bit value.
-  std::uint64_t next_u64() noexcept;
+  // Uniform 64-bit value. Inline: the batched runners draw once per lane per
+  // round, and an out-of-line call here forces the generator state through
+  // memory on every draw.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   // Uniform value in [0, bound); bound > 0. Uses rejection sampling, so the
   // distribution is exactly uniform.
@@ -50,6 +62,10 @@ class Rng {
   result_type operator()() noexcept { return next_u64(); }
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_;
 };
 

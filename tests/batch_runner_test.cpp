@@ -85,7 +85,8 @@ sim::RunResult scalar_run(const TablePtr& algo, const std::string& adversary,
 std::vector<sim::RunResult> batch_run(const TablePtr& algo, const std::string& adversary,
                                       const std::vector<std::uint64_t>& seeds,
                                       const RunOpts& opt,
-                                      sim::BatchKernel kernel = sim::BatchKernel::kAuto) {
+                                      sim::BatchKernel kernel = sim::BatchKernel::kAuto,
+                                      int words = 0) {
   sim::BatchConfig bc;
   bc.algo = algo;
   bc.faulty = opt.faulty;
@@ -98,6 +99,7 @@ std::vector<sim::RunResult> batch_run(const TablePtr& algo, const std::string& a
   bc.adversary = [&adversary] { return sim::make_adversary(adversary); };
   bc.seeds = seeds;
   bc.kernel = kernel;
+  bc.words = words;
   return sim::run_batch(bc);
 }
 
@@ -171,6 +173,52 @@ TEST(BatchRunner, WidthsDoNotChangeResults) {
       EXPECT_GT(distinct_rounds, 0u)
           << "expected lanes to early-exit at different rounds";
     }
+  }
+}
+
+TEST(BatchRunner, MultiWordWidthsMatchScalar) {
+  // Lane counts past one 64-bit word (65, 128, 257, 511) at every plane
+  // width (1/2/4/8 words plus auto): the multi-word kernel and the
+  // lane-batched adversary forging must stay bit-identical to run_execution
+  // regardless of how many executions share a table pass. 511 = 7 words + a
+  // 63-lane tail under words=8's block size; 65 and 257 leave one lane in
+  // the last plane word.
+  const auto algo = table3();
+  RunOpts opt;
+  opt.faulty = sim::faults_spread(4, 1);
+  opt.max_rounds = 48;
+  std::vector<std::uint64_t> seeds(511);
+  for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = 0xC000 + i * 13;
+
+  for (const std::string adv : {"split", "random"}) {
+    std::vector<sim::RunResult> reference;
+    reference.reserve(seeds.size());
+    for (const auto s : seeds) reference.push_back(scalar_run(algo, adv, s, opt));
+    for (const std::size_t width : {std::size_t{65}, std::size_t{128}, std::size_t{257},
+                                    std::size_t{511}}) {
+      const std::vector<std::uint64_t> sub(seeds.begin(), seeds.begin() + width);
+      for (const int words : {0, 1, 2, 4, 8}) {
+        const auto batch = batch_run(algo, adv, sub, opt, sim::BatchKernel::kAuto, words);
+        ASSERT_EQ(batch.size(), width);
+        for (std::size_t i = 0; i < width; ++i) {
+          expect_same_run(batch[i], reference[i],
+                          adv + "/width=" + std::to_string(width) +
+                              "/words=" + std::to_string(words) +
+                              "/seed=" + std::to_string(sub[i]));
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchRunner, WordsValidationRejectsUnsupportedValues) {
+  const auto algo = table3();
+  RunOpts opt;
+  opt.faulty = sim::faults_spread(4, 1);
+  for (const int words : {-1, 3, 5, 16}) {
+    EXPECT_THROW(batch_run(algo, "silent", {1, 2}, opt, sim::BatchKernel::kAuto, words),
+                 std::invalid_argument)
+        << "words=" << words;
   }
 }
 

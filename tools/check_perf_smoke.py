@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Perf-smoke regression gate for the execution backends.
+
+Compares a fresh `bench_micro --json` run against the committed
+BENCH_batch.json baseline and fails (exit 1) if any (instance, adversary)
+cell's batched-over-scalar speedup regressed by more than the tolerance
+(default: fresh speedup < 0.75x the baseline speedup).
+
+Speedup ratios are compared rather than absolute ns/node-round because CI
+machines differ in clock speed but scalar and batched backends scale
+together on a given host; a shrinking ratio means the batched kernels
+specifically got slower.
+
+Usage: check_perf_smoke.py BASELINE.json FRESH.json [--tolerance 0.75]
+"""
+
+import argparse
+import json
+import sys
+
+
+def cells(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for inst in doc["instances"]:
+        for r in inst["results"]:
+            out[(inst["instance"], r["adversary"])] = r["speedup"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--tolerance", type=float, default=0.75,
+                    help="minimum fresh/baseline speedup ratio (default 0.75)")
+    args = ap.parse_args()
+
+    base = cells(args.baseline)
+    fresh = cells(args.fresh)
+
+    failed = False
+    for key, base_speedup in sorted(base.items()):
+        instance, adversary = key
+        if key not in fresh:
+            print(f"MISSING  {instance} / {adversary}: cell absent from fresh run")
+            failed = True
+            continue
+        ratio = fresh[key] / base_speedup
+        verdict = "ok" if ratio >= args.tolerance else "REGRESSED"
+        print(f"{verdict:9s}{instance} / {adversary}: "
+              f"speedup {base_speedup:.2f}x -> {fresh[key]:.2f}x "
+              f"({ratio:.2f} of baseline)")
+        if ratio < args.tolerance:
+            failed = True
+
+    for key in sorted(set(fresh) - set(base)):
+        print(f"new      {key[0]} / {key[1]}: speedup {fresh[key]:.2f}x (no baseline)")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
