@@ -1,0 +1,63 @@
+// Client side of the sweep service: retrying request transport + the
+// worker loop.
+//
+// Every request is one connect/send/recv exchange wrapped in
+// util::Backoff, so a restarting daemon (socket briefly gone), a dropped
+// response, or a stalled accept queue is absorbed by retrying the whole
+// idempotent request instead of surfacing as fleet failures. Only transport
+// failures retry; a parsed {"ok":false} response is a real protocol error
+// and throws immediately.
+//
+// The worker loop is the other half of the lease protocol: lease a
+// contiguous group range, run each group through the engine (global cell
+// indices, so aggregates are independent of how the grid was partitioned),
+// heartbeat + complete per group, re-lease until the queue reports
+// settled-empty. Fault sites ("worker.lease", "worker.group",
+// "worker.complete", "worker.heartbeat") let chaos tests kill or mute a
+// worker at every interesting instant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/backoff.hpp"
+#include "util/json.hpp"
+
+namespace synccount::serve {
+
+class Client {
+ public:
+  // `seed` keys the backoff jitter (give each worker its own).
+  explicit Client(std::string socket_path, util::BackoffPolicy policy = {},
+                  std::uint64_t seed = 0x600FF);
+
+  // One request/response exchange, transport retried with exponential
+  // backoff + jitter. Throws std::invalid_argument on an {"ok":false}
+  // response (carrying the daemon's error) and std::runtime_error when the
+  // daemon stays unreachable past the retry budget.
+  util::Json request(const util::Json& req);
+
+  const std::string& socket_path() const noexcept { return socket_path_; }
+
+ private:
+  std::string socket_path_;
+  util::BackoffPolicy policy_;
+  std::uint64_t seed_;
+  int io_timeout_ms_ = 10000;
+};
+
+struct WorkerConfig {
+  std::string socket_path;
+  std::string worker_id;         // empty: derived from the pid
+  int threads = 1;               // engine threads per group
+  std::uint64_t max_groups = 0;  // groups per lease request; 0 = daemon default
+  bool once = true;              // exit when the queue is settled-empty or draining
+  int idle_wait_ms = 200;        // sleep between idle lease polls
+};
+
+// Runs the lease -> run -> complete loop; returns the number of groups this
+// worker completed (informational -- duplicates another worker also
+// computed still count).
+std::uint64_t run_worker(const WorkerConfig& cfg);
+
+}  // namespace synccount::serve

@@ -1,0 +1,197 @@
+#include "serve/daemon.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <iostream>
+#include <stdexcept>
+#include <utility>
+
+#include "serve/protocol.hpp"
+#include "util/check.hpp"
+#include "util/fault_injector.hpp"
+
+namespace synccount::serve {
+
+using util::Json;
+
+Daemon::Daemon(DaemonConfig cfg)
+    : cfg_(std::move(cfg)),
+      queue_(cfg_.state_dir),
+      listener_(cfg_.socket_path),
+      log_(cfg_.log != nullptr ? cfg_.log : &std::cerr) {
+  SC_CHECK(cfg_.lease_ttl_ms > 0, "lease ttl must be positive");
+  SC_CHECK(cfg_.lease_groups > 0, "lease_groups must be >= 1");
+  const auto jobs = queue_.status();
+  *log_ << "synccount_serve: listening on " << cfg_.socket_path << ", state in "
+        << queue_.dir() << " (" << jobs.size() << " job(s), "
+        << queue_.pending_groups() << " pending group(s))" << std::endl;
+}
+
+int Daemon::run() {
+  while (!stop_) {
+    // The chaos tests SIGKILL the daemon here via SYNCCOUNT_FAULTS
+    // ("serve.tick=kill@N"): between requests, with arbitrary queue state.
+    util::FaultInjector::instance().probe("serve.tick");
+    util::LineSocket conn = listener_.accept_conn(/*timeout_ms=*/100);
+    sweep_expired();
+    if (!conn.valid()) continue;
+    std::string line;
+    if (!conn.recv_line(line, cfg_.io_timeout_ms)) continue;  // peer died/stalled
+    Json response;
+    try {
+      response = handle(Json::parse(line));
+    } catch (const std::exception& e) {
+      response = error_response(e.what());
+    }
+    // A peer that vanished before the response is its own problem: every
+    // request is idempotent or dedupe-guarded, so it just retries.
+    (void)conn.send_line(response.dump(), cfg_.io_timeout_ms);
+  }
+  *log_ << "synccount_serve: shutdown (queue state remains in " << queue_.dir() << ")"
+        << std::endl;
+  return 0;
+}
+
+void Daemon::sweep_expired() {
+  for (const Lease& lease : leases_.sweep_expired(LeaseTable::Clock::now())) {
+    *log_ << "synccount_serve: lease " << lease.id << " (" << lease.job << " groups ["
+          << lease.group_begin << ", " << lease.group_end << "), worker "
+          << lease.worker << ") expired -- requeued" << std::endl;
+  }
+}
+
+Json Daemon::handle(const Json& request) {
+  try {
+    return dispatch(request);
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+Json Daemon::dispatch(const Json& request) {
+  SC_CHECK(request.type() == Json::Type::kObject, "request is not an object");
+  const std::string& op = msg_string(request, "op");
+  sweep_expired();
+  if (op == "submit") return handle_submit(request);
+  if (op == "lease") return handle_lease(request);
+  if (op == "heartbeat") return handle_heartbeat(request);
+  if (op == "complete") return handle_complete(request);
+  if (op == "status") return handle_status(request);
+  if (op == "results") return handle_results(request);
+  if (op == "drain") {
+    draining_ = true;
+    return ok_response();
+  }
+  if (op == "shutdown") {
+    stop_ = true;
+    return ok_response();
+  }
+  throw std::invalid_argument("unknown op \"" + op + "\"");
+}
+
+Json Daemon::handle_submit(const Json& req) {
+  const std::string& job = msg_string(req, "job");
+  const JobQueue::SubmitOutcome outcome = queue_.submit(job, msg_field(req, "spec"));
+  if (!outcome.existed) {
+    *log_ << "synccount_serve: job " << job << " submitted (" << outcome.groups
+          << " groups)" << std::endl;
+  }
+  Json resp = ok_response();
+  resp.set("job", Json::string(job));
+  resp.set("groups", Json::number(outcome.groups));
+  resp.set("done", Json::number(outcome.done));
+  resp.set("existed", Json::boolean(outcome.existed));
+  return resp;
+}
+
+Json Daemon::handle_lease(const Json& req) {
+  const std::string& worker = msg_string(req, "worker");
+  const std::uint64_t max_groups =
+      req.has("max_groups") ? msg_u64(req, "max_groups") : cfg_.lease_groups;
+  const auto now = LeaseTable::Clock::now();
+  JobQueue::Assignment assignment;
+  const bool granted =
+      !draining_ &&
+      queue_.assign(std::min(max_groups, cfg_.lease_groups),
+                    [&](const std::string& job, std::uint64_t group) {
+                      return leases_.held(job, group, now);
+                    },
+                    assignment);
+  if (!granted) {
+    Json resp = ok_response();
+    resp.set("idle", Json::boolean(true));
+    resp.set("pending", Json::boolean(queue_.pending_groups() > 0));
+    resp.set("draining", Json::boolean(draining_));
+    return resp;
+  }
+  LeaseGrant grant;
+  grant.job = assignment.job;
+  grant.group_begin = assignment.group_begin;
+  grant.group_end = assignment.group_end;
+  grant.ttl_ms = cfg_.lease_ttl_ms;
+  grant.spec = *assignment.spec;
+  grant.lease_id =
+      leases_.grant(assignment.job, assignment.group_begin, assignment.group_end,
+                    worker, now, std::chrono::milliseconds(cfg_.lease_ttl_ms));
+  return grant.to_json();
+}
+
+Json Daemon::handle_heartbeat(const Json& req) {
+  const bool valid = leases_.renew(msg_u64(req, "lease"), LeaseTable::Clock::now(),
+                                   std::chrono::milliseconds(cfg_.lease_ttl_ms));
+  Json resp = ok_response();
+  resp.set("valid", Json::boolean(valid));
+  return resp;
+}
+
+Json Daemon::handle_complete(const Json& req) {
+  const CompleteRequest complete = CompleteRequest::from_json(req);
+  // Record first, lease bookkeeping second: a complete from an expired (or
+  // restart-forgotten) lease is still deterministic, durable progress --
+  // discarding it would only buy recomputation.
+  const bool accepted = queue_.record_done(complete.job, complete.group,
+                                           complete.adversary, complete.placement,
+                                           complete.aggregate);
+  const auto now = LeaseTable::Clock::now();
+  if (const Lease* lease = leases_.find(complete.lease_id)) {
+    if (complete.group + 1 >= lease->group_end) {
+      leases_.release(complete.lease_id);  // range finished
+    } else {
+      // Progress is the strongest liveness signal there is.
+      leases_.renew(complete.lease_id, now, std::chrono::milliseconds(cfg_.lease_ttl_ms));
+    }
+  }
+  Json resp = ok_response();
+  resp.set("accepted", Json::boolean(accepted));
+  return resp;
+}
+
+Json Daemon::handle_status(const Json& req) {
+  const auto now = LeaseTable::Clock::now();
+  const Json* only = req.find("job");
+  Json jobs = Json::array();
+  for (const JobQueue::JobStatus& s : queue_.status()) {
+    if (only != nullptr && s.name != only->as_string()) continue;
+    Json j = Json::object();
+    j.set("job", Json::string(s.name));
+    j.set("groups", Json::number(s.groups));
+    j.set("done", Json::number(s.done));
+    j.set("leased", Json::number(leases_.held_groups(s.name, now)));
+    j.set("complete", Json::boolean(s.complete));
+    jobs.push_back(std::move(j));
+  }
+  SC_CHECK(only == nullptr || jobs.size() == 1,
+           "unknown job \"" + (only != nullptr ? only->as_string() : "") + "\"");
+  Json resp = ok_response();
+  resp.set("draining", Json::boolean(draining_));
+  resp.set("jobs", std::move(jobs));
+  return resp;
+}
+
+Json Daemon::handle_results(const Json& req) {
+  Json resp = ok_response();
+  resp.set("partial", Json::string(queue_.results_text(msg_string(req, "job"))));
+  return resp;
+}
+
+}  // namespace synccount::serve

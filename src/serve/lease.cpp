@@ -1,0 +1,87 @@
+#include "serve/lease.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace synccount::serve {
+
+std::uint64_t LeaseTable::grant(std::string job, std::uint64_t begin, std::uint64_t end,
+                                std::string worker, Clock::time_point now,
+                                std::chrono::milliseconds ttl) {
+  SC_CHECK(begin < end, "lease needs a non-empty group range");
+  Lease lease;
+  lease.id = next_id_++;
+  lease.job = std::move(job);
+  lease.group_begin = begin;
+  lease.group_end = end;
+  lease.worker = std::move(worker);
+  lease.deadline = now + ttl;
+  leases_.push_back(std::move(lease));
+  return leases_.back().id;
+}
+
+bool LeaseTable::renew(std::uint64_t id, Clock::time_point now,
+                       std::chrono::milliseconds ttl) {
+  for (Lease& lease : leases_) {
+    if (lease.id == id) {
+      lease.deadline = now + ttl;
+      return true;
+    }
+  }
+  return false;
+}
+
+const Lease* LeaseTable::find(std::uint64_t id) const {
+  for (const Lease& lease : leases_) {
+    if (lease.id == id) return &lease;
+  }
+  return nullptr;
+}
+
+void LeaseTable::release(std::uint64_t id) {
+  leases_.erase(std::remove_if(leases_.begin(), leases_.end(),
+                               [id](const Lease& l) { return l.id == id; }),
+                leases_.end());
+}
+
+std::vector<Lease> LeaseTable::sweep_expired(Clock::time_point now) {
+  std::vector<Lease> expired;
+  auto keep = leases_.begin();
+  for (auto it = leases_.begin(); it != leases_.end(); ++it) {
+    if (it->deadline <= now) {
+      expired.push_back(std::move(*it));
+    } else {
+      // Guard the self-move: assigning a Lease onto itself would empty its
+      // string members and silently un-hold the groups it covers.
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  leases_.erase(keep, leases_.end());
+  return expired;
+}
+
+bool LeaseTable::held(const std::string& job, std::uint64_t group,
+                      Clock::time_point now) const {
+  for (const Lease& lease : leases_) {
+    if (lease.deadline > now && lease.job == job && lease.group_begin <= group &&
+        group < lease.group_end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t LeaseTable::held_groups(const std::string& job, Clock::time_point now) const {
+  std::uint64_t held = 0;
+  for (const Lease& lease : leases_) {
+    if (lease.deadline > now && lease.job == job) {
+      held += lease.group_end - lease.group_begin;
+    }
+  }
+  return held;
+}
+
+}  // namespace synccount::serve

@@ -1,0 +1,72 @@
+// Lease bookkeeping for the sweep service.
+//
+// A lease is the daemon's promise that one worker owns a contiguous run of
+// cell-groups until a deadline; heartbeats (and completes -- progress is
+// the best liveness signal) push the deadline out. The table is the ONLY
+// in-memory state of the service: expiring a lease just makes its
+// not-yet-completed groups assignable again, so a daemon restart -- which
+// forgets every lease -- is indistinguishable from all leases expiring at
+// once. Nothing here touches the disk.
+//
+// Every method takes the current steady_clock instant explicitly, so tests
+// drive expiry deterministically instead of sleeping.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace synccount::serve {
+
+struct Lease {
+  std::uint64_t id = 0;
+  std::string job;
+  std::uint64_t group_begin = 0;
+  std::uint64_t group_end = 0;
+  std::string worker;
+  std::chrono::steady_clock::time_point deadline;
+};
+
+class LeaseTable {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // Grants groups [begin, end) of `job` to `worker` until now + ttl;
+  // returns the new lease id (monotonic, never reused within a daemon
+  // lifetime).
+  std::uint64_t grant(std::string job, std::uint64_t begin, std::uint64_t end,
+                      std::string worker, Clock::time_point now,
+                      std::chrono::milliseconds ttl);
+
+  // Pushes the deadline to now + ttl; false when the lease is unknown
+  // (expired and swept, or never granted) -- the holder must stop working
+  // on it.
+  bool renew(std::uint64_t id, Clock::time_point now, std::chrono::milliseconds ttl);
+
+  // nullptr when unknown. The pointer is invalidated by any mutating call.
+  const Lease* find(std::uint64_t id) const;
+
+  // Drops a lease (the holder finished its range).
+  void release(std::uint64_t id);
+
+  // Removes and returns every lease whose deadline has passed; the caller
+  // requeues their groups (i.e. does nothing: groups not recorded done
+  // simply become assignable again).
+  std::vector<Lease> sweep_expired(Clock::time_point now);
+
+  // True when an unexpired lease covers (job, group) -- the group must not
+  // be assigned again yet.
+  bool held(const std::string& job, std::uint64_t group, Clock::time_point now) const;
+
+  // Unexpired leases touching `job` (status reporting).
+  std::uint64_t held_groups(const std::string& job, Clock::time_point now) const;
+
+  std::size_t size() const noexcept { return leases_.size(); }
+
+ private:
+  std::vector<Lease> leases_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace synccount::serve

@@ -1,0 +1,115 @@
+#include "serve/protocol.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace synccount::serve {
+
+using util::Json;
+
+Json make_request(std::string op) {
+  Json j = Json::object();
+  j.set("op", Json::string(std::move(op)));
+  j.set("v", Json::number(kProtocolVersion));
+  return j;
+}
+
+Json ok_response() {
+  Json j = Json::object();
+  j.set("ok", Json::boolean(true));
+  return j;
+}
+
+Json error_response(const std::string& message) {
+  Json j = Json::object();
+  j.set("ok", Json::boolean(false));
+  j.set("error", Json::string(message));
+  return j;
+}
+
+bool check_response(const Json& resp) {
+  SC_CHECK(resp.type() == Json::Type::kObject && resp.has("ok"),
+           "malformed service response: " + resp.dump());
+  if (resp.at("ok").as_bool()) return true;
+  const Json* err = resp.find("error");
+  throw std::invalid_argument("service error: " +
+                              (err != nullptr ? err->as_string() : resp.dump()));
+}
+
+const std::string& msg_string(const Json& msg, std::string_view key) {
+  const Json* v = msg.find(key);
+  SC_CHECK(v != nullptr && v->type() == Json::Type::kString,
+           "message needs a string \"" + std::string(key) + "\": " + msg.dump());
+  return v->as_string();
+}
+
+std::uint64_t msg_u64(const Json& msg, std::string_view key) {
+  const Json* v = msg.find(key);
+  SC_CHECK(v != nullptr && v->type() == Json::Type::kNumber,
+           "message needs a number \"" + std::string(key) + "\": " + msg.dump());
+  return v->as_u64();
+}
+
+bool msg_bool(const Json& msg, std::string_view key, bool fallback) {
+  const Json* v = msg.find(key);
+  return v != nullptr ? v->as_bool() : fallback;
+}
+
+const Json& msg_field(const Json& msg, std::string_view key) {
+  const Json* v = msg.find(key);
+  SC_CHECK(v != nullptr, "message needs \"" + std::string(key) + "\": " + msg.dump());
+  return *v;
+}
+
+// --- LeaseGrant ----------------------------------------------------------------
+
+Json LeaseGrant::to_json() const {
+  Json j = ok_response();
+  j.set("job", Json::string(job));
+  j.set("lease", Json::number(lease_id));
+  j.set("group_begin", Json::number(group_begin));
+  j.set("group_end", Json::number(group_end));
+  j.set("ttl_ms", Json::number(ttl_ms));
+  j.set("spec", spec);
+  return j;
+}
+
+LeaseGrant LeaseGrant::from_json(const Json& j) {
+  LeaseGrant g;
+  g.job = msg_string(j, "job");
+  g.lease_id = msg_u64(j, "lease");
+  g.group_begin = msg_u64(j, "group_begin");
+  g.group_end = msg_u64(j, "group_end");
+  g.ttl_ms = msg_u64(j, "ttl_ms");
+  g.spec = msg_field(j, "spec");
+  SC_CHECK(g.group_begin < g.group_end, "empty lease range: " + j.dump());
+  return g;
+}
+
+// --- CompleteRequest -------------------------------------------------------------
+
+Json CompleteRequest::to_json() const {
+  Json j = make_request("complete");
+  j.set("lease", Json::number(lease_id));
+  j.set("job", Json::string(job));
+  j.set("group", Json::number(group));
+  j.set("adversary", Json::string(adversary));
+  j.set("placement", Json::string(placement));
+  j.set("aggregate", aggregate);
+  return j;
+}
+
+CompleteRequest CompleteRequest::from_json(const Json& j) {
+  CompleteRequest c;
+  c.lease_id = msg_u64(j, "lease");
+  c.job = msg_string(j, "job");
+  c.group = msg_u64(j, "group");
+  c.adversary = msg_string(j, "adversary");
+  c.placement = msg_string(j, "placement");
+  c.aggregate = msg_field(j, "aggregate");
+  return c;
+}
+
+}  // namespace synccount::serve

@@ -1,0 +1,104 @@
+// Wire protocol of the sweep service (synccount_serve).
+//
+// Transport: newline-delimited JSON over a Unix-domain stream socket
+// (util/socket.hpp), ONE request line and ONE response line per
+// connection. Single-shot connections keep the daemon loop trivial to
+// reason about under faults: there is no per-connection state to leak when
+// a peer is SIGKILL'd mid-exchange, and a worker that never hears the
+// response simply retries -- every request is either idempotent (submit,
+// status, results, drain, shutdown, heartbeat) or dedupe-guarded by the
+// daemon (complete: first (job, group) wins; the work is deterministic so
+// duplicates are byte-identical).
+//
+// Requests are objects {"op":OP,"v":1,...}; responses are {"ok":true,...}
+// or {"ok":false,"error":MSG}. Ops:
+//
+//   submit     {"job":NAME,"spec":{...ExperimentSpec...}}
+//              -> {"ok":true,"job":NAME,"groups":G,"done":D,"existed":B}
+//              Idempotent by job name; re-submitting a different spec under
+//              an existing name is an error naming the mismatched fields.
+//   lease      {"worker":ID,"max_groups":K}
+//              -> LeaseGrant (below), or
+//                 {"ok":true,"idle":true,"pending":B,"draining":B}
+//              `pending` is true while ANY group of any job is not done --
+//              an idle response with pending=true means other workers hold
+//              leases (or a lease must first expire); retry later.
+//   heartbeat  {"lease":ID} -> {"ok":true,"valid":B}
+//              Renews the lease deadline; valid=false means the lease
+//              expired and its groups were requeued -- stop working on it.
+//   complete   CompleteRequest (below) -> {"ok":true,"accepted":B}
+//              Durably records one finished group. accepted=false is a
+//              benign duplicate. Accepted even from an expired lease.
+//   status     {} or {"job":NAME} -> {"ok":true,"draining":B,"jobs":[
+//              {"job":N,"groups":G,"done":D,"leased":L,"complete":B},...]}
+//   results    {"job":NAME} -> {"ok":true,"partial":TEXT}
+//              TEXT is the full shard-partial file (experiment_io v3),
+//              byte-identical to a single-process `sweep --spec --emit`
+//              run of the same spec. Errors while the job is incomplete.
+//   drain      {} -> {"ok":true}   stop granting leases (submits/completes
+//              still accepted; once-workers exit on the draining flag)
+//   shutdown   {} -> {"ok":true}   daemon exits after responding; all
+//              queue state is already durable, restart resumes it
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+
+namespace synccount::serve {
+
+inline constexpr int kProtocolVersion = 1;
+
+// --- Message helpers ---------------------------------------------------------
+
+// {"op":OP,"v":1}
+util::Json make_request(std::string op);
+
+util::Json ok_response();
+util::Json error_response(const std::string& message);
+
+// True for {"ok":true,...}; throws std::invalid_argument with the carried
+// error message for {"ok":false,...} and on malformed responses.
+bool check_response(const util::Json& resp);
+
+// Typed field accessors with contextful errors (throw std::invalid_argument
+// naming the missing/mistyped key).
+const std::string& msg_string(const util::Json& msg, std::string_view key);
+std::uint64_t msg_u64(const util::Json& msg, std::string_view key);
+bool msg_bool(const util::Json& msg, std::string_view key, bool fallback);
+const util::Json& msg_field(const util::Json& msg, std::string_view key);
+
+// --- Typed payloads ----------------------------------------------------------
+
+// A granted lease: the worker owns groups [group_begin, group_end) of `job`
+// until `deadline` (ttl_ms from grant, renewed by heartbeat/complete).
+struct LeaseGrant {
+  std::string job;
+  std::uint64_t lease_id = 0;
+  std::uint64_t group_begin = 0;
+  std::uint64_t group_end = 0;
+  std::uint64_t ttl_ms = 0;
+  util::Json spec;  // serialized ExperimentSpec (canonical daemon copy)
+
+  util::Json to_json() const;  // the full ok-response
+  static LeaseGrant from_json(const util::Json& j);
+};
+
+// One durably-recorded unit of progress: a finished (adversary, placement)
+// group with its aggregate, exactly the payload of a partial-file group
+// line.
+struct CompleteRequest {
+  std::uint64_t lease_id = 0;
+  std::string job;
+  std::uint64_t group = 0;
+  std::string adversary;
+  std::string placement;
+  util::Json aggregate;
+
+  util::Json to_json() const;  // the full request (op:"complete")
+  static CompleteRequest from_json(const util::Json& j);
+};
+
+}  // namespace synccount::serve

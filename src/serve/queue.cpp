@@ -1,0 +1,245 @@
+#include "serve/queue.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace synccount::serve {
+
+namespace fs = std::filesystem;
+using util::Json;
+
+namespace {
+
+constexpr const char* kJobFormat = "synccount-serve-job";
+constexpr int kJobVersion = 1;
+
+}  // namespace
+
+bool valid_job_name(const std::string& name) {
+  if (name.empty() || name.size() > 64 || name.front() == '.') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string JobQueue::spec_path(const std::string& name) const {
+  return dir_ + "/job-" + name + ".spec.json";
+}
+
+std::string JobQueue::done_path(const std::string& name) const {
+  return dir_ + "/job-" + name + ".done.jsonl";
+}
+
+JobQueue::Job JobQueue::make_job(std::string name, Json spec_json) {
+  // Round-trip through the struct: validates the spec and canonicalizes the
+  // serialization, so results_text is byte-identical to what a
+  // single-process `sweep --spec --emit` of the same file produces.
+  const sim::ExperimentSpec parsed = sim::experiment_spec_from_json(spec_json);
+  for (const sim::SinkConfig& cfg : parsed.sinks) {
+    SC_CHECK(cfg.kind == sim::SinkConfig::Kind::kProgress,
+             "job \"" + name +
+                 "\": file-writing sinks (trace/checkpoint) are worker-local and not "
+                 "supported in service jobs -- strip them from the spec");
+  }
+  Job job;
+  job.name = std::move(name);
+  job.spec = sim::experiment_spec_to_json(parsed);
+  job.groups = sim::group_count(parsed);
+  SC_CHECK(job.groups > 0, "job \"" + job.name + "\": empty experiment grid");
+  sim::grid_names(parsed, job.adversaries, job.placements);
+  return job;
+}
+
+JobQueue::JobQueue(std::string dir) : dir_(std::move(dir)) {
+  SC_CHECK(!dir_.empty(), "job queue needs a state directory");
+  fs::create_directories(dir_);
+  std::vector<std::string> spec_files;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string file = entry.path().filename().string();
+    if (file.rfind("job-", 0) == 0 && file.size() > 14 &&
+        file.compare(file.size() - 10, 10, ".spec.json") == 0) {
+      spec_files.push_back(entry.path().string());
+    }
+  }
+  // Directory iteration order is unspecified; a restarted daemon must hand
+  // out work in a reproducible order.
+  std::sort(spec_files.begin(), spec_files.end());
+  for (const std::string& file : spec_files) load_job(file);
+}
+
+void JobQueue::load_job(const std::string& spec_file) {
+  std::ifstream in(spec_file, std::ios::binary);
+  SC_CHECK(in.good(), "cannot read job file: " + spec_file);
+  std::string line;
+  SC_CHECK(std::getline(in, line), spec_file + ": empty job file");
+  const Json meta = Json::parse(sim::crc_unframe(line, spec_file, 1));
+  SC_CHECK(meta.has("format") && meta.at("format").as_string() == kJobFormat,
+           spec_file + ": not a " + std::string(kJobFormat) + " file");
+  SC_CHECK(meta.has("version") && meta.at("version").as_int() == kJobVersion,
+           spec_file + ": unsupported job version");
+  const std::string name = meta.at("job").as_string();
+  SC_CHECK(valid_job_name(name), spec_file + ": invalid job name \"" + name + "\"");
+  SC_CHECK(spec_path(name) == spec_file,
+           spec_file + ": job name \"" + name + "\" does not match the file name");
+  Job job = make_job(name, meta.at("spec"));
+
+  // Replay the durably recorded groups. The done file is AtomicAppender-
+  // committed (never a torn tail), so every line must verify -- a bad CRC
+  // here is real corruption and stops the daemon with a file:line pointer.
+  const std::string done_file = done_path(name);
+  if (fs::exists(done_file)) {
+    std::ifstream done_in(done_file, std::ios::binary);
+    SC_CHECK(done_in.good(), "cannot read done file: " + done_file);
+    std::size_t line_no = 0;
+    while (std::getline(done_in, line)) {
+      ++line_no;
+      const Json g = Json::parse(sim::crc_unframe(line, done_file, line_no));
+      const std::uint64_t group = g.at("group").as_u64();
+      SC_CHECK(group < job.groups, done_file + ":" + std::to_string(line_no) +
+                                       ": group " + std::to_string(group) +
+                                       " outside the job's grid");
+      // Parse the aggregate too: restart is the one moment we can still
+      // point at the damaged file instead of merging garbage later.
+      (void)sim::aggregate_from_json(g.at("aggregate"));
+      job.done.emplace(group, line + "\n");
+    }
+  }
+  job.done_file = std::make_unique<sim::AtomicAppender>(done_file, /*resume=*/true,
+                                                        "serve.job.done");
+  submit_order_.push_back(job.name);
+  jobs_.emplace(job.name, std::move(job));
+}
+
+JobQueue::SubmitOutcome JobQueue::submit(const std::string& name, const Json& spec_json) {
+  SC_CHECK(valid_job_name(name),
+           "invalid job name \"" + name + "\" (want [A-Za-z0-9._-]{1,64})");
+  Job job = make_job(name, spec_json);
+  const auto it = jobs_.find(name);
+  if (it != jobs_.end()) {
+    // Idempotent resubmit (a client that never heard the response retries);
+    // a different grid under the same name is always a caller mistake.
+    SC_CHECK(it->second.spec.dump() == job.spec.dump(),
+             "job \"" + name + "\" already exists with a different spec -- mismatched " +
+                 sim::describe_spec_mismatch(job.spec, it->second.spec));
+    return {it->second.groups, static_cast<std::uint64_t>(it->second.done.size()), true};
+  }
+
+  Json meta = Json::object();
+  meta.set("format", Json::string(kJobFormat));
+  meta.set("version", Json::number(kJobVersion));
+  meta.set("job", Json::string(name));
+  meta.set("spec", job.spec);
+  sim::atomic_write_file(spec_path(name), sim::crc_frame(meta.dump()) + "\n",
+                         "serve.job.spec");
+  job.done_file = std::make_unique<sim::AtomicAppender>(done_path(name),
+                                                        /*resume=*/false,
+                                                        "serve.job.done");
+  job.done_file->commit();  // publish the (empty) done file now
+
+  const std::uint64_t groups = job.groups;
+  submit_order_.push_back(name);
+  jobs_.emplace(name, std::move(job));
+  return {groups, 0, false};
+}
+
+bool JobQueue::assign(std::uint64_t max_groups,
+                      const std::function<bool(const std::string&, std::uint64_t)>& held,
+                      Assignment& out) const {
+  SC_CHECK(max_groups > 0, "assignment needs max_groups >= 1");
+  for (const std::string& name : submit_order_) {
+    const Job& job = jobs_.at(name);
+    for (std::uint64_t g = 0; g < job.groups; ++g) {
+      if (job.done.count(g) != 0 || held(name, g)) continue;
+      std::uint64_t end = g + 1;
+      while (end < job.groups && end - g < max_groups && job.done.count(end) == 0 &&
+             !held(name, end)) {
+        ++end;
+      }
+      out.job = name;
+      out.group_begin = g;
+      out.group_end = end;
+      out.spec = &job.spec;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool JobQueue::record_done(const std::string& job_name, std::uint64_t group,
+                           const std::string& adversary, const std::string& placement,
+                           const Json& aggregate) {
+  const auto it = jobs_.find(job_name);
+  SC_CHECK(it != jobs_.end(), "unknown job \"" + job_name + "\"");
+  Job& job = it->second;
+  SC_CHECK(group < job.groups, "job \"" + job_name + "\": group " +
+                                   std::to_string(group) + " outside the grid of " +
+                                   std::to_string(job.groups) + " groups");
+  const std::string& want_adv = job.adversaries[group / job.placements.size()];
+  const std::string& want_pl = job.placements[group % job.placements.size()];
+  SC_CHECK(adversary == want_adv && placement == want_pl,
+           "job \"" + job_name + "\": group " + std::to_string(group) + " is (" +
+               want_adv + ", " + want_pl + "), not (" + adversary + ", " + placement +
+               ") -- worker/daemon grid disagreement");
+  // Validate the aggregate's own invariants before anything durable
+  // happens; the canonical line below re-serializes the parsed form.
+  const sim::AggregateResult agg = sim::aggregate_from_json(aggregate);
+
+  if (job.done.count(group) != 0) return false;  // benign duplicate
+  std::ostringstream os;
+  sim::write_partial_group(os, static_cast<std::size_t>(group), job.adversaries,
+                           job.placements, agg);
+  job.done_file->append(os.str());
+  job.done_file->commit();
+  job.done.emplace(group, os.str());
+  return true;
+}
+
+std::vector<JobQueue::JobStatus> JobQueue::status() const {
+  std::vector<JobStatus> out;
+  for (const std::string& name : submit_order_) {
+    const Job& job = jobs_.at(name);
+    out.push_back({name, job.groups, static_cast<std::uint64_t>(job.done.size()),
+                   job.done.size() == job.groups});
+  }
+  return out;
+}
+
+bool JobQueue::job_complete(const std::string& name) const {
+  const auto it = jobs_.find(name);
+  SC_CHECK(it != jobs_.end(), "unknown job \"" + name + "\"");
+  return it->second.done.size() == it->second.groups;
+}
+
+std::uint64_t JobQueue::pending_groups() const {
+  std::uint64_t pending = 0;
+  for (const auto& [name, job] : jobs_) pending += job.groups - job.done.size();
+  return pending;
+}
+
+std::string JobQueue::results_text(const std::string& name) const {
+  const auto it = jobs_.find(name);
+  SC_CHECK(it != jobs_.end(), "unknown job \"" + name + "\"");
+  const Job& job = it->second;
+  SC_CHECK(job.done.size() == job.groups,
+           "job \"" + name + "\" incomplete: " + std::to_string(job.done.size()) + "/" +
+               std::to_string(job.groups) + " groups done");
+  sim::ShardPlan plan;
+  plan.shards = 1;
+  plan.shard = 0;
+  plan.group_begin = 0;
+  plan.group_end = static_cast<std::size_t>(job.groups);
+  std::ostringstream os;
+  sim::write_partial_header(os, plan, job.spec);
+  for (const auto& [group, line] : job.done) os << line;  // map: group order
+  return os.str();
+}
+
+}  // namespace synccount::serve

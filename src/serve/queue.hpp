@@ -1,0 +1,130 @@
+// Durable work queue of the sweep service.
+//
+// A job is one ExperimentSpec whose (adversary, placement) cell-groups are
+// handed out to workers and recorded back one at a time. Everything the
+// queue knows lives on disk under one state directory, written with the
+// crash-safe primitives of sim/experiment_io.hpp, so a SIGKILL'd daemon
+// restarts from the directory with no lost completed work:
+//
+//   job-<name>.spec.json    one CRC-framed line (atomic_write_file):
+//                           {"format":"synccount-serve-job","version":1,
+//                            "job":NAME,"spec":{...ExperimentSpec...}}
+//   job-<name>.done.jsonl   one CRC-framed group line per durably recorded
+//                           group, in COMPLETION order (AtomicAppender:
+//                           never a torn tail) -- each line is byte-for-byte
+//                           a v3 partial-file group line
+//
+// Because done lines are canonical partial-file group lines, assembling a
+// finished job's result is pure concatenation: header + done lines sorted
+// by group index, byte-identical to a single-process `sweep --spec --emit`
+// run of the same spec (the chaos differential test enforces this).
+//
+// The queue tracks WHAT is done; WHO is currently working is the
+// LeaseTable's problem (serve/lease.hpp) -- assignment takes a `held`
+// predicate so the two stay decoupled and independently testable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment_io.hpp"
+#include "util/json.hpp"
+
+namespace synccount::serve {
+
+// Filesystem-safe job names: [A-Za-z0-9._-], 1..64 chars, not starting
+// with '.' (no surprise dotfiles / traversal in the state dir).
+bool valid_job_name(const std::string& name);
+
+class JobQueue {
+ public:
+  // Creates `dir` if missing and loads every job found in it. Throws
+  // std::invalid_argument naming file and line on corrupt state (the
+  // crash-safe writers never produce torn state, so corruption is real
+  // damage, not an interrupted write).
+  explicit JobQueue(std::string dir);
+
+  struct SubmitOutcome {
+    std::uint64_t groups = 0;
+    std::uint64_t done = 0;
+    bool existed = false;
+  };
+
+  // Registers a job, durably. Idempotent: re-submitting an identical spec
+  // under an existing name reports existed=true; a DIFFERENT spec under an
+  // existing name throws, naming the mismatched fields. `spec_json` must be
+  // the canonical serialization (experiment_spec_to_json of the parsed
+  // spec); file-writing sinks are rejected (worker-local paths are
+  // meaningless on a fleet).
+  SubmitOutcome submit(const std::string& name, const util::Json& spec_json);
+
+  struct Assignment {
+    std::string job;
+    std::uint64_t group_begin = 0;
+    std::uint64_t group_end = 0;
+    const util::Json* spec = nullptr;  // owned by the queue
+  };
+
+  // First-fit over jobs in submit order: the first contiguous run (up to
+  // max_groups long) of groups neither done nor held(job, group). False
+  // when nothing is assignable right now.
+  bool assign(std::uint64_t max_groups,
+              const std::function<bool(const std::string&, std::uint64_t)>& held,
+              Assignment& out) const;
+
+  // Durably records one finished group: validates the job, range, grid
+  // names, and the aggregate itself (parse + invariants) before appending
+  // to the done file. False on a benign duplicate (first write wins; the
+  // engine is deterministic, so duplicates are byte-identical). Throws on
+  // anything inconsistent with the job's grid.
+  bool record_done(const std::string& job, std::uint64_t group,
+                   const std::string& adversary, const std::string& placement,
+                   const util::Json& aggregate);
+
+  struct JobStatus {
+    std::string name;
+    std::uint64_t groups = 0;
+    std::uint64_t done = 0;
+    bool complete = false;
+  };
+  std::vector<JobStatus> status() const;
+
+  bool has_job(const std::string& name) const { return jobs_.count(name) != 0; }
+  bool job_complete(const std::string& name) const;
+
+  // Groups not yet durably done, across all jobs (an idle worker exits
+  // only when this hits zero).
+  std::uint64_t pending_groups() const;
+
+  // The finished job's full shard-partial file (header + group lines in
+  // group order). Throws while the job is incomplete, reporting done/total.
+  std::string results_text(const std::string& name) const;
+
+  const std::string& dir() const noexcept { return dir_; }
+
+ private:
+  struct Job {
+    std::string name;
+    util::Json spec;  // canonical serialized ExperimentSpec
+    std::uint64_t groups = 0;
+    std::vector<std::string> adversaries;
+    std::vector<std::string> placements;
+    std::map<std::uint64_t, std::string> done;  // group -> framed line + '\n'
+    std::unique_ptr<sim::AtomicAppender> done_file;
+  };
+
+  std::string spec_path(const std::string& name) const;
+  std::string done_path(const std::string& name) const;
+  void load_job(const std::string& spec_file);
+  static Job make_job(std::string name, util::Json spec_json);
+
+  std::string dir_;
+  std::map<std::string, Job> jobs_;        // by name
+  std::vector<std::string> submit_order_;  // assignment fairness is FIFO
+};
+
+}  // namespace synccount::serve

@@ -1,6 +1,12 @@
 #include "sim/experiment_io.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <istream>
@@ -9,14 +15,17 @@
 
 #include "counting/algorithm_spec.hpp"
 #include "util/check.hpp"
+#include "util/crc32.hpp"
+#include "util/fault_injector.hpp"
 
 namespace synccount::sim {
 
 namespace {
 
 constexpr const char* kPartialFormat = "synccount-sweep-partial";
-constexpr int kPartialVersion = 2;  // v2: declarative specs (variants + sinks,
-                                    // record_* flags retired)
+constexpr int kPartialVersion = 3;  // v3: per-line CRC suffixes
+                                    // (v2: declarative specs -- variants +
+                                    // sinks, record_* flags retired)
 constexpr const char* kSpecFormat = "synccount-spec";
 constexpr int kSpecVersion = 1;
 
@@ -134,7 +143,8 @@ std::size_t grid_groups(const ShardPartial& partial) {
 
 // Parses one wire line with the source + line number attached to any JSON
 // error, so a truncated or corrupted file names itself instead of failing
-// with a bare parser message.
+// with a bare parser message. Spec files only -- partial/checkpoint lines
+// additionally carry a CRC suffix and go through parse_framed_line.
 util::Json parse_wire_line(const std::string& line, const std::string& source,
                            std::size_t line_no) {
   try {
@@ -145,7 +155,124 @@ util::Json parse_wire_line(const std::string& line, const std::string& source,
   }
 }
 
+// CRC check + parse of one v3 partial/checkpoint line.
+util::Json parse_framed_line(const std::string& line, const std::string& source,
+                             std::size_t line_no) {
+  return parse_wire_line(crc_unframe(line, source, line_no), source, line_no);
+}
+
+// fsyncs the directory holding `path` so a just-renamed file survives a
+// crash of the machine, not only of the process.
+void fsync_parent_dir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+// Writes `content` to `fd` honouring a torn-write fault at `site`: on a
+// torn fault only the injector-chosen prefix reaches the file before the
+// process dies -- the caller's recovery path must cope with exactly that.
+void write_all_fsync(int fd, std::string_view content, std::string_view site,
+                     const std::string& path) {
+  const auto fault = util::FaultInjector::instance().on_write(site, content.size());
+  const std::string_view payload =
+      fault.torn ? content.substr(0, fault.keep_bytes) : content;
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + written, payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      SC_CHECK(false, "write failed for " + path + ": " + err);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  SC_CHECK(::fsync(fd) == 0, "fsync failed for " + path);
+  if (fault.torn) {
+    ::close(fd);
+    util::FaultInjector::die();
+  }
+}
+
 }  // namespace
+
+// --- Line integrity ----------------------------------------------------------
+
+std::string crc_frame(std::string_view json_dump) {
+  std::string line(json_dump);
+  line.push_back('#');
+  line += util::crc32_hex(json_dump);
+  return line;
+}
+
+std::string crc_unframe(const std::string& line, const std::string& source,
+                        std::size_t line_no) {
+  const auto ctx = [&](const std::string& what) {
+    return source + ":" + std::to_string(line_no) + ": " + what;
+  };
+  // The suffix is exactly '#' + 8 hex digits at the end of the line; the
+  // shortest framed payload is "{}".
+  SC_CHECK(line.size() >= 11 && line[line.size() - 9] == '#',
+           ctx("missing line CRC (pre-v3 file, torn write, or trailing garbage?)"));
+  const std::string payload = line.substr(0, line.size() - 9);
+  const std::string want = line.substr(line.size() - 8);
+  const std::string got = util::crc32_hex(payload);
+  SC_CHECK(want == got, ctx("bad line CRC (want " + got + ", file says " + want +
+                            "): corrupt or torn line"));
+  return payload;
+}
+
+// --- Atomic file helpers -----------------------------------------------------
+
+void atomic_write_file(const std::string& path, std::string_view content,
+                       std::string_view fault_site) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  SC_CHECK(fd >= 0, "cannot write " + tmp + ": " + std::strerror(errno));
+  write_all_fsync(fd, content, fault_site, tmp);
+  ::close(fd);
+  SC_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+           "cannot rename " + tmp + " -> " + path + ": " + std::strerror(errno));
+  fsync_parent_dir(path);
+  util::FaultInjector::instance().probe(fault_site);
+}
+
+AtomicAppender::AtomicAppender(std::string path, bool resume, std::string fault_site)
+    : path_(std::move(path)), fault_site_(std::move(fault_site)) {
+  SC_CHECK(!path_.empty(), "atomic appender needs a path");
+  have_base_ = resume && std::filesystem::exists(path_);
+}
+
+void AtomicAppender::commit() {
+  // The first commit publishes even an empty buffer (it IS the truncate of
+  // the fresh-open path); later empty commits are no-ops.
+  if (have_base_ && buffer_.empty()) return;
+  const std::string tmp = path_ + ".tmp";
+  std::error_code ec;
+  if (have_base_) {
+    // Committed base + buffer, without buffering the base in memory: copy
+    // the published file, append, fsync, rename back over it.
+    std::filesystem::copy_file(path_, tmp,
+                               std::filesystem::copy_options::overwrite_existing, ec);
+    SC_CHECK(!ec, "cannot stage " + tmp + ": " + ec.message());
+  }
+  const int flags = O_WRONLY | O_CLOEXEC | (have_base_ ? O_APPEND : O_CREAT | O_TRUNC);
+  const int fd = ::open(tmp.c_str(), flags, 0644);
+  SC_CHECK(fd >= 0, "cannot write " + tmp + ": " + std::strerror(errno));
+  write_all_fsync(fd, buffer_, fault_site_, tmp);
+  ::close(fd);
+  SC_CHECK(std::rename(tmp.c_str(), path_.c_str()) == 0,
+           "cannot rename " + tmp + " -> " + path_ + ": " + std::strerror(errno));
+  fsync_parent_dir(path_);
+  have_base_ = true;
+  buffer_.clear();
+  util::FaultInjector::instance().probe(fault_site_);
+}
 
 void grid_names(const ExperimentSpec& spec, std::vector<std::string>& adversaries,
                 std::vector<std::string>& placements) {
@@ -343,7 +470,7 @@ void write_partial_header(std::ostream& out, const ShardPlan& plan, const util::
   header.set("group_begin", Json::number(static_cast<std::uint64_t>(plan.group_begin)));
   header.set("group_end", Json::number(static_cast<std::uint64_t>(plan.group_end)));
   header.set("spec", spec);
-  out << header.dump() << '\n';
+  out << crc_frame(header.dump()) << '\n';
 }
 
 void write_partial_group(std::ostream& out, std::size_t group,
@@ -357,7 +484,7 @@ void write_partial_group(std::ostream& out, std::size_t group,
   line.set("adversary", Json::string(adversaries[group / n_pl]));
   line.set("placement", Json::string(placements[group % n_pl]));
   line.set("aggregate", aggregate_to_json(aggregate));
-  out << line.dump() << '\n';
+  out << crc_frame(line.dump()) << '\n';
 }
 
 void write_partial(std::ostream& out, const ShardPartial& partial) {
@@ -372,7 +499,7 @@ ShardPartial read_partial(std::istream& in, const std::string& source) {
   const auto ctx = [&source](const std::string& what) { return source + ": " + what; };
   std::string line;
   SC_CHECK(static_cast<bool>(std::getline(in, line)), ctx("empty partial file"));
-  const util::Json header = parse_wire_line(line, source, 1);
+  const util::Json header = parse_framed_line(line, source, 1);
   SC_CHECK(header.has("format") && header.at("format").as_string() == kPartialFormat,
            ctx("not a sweep-partial file"));
   SC_CHECK(header.at("version").as_i64() == kPartialVersion,
@@ -380,6 +507,7 @@ ShardPartial read_partial(std::istream& in, const std::string& source) {
                std::to_string(kPartialVersion) + ")"));
 
   ShardPartial partial;
+  partial.source = source;
   partial.plan.shards = header.at("shards").as_int();
   partial.plan.shard = header.at("shard").as_int();
   partial.plan.group_begin = header.at("group_begin").as_u64();
@@ -399,7 +527,7 @@ ShardPartial read_partial(std::istream& in, const std::string& source) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
-    const util::Json g = parse_wire_line(line, source, line_no);
+    const util::Json g = parse_framed_line(line, source, line_no);
     SC_CHECK(!g.has("format"), ctx("duplicate header line (two partials concatenated?)"));
     SC_CHECK(expected < partial.plan.group_end,
              ctx("group line past the declared shard range"));
@@ -409,7 +537,15 @@ ShardPartial read_partial(std::istream& in, const std::string& source) {
     SC_CHECK(g.at("adversary").as_string() == partial.adversaries[group.group / n_pl] &&
                  g.at("placement").as_string() == partial.placement_names[group.group % n_pl],
              ctx("group coordinates disagree with the grid"));
-    group.aggregate = aggregate_from_json(g.at("aggregate"));
+    try {
+      group.aggregate = aggregate_from_json(g.at("aggregate"));
+    } catch (const std::invalid_argument& e) {
+      // Name the shard file and line: the merge caller sees immediately
+      // WHICH worker's partial is corrupt.
+      throw std::invalid_argument(source + ":" + std::to_string(line_no) +
+                                  ": corrupt aggregate for group " +
+                                  std::to_string(group.group) + ": " + e.what());
+    }
     partial.groups.push_back(std::move(group));
     ++expected;
   }
@@ -439,17 +575,49 @@ ShardPartial merge_partials(std::vector<ShardPartial> parts) {
   std::size_t next_group = 0;
   for (std::size_t i = 0; i < parts.size(); ++i) {
     ShardPartial& p = parts[i];
-    SC_CHECK(p.plan.shard == static_cast<int>(i), "duplicate or missing shard index");
-    SC_CHECK(p.plan.shards == shards, "partials disagree on the shard count");
-    SC_CHECK(p.spec.dump() == spec_dump, "partials come from different experiment specs");
+    // Merge diagnostics name the offending worker file whenever the partial
+    // was read from one, so a corrupt or mismatched shard is identifiable
+    // without binary-searching K inputs.
+    const std::string who = "shard " + std::to_string(p.plan.shard) +
+                            (p.source.empty() ? "" : " (" + p.source + ")");
+    SC_CHECK(p.plan.shard == static_cast<int>(i),
+             "duplicate or missing shard index at " + who);
+    SC_CHECK(p.plan.shards == shards, who + " disagrees on the shard count");
+    SC_CHECK(p.spec.dump() == spec_dump,
+             who + " comes from a different experiment spec: " +
+                 describe_spec_mismatch(parts.front().spec, p.spec));
     SC_CHECK(p.plan.group_begin == next_group,
-             "shard group ranges do not concatenate (shard " + std::to_string(i) + ")");
+             "shard group ranges do not concatenate at " + who);
     next_group = p.plan.group_end;
     for (ShardPartial::Group& g : p.groups) merged.groups.push_back(std::move(g));
   }
   SC_CHECK(next_group == grid_groups(merged), "partials do not cover the whole grid");
   merged.plan.group_end = next_group;
   return merged;
+}
+
+std::string describe_spec_mismatch(const util::Json& wanted, const util::Json& found) {
+  const auto clip = [](std::string s) {
+    if (s.size() > 48) s = s.substr(0, 45) + "...";
+    return s;
+  };
+  std::string out;
+  const auto add = [&out](const std::string& part) {
+    if (!out.empty()) out += "; ";
+    out += part;
+  };
+  for (const auto& [key, want] : wanted.members()) {
+    const util::Json* got = found.find(key);
+    if (got == nullptr) {
+      add(key + ": missing (want " + clip(want.dump()) + ")");
+    } else if (got->dump() != want.dump()) {
+      add(key + ": found " + clip(got->dump()) + ", want " + clip(want.dump()));
+    }
+  }
+  for (const auto& [key, got] : found.members()) {
+    if (!wanted.has(key)) add(key + ": unexpected " + clip(got.dump()));
+  }
+  return out;
 }
 
 CheckpointState read_checkpoint(const std::string& path, const ExperimentSpec& spec,
@@ -479,13 +647,15 @@ CheckpointState read_checkpoint(const std::string& path, const ExperimentSpec& s
     if (!state.header_present) {
       // Header damage is not resumable-from-zero: silently restarting would
       // clobber a file the caller thought held progress.
-      const util::Json header = parse_wire_line(line, path, line_no);
+      const util::Json header = parse_framed_line(line, path, line_no);
       SC_CHECK(header.has("format") && header.at("format").as_string() == kPartialFormat,
                ctx("not a checkpoint (sweep-partial) file"));
       SC_CHECK(header.at("version").as_i64() == kPartialVersion,
                ctx("unsupported format version"));
       SC_CHECK(header.at("spec").dump() == expected_spec,
-               ctx("checkpoint belongs to a different experiment spec"));
+               ctx("checkpoint belongs to a different experiment spec -- mismatched " +
+                   describe_spec_mismatch(experiment_spec_to_json(spec),
+                                          header.at("spec"))));
       SC_CHECK(header.at("shards").as_int() == plan.shards &&
                    header.at("shard").as_int() == plan.shard &&
                    header.at("group_begin").as_u64() == plan.group_begin &&
@@ -494,10 +664,11 @@ CheckpointState read_checkpoint(const std::string& path, const ExperimentSpec& s
       state.header_present = true;
     } else {
       // Group lines: accept the well-formed in-order prefix, stop at the
-      // first line that does not extend it.
+      // first line that does not extend it (a bad CRC is the usual crash
+      // signature: the dying worker tore the line mid-write).
       util::Json g;
       try {
-        g = util::Json::parse(line);
+        g = util::Json::parse(crc_unframe(line, path, line_no));
         if (!g.has("group") || g.at("group").as_u64() != expected_group ||
             expected_group >= plan.group_end) {
           break;

@@ -9,12 +9,18 @@
 //
 // A partial file is plain JSONL (util/json.hpp):
 //
-//   line 1   header: {"format":"synccount-sweep-partial","version":2,
+//   line 1   header: {"format":"synccount-sweep-partial","version":3,
 //            "shards":K,"shard":i,"group_begin":b,"group_end":e,
-//            "spec":{...ExperimentSpec...}}
+//            "spec":{...ExperimentSpec...}}#crc
 //   line 2+  one line per (adversary, placement) group, in group order:
 //            {"group":g,"adversary":"split","placement":"spread",
-//             "aggregate":{...}}
+//             "aggregate":{...}}#crc
+//
+// Every partial/checkpoint line ends in `#` plus the 8-hex-digit CRC-32 of
+// the JSON payload (v3). Readers verify it before parsing, so a bit flip, a
+// torn write, or trailing garbage fails with a file:line diagnostic instead
+// of being folded best-effort into an aggregate; the tolerant checkpoint
+// scan treats a bad-CRC tail as the crash point and resumes before it.
 //
 // Aggregates serialise their StreamingStats as retained samples in add()
 // order, so deserialise-and-merge replays the exact fp-op sequence of a
@@ -46,6 +52,56 @@
 
 namespace synccount::sim {
 
+// --- Line integrity ----------------------------------------------------------
+
+// Frames one wire line: `json_dump` + '#' + 8-hex CRC-32 of the dump (no
+// trailing newline). Everything the v3 partial format writes goes through
+// this.
+std::string crc_frame(std::string_view json_dump);
+
+// Validates and strips the CRC suffix of a framed line. Throws
+// std::invalid_argument naming `source`:`line_no` when the suffix is
+// missing, malformed, or does not match the payload (torn write, bit flip,
+// or trailing garbage).
+std::string crc_unframe(const std::string& line, const std::string& source,
+                        std::size_t line_no);
+
+// --- Atomic file helpers -----------------------------------------------------
+
+// Durably replaces `path` with `content`: write to `path + ".tmp"`, fsync,
+// rename over `path`, fsync the directory. A kill at any point leaves
+// either the old file or the new one, never a torn mix. `fault_site` names
+// the util::FaultInjector probe point (torn-write + kill-after-commit).
+void atomic_write_file(const std::string& path, std::string_view content,
+                       std::string_view fault_site = "io.atomic_write");
+
+// Crash-consistent append: buffered bytes become visible only at commit(),
+// which publishes (previous committed contents + buffer) via the same
+// temp-file + fsync + atomic-rename discipline. The published file never
+// has a torn tail; a kill between commits costs exactly the uncommitted
+// buffer. `resume` adopts an existing file as the committed base instead
+// of starting empty.
+class AtomicAppender {
+ public:
+  explicit AtomicAppender(std::string path, bool resume = false,
+                          std::string fault_site = "io.append");
+
+  void append(std::string_view bytes) { buffer_.append(bytes); }
+  bool dirty() const noexcept { return !buffer_.empty(); }
+  const std::string& path() const noexcept { return path_; }
+
+  // Publishes the committed base + buffer atomically; no-op when nothing
+  // was appended since the last commit (except the very first commit of a
+  // fresh file, which publishes the -- possibly empty -- base).
+  void commit();
+
+ private:
+  std::string path_;
+  std::string fault_site_;
+  std::string buffer_;
+  bool have_base_ = false;  // `path_` holds committed content
+};
+
 // --- Type codecs -------------------------------------------------------------
 
 // Throws (SC_CHECK) when the spec carries an adversary factory or an `algo`
@@ -69,6 +125,11 @@ AggregateResult aggregate_from_json(const util::Json& j);
 struct ShardPartial {
   ShardPlan plan;
   util::Json spec;  // the ExperimentSpec JSON (grid echo; dump() compared on merge)
+
+  // Where this partial was read from (read_partial's `source`), so merge
+  // validation can say WHICH worker file is corrupt or inconsistent. Not
+  // serialized.
+  std::string source;
 
   // Derived from `spec` for printing and validation.
   std::vector<std::string> adversaries;
@@ -116,6 +177,13 @@ ShardPartial read_partial(std::istream& in, const std::string& source = "<stream
 // and group ranges that concatenate to the whole grid. The result
 // write_partial()s byte-identically to a single-process --shards=1 run.
 ShardPartial merge_partials(std::vector<ShardPartial> parts);
+
+// One line per differing top-level field of two serialized spec objects
+// ("seeds: checkpoint has 8, spec wants 24"), joined with "; ". Empty when
+// the dumps agree. Used to explain foreign-checkpoint rejections: naming
+// the mismatched fields turns "foreign checkpoint" into an actionable
+// diagnostic.
+std::string describe_spec_mismatch(const util::Json& wanted, const util::Json& found);
 
 // --- Checkpoints -------------------------------------------------------------
 

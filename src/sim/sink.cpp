@@ -1,6 +1,9 @@
 #include "sim/sink.hpp"
 
+#include <filesystem>
 #include <iostream>
+#include <sstream>
+#include <system_error>
 
 #include "sim/experiment_io.hpp"
 #include "util/check.hpp"
@@ -39,31 +42,39 @@ TraceSink::TraceSink(std::string path, std::string format, bool outputs, bool re
   SC_CHECK(!(csv_ && outputs_), "per-round outputs require the jsonl trace format");
 }
 
+TraceSink::~TraceSink() = default;
+
 void TraceSink::on_start(const ExperimentSpec& spec, const ShardPlan& plan) {
   (void)plan;
   grid_names(spec, adversaries_, placements_);
-  out_.open(path_, std::ios::binary | (resume_ ? std::ios::app : std::ios::trunc));
-  SC_CHECK(out_.good(), "cannot write trace file: " + path_);
-  if (csv_ && out_.tellp() == 0) {
-    out_ << "cell,adversary,placement,seed_index,seed,rounds,stabilised,"
-            "stabilisation_round,suffix_length,max_window,max_pulls,avg_pulls\n";
+  out_ = std::make_unique<AtomicAppender>(path_, resume_, "sink.trace");
+  if (csv_) {
+    std::error_code ec;
+    const std::uintmax_t existing =
+        resume_ ? std::filesystem::file_size(path_, ec) : 0;
+    if (!resume_ || ec || existing == 0) {
+      out_->append(
+          "cell,adversary,placement,seed_index,seed,rounds,stabilised,"
+          "stabilisation_round,suffix_length,max_window,max_pulls,avg_pulls\n");
+    }
   }
-  // Flush now: trace sinks start before checkpoint sinks (make_sinks order),
+  // Commit now: trace sinks start before checkpoint sinks (make_sinks order),
   // so once a checkpoint header exists on disk the CSV header does too --
   // otherwise a worker killed before the first group would leave a
   // checkpoint that resume validates against an empty trace file.
-  out_.flush();
-  SC_CHECK(out_.good(), "error writing trace file: " + path_);
+  out_->commit();
 }
 
 void TraceSink::on_cell(const CellOutcome& cell) {
   const RunResult& r = cell.result;
+  std::ostringstream row;
   if (csv_) {
-    out_ << cell.cell_index << ',' << adversaries_[cell.adversary] << ','
-         << placements_[cell.placement] << ',' << cell.seed_index << ',' << cell.seed
-         << ',' << r.rounds << ',' << (r.stabilised ? 1 : 0) << ','
-         << r.stabilisation_round << ',' << r.suffix_length << ',' << r.max_window << ','
-         << r.max_pulls_per_round << ',' << fmt_number(r.avg_pulls_per_round) << '\n';
+    row << cell.cell_index << ',' << adversaries_[cell.adversary] << ','
+        << placements_[cell.placement] << ',' << cell.seed_index << ',' << cell.seed
+        << ',' << r.rounds << ',' << (r.stabilised ? 1 : 0) << ','
+        << r.stabilisation_round << ',' << r.suffix_length << ',' << r.max_window << ','
+        << r.max_pulls_per_round << ',' << fmt_number(r.avg_pulls_per_round) << '\n';
+    out_->append(row.str());
     return;
   }
   using util::Json;
@@ -94,22 +105,22 @@ void TraceSink::on_cell(const CellOutcome& cell) {
     }
     j.set("outputs", std::move(rounds));
   }
-  out_ << j.dump() << '\n';
+  out_->append(j.dump());
+  out_->append("\n");
 }
 
 void TraceSink::on_group(std::size_t group, const AggregateResult& aggregate) {
   (void)group;
   (void)aggregate;
-  // Group-boundary flush: once a checkpoint sink (delivered after this one,
-  // see make_sinks) records the group, its trace rows are durably on disk.
-  out_.flush();
-  SC_CHECK(out_.good(), "error writing trace file: " + path_);
+  // Group-boundary commit: once a checkpoint sink (delivered after this one,
+  // see make_sinks) records the group, its trace rows are durably on disk --
+  // and the published trace never ends in a torn row.
+  out_->commit();
 }
 
 void TraceSink::on_done(const ExperimentResult& result) {
   (void)result;
-  out_.flush();
-  SC_CHECK(out_.good(), "error writing trace file: " + path_);
+  out_->commit();
 }
 
 // --- ProgressSink ------------------------------------------------------------
@@ -142,24 +153,28 @@ CheckpointSink::CheckpointSink(std::string path, bool resume)
   SC_CHECK(!path_.empty(), "checkpoint sink needs a path");
 }
 
+CheckpointSink::~CheckpointSink() = default;
+
 void CheckpointSink::on_start(const ExperimentSpec& spec, const ShardPlan& plan) {
   grid_names(spec, adversaries_, placements_);
   const util::Json spec_json = experiment_spec_to_json(spec);
-  out_.open(path_, std::ios::binary | (resume_ ? std::ios::app : std::ios::trunc));
-  SC_CHECK(out_.good(), "cannot write checkpoint file: " + path_);
+  out_ = std::make_unique<AtomicAppender>(path_, resume_, "sink.checkpoint");
   if (!resume_) {
-    write_partial_header(out_, plan, spec_json);
-    out_.flush();
-    SC_CHECK(out_.good(), "error writing checkpoint file: " + path_);
+    std::ostringstream header;
+    write_partial_header(header, plan, spec_json);
+    out_->append(header.str());
   }
+  out_->commit();
 }
 
 void CheckpointSink::on_group(std::size_t group, const AggregateResult& aggregate) {
-  // One flushed line per finished group: the durable unit of progress a
-  // preempted worker resumes from.
-  write_partial_group(out_, group, adversaries_, placements_, aggregate);
-  out_.flush();
-  SC_CHECK(out_.good(), "error writing checkpoint file: " + path_);
+  // One atomically committed line per finished group: the durable unit of
+  // progress a preempted worker resumes from. A kill mid-commit leaves the
+  // previous whole-line prefix published, never a torn tail.
+  std::ostringstream line;
+  write_partial_group(line, group, adversaries_, placements_, aggregate);
+  out_->append(line.str());
+  out_->commit();
 }
 
 // --- Declarative construction ------------------------------------------------

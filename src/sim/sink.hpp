@@ -36,7 +36,6 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -45,6 +44,8 @@
 #include "sim/engine.hpp"
 
 namespace synccount::sim {
+
+class AtomicAppender;  // sim/experiment_io.hpp
 
 class Sink {
  public:
@@ -115,17 +116,21 @@ class RecordSink final : public Sink {
 // Streams one line per execution. JSONL lines carry the full RunResult
 // summary (and the per-round outputs when `outputs` is set); CSV carries the
 // summary columns only. File contents are bit-identical across thread counts
-// and execution backends. Rows flush at group boundaries (before any
-// checkpoint sink records the group -- make_sinks orders checkpoints last),
-// so a checkpointed group's trace rows are always on disk; `resume` appends
-// after the caller has truncated the file to the checkpointed prefix
-// (truncate_to_lines in sim/experiment_io.hpp).
+// and execution backends. Rows are committed at group boundaries via
+// AtomicAppender (temp-file + fsync + atomic rename, before any checkpoint
+// sink records the group -- make_sinks orders checkpoints last), so the
+// published file never holds a torn or partial-group tail: a kill costs
+// exactly the uncommitted group. `resume` adopts the existing file after
+// the caller truncated it to the checkpointed prefix (truncate_to_lines in
+// sim/experiment_io.hpp -- only pre-v3 legacy files can still need the torn
+// -tail surgery).
 class TraceSink final : public Sink {
  public:
   // `format` is "jsonl" or "csv"; throws on anything else or when the file
   // cannot be opened (at on_start).
   TraceSink(std::string path, std::string format = "jsonl", bool outputs = false,
             bool resume = false);
+  ~TraceSink() override;
 
   bool wants_outputs() const override { return outputs_; }
   void on_start(const ExperimentSpec& spec, const ShardPlan& plan) override;
@@ -138,7 +143,7 @@ class TraceSink final : public Sink {
   bool csv_;
   bool outputs_;
   bool resume_;
-  std::ofstream out_;
+  std::unique_ptr<AtomicAppender> out_;
   std::vector<std::string> adversaries_;
   std::vector<std::string> placements_;
 };
@@ -163,14 +168,17 @@ class ProgressSink final : public Sink {
 };
 
 // Streams the experiment_io shard-partial wire format: header at on_start
-// (fresh mode), one flushed group line per finished group. Because groups
-// are delivered in order, the file is always a valid partial prefix; resume
-// mode appends to an existing prefix instead of rewriting the header, and
-// the completed file is byte-identical to an uninterrupted worker's emit.
-// Requires a serialisable spec (throws at on_start otherwise).
+// (fresh mode), one atomically committed group line per finished group
+// (AtomicAppender: the published checkpoint is always a whole number of
+// lines, whenever the worker dies). Because groups are delivered in order,
+// the file is always a valid partial prefix; resume mode appends to an
+// existing prefix instead of rewriting the header, and the completed file
+// is byte-identical to an uninterrupted worker's emit. Requires a
+// serialisable spec (throws at on_start otherwise).
 class CheckpointSink final : public Sink {
  public:
   CheckpointSink(std::string path, bool resume = false);
+  ~CheckpointSink() override;
 
   void on_start(const ExperimentSpec& spec, const ShardPlan& plan) override;
   void on_group(std::size_t group, const AggregateResult& aggregate) override;
@@ -178,7 +186,7 @@ class CheckpointSink final : public Sink {
  private:
   std::string path_;
   bool resume_;
-  std::ofstream out_;
+  std::unique_ptr<AtomicAppender> out_;
   std::vector<std::string> adversaries_;
   std::vector<std::string> placements_;
 };

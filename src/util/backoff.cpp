@@ -1,0 +1,24 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace synccount::util {
+
+std::chrono::milliseconds Backoff::next_delay() noexcept {
+  const double base = static_cast<double>(policy_.initial.count()) *
+                      std::pow(policy_.multiplier, static_cast<double>(attempt_));
+  ++attempt_;
+  const double capped = std::min(base, static_cast<double>(policy_.cap.count()));
+  // Scale by [1-jitter, 1+jitter); keep at least 1ms so a retry loop can
+  // never spin hot even with aggressive policies.
+  const double j = std::clamp(policy_.jitter, 0.0, 1.0);
+  const double scaled = capped * (1.0 - j + 2.0 * j * rng_.next_double());
+  return std::chrono::milliseconds(std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::llround(scaled))));
+}
+
+void Backoff::sleep() noexcept { std::this_thread::sleep_for(next_delay()); }
+
+}  // namespace synccount::util

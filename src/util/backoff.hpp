@@ -1,0 +1,54 @@
+// Bounded retry with exponential backoff + deterministic jitter.
+//
+// Every network edge of the sweep service (client connect, worker lease,
+// heartbeat, submit) retries through a Backoff so a daemon restart or a
+// transient socket error is absorbed instead of failing the fleet. The
+// jitter draws from a seeded util::Rng, so a retry schedule is reproducible
+// in tests and two workers seeded differently never thundering-herd in
+// lockstep.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace synccount::util {
+
+struct BackoffPolicy {
+  std::chrono::milliseconds initial{25};  // first retry delay (pre-jitter)
+  std::chrono::milliseconds cap{1000};    // delays never exceed this
+  double multiplier = 2.0;                // growth per attempt
+  double jitter = 0.5;                    // delay is scaled by [1-j, 1+j)
+  int max_attempts = 8;                   // 0 = retry forever
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy = {}, std::uint64_t seed = 0x600FF) noexcept
+      : policy_(policy), rng_(seed) {}
+
+  // True while another attempt is allowed (attempt 0 is the initial try, so
+  // max_attempts = 3 means one try plus two retries).
+  bool should_retry() const noexcept {
+    return policy_.max_attempts == 0 || attempt_ + 1 < policy_.max_attempts;
+  }
+
+  int attempt() const noexcept { return attempt_; }
+
+  // The jittered delay to sleep before the next attempt; advances the
+  // schedule. Call only when should_retry() was true.
+  std::chrono::milliseconds next_delay() noexcept;
+
+  // Sleeps next_delay() on the calling thread.
+  void sleep() noexcept;
+
+  void reset() noexcept { attempt_ = 0; }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  int attempt_ = 0;
+};
+
+}  // namespace synccount::util

@@ -1,0 +1,23 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip flavour) for the line-level
+// integrity checks of the sweep wire formats.
+//
+// Every shard-partial / checkpoint line carries an 8-hex-digit CRC suffix
+// (sim/experiment_io.hpp) so that a torn write, a bit flip on a copied file,
+// or trailing garbage is detected at read time with a file + line diagnostic
+// instead of being parsed best-effort into an aggregate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace synccount::util {
+
+// CRC-32 of `data` (reflected 0xEDB88320 polynomial, init/final 0xFFFFFFFF;
+// matches zlib's crc32()).
+std::uint32_t crc32(std::string_view data) noexcept;
+
+// The 8-char lowercase hex rendering used by the wire formats.
+std::string crc32_hex(std::string_view data);
+
+}  // namespace synccount::util

@@ -1,0 +1,135 @@
+#include "util/fault_injector.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace synccount::util {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& s, const std::string& what) {
+  SC_CHECK(!s.empty(), "fault spec: empty " + what);
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  SC_CHECK(end != nullptr && *end == '\0', "fault spec: bad " + what + ": " + s);
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    const char* spec = std::getenv("SYNCCOUNT_FAULTS");
+    const char* seed = std::getenv("SYNCCOUNT_FAULTS_SEED");
+    if (spec != nullptr && *spec != '\0') {
+      inj->configure(spec, seed != nullptr ? parse_u64(seed, "seed") : 0xFA017);
+    }
+    return inj;
+  }();
+  return *injector;
+}
+
+void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
+  std::vector<Rule> rules;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t eq = entry.find('=');
+    SC_CHECK(eq != std::string::npos && eq > 0,
+             "fault spec: want site=op@N, got: " + entry);
+    Rule rule;
+    rule.site = entry.substr(0, eq);
+    std::string op = entry.substr(eq + 1);
+    const std::size_t at = op.find('@');
+    if (at != std::string::npos) {
+      rule.at = parse_u64(op.substr(at + 1), "hit count");
+      SC_CHECK(rule.at >= 1, "fault spec: hit count must be >= 1: " + entry);
+      op = op.substr(0, at);
+    }
+    if (op == "kill") {
+      rule.op = Op::kKill;
+    } else if (op == "drop") {
+      rule.op = Op::kDrop;
+    } else if (op == "torn") {
+      rule.op = Op::kTorn;
+    } else if (op.rfind("stall:", 0) == 0) {
+      rule.op = Op::kStall;
+      rule.stall_ms = parse_u64(op.substr(6), "stall duration");
+    } else {
+      SC_CHECK(false, "fault spec: unknown op '" + op + "' in: " + entry +
+                          " (want kill|drop|torn|stall:MS)");
+    }
+    rules.push_back(std::move(rule));
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  rules_ = std::move(rules);
+  seed_ = seed;
+}
+
+FaultInjector::Rule* FaultInjector::match(std::string_view site, Op op) {
+  // Caller holds mutex_. Every rule on this site of this kind counts the
+  // probe; the first one reaching its trigger count fires (once).
+  Rule* fired = nullptr;
+  for (Rule& rule : rules_) {
+    if (rule.op != op || rule.site != site) continue;
+    ++rule.hits;
+    if (!rule.fired && rule.hits == rule.at && fired == nullptr) {
+      rule.fired = true;
+      fired = &rule;
+    }
+  }
+  return fired;
+}
+
+bool FaultInjector::should_drop(std::string_view site) {
+  if (rules_.empty()) return false;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return match(site, Op::kDrop) != nullptr;
+}
+
+void FaultInjector::probe(std::string_view site) {
+  if (rules_.empty()) return;
+  std::uint64_t stall_ms = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (match(site, Op::kKill) != nullptr) die();
+    if (const Rule* rule = match(site, Op::kStall)) stall_ms = rule->stall_ms;
+  }
+  // Sleep outside the lock: a stalled thread must not block other probes.
+  if (stall_ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+}
+
+FaultInjector::WriteFault FaultInjector::on_write(std::string_view site,
+                                                  std::size_t size) {
+  WriteFault fault;
+  if (rules_.empty()) return fault;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (match(site, Op::kTorn) != nullptr) {
+    fault.torn = true;
+    // Seeded, site-dependent cut point: deterministic per fault plan, but
+    // not always the same "clean prefix" degenerate case.
+    std::uint64_t site_hash = 0;
+    for (const char c : site) {
+      site_hash = hash_combine(site_hash, static_cast<unsigned char>(c));
+    }
+    Rng rng(hash_combine(seed_, site_hash));
+    fault.keep_bytes = size == 0 ? 0 : rng.next_below(static_cast<std::uint64_t>(size));
+  }
+  return fault;
+}
+
+void FaultInjector::die() { ::_exit(137); }
+
+}  // namespace synccount::util

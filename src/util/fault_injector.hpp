@@ -1,0 +1,91 @@
+// Deterministic fault injection for crash-recovery testing.
+//
+// Every recovery path of the sweep service (lease expiry, daemon restart,
+// torn-write repair, retry/backoff) is exercised in-tree by planting faults
+// at named syscall-adjacent sites. A fault plan is a comma-separated spec,
+// configured from the SYNCCOUNT_FAULTS environment variable at first use
+// (so chaos tests steer child processes without special flags) or
+// explicitly via configure():
+//
+//   site=op@N[,site=op@N...]
+//
+// fires `op` on the N-th probe (1-based) of `site`, once. Ops:
+//
+//   kill       _exit(137) -- a SIGKILL-equivalent death: no flushes, no
+//              destructors, nothing graceful
+//   drop       should_drop() returns true (the caller skips the action,
+//              e.g. a heartbeat silently not sent)
+//   torn       on_write() reports a torn write: the caller persists only a
+//              seeded-random prefix of the payload and then dies
+//   stall:MS   sleep MS milliseconds at the probe (a hung worker)
+//
+// Example: SYNCCOUNT_FAULTS="worker.group=kill@2,serve.job.commit=torn@1"
+// kills a worker right after it computes its second group, and tears the
+// daemon's first job-state commit.
+//
+// Probes on sites with no matching rule are a map lookup on a usually-empty
+// table; production runs with SYNCCOUNT_FAULTS unset pay one `empty()` test.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace synccount::util {
+
+class FaultInjector {
+ public:
+  // The process-wide injector, configured from SYNCCOUNT_FAULTS (and
+  // SYNCCOUNT_FAULTS_SEED) on first access.
+  static FaultInjector& instance();
+
+  FaultInjector() = default;
+
+  // Replaces the active fault plan. Throws std::invalid_argument on a
+  // malformed spec. An empty spec disables all faults.
+  void configure(const std::string& spec, std::uint64_t seed = 0xFA017);
+
+  bool active() const noexcept { return !rules_.empty(); }
+
+  // True when a `drop` rule fires at this probe: the caller must skip the
+  // guarded action (pretend the message was lost).
+  bool should_drop(std::string_view site);
+
+  // Fires `kill` (dies on the spot) and `stall` rules.
+  void probe(std::string_view site);
+
+  // Torn-write probe for the atomic file helpers: when `torn` is true the
+  // caller must persist exactly `keep_bytes` of its `size`-byte payload and
+  // then call die() -- simulating a crash mid-write.
+  struct WriteFault {
+    bool torn = false;
+    std::size_t keep_bytes = 0;
+  };
+  WriteFault on_write(std::string_view site, std::size_t size);
+
+  // SIGKILL-equivalent death: immediate _exit(137), no cleanup.
+  [[noreturn]] static void die();
+
+ private:
+  enum class Op { kKill, kDrop, kTorn, kStall };
+  struct Rule {
+    std::string site;
+    Op op = Op::kKill;
+    std::uint64_t at = 1;        // fire on the at-th probe of the site
+    std::uint64_t stall_ms = 0;  // kStall only
+    std::uint64_t hits = 0;
+    bool fired = false;
+  };
+
+  // Returns the rule of kind `op` firing at this probe of `site`, if any.
+  Rule* match(std::string_view site, Op op);
+
+  std::mutex mutex_;
+  std::vector<Rule> rules_;
+  std::uint64_t seed_ = 0xFA017;
+};
+
+}  // namespace synccount::util

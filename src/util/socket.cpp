@@ -1,0 +1,158 @@
+#include "util/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace synccount::util {
+
+namespace {
+
+constexpr std::size_t kMaxLine = 64u << 20;
+
+// Waits until `fd` is ready for `events` (POLLIN/POLLOUT); false on timeout
+// or error. EINTR retries within the same call.
+bool wait_ready(int fd, short events, int timeout_ms) noexcept {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = events;
+  pfd.revents = 0;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return (pfd.revents & (events | POLLHUP | POLLERR)) != 0;
+    if (rc == 0) return false;
+    if (errno != EINTR) return false;
+  }
+}
+
+bool fill_sockaddr(const std::string& path, sockaddr_un& addr) noexcept {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) return false;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+// --- LineSocket ----------------------------------------------------------------
+
+LineSocket::LineSocket(LineSocket&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+LineSocket& LineSocket::operator=(LineSocket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+LineSocket LineSocket::connect_unix(const std::string& path, int timeout_ms) {
+  sockaddr_un addr;
+  if (!fill_sockaddr(path, addr)) return LineSocket();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return LineSocket();
+  // Unix-socket connects complete immediately or fail (listen backlog full
+  // returns EAGAIN); a plain blocking connect cannot wedge the way a TCP
+  // SYN can, so the timeout only guards the backlog-full retry edge.
+  (void)timeout_ms;
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return LineSocket();
+  }
+  return LineSocket(fd);
+}
+
+void LineSocket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+bool LineSocket::send_line(const std::string& line, int timeout_ms) noexcept {
+  if (fd_ < 0) return false;
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    if (!wait_ready(fd_, POLLOUT, timeout_ms)) return false;
+    // MSG_NOSIGNAL: a vanished peer is a `false`, never a fatal SIGPIPE.
+    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool LineSocket::recv_line(std::string& out, int timeout_ms) noexcept {
+  if (fd_ < 0) return false;
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    if (buffer_.size() > kMaxLine) return false;
+    if (!wait_ready(fd_, POLLIN, timeout_ms)) return false;
+    char chunk[1 << 16];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return false;  // EOF mid-line: the peer died
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+// --- UnixListener ----------------------------------------------------------------
+
+UnixListener::UnixListener(const std::string& path) : path_(path) {
+  sockaddr_un addr;
+  SC_CHECK(fill_sockaddr(path, addr),
+           "socket path too long (" + std::to_string(path.size()) + " bytes): " + path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  SC_CHECK(fd_ >= 0, "cannot create socket: " + std::string(std::strerror(errno)));
+  // A stale socket file from a killed daemon must not block the restart;
+  // a *live* daemon still fails the bind below because it holds the name
+  // only until we unlink -- callers are expected to own the path.
+  ::unlink(path.c_str());
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    SC_CHECK(false, "cannot listen on " + path + ": " + err);
+  }
+}
+
+UnixListener::~UnixListener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+LineSocket UnixListener::accept_conn(int timeout_ms) noexcept {
+  if (fd_ < 0 || !wait_ready(fd_, POLLIN, timeout_ms)) return LineSocket();
+  const int conn = ::accept(fd_, nullptr, nullptr);
+  return conn >= 0 ? LineSocket(conn) : LineSocket();
+}
+
+}  // namespace synccount::util

@@ -1,0 +1,74 @@
+// Unix-domain stream sockets with line-oriented I/O and deadlines.
+//
+// The sweep service speaks newline-delimited JSON over a Unix socket
+// (serve/protocol.hpp). This layer owns the file descriptors and the two
+// failure modes that matter for robustness: peers that disappear (EPIPE /
+// ECONNRESET map to a clean `false`, never a signal -- SIGPIPE is
+// suppressed per-send) and peers that stall (every read/write takes a
+// timeout and gives up instead of wedging the daemon loop).
+#pragma once
+
+#include <string>
+
+namespace synccount::util {
+
+// A connected stream socket with buffered line reads. Movable, not
+// copyable; closes the fd on destruction.
+class LineSocket {
+ public:
+  LineSocket() = default;
+  explicit LineSocket(int fd) noexcept : fd_(fd) {}
+  ~LineSocket() { close(); }
+
+  LineSocket(LineSocket&& other) noexcept;
+  LineSocket& operator=(LineSocket&& other) noexcept;
+  LineSocket(const LineSocket&) = delete;
+  LineSocket& operator=(const LineSocket&) = delete;
+
+  // Connects to a Unix socket path. Returns an invalid socket (valid() ==
+  // false) when the connect fails -- callers retry through util::Backoff.
+  static LineSocket connect_unix(const std::string& path, int timeout_ms);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  // Writes `line` plus a trailing '\n' in full. False on any error or when
+  // the deadline passes first (the peer is gone or stalled).
+  bool send_line(const std::string& line, int timeout_ms) noexcept;
+
+  // Reads up to the next '\n' (consumed, not returned). False on EOF,
+  // error, timeout, or an over-long line (> 64 MiB: a framing bug, not a
+  // message).
+  bool recv_line(std::string& out, int timeout_ms) noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+// A listening Unix socket. Removes a stale socket file on bind and unlinks
+// its own on destruction.
+class UnixListener {
+ public:
+  // Throws std::invalid_argument when the socket cannot be bound (path too
+  // long, directory missing, address in use by a live listener).
+  explicit UnixListener(const std::string& path);
+  ~UnixListener();
+
+  UnixListener(const UnixListener&) = delete;
+  UnixListener& operator=(const UnixListener&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  const std::string& path() const noexcept { return path_; }
+
+  // Accepts one pending connection; invalid socket when none is pending
+  // within the timeout.
+  LineSocket accept_conn(int timeout_ms) noexcept;
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace synccount::util

@@ -71,6 +71,33 @@ void expect_read_partial_throws(const std::string& text, const std::string& what
   }
 }
 
+// Tampers with the payload of the (first) line containing `from` and
+// re-signs its CRC, so the semantic validation under test fires instead of
+// the integrity gate.
+std::string tamper_and_resign(const std::string& text, const std::string& from,
+                              const std::string& to) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  std::size_t line_no = 0;
+  bool done = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!done && line.find(from) != std::string::npos) {
+      std::string payload = sim::crc_unframe(line, "tamper", line_no);
+      const std::size_t at = payload.find(from);
+      if (at != std::string::npos) {
+        payload.replace(at, from.size(), to);
+        line = sim::crc_frame(payload);
+        done = true;
+      }
+    }
+    out << line << '\n';
+  }
+  EXPECT_TRUE(done) << "pattern not found: " << from;
+  return out.str();
+}
+
 // --- Spec files --------------------------------------------------------------
 
 TEST(SpecFile, RoundTripsByteStable) {
@@ -103,21 +130,41 @@ TEST(SpecFile, RejectsTruncatedJson) {
 // --- Partial files -----------------------------------------------------------
 
 TEST(ReadPartial, RejectsUnknownVersion) {
-  std::string text = partial_text(small_spec());
-  const std::string v = "\"version\":2";
-  ASSERT_NE(text.find(v), std::string::npos);
-  text.replace(text.find(v), v.size(), "\"version\":1");
+  const std::string text = tamper_and_resign(partial_text(small_spec()),
+                                             "\"version\":3", "\"version\":1");
   expect_read_partial_throws(text, "unsupported format version");
 }
 
 TEST(ReadPartial, RejectsTruncatedFiles) {
   const std::string text = partial_text(small_spec());
-  // Cut in the middle of the last group line: the damaged line must fail
-  // with a contextful JSON error, not be silently dropped.
-  expect_read_partial_throws(text.substr(0, text.size() - 20), "bad JSON");
+  // Cut in the middle of the last group line: the torn line loses its CRC
+  // suffix and must fail with a contextful diagnostic, not be silently
+  // dropped or half-parsed.
+  expect_read_partial_throws(text.substr(0, text.size() - 20), "missing line CRC");
   // Cut a whole group line (file ends cleanly but the range is incomplete).
   const std::size_t last_line_start = text.rfind('\n', text.size() - 2) + 1;
   expect_read_partial_throws(text.substr(0, last_line_start), "missing group lines");
+}
+
+TEST(ReadPartial, RejectsBitFlipsViaLineCrc) {
+  // Flip one byte of a group line WITHOUT re-signing: the payload is still
+  // valid JSON, so only the CRC can catch it. The error names file + line.
+  std::string text = partial_text(small_spec());
+  const std::string runs = "\"runs\":4";
+  const std::size_t at = text.find(runs);
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, runs.size(), "\"runs\":7");
+  expect_read_partial_throws(text, "bad line CRC");
+  expect_read_partial_throws(text, "test.jsonl:");
+}
+
+TEST(ReadPartial, RejectsTrailingGarbageAfterCrc) {
+  // Bytes appended after a line's CRC suffix (a botched concatenation) break
+  // the frame even when the JSON prefix still parses.
+  std::string text = partial_text(small_spec());
+  ASSERT_EQ(text.back(), '\n');
+  text.insert(text.size() - 1, "garbage");
+  expect_read_partial_throws(text, "line CRC");
 }
 
 TEST(ReadPartial, RejectsDuplicateHeaders) {
@@ -132,12 +179,37 @@ TEST(ReadPartial, RejectsDuplicateHeaders) {
 }
 
 TEST(ReadPartial, RejectsCorruptedAggregates) {
-  std::string text = partial_text(small_spec());
-  // Tamper with a sample count so the aggregate invariant breaks.
-  const std::string runs = "\"runs\":4";
-  ASSERT_NE(text.find(runs), std::string::npos);
-  text.replace(text.find(runs), runs.size(), "\"runs\":5");
+  // Tamper with a sample count (re-signed, so the CRC gate passes) so the
+  // aggregate invariant itself breaks; the error names the group.
+  const std::string text =
+      tamper_and_resign(partial_text(small_spec()), "\"runs\":4", "\"runs\":5");
   expect_read_partial_throws(text, "sample counts disagree");
+  expect_read_partial_throws(text, "corrupt aggregate for group");
+}
+
+TEST(DescribeSpecMismatch, NamesTheDifferingFields) {
+  const util::Json want = util::Json::parse(
+      "{\"seeds\":24,\"max_rounds\":64,\"margin\":8}");
+  const util::Json found = util::Json::parse(
+      "{\"seeds\":8,\"max_rounds\":64,\"extra\":true}");
+  const std::string diff = sim::describe_spec_mismatch(want, found);
+  EXPECT_NE(diff.find("seeds"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("margin"), std::string::npos) << diff;
+  EXPECT_NE(diff.find("extra"), std::string::npos) << diff;
+  EXPECT_EQ(diff.find("max_rounds"), std::string::npos) << diff;
+  // Agreement -> empty.
+  EXPECT_TRUE(sim::describe_spec_mismatch(want, want).empty());
+}
+
+TEST(CrcFrame, RoundTripsAndRejectsDamage) {
+  const std::string payload = "{\"hello\":\"world\"}";
+  const std::string framed = sim::crc_frame(payload);
+  EXPECT_EQ(sim::crc_unframe(framed, "f", 1), payload);
+  EXPECT_THROW(sim::crc_unframe(framed + "x", "f", 1), std::invalid_argument);
+  EXPECT_THROW(sim::crc_unframe(payload, "f", 1), std::invalid_argument);
+  std::string flipped = framed;
+  flipped[2] ^= 1;
+  EXPECT_THROW(sim::crc_unframe(flipped, "f", 1), std::invalid_argument);
 }
 
 // --- truncate_to_lines -------------------------------------------------------

@@ -19,13 +19,34 @@ import json
 import sys
 
 
+def fail(message):
+    print(f"check_perf_smoke: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def need(mapping, key, where):
+    """dict lookup with a readable diagnostic instead of a KeyError trace."""
+    if not isinstance(mapping, dict) or key not in mapping:
+        fail(f"{where} has no \"{key}\" field -- not a bench_micro --json file, "
+             f"or produced by an older bench_micro?")
+    return mapping[key]
+
+
 def cells(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON ({e}) -- truncated bench run?")
     out = {}
-    for inst in doc["instances"]:
-        for r in inst["results"]:
-            out[(inst["instance"], r["adversary"])] = r["speedup"]
+    for i, inst in enumerate(need(doc, "instances", path)):
+        where = f"{path} instances[{i}]"
+        name = need(inst, "instance", where)
+        for j, r in enumerate(need(inst, "results", where)):
+            rwhere = f"{where} ({name}) results[{j}]"
+            out[(name, need(r, "adversary", rwhere))] = need(r, "speedup", rwhere)
     return out
 
 

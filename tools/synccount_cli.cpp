@@ -390,15 +390,14 @@ int print_partial_table(const sim::ShardPartial& partial) {
 }
 
 int emit_partial(const std::string& path, const sim::ShardPartial& partial) {
-  std::ofstream out(path);
-  if (!out.good()) {
-    std::cerr << "cannot write " << path << "\n";
-    return 1;
-  }
+  std::ostringstream out;
   sim::write_partial(out, partial);
-  out.close();  // flush now: close-time errors (ENOSPC) must fail the worker
-  if (!out.good()) {
-    std::cerr << "error writing " << path << "\n";
+  try {
+    // Durable + atomic: an orchestrator (or CI byte-compare) never sees a
+    // half-written partial, and ENOSPC fails the worker here, not later.
+    sim::atomic_write_file(path, out.str());
+  } catch (const std::exception& e) {
+    std::cerr << "error writing " << path << ": " << e.what() << "\n";
     return 1;
   }
   return 0;

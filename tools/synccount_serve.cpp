@@ -1,0 +1,234 @@
+// synccount_serve -- the sweep service: a daemon owning a durable queue of
+// experiment jobs, workers leasing cell-groups over a Unix socket, and
+// client commands to drive both.
+//
+//   synccount_serve serve     --socket=PATH --state-dir=DIR
+//                             [--lease-ms=5000] [--lease-groups=1]
+//   synccount_serve worker    --socket=PATH [--threads=1] [--id=NAME]
+//                             [--lease-groups=K] [--loop]
+//   synccount_serve submit    --socket=PATH --job=NAME --spec=SPEC.json
+//                             [--wait [--poll-ms=250]] [--emit=FILE]
+//   synccount_serve status    --socket=PATH [--job=NAME]
+//   synccount_serve results   --socket=PATH --job=NAME [--emit=FILE]
+//   synccount_serve drain     --socket=PATH
+//   synccount_serve shutdown  --socket=PATH
+//
+// The daemon persists all queue state under --state-dir with crash-safe
+// writes: SIGKILL it at any instant, restart it on the same directory, and
+// no durably completed group is lost or double-counted. Workers hold
+// deadline-based leases renewed by heartbeats; a SIGKILL'd worker costs the
+// fleet only its in-flight group (the lease expires and the group is
+// requeued). `submit --wait --emit=FILE` blocks until the job finishes and
+// writes the merged shard-partial file, byte-identical to a single-process
+// `synccount_cli sweep --spec=SPEC.json --emit=FILE` of the same spec.
+// Unknown flags and subcommands exit with status 2, like synccount_cli.
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/protocol.hpp"
+#include "sim/experiment_io.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+
+using namespace synccount;
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: synccount_serve <command> [--flags]\n"
+        "  serve     run the queue daemon\n"
+        "            --socket=PATH --state-dir=DIR [--lease-ms=N] [--lease-groups=K]\n"
+        "  worker    lease and run cell-groups until the queue settles empty\n"
+        "            --socket=PATH [--threads=N] [--id=NAME] [--lease-groups=K]\n"
+        "            [--loop]  (keep serving after the queue empties)\n"
+        "  submit    register a job from a spec file (idempotent by name)\n"
+        "            --socket=PATH --job=NAME --spec=SPEC.json\n"
+        "            [--wait [--poll-ms=N]] [--emit=FILE]\n"
+        "  status    show jobs: --socket=PATH [--job=NAME]\n"
+        "  results   fetch a finished job's partial: --socket=PATH --job=NAME\n"
+        "            [--emit=FILE]  (default: stdout)\n"
+        "  drain     stop granting leases: --socket=PATH\n"
+        "  shutdown  stop the daemon (state stays on disk): --socket=PATH\n"
+        "see the header of tools/synccount_serve.cpp for the failure model\n";
+}
+
+int reject_unknown(const util::Cli& cli, std::initializer_list<const char*> known) {
+  const auto unknown = cli.unknown_flags(known);
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag" << (unknown.size() > 1 ? "s" : "") << ":";
+    for (const auto& f : unknown) std::cerr << " --" << f;
+    std::cerr << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+  if (!cli.positional().empty()) {
+    std::cerr << "unexpected argument: " << cli.positional().front() << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+  return 0;
+}
+
+std::string need_string(const util::Cli& cli, const char* flag) {
+  const std::string value = cli.get_string(flag, "");
+  if (value.empty()) {
+    std::cerr << "--" << flag << " is required\n";
+    usage(std::cerr);
+    std::exit(2);
+  }
+  return value;
+}
+
+// Prints to stdout or writes `text` durably to --emit=FILE.
+int emit_or_print(const util::Cli& cli, const std::string& text) {
+  const std::string emit = cli.get_string("emit", "");
+  if (emit.empty()) {
+    std::cout << text;
+    return 0;
+  }
+  sim::atomic_write_file(emit, text);
+  std::cerr << "wrote " << emit << "\n";
+  return 0;
+}
+
+int cmd_serve(const util::Cli& cli) {
+  if (const int rc = reject_unknown(
+          cli, {"socket", "state-dir", "lease-ms", "lease-groups"})) {
+    return rc;
+  }
+  serve::DaemonConfig cfg;
+  cfg.socket_path = need_string(cli, "socket");
+  cfg.state_dir = need_string(cli, "state-dir");
+  cfg.lease_ttl_ms = cli.get_u64("lease-ms", 5000);
+  cfg.lease_groups = cli.get_u64("lease-groups", 1);
+  serve::Daemon daemon(cfg);
+  return daemon.run();
+}
+
+int cmd_worker(const util::Cli& cli) {
+  if (const int rc = reject_unknown(
+          cli, {"socket", "threads", "id", "lease-groups", "loop"})) {
+    return rc;
+  }
+  serve::WorkerConfig cfg;
+  cfg.socket_path = need_string(cli, "socket");
+  cfg.threads = static_cast<int>(cli.get_int("threads", 1));
+  cfg.worker_id = cli.get_string("id", "");
+  cfg.max_groups = cli.get_u64("lease-groups", 0);
+  cfg.once = !cli.get_bool("loop", false);
+  const std::uint64_t groups = serve::run_worker(cfg);
+  std::cerr << "worker done: " << groups << " group(s) completed\n";
+  return 0;
+}
+
+// One request against --socket, letting the Client's backoff absorb daemon
+// restarts.
+util::Json do_request(const util::Cli& cli, const util::Json& req) {
+  return serve::Client(need_string(cli, "socket")).request(req);
+}
+
+int cmd_submit(const util::Cli& cli) {
+  if (const int rc = reject_unknown(
+          cli, {"socket", "job", "spec", "wait", "poll-ms", "emit"})) {
+    return rc;
+  }
+  const std::string job = need_string(cli, "job");
+  const std::string spec_file = need_string(cli, "spec");
+  std::ifstream in(spec_file, std::ios::binary);
+  if (!in.good()) {
+    std::cerr << "cannot read spec file: " << spec_file << "\n";
+    return 1;
+  }
+  const sim::ExperimentSpec spec = sim::read_spec_file(in, spec_file);
+
+  util::Json req = serve::make_request("submit");
+  req.set("job", util::Json::string(job));
+  req.set("spec", sim::experiment_spec_to_json(spec));
+  const util::Json resp = do_request(cli, req);
+  const std::uint64_t groups = serve::msg_u64(resp, "groups");
+  std::cerr << "job " << job << ": " << serve::msg_u64(resp, "done") << "/" << groups
+            << " groups done"
+            << (serve::msg_bool(resp, "existed", false) ? " (already submitted)" : "")
+            << "\n";
+  if (!cli.has("wait") && !cli.has("emit")) return 0;
+
+  // Poll until complete, then fetch the merged partial.
+  serve::Client client(need_string(cli, "socket"));
+  const auto poll = std::chrono::milliseconds(cli.get_u64("poll-ms", 250));
+  for (;;) {
+    util::Json status_req = serve::make_request("status");
+    status_req.set("job", util::Json::string(job));
+    const util::Json status = client.request(status_req);
+    const util::Json& row = status.at("jobs").at(std::size_t{0});
+    if (serve::msg_bool(row, "complete", false)) break;
+    std::this_thread::sleep_for(poll);
+  }
+  util::Json results_req = serve::make_request("results");
+  results_req.set("job", util::Json::string(job));
+  return emit_or_print(cli, serve::msg_string(client.request(results_req), "partial"));
+}
+
+int cmd_status(const util::Cli& cli) {
+  if (const int rc = reject_unknown(cli, {"socket", "job"})) return rc;
+  util::Json req = serve::make_request("status");
+  if (cli.has("job")) req.set("job", util::Json::string(cli.get_string("job", "")));
+  const util::Json resp = do_request(cli, req);
+  if (serve::msg_bool(resp, "draining", false)) std::cout << "draining\n";
+  const util::Json& jobs = resp.at("jobs");
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const util::Json& j = jobs.at(i);
+    std::cout << j.at("job").as_string() << ": " << serve::msg_u64(j, "done") << "/"
+              << serve::msg_u64(j, "groups") << " done, " << serve::msg_u64(j, "leased")
+              << " leased" << (serve::msg_bool(j, "complete", false) ? " [complete]" : "")
+              << "\n";
+  }
+  if (jobs.size() == 0) std::cout << "no jobs\n";
+  return 0;
+}
+
+int cmd_results(const util::Cli& cli) {
+  if (const int rc = reject_unknown(cli, {"socket", "job", "emit"})) return rc;
+  util::Json req = serve::make_request("results");
+  req.set("job", util::Json::string(need_string(cli, "job")));
+  return emit_or_print(cli, serve::msg_string(do_request(cli, req), "partial"));
+}
+
+int cmd_simple(const util::Cli& cli, const char* op) {
+  if (const int rc = reject_unknown(cli, {"socket"})) return rc;
+  (void)do_request(cli, serve::make_request(op));
+  std::cerr << op << ": ok\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(std::cerr);
+    return 2;
+  }
+  const std::string command = argv[1];
+  // Cli skips its argv[0] (the subcommand here), same as synccount_cli.
+  const util::Cli cli(argc - 1, argv + 1);
+  try {
+    if (command == "serve") return cmd_serve(cli);
+    if (command == "worker") return cmd_worker(cli);
+    if (command == "submit") return cmd_submit(cli);
+    if (command == "status") return cmd_status(cli);
+    if (command == "results") return cmd_results(cli);
+    if (command == "drain") return cmd_simple(cli, "drain");
+    if (command == "shutdown") return cmd_simple(cli, "shutdown");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command: " << command << "\n";
+  usage(std::cerr);
+  return 2;
+}
