@@ -10,13 +10,18 @@
 // CI records the perf trajectory.
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <sstream>
 
 #include "boosting/planner.hpp"
+#include "sim/engine.hpp"
 #include "counting/trivial.hpp"
 #include "phaseking/phase_king.hpp"
 #include "sat/solver.hpp"
@@ -257,6 +262,82 @@ void BM_ComposedBackendBatched(benchmark::State& state) {
 }
 BENCHMARK(BM_ComposedBackendBatched)->Unit(benchmark::kMillisecond);
 
+// --- Aggregation memory probe (--rss-probe, re-exec'd child) -----------------
+//
+// Peak RSS of folding a synthetic million-cell sweep's RunResults into
+// per-group aggregates plus a grand total -- the exact-vs-sketch memory
+// story of ROADMAP item 3, measured rather than asserted. Runs in a child
+// process re-exec'd from run_json_smoke (NOT forked: a forked child inherits
+// the parent's already-touched pages and ru_maxrss high-water mark, which
+// would drown the signal).
+
+// The fold a sweep's engine performs, on synthetic results: `groups` group
+// aggregates of `cells` runs each, merged into one total in group order.
+// Returns getrusage peak RSS in KiB.
+long run_rss_probe(util::StatsMode mode, std::size_t cells, std::size_t groups) {
+  sim::AggregateResult total(mode);
+  util::Rng rng(0xA99);
+  for (std::size_t g = 0; g < groups; ++g) {
+    sim::AggregateResult agg(mode);
+    for (std::size_t i = 0; i < cells; ++i) {
+      sim::RunResult r;
+      r.rounds = 200 + rng.next_below(100);
+      r.stabilised = (rng.next_below(100) != 0);
+      r.stabilisation_round = 20 + rng.next_below(500);
+      r.max_pulls_per_round = 1 + rng.next_below(4);
+      r.avg_pulls_per_round =
+          1.0 + static_cast<double>(rng.next_below(1000)) / 1000.0;
+      agg.fold(r);
+    }
+    total.merge(agg);
+  }
+  // Consume the aggregate the way a report does, so the fold (and, in exact
+  // mode, the quantile's sort scratch) is part of what gets measured.
+  benchmark::DoNotOptimize(total.stabilisation.quantile(0.5));
+  benchmark::DoNotOptimize(total.rounds.summary());
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+// Parses "--rss-probe=<exact|sketch>:<cells>:<groups>", runs the probe and
+// prints the peak RSS KiB on stdout. Returns the process exit code.
+int run_rss_probe_main(const std::string& arg) {
+  std::istringstream in(arg);
+  std::string mode_name, cells_s, groups_s;
+  if (!std::getline(in, mode_name, ':') || !std::getline(in, cells_s, ':') ||
+      !std::getline(in, groups_s) || (mode_name != "exact" && mode_name != "sketch")) {
+    std::cerr << "bad --rss-probe argument: " << arg
+              << " (want <exact|sketch>:<cells>:<groups>)\n";
+    return 2;
+  }
+  const auto mode =
+      mode_name == "sketch" ? util::StatsMode::kSketch : util::StatsMode::kExact;
+  const auto cells = static_cast<std::size_t>(std::strtoull(cells_s.c_str(), nullptr, 10));
+  const auto groups = static_cast<std::size_t>(std::strtoull(groups_s.c_str(), nullptr, 10));
+  if (cells == 0 || groups == 0) {
+    std::cerr << "--rss-probe needs cells > 0 and groups > 0\n";
+    return 2;
+  }
+  std::cout << run_rss_probe(mode, cells, groups) << "\n";
+  return 0;
+}
+
+// Re-execs this binary as an RSS probe child and returns its reported peak
+// RSS KiB, or -1 on any failure (missing exe, crash, unparsable output).
+long probe_rss_child(const std::string& exe, const std::string& mode, std::size_t cells,
+                     std::size_t groups) {
+  const std::string cmd = "'" + exe + "' --rss-probe=" + mode + ":" +
+                          std::to_string(cells) + ":" + std::to_string(groups);
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buf[128] = {0};
+  const bool got = std::fgets(buf, sizeof(buf), pipe) != nullptr;
+  const int rc = pclose(pipe);
+  if (!got || rc != 0) return -1;
+  return std::strtol(buf, nullptr, 10);
+}
+
 // --- Perf smoke (--json): records the backend trajectory for CI -------------
 
 double seconds_of(const std::function<void()>& fn, int reps) {
@@ -278,7 +359,7 @@ struct SmokeInstance {
   std::function<BackendCase(const std::string&)> make_case;
 };
 
-int run_json_smoke(const std::string& path) {
+int run_json_smoke(const std::string& exe, const std::string& path) {
   std::ofstream out(path);
   if (!out.good()) {
     std::cerr << "cannot write " << path << "\n";
@@ -322,7 +403,34 @@ int run_json_smoke(const std::string& path) {
     out << "\n     ]}";
     first_instance = false;
   }
-  out << "\n  ]\n}\n";
+  out << "\n  ],\n";
+
+  // Aggregation memory: peak RSS of the per-group fold of a synthetic
+  // million-cell sweep (8 groups x 131072 cells), exact vs sketch, each in a
+  // fresh child process. check_perf_smoke.py gates on rss_ratio.
+  const std::size_t agg_cells = 131072;
+  const std::size_t agg_groups = 8;
+  // A 1-cell null probe measures the child's load-time floor (binary +
+  // runtime pages, ~3.6 MiB); the aggregation layer's cost is the peak above
+  // it, otherwise the floor masks the sketch's real footprint in the ratio.
+  const long base_kb = probe_rss_child(exe, "exact", 1, 1);
+  const long exact_kb = probe_rss_child(exe, "exact", agg_cells, agg_groups);
+  const long sketch_kb = probe_rss_child(exe, "sketch", agg_cells, agg_groups);
+  if (base_kb <= 0 || exact_kb <= base_kb || sketch_kb <= base_kb) {
+    std::cerr << "aggregation RSS probe failed (baseline " << base_kb << " KiB, exact "
+              << exact_kb << " KiB, sketch " << sketch_kb << " KiB)\n";
+    return 1;
+  }
+  const double ratio = static_cast<double>(sketch_kb - base_kb) /
+                       static_cast<double>(exact_kb - base_kb);
+  out << "  \"aggregation\": {\"cells_per_group\": " << agg_cells
+      << ", \"groups\": " << agg_groups << ", \"baseline_peak_rss_kb\": " << base_kb
+      << ", \"exact_peak_rss_kb\": " << exact_kb
+      << ", \"sketch_peak_rss_kb\": " << sketch_kb << ", \"rss_ratio\": " << ratio
+      << "}\n}\n";
+  std::cout << "aggregation (" << agg_groups << " groups x " << agg_cells
+            << " cells): peak RSS baseline " << base_kb << " KiB, exact " << exact_kb
+            << " KiB, sketch " << sketch_kb << " KiB, net ratio " << ratio << "\n";
   std::cout << "wrote " << path << "\n";
   return 0;
 }
@@ -331,8 +439,11 @@ int run_json_smoke(const std::string& path) {
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rss-probe=", 12) == 0) {
+      return run_rss_probe_main(argv[i] + 12);
+    }
     if (std::strcmp(argv[i], "--json") == 0) {
-      return run_json_smoke(i + 1 < argc ? argv[i + 1] : "BENCH_batch.json");
+      return run_json_smoke(argv[0], i + 1 < argc ? argv[i + 1] : "BENCH_batch.json");
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -1,6 +1,8 @@
 #include "sim/engine.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 
 #include "counting/table_algorithm.hpp"
@@ -80,7 +82,7 @@ std::string AggregateResult::fmt_rounds() const {
 
 AggregateResult ExperimentResult::aggregate(std::optional<std::size_t> adversary,
                                             std::optional<std::size_t> placement) const {
-  AggregateResult agg;
+  AggregateResult agg(stats);
   for (const auto& c : cells) {
     if (adversary && c.adversary != *adversary) continue;
     if (placement && c.placement != *placement) continue;
@@ -167,6 +169,7 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
 
   ExperimentResult out;
   out.cells.resize(n_cells);
+  out.stats = spec.stats;
 
   const auto seed_at = [&spec, n_seeds](std::size_t idx) {
     return spec.explicit_seeds.empty() ? cell_seed(spec.base_seed, idx)
@@ -212,6 +215,28 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
   // which threads finish first. One thread delivers at a time; sinks need
   // not be thread-safe.
   const std::size_t n_groups = shard.groups();
+
+  // Always-on per-group profiling counters (sim/profile.hpp): backend tag +
+  // node-rounds packed in one atomic word, task nanos in a second. Tasks of
+  // the same group may run on different threads, hence atomics; readers wait
+  // for the pool to join. Value-initialised to zero (= GroupProfile::kIdle).
+  const auto prof_packed = std::make_unique<std::atomic<std::uint64_t>[]>(n_groups);
+  const auto prof_nanos = std::make_unique<std::atomic<std::uint64_t>[]>(n_groups);
+  const auto record_profile = [&](std::size_t local_group, std::uint64_t tag,
+                                  std::uint64_t work,
+                                  std::chrono::steady_clock::time_point t0) {
+    profile_record(prof_packed[local_group], tag, work);
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    prof_nanos[local_group].fetch_add(static_cast<std::uint64_t>(ns),
+                                      std::memory_order_relaxed);
+  };
+  // Work unit both backends share: executed rounds x correct nodes.
+  const auto node_rounds_of = [](const RunResult& r) {
+    return r.rounds * static_cast<std::uint64_t>(r.correct_ids.size());
+  };
+
   std::mutex sink_mu;
   std::vector<std::size_t> cells_pending(n_groups, n_seeds);
   std::size_t next_delivery = 0;  // local group index
@@ -221,7 +246,7 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
     cells_pending[local_group] -= count;
     while (next_delivery < n_groups && cells_pending[next_delivery] == 0) {
       const std::size_t first = next_delivery * n_seeds;
-      AggregateResult agg;
+      AggregateResult agg(spec.stats);
       for (std::size_t k = 0; k < n_seeds; ++k) {
         CellOutcome& cell = out.cells[first + k];
         for (Sink* sink : sinks) sink->on_cell(cell);
@@ -279,6 +304,7 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
       for (std::size_t s0 = 0; s0 < n_seeds; s0 += chunk) {
         const std::size_t count = std::min(chunk, n_seeds - s0);
         tasks.push_back([&, a, group, s0, count, p, local_group] {
+          const auto t0 = std::chrono::steady_clock::now();
           BatchConfig bc;
           bc.algo = shared_algo;
           bc.composed = composed;
@@ -294,16 +320,24 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
           bc.seeds.resize(count);
           for (std::size_t k = 0; k < count; ++k) bc.seeds[k] = seed_at(group + s0 + k);
           auto results = run_batch(bc);
+          std::uint64_t work = 0;
           for (std::size_t k = 0; k < count; ++k) {
+            work += node_rounds_of(results[k]);
             fill_cell_coords(group + s0 + k).result = std::move(results[k]);
           }
+          record_profile(local_group,
+                         is_table ? GroupProfile::kBatched : GroupProfile::kComposed,
+                         work, t0);
           group_finished(local_group, count);
         });
       }
     } else {
       for (std::size_t s = 0; s < n_seeds; ++s) {
-        tasks.push_back([&run_cell, &group_finished, local_group, idx = group + s] {
+        tasks.push_back([&, local_group, idx = group + s] {
+          const auto t0 = std::chrono::steady_clock::now();
           run_cell(idx);
+          record_profile(local_group, GroupProfile::kScalar,
+                         node_rounds_of(out.cells[idx - cell_offset].result), t0);
           group_finished(local_group, 1);
         });
       }
@@ -332,8 +366,26 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
   out.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
-  // Deterministic fold: cell order, independent of which thread ran what.
-  for (const auto& c : out.cells) out.total.fold(c.result);
+  out.profiles.resize(n_groups);
+  for (std::size_t lg = 0; lg < n_groups; ++lg) {
+    out.profiles[lg].packed = prof_packed[lg].load(std::memory_order_relaxed);
+    out.profiles[lg].nanos = prof_nanos[lg].load(std::memory_order_relaxed);
+  }
+
+  // Deterministic fold, independent of which thread ran what: per-group
+  // aggregates in group order, merged in group order. For exact mode this is
+  // bit-identical to the flat cell-order fold (merge replays samples); for
+  // sketch mode it IS the defined fold order -- the same left-fold over
+  // group aggregates the wire-level sharded paths use (ShardPartial::total,
+  // merge_partials), which is what makes a merged sharded sweep byte-compare
+  // equal to a single-process run.
+  out.total = AggregateResult(spec.stats);
+  for (std::size_t lg = 0; lg < n_groups; ++lg) {
+    AggregateResult agg(spec.stats);
+    const std::size_t first = lg * n_seeds;
+    for (std::size_t k = 0; k < n_seeds; ++k) agg.fold(out.cells[first + k].result);
+    out.total.merge(agg);
+  }
   for (Sink* sink : sinks) sink->on_done(out);
   return out;
 }

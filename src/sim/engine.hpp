@@ -32,6 +32,7 @@
 
 #include "counting/algorithm_spec.hpp"
 #include "sim/adversaries.hpp"
+#include "sim/profile.hpp"
 #include "sim/runner.hpp"
 #include "util/stats.hpp"
 
@@ -72,7 +73,7 @@ struct SinkConfig {
   };
   Kind kind = Kind::kTrace;
   std::string path;              // trace / checkpoint target file
-  std::string format = "jsonl";  // trace: "jsonl" | "csv"
+  std::string format = "jsonl";  // trace: "jsonl" | "csv" | "bin" (columnar)
   bool outputs = false;          // trace: embed per-round outputs (jsonl only)
 };
 
@@ -128,6 +129,14 @@ struct ExperimentSpec {
   // isolate the scalar path).
   Backend backend = Backend::kAuto;
 
+  // How aggregates answer quantile queries (util/stats.hpp). kExact retains
+  // every sample -- the default, and what the pre-sketch wire format (v3)
+  // carries. kSketch bounds aggregate memory with a deterministic KLL sketch
+  // (wire format v4); quantiles become approximate within the sketch's
+  // tracked rank-error bound but aggregates remain thread-count- and
+  // shard-independent.
+  util::StatsMode stats = util::StatsMode::kExact;
+
   // Declarative result sinks. Engine::run does not instantiate these itself
   // (it delivers to whatever SinkList it is handed); front ends call
   // make_sinks(spec, plan) and pass the result in, so a spec file carries
@@ -176,6 +185,10 @@ struct CellOutcome {
 
 // Order-independent fold of RunResults (the engine folds in cell order).
 struct AggregateResult {
+  AggregateResult() = default;  // exact-mode accumulators
+  explicit AggregateResult(util::StatsMode mode)
+      : stabilisation(mode), rounds(mode), avg_pulls(mode) {}
+
   std::uint64_t runs = 0;
   std::uint64_t stabilised = 0;
   util::StreamingStats stabilisation;  // stabilisation round, stabilised runs only
@@ -189,17 +202,26 @@ struct AggregateResult {
   void fold(const RunResult& r);
 
   // Folds a partial aggregate in, as if other's cells had been fold()ed here
-  // directly in order (StreamingStats::merge replays samples, so merging
-  // shard partials in shard order is bit-identical to one sequential fold).
+  // directly in order (exact mode: StreamingStats::merge replays samples, so
+  // merging shard partials in shard order is bit-identical to one sequential
+  // fold; sketch mode: a deterministic left-fold over the same order).
+  // Merging into a default-constructed (empty) aggregate adopts other's
+  // stats mode.
   void merge(const AggregateResult& other);
 
   // "mean (max N)" -- the cell format the bench tables print.
   std::string fmt_rounds() const;
 };
 
-// Folds shard partials in the given (shard) order into one aggregate;
-// bit-identical to the single-process fold when the partials cover the grid
-// in cell order, which ShardPlan's contiguous group ranges guarantee.
+// Folds shard partials in the given (shard) order into one aggregate. In
+// exact mode this is bit-identical to the single-process fold when the
+// partials cover the grid in cell order (ShardPlan's contiguous group ranges
+// guarantee that): merge replays samples, so association is irrelevant. In
+// sketch mode each partial has already collapsed its groups into one moment
+// set, so the refold agrees with the single-process total only up to
+// floating-point rounding of mean/m2 -- the bit-identical sketch path is the
+// per-group left fold (ShardPartial::total, merge_partials), which every
+// wire-level consumer uses.
 AggregateResult merge_aggregates(std::span<const AggregateResult> partials);
 
 struct ExperimentResult {
@@ -210,6 +232,13 @@ struct ExperimentResult {
   AggregateResult total;  // fold of `cells` in cell order (a shard partial)
   double wall_seconds = 0.0;
   std::uint64_t batched_cells = 0;  // cells that ran on the batched backend
+  util::StatsMode stats = util::StatsMode::kExact;  // spec.stats of the run
+
+  // One entry per (adversary, placement) group of the shard, in group order:
+  // which backend ran the group, its node-rounds, and its aggregate task
+  // time (sim/profile.hpp). Always on -- the counters are a couple of atomic
+  // RMWs per task.
+  std::vector<GroupProfile> profiles;
 
   // Re-fold a slice of the grid, e.g. one (adversary, placement) pair.
   AggregateResult aggregate(std::optional<std::size_t> adversary,
@@ -245,7 +274,9 @@ class Engine {
   // Runs only the shard's (adversary, placement) groups; every cell keeps
   // its global index/seed, so the per-cell results -- and therefore the
   // partial aggregate -- are bit-identical to the same cells of a full run.
-  // merge_aggregates over all shards' totals reproduces run(spec).total.
+  // merge_aggregates over all shards' totals reproduces run(spec).total
+  // (bit-for-bit in exact mode; to fp rounding in sketch mode -- see the
+  // merge_aggregates comment).
   //
   // Execution traces (outputs/states) are recorded per cell iff some sink
   // wants them, and are dropped from the returned cells after sink delivery

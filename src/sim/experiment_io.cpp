@@ -23,9 +23,20 @@ namespace synccount::sim {
 namespace {
 
 constexpr const char* kPartialFormat = "synccount-sweep-partial";
-constexpr int kPartialVersion = 3;  // v3: per-line CRC suffixes
-                                    // (v2: declarative specs -- variants +
-                                    // sinks, record_* flags retired)
+constexpr int kPartialVersion = 3;        // v3: per-line CRC suffixes
+                                          // (v2: declarative specs -- variants +
+                                          // sinks, record_* flags retired)
+constexpr int kPartialVersionSketch = 4;  // v4: sketch-mode aggregates (specs
+                                          // carry "stats":"sketch"; exact
+                                          // specs stay v3 byte-for-byte)
+
+// The wire version a spec's partials use, derived from the spec JSON itself
+// so writers and readers can never disagree: a spec without a "stats" field
+// is exact mode and stays on v3 (bit-identical to pre-sketch builds), a
+// sketch spec promotes its partials to v4.
+int partial_version_for(const util::Json& spec) {
+  return spec.find("stats") != nullptr ? kPartialVersionSketch : kPartialVersion;
+}
 constexpr const char* kSpecFormat = "synccount-spec";
 constexpr int kSpecVersion = 1;
 
@@ -106,7 +117,7 @@ SinkConfig sink_config_from_json(const util::Json& j) {
     cfg.path = j.at("path").as_string();
     cfg.format = j.at("format").as_string();
     cfg.outputs = j.at("outputs").as_bool();
-    SC_CHECK(cfg.format == "jsonl" || cfg.format == "csv",
+    SC_CHECK(cfg.format == "jsonl" || cfg.format == "csv" || cfg.format == "bin",
              "unknown trace format: " + cfg.format);
   } else if (kind == "progress") {
     cfg.kind = SinkConfig::Kind::kProgress;
@@ -328,6 +339,11 @@ util::Json experiment_spec_to_json(const ExperimentSpec& spec) {
   }
   j.set("backend",
         Json::string(spec.backend == Backend::kScalar ? "scalar" : "auto"));
+  // Written only in sketch mode: exact-mode spec JSON -- and with it the v3
+  // partial wire bytes -- stays byte-identical to pre-sketch builds.
+  if (spec.stats == util::StatsMode::kSketch) {
+    j.set("stats", Json::string("sketch"));
+  }
   if (!spec.sinks.empty()) {
     Json sinks = Json::array();
     for (const SinkConfig& s : spec.sinks) sinks.push_back(sink_config_to_json(s));
@@ -379,6 +395,10 @@ ExperimentSpec experiment_spec_from_json(const util::Json& j) {
   const std::string& backend = j.at("backend").as_string();
   SC_CHECK(backend == "auto" || backend == "scalar", "unknown backend: " + backend);
   spec.backend = backend == "scalar" ? Backend::kScalar : Backend::kAuto;
+  if (const auto* stats = j.find("stats")) {
+    SC_CHECK(stats->as_string() == "sketch", "unknown stats mode: " + stats->as_string());
+    spec.stats = util::StatsMode::kSketch;
+  }
   if (const auto* sinks = j.find("sinks")) {
     for (std::size_t i = 0; i < sinks->size(); ++i) {
       spec.sinks.push_back(sink_config_from_json(sinks->at(i)));
@@ -464,7 +484,7 @@ void write_partial_header(std::ostream& out, const ShardPlan& plan, const util::
   using util::Json;
   Json header = Json::object();
   header.set("format", Json::string(kPartialFormat));
-  header.set("version", Json::number(static_cast<std::int64_t>(kPartialVersion)));
+  header.set("version", Json::number(static_cast<std::int64_t>(partial_version_for(spec))));
   header.set("shards", Json::number(static_cast<std::int64_t>(plan.shards)));
   header.set("shard", Json::number(static_cast<std::int64_t>(plan.shard)));
   header.set("group_begin", Json::number(static_cast<std::uint64_t>(plan.group_begin)));
@@ -502,9 +522,13 @@ ShardPartial read_partial(std::istream& in, const std::string& source) {
   const util::Json header = parse_framed_line(line, source, 1);
   SC_CHECK(header.has("format") && header.at("format").as_string() == kPartialFormat,
            ctx("not a sweep-partial file"));
-  SC_CHECK(header.at("version").as_i64() == kPartialVersion,
+  const std::int64_t version = header.at("version").as_i64();
+  SC_CHECK(version == kPartialVersion || version == kPartialVersionSketch,
            ctx("unsupported format version " + header.at("version").dump() + " (want " +
-               std::to_string(kPartialVersion) + ")"));
+               std::to_string(kPartialVersion) + " or " +
+               std::to_string(kPartialVersionSketch) + ")"));
+  SC_CHECK(version == partial_version_for(header.at("spec")),
+           ctx("format version disagrees with the spec's stats mode"));
 
   ShardPartial partial;
   partial.source = source;
@@ -650,7 +674,8 @@ CheckpointState read_checkpoint(const std::string& path, const ExperimentSpec& s
       const util::Json header = parse_framed_line(line, path, line_no);
       SC_CHECK(header.has("format") && header.at("format").as_string() == kPartialFormat,
                ctx("not a checkpoint (sweep-partial) file"));
-      SC_CHECK(header.at("version").as_i64() == kPartialVersion,
+      SC_CHECK(header.at("version").as_i64() ==
+                   partial_version_for(experiment_spec_to_json(spec)),
                ctx("unsupported format version"));
       SC_CHECK(header.at("spec").dump() == expected_spec,
                ctx("checkpoint belongs to a different experiment spec -- mismatched " +

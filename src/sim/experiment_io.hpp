@@ -28,6 +28,14 @@
 // Engine::run over the whole grid, and re-serialising the merge yields a
 // byte-identical file to a --shards=1 run (CI enforces this).
 //
+// Sketch mode (ExperimentSpec.stats = kSketch) promotes the format to v4:
+// the spec JSON carries "stats":"sketch" and aggregates serialise their
+// deterministic KLL sketch state (util/kll_sketch.hpp) instead of the full
+// sample vectors -- O(k log n) bytes per group whatever the seed count.
+// Merging stays a deterministic left-fold in group order, so merged sharded
+// partials still byte-compare equal to a single-process sketch run; exact
+// specs never emit the "stats" field and stay on v3 byte-for-byte.
+//
 // ExperimentSpec travels as data end to end: the algorithm as a
 // counting::AlgorithmSpec (or a variant list -- a sweep axis in expanded
 // form), adversaries by library name, and sink configs verbatim; specs

@@ -36,10 +36,17 @@ AggregateResult MemorySink::total() const {
 // --- TraceSink ---------------------------------------------------------------
 
 TraceSink::TraceSink(std::string path, std::string format, bool outputs, bool resume)
-    : path_(std::move(path)), csv_(format == "csv"), outputs_(outputs), resume_(resume) {
-  SC_CHECK(format == "jsonl" || format == "csv", "unknown trace format: " + format);
+    : path_(std::move(path)),
+      format_(format == "csv" ? Format::kCsv
+              : format == "bin" ? Format::kBin
+                                : Format::kJsonl),
+      outputs_(outputs),
+      resume_(resume) {
+  SC_CHECK(format == "jsonl" || format == "csv" || format == "bin",
+           "unknown trace format: " + format);
   SC_CHECK(!path_.empty(), "trace sink needs a path");
-  SC_CHECK(!(csv_ && outputs_), "per-round outputs require the jsonl trace format");
+  SC_CHECK(format_ == Format::kJsonl || !outputs_,
+           "per-round outputs require the jsonl trace format");
 }
 
 TraceSink::~TraceSink() = default;
@@ -48,15 +55,19 @@ void TraceSink::on_start(const ExperimentSpec& spec, const ShardPlan& plan) {
   (void)plan;
   grid_names(spec, adversaries_, placements_);
   out_ = std::make_unique<AtomicAppender>(path_, resume_, "sink.trace");
-  if (csv_) {
-    std::error_code ec;
-    const std::uintmax_t existing =
-        resume_ ? std::filesystem::file_size(path_, ec) : 0;
-    if (!resume_ || ec || existing == 0) {
-      out_->append(
-          "cell,adversary,placement,seed_index,seed,rounds,stabilised,"
-          "stabilisation_round,suffix_length,max_window,max_pulls,avg_pulls\n");
-    }
+  // Formats with a file prologue (CSV column header, binary header block)
+  // write it on a fresh or still-empty file only; a resumed non-empty file
+  // already starts with it.
+  std::error_code ec;
+  const std::uintmax_t existing = resume_ ? std::filesystem::file_size(path_, ec) : 0;
+  const bool fresh = !resume_ || ec || existing == 0;
+  if (format_ == Format::kCsv && fresh) {
+    out_->append(
+        "cell,adversary,placement,seed_index,seed,rounds,stabilised,"
+        "stabilisation_round,suffix_length,max_window,max_pulls,avg_pulls\n");
+  }
+  if (format_ == Format::kBin && fresh) {
+    out_->append(encode_trace_header({adversaries_, placements_}));
   }
   // Commit now: trace sinks start before checkpoint sinks (make_sinks order),
   // so once a checkpoint header exists on disk the CSV header does too --
@@ -67,8 +78,26 @@ void TraceSink::on_start(const ExperimentSpec& spec, const ShardPlan& plan) {
 
 void TraceSink::on_cell(const CellOutcome& cell) {
   const RunResult& r = cell.result;
+  if (format_ == Format::kBin) {
+    // Buffer until on_group: blocks are per-group columns, not rows.
+    TraceRow row;
+    row.cell = cell.cell_index;
+    row.adversary = static_cast<std::uint32_t>(cell.adversary);
+    row.placement = static_cast<std::uint32_t>(cell.placement);
+    row.seed_index = cell.seed_index;
+    row.seed = cell.seed;
+    row.rounds = r.rounds;
+    row.stabilised = r.stabilised;
+    row.stabilisation_round = r.stabilisation_round;
+    row.suffix_length = r.suffix_length;
+    row.max_window = r.max_window;
+    row.max_pulls = r.max_pulls_per_round;
+    row.avg_pulls = r.avg_pulls_per_round;
+    pending_.push_back(row);
+    return;
+  }
   std::ostringstream row;
-  if (csv_) {
+  if (format_ == Format::kCsv) {
     row << cell.cell_index << ',' << adversaries_[cell.adversary] << ','
         << placements_[cell.placement] << ',' << cell.seed_index << ',' << cell.seed
         << ',' << r.rounds << ',' << (r.stabilised ? 1 : 0) << ','
@@ -110,11 +139,14 @@ void TraceSink::on_cell(const CellOutcome& cell) {
 }
 
 void TraceSink::on_group(std::size_t group, const AggregateResult& aggregate) {
-  (void)group;
   (void)aggregate;
+  if (format_ == Format::kBin) {
+    out_->append(encode_trace_block(group, pending_));
+    pending_.clear();
+  }
   // Group-boundary commit: once a checkpoint sink (delivered after this one,
   // see make_sinks) records the group, its trace rows are durably on disk --
-  // and the published trace never ends in a torn row.
+  // and the published trace never ends in a torn row (or block).
   out_->commit();
 }
 

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "sim/trace_format.hpp"
 
 namespace synccount::sim {
 
@@ -113,21 +114,23 @@ class RecordSink final : public Sink {
   bool states_;
 };
 
-// Streams one line per execution. JSONL lines carry the full RunResult
+// Streams one row per execution. JSONL lines carry the full RunResult
 // summary (and the per-round outputs when `outputs` is set); CSV carries the
-// summary columns only. File contents are bit-identical across thread counts
-// and execution backends. Rows are committed at group boundaries via
-// AtomicAppender (temp-file + fsync + atomic rename, before any checkpoint
-// sink records the group -- make_sinks orders checkpoints last), so the
-// published file never holds a torn or partial-group tail: a kill costs
-// exactly the uncommitted group. `resume` adopts the existing file after
-// the caller truncated it to the checkpointed prefix (truncate_to_lines in
-// sim/experiment_io.hpp -- only pre-v3 legacy files can still need the torn
-// -tail surgery).
+// summary columns only; "bin" writes the columnar binary format of
+// sim/trace_format.hpp (one CRC-framed block per group, ~10x smaller than
+// JSONL at scale). File contents are bit-identical across thread counts
+// and execution backends in every format. Rows are committed at group
+// boundaries via AtomicAppender (temp-file + fsync + atomic rename, before
+// any checkpoint sink records the group -- make_sinks orders checkpoints
+// last), so the published file never holds a torn or partial-group tail: a
+// kill costs exactly the uncommitted group. `resume` adopts the existing
+// file after the caller truncated it to the checkpointed prefix
+// (truncate_to_lines / truncate_to_blocks -- only pre-v3 legacy files can
+// still need the torn-tail surgery).
 class TraceSink final : public Sink {
  public:
-  // `format` is "jsonl" or "csv"; throws on anything else or when the file
-  // cannot be opened (at on_start).
+  // `format` is "jsonl", "csv" or "bin"; throws on anything else or when
+  // the file cannot be opened (at on_start).
   TraceSink(std::string path, std::string format = "jsonl", bool outputs = false,
             bool resume = false);
   ~TraceSink() override;
@@ -139,13 +142,16 @@ class TraceSink final : public Sink {
   void on_done(const ExperimentResult& result) override;
 
  private:
+  enum class Format { kJsonl, kCsv, kBin };
+
   std::string path_;
-  bool csv_;
+  Format format_;
   bool outputs_;
   bool resume_;
   std::unique_ptr<AtomicAppender> out_;
   std::vector<std::string> adversaries_;
   std::vector<std::string> placements_;
+  std::vector<TraceRow> pending_;  // bin: current group's rows, until on_group
 };
 
 // One line per finished group on `os` (default std::cerr): grid coordinates,

@@ -1,0 +1,223 @@
+#include "sim/trace_format.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/bitio.hpp"
+#include "util/check.hpp"
+#include "util/crc32.hpp"
+
+namespace synccount::sim {
+
+namespace {
+
+constexpr char kHeaderTag = 'H';
+constexpr char kGroupTag = 'G';
+constexpr std::string_view kMagic = "SCTB";
+constexpr std::uint64_t kVersion = 1;
+
+std::string frame_block(std::string payload) {
+  std::string out;
+  util::put_varint(out, payload.size());
+  out += payload;
+  util::put_u32le(out, util::crc32(payload));
+  return out;
+}
+
+// Reads one framed block starting at `pos`; advances past it. Returns false
+// (leaving pos untouched) when fewer bytes than a whole block remain --
+// CRC-validated, so a torn tail never yields a payload.
+bool next_block(std::string_view bytes, std::size_t& pos, std::string_view& payload) {
+  std::size_t p = pos;
+  if (p >= bytes.size()) return false;
+  std::uint64_t size = 0;
+  try {
+    size = util::get_varint(bytes, p);
+  } catch (...) {
+    return false;
+  }
+  if (bytes.size() - p < size + 4) return false;
+  const std::string_view body = bytes.substr(p, size);
+  p += size;
+  const std::uint32_t want = util::get_u32le(bytes, p);
+  if (util::crc32(body) != want) return false;
+  payload = body;
+  pos = p;
+  return true;
+}
+
+void put_string(std::string& out, std::string_view s) {
+  util::put_varint(out, s.size());
+  out += s;
+}
+
+std::string get_string(std::string_view in, std::size_t& pos) {
+  const std::uint64_t n = util::get_varint(in, pos);
+  SC_CHECK(in.size() - pos >= n, "truncated string in trace block");
+  std::string s(in.substr(pos, n));
+  pos += n;
+  return s;
+}
+
+// Zigzag-delta column: consecutive values differ little, so deltas against
+// the previous value stay in one or two varint bytes.
+void put_delta_column(std::string& out, const std::vector<TraceRow>& rows,
+                      std::uint64_t TraceRow::*field) {
+  std::int64_t prev = 0;
+  for (const TraceRow& r : rows) {
+    const auto v = static_cast<std::int64_t>(r.*field);
+    util::put_varint(out, util::zigzag_encode(v - prev));
+    prev = v;
+  }
+}
+
+void get_delta_column(std::string_view in, std::size_t& pos, std::vector<TraceRow>& rows,
+                      std::uint64_t TraceRow::*field) {
+  std::int64_t prev = 0;
+  for (TraceRow& r : rows) {
+    prev += util::zigzag_decode(util::get_varint(in, pos));
+    r.*field = static_cast<std::uint64_t>(prev);
+  }
+}
+
+}  // namespace
+
+std::string encode_trace_header(const TraceHeader& header) {
+  std::string p;
+  p.push_back(kHeaderTag);
+  p += kMagic;
+  util::put_varint(p, kVersion);
+  util::put_varint(p, header.adversaries.size());
+  for (const std::string& a : header.adversaries) put_string(p, a);
+  util::put_varint(p, header.placements.size());
+  for (const std::string& n : header.placements) put_string(p, n);
+  return frame_block(std::move(p));
+}
+
+std::string encode_trace_block(std::uint64_t group, const std::vector<TraceRow>& rows) {
+  SC_CHECK(!rows.empty(), "trace block needs rows");
+  std::string p;
+  p.push_back(kGroupTag);
+  util::put_varint(p, group);
+  util::put_varint(p, rows.size());
+  // Constant-per-group columns, once each.
+  util::put_varint(p, rows.front().adversary);
+  util::put_varint(p, rows.front().placement);
+  for (const TraceRow& r : rows) {
+    SC_CHECK(r.adversary == rows.front().adversary && r.placement == rows.front().placement,
+             "trace block rows must share one (adversary, placement)");
+  }
+  // Cell indices: absolute first, then deltas (1 for the consecutive cells
+  // of a group, but the codec does not assume it).
+  util::put_varint(p, rows.front().cell);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    util::put_varint(p, util::zigzag_encode(static_cast<std::int64_t>(rows[i].cell) -
+                                            static_cast<std::int64_t>(rows[i - 1].cell)));
+  }
+  // Seeds are hash outputs: incompressible, plain varints.
+  for (const TraceRow& r : rows) util::put_varint(p, r.seed);
+  put_delta_column(p, rows, &TraceRow::rounds);
+  // Stabilised bitmap, row i at bit (i % 8) of byte (i / 8).
+  for (std::size_t i = 0; i < rows.size(); i += 8) {
+    std::uint8_t byte = 0;
+    for (std::size_t b = 0; b < 8 && i + b < rows.size(); ++b) {
+      if (rows[i + b].stabilised) byte |= static_cast<std::uint8_t>(1u << b);
+    }
+    p.push_back(static_cast<char>(byte));
+  }
+  put_delta_column(p, rows, &TraceRow::stabilisation_round);
+  put_delta_column(p, rows, &TraceRow::suffix_length);
+  put_delta_column(p, rows, &TraceRow::max_window);
+  put_delta_column(p, rows, &TraceRow::max_pulls);
+  // Raw IEEE bytes: the only encoding of a double that byte-compares without
+  // re-deriving formatting.
+  for (const TraceRow& r : rows) util::put_f64le(p, r.avg_pulls);
+  return frame_block(std::move(p));
+}
+
+BinaryTrace read_binary_trace(std::string_view bytes) {
+  BinaryTrace trace;
+  std::size_t pos = 0;
+  std::string_view payload;
+  SC_CHECK(next_block(bytes, pos, payload), "missing or corrupt binary trace header");
+  {
+    std::size_t p = 0;
+    SC_CHECK(!payload.empty() && payload[0] == kHeaderTag, "first trace block is not a header");
+    p = 1;
+    SC_CHECK(payload.size() >= p + kMagic.size() &&
+                 payload.substr(p, kMagic.size()) == kMagic,
+             "not a binary trace file (bad magic)");
+    p += kMagic.size();
+    const std::uint64_t version = util::get_varint(payload, p);
+    SC_CHECK(version == kVersion,
+             "unsupported binary trace version " + std::to_string(version));
+    const std::uint64_t n_adv = util::get_varint(payload, p);
+    for (std::uint64_t i = 0; i < n_adv; ++i) {
+      trace.header.adversaries.push_back(get_string(payload, p));
+    }
+    const std::uint64_t n_pl = util::get_varint(payload, p);
+    for (std::uint64_t i = 0; i < n_pl; ++i) {
+      trace.header.placements.push_back(get_string(payload, p));
+    }
+    SC_CHECK(p == payload.size(), "trailing bytes in trace header block");
+  }
+  ++trace.blocks;
+
+  while (next_block(bytes, pos, payload)) {
+    std::size_t p = 0;
+    SC_CHECK(!payload.empty() && payload[0] == kGroupTag, "unknown trace block tag");
+    p = 1;
+    (void)util::get_varint(payload, p);  // group index (implicit in block order)
+    const std::uint64_t n = util::get_varint(payload, p);
+    SC_CHECK(n > 0, "empty trace block");
+    std::vector<TraceRow> rows(n);
+    const std::uint64_t adversary = util::get_varint(payload, p);
+    const std::uint64_t placement = util::get_varint(payload, p);
+    SC_CHECK(adversary < trace.header.adversaries.size() &&
+                 placement < trace.header.placements.size(),
+             "trace block coordinates outside the header grid");
+    std::int64_t cell = static_cast<std::int64_t>(util::get_varint(payload, p));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (i > 0) cell += util::zigzag_decode(util::get_varint(payload, p));
+      rows[i].cell = static_cast<std::uint64_t>(cell);
+      rows[i].adversary = static_cast<std::uint32_t>(adversary);
+      rows[i].placement = static_cast<std::uint32_t>(placement);
+      rows[i].seed_index = static_cast<int>(i);
+    }
+    for (TraceRow& r : rows) r.seed = util::get_varint(payload, p);
+    get_delta_column(payload, p, rows, &TraceRow::rounds);
+    for (std::uint64_t i = 0; i < n; i += 8) {
+      SC_CHECK(p < payload.size(), "truncated stabilised bitmap");
+      const auto byte = static_cast<std::uint8_t>(payload[p++]);
+      for (std::uint64_t b = 0; b < 8 && i + b < n; ++b) {
+        rows[i + b].stabilised = (byte >> b) & 1;
+      }
+    }
+    get_delta_column(payload, p, rows, &TraceRow::stabilisation_round);
+    get_delta_column(payload, p, rows, &TraceRow::suffix_length);
+    get_delta_column(payload, p, rows, &TraceRow::max_window);
+    get_delta_column(payload, p, rows, &TraceRow::max_pulls);
+    for (TraceRow& r : rows) r.avg_pulls = util::get_f64le(payload, p);
+    SC_CHECK(p == payload.size(), "trailing bytes in trace group block");
+    for (TraceRow& r : rows) trace.rows.push_back(r);
+    ++trace.blocks;
+  }
+  SC_CHECK(pos == bytes.size(), "trailing garbage after the last whole trace block");
+  return trace;
+}
+
+void truncate_to_blocks(const std::string& path, std::uint64_t blocks) {
+  std::ifstream in(path, std::ios::binary);
+  SC_CHECK(in.good(), "cannot open for truncation: " + path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+  std::size_t pos = 0;
+  std::uint64_t seen = 0;
+  std::string_view payload;
+  while (seen < blocks && next_block(content, pos, payload)) ++seen;
+  SC_CHECK(seen == blocks, path + ": has only " + std::to_string(seen) +
+                               " whole blocks, need " + std::to_string(blocks));
+  std::filesystem::resize_file(path, pos);
+}
+
+}  // namespace synccount::sim

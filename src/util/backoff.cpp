@@ -2,19 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 namespace synccount::util {
 
 std::chrono::milliseconds Backoff::next_delay() noexcept {
+  // multiplier^attempt overflows to +inf around attempt 60 with the default
+  // policy. min() against the cap absorbs the inf, but a huge cap (e.g.
+  // milliseconds::max()) times the jitter scale can still exceed what
+  // llround can represent, and llround of an out-of-range double is
+  // unspecified -- so every clamp happens in double space, below a bound
+  // that converts safely, before the cast.
+  constexpr double kMaxDelayMs = 9.0e18;  // < int64 max, castable
   const double base = static_cast<double>(policy_.initial.count()) *
                       std::pow(policy_.multiplier, static_cast<double>(attempt_));
-  ++attempt_;
-  const double capped = std::min(base, static_cast<double>(policy_.cap.count()));
+  // Saturate: with max_attempts = 0 the loop retries forever and ++ would
+  // eventually sign-overflow.
+  if (attempt_ < std::numeric_limits<int>::max()) ++attempt_;
+  const double capped =
+      std::min({base, static_cast<double>(policy_.cap.count()), kMaxDelayMs});
   // Scale by [1-jitter, 1+jitter); keep at least 1ms so a retry loop can
   // never spin hot even with aggressive policies.
   const double j = std::clamp(policy_.jitter, 0.0, 1.0);
-  const double scaled = capped * (1.0 - j + 2.0 * j * rng_.next_double());
+  double scaled = std::min(capped * (1.0 - j + 2.0 * j * rng_.next_double()), kMaxDelayMs);
+  if (!std::isfinite(scaled)) scaled = kMaxDelayMs;
   return std::chrono::milliseconds(std::max<std::int64_t>(
       1, static_cast<std::int64_t>(std::llround(scaled))));
 }

@@ -29,9 +29,11 @@ class Backoff {
       : policy_(policy), rng_(seed) {}
 
   // True while another attempt is allowed (attempt 0 is the initial try, so
-  // max_attempts = 3 means one try plus two retries).
+  // max_attempts = 3 means one try plus two retries). attempt_ saturates at
+  // INT_MAX, so the comparison avoids attempt_ + 1 (which would overflow in
+  // a forever-retrying loop).
   bool should_retry() const noexcept {
-    return policy_.max_attempts == 0 || attempt_ + 1 < policy_.max_attempts;
+    return policy_.max_attempts == 0 || attempt_ < policy_.max_attempts - 1;
   }
 
   int attempt() const noexcept { return attempt_; }

@@ -1,8 +1,62 @@
 #include "util/bitio.hpp"
 
+#include <cstring>
 #include <sstream>
 
 namespace synccount::util {
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::string_view in, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    SC_CHECK(pos < in.size(), "truncated varint");
+    SC_CHECK(shift < 64, "overlong varint");
+    const auto byte = static_cast<std::uint8_t>(in[pos++]);
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32le(std::string_view in, std::size_t& pos) {
+  SC_CHECK(pos + 4 <= in.size(), "truncated u32");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(in[pos + i])) << (8 * i);
+  }
+  pos += 4;
+  return v;
+}
+
+void put_f64le(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+}
+
+double get_f64le(std::string_view in, std::size_t& pos) {
+  SC_CHECK(pos + 8 <= in.size(), "truncated f64");
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(in[pos + i])) << (8 * i);
+  }
+  pos += 8;
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
 
 std::string BitVec::to_hex(int bits) const {
   std::ostringstream os;

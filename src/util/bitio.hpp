@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "util/check.hpp"
 
@@ -135,5 +136,35 @@ class BitReader {
   const BitVec* v_;
   int offset_ = 0;
 };
+
+// --- Byte-stream primitives (the columnar binary trace format) ---------------
+//
+// LEB128 varints, zigzag for signed deltas, and fixed little-endian scalars
+// over std::string buffers. Byte-for-byte deterministic: the same values
+// always encode to the same bytes, which is what lets the binary TraceSink
+// keep the JSONL formats' byte-identity contract across backends and thread
+// counts. Readers SC_CHECK truncation so a torn file fails loudly.
+
+// Appends an LEB128 varint (7 bits per byte, low bits first).
+void put_varint(std::string& out, std::uint64_t v);
+
+// Reads a varint at `pos`, advancing it. SC_CHECKs truncation/overlong input.
+std::uint64_t get_varint(std::string_view in, std::size_t& pos);
+
+// Zigzag maps signed deltas to small unsigned values (0 -> 0, -1 -> 1, ...).
+constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+// Fixed-width little-endian scalars. Doubles go through their bit pattern so
+// the round-trip is bit-exact (NaN payloads included).
+void put_u32le(std::string& out, std::uint32_t v);
+std::uint32_t get_u32le(std::string_view in, std::size_t& pos);
+void put_f64le(std::string& out, double v);
+double get_f64le(std::string_view in, std::size_t& pos);
 
 }  // namespace synccount::util

@@ -1,0 +1,148 @@
+#include "util/kll_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace synccount::util {
+
+KllSketch::KllSketch(std::size_t k) : k_(k) {
+  SC_CHECK(k_ >= 8, "KllSketch needs k >= 8");
+  levels_.emplace_back();
+  parities_.push_back(0);
+}
+
+void KllSketch::add(double x) {
+  levels_[0].push_back(x);
+  ++count_;
+  compact_while_over_capacity();
+}
+
+void KllSketch::merge(const KllSketch& other) {
+  SC_CHECK(k_ == other.k_, "cannot merge KllSketch instances with different k");
+  if (other.empty()) return;
+  if (empty()) {
+    // Copy, not concatenate: a fold seeded from a default-constructed sketch
+    // must reproduce the first partial exactly (parities included).
+    *this = other;
+    return;
+  }
+  while (levels_.size() < other.levels_.size()) {
+    levels_.emplace_back();
+    parities_.push_back(0);
+  }
+  for (std::size_t l = 0; l < other.levels_.size(); ++l) {
+    levels_[l].insert(levels_[l].end(), other.levels_[l].begin(), other.levels_[l].end());
+  }
+  count_ += other.count_;
+  error_weight_ += other.error_weight_;
+  compact_while_over_capacity();
+}
+
+std::size_t KllSketch::retained() const noexcept {
+  std::size_t total = 0;
+  for (const auto& level : levels_) total += level.size();
+  return total;
+}
+
+std::uint64_t KllSketch::max_item_weight() const noexcept {
+  return std::uint64_t{1} << (levels_.size() - 1);
+}
+
+void KllSketch::compact_while_over_capacity() {
+  // Lazy compaction: tolerate any level over its capacity until the TOTAL
+  // exceeds the budget, then compact the lowest over-full level (pigeonhole:
+  // one must exist). Equal per-level capacity k is the worst-case-optimal
+  // shape for a deterministic sketch -- the error sum is sum(1 / cap_l), the
+  // memory is sum(cap_l), and both are extremised together at equal caps.
+  while (retained() > k_ * levels_.size()) {
+    for (std::size_t l = 0; l < levels_.size(); ++l) {
+      if (levels_[l].size() > k_) {
+        compact_level(l);
+        break;
+      }
+    }
+  }
+}
+
+void KllSketch::compact_level(std::size_t level) {
+  if (level + 1 == levels_.size()) {
+    levels_.emplace_back();
+    parities_.push_back(0);
+  }
+  std::vector<double>& buf = levels_[level];
+  std::sort(buf.begin(), buf.end());
+  // An odd buffer keeps its largest item at this level (deterministic, adds
+  // no error); the even-sized prefix is halved upward. The alternating
+  // parity picks even/odd survivors on alternate compactions so consecutive
+  // rank perturbations point in opposite directions.
+  std::size_t m = buf.size();
+  double held = 0.0;
+  const bool hold = (m % 2) != 0;
+  if (hold) {
+    held = buf.back();
+    --m;
+  }
+  const std::size_t offset = parities_[level] & 1;
+  parities_[level] ^= 1;
+  for (std::size_t i = offset; i < m; i += 2) {
+    levels_[level + 1].push_back(buf[i]);
+  }
+  buf.clear();
+  if (hold) buf.push_back(held);
+  // One compaction of weight-2^l items perturbs any rank estimate by at
+  // most 2^l; the tracked bound sums exactly that.
+  error_weight_ += std::uint64_t{1} << level;
+}
+
+double KllSketch::quantile(double p) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  p = std::clamp(p, 0.0, 1.0);
+  // Deterministic weighted selection: assemble (value, weight) pairs in
+  // storage order, stable-sort by value (ties keep assembly order), walk the
+  // cumulative weight to the target rank.
+  std::vector<std::pair<double, std::uint64_t>> items;
+  items.reserve(retained());
+  for (std::size_t l = 0; l < levels_.size(); ++l) {
+    const std::uint64_t w = std::uint64_t{1} << l;
+    for (const double v : levels_[l]) items.emplace_back(v, w);
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  const double target = p * static_cast<double>(count_ - 1);
+  std::uint64_t cum = 0;
+  for (const auto& [value, weight] : items) {
+    cum += weight;
+    if (static_cast<double>(cum - 1) >= target) return value;
+  }
+  return items.back().first;
+}
+
+double KllSketch::rank_error_bound() const noexcept {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(error_weight_) / static_cast<double>(count_);
+}
+
+KllSketch KllSketch::restore(std::size_t k, std::uint64_t count,
+                             std::uint64_t error_weight,
+                             std::vector<std::vector<double>> levels,
+                             std::vector<std::uint8_t> parities) {
+  KllSketch s(k);
+  SC_CHECK(!levels.empty() && levels.size() == parities.size(),
+           "KllSketch state needs one parity per level");
+  std::uint64_t weighted = 0;
+  for (std::size_t l = 0; l < levels.size(); ++l) {
+    weighted += static_cast<std::uint64_t>(levels[l].size()) << l;
+    SC_CHECK(parities[l] <= 1, "KllSketch parity must be 0 or 1");
+  }
+  SC_CHECK(weighted == count, "KllSketch level weights disagree with count");
+  s.count_ = count;
+  s.error_weight_ = error_weight;
+  s.levels_ = std::move(levels);
+  s.parities_ = std::move(parities);
+  return s;
+}
+
+}  // namespace synccount::util

@@ -1,0 +1,101 @@
+// Deterministic mergeable quantile sketch (KLL-style level compaction).
+//
+// The exact StreamingStats path retains one double per sample so merged
+// quantiles are exact -- the memory wall for million-cell grids and the
+// bandwidth wall for the sweep service (a shard partial carries every
+// sample). This sketch replaces the retained vector with a bounded set of
+// weighted level buffers: level l holds items of weight 2^l, a full level is
+// sorted and every other item promoted one level up, so memory stays
+// O(k * log(n/k)) whatever n does.
+//
+// Unlike textbook KLL the compaction offset is NOT random: each level keeps
+// an alternating parity bit, so the sketch state is a pure function of the
+// (k, operation sequence) pair. That is the same determinism contract the
+// exact path has -- two sketches fed the same adds/merges in the same order
+// are bit-identical, which keeps aggregates thread-count-independent (the
+// engine folds cells in cell order) and lets merged shard partials
+// byte-compare against a single-process run.
+//
+// Error contract: quantile(p) returns a retained sample value whose rank in
+// the full input stream differs from p * (count - 1) by at most
+// rank_error_weight() + (heaviest item weight - 1). The bound is tracked
+// exactly at runtime -- every compaction of a level-l buffer perturbs any
+// rank estimate by at most 2^l, so the sketch accumulates those weights
+// instead of quoting an asymptotic formula. For the default k it stays
+// within a few percent of n: with equal per-level capacity k the stream
+// pushes ~n / (k 2^l) compactions through level l, so the total is about
+// n * levels / k (levels ~ log2(n/k)); ~6.5% of n at k = 200, n = 1e6, and
+// the alternating parities make observed error roughly half the tracked
+// bound. Callers needing exact quantiles use StatsMode::kExact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace synccount::util {
+
+class KllSketch {
+ public:
+  static constexpr std::size_t kDefaultK = 200;
+
+  explicit KllSketch(std::size_t k = kDefaultK);
+
+  void add(double x);
+
+  // Deterministic left-fold merge: the result is a pure function of the two
+  // states (append other's levels, then re-compact with this sketch's
+  // parities). Merging into an empty sketch copies `other` exactly, so a
+  // fold seeded from a default-constructed sketch reproduces the chain of
+  // the partials it folds. NOT associative across different fold shapes --
+  // reproducibility requires folding in one defined order (group order
+  // everywhere in this codebase).
+  void merge(const KllSketch& other);
+
+  std::uint64_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  std::size_t k() const noexcept { return k_; }
+
+  // A retained sample value near rank p * (count - 1); NaN when empty.
+  double quantile(double p) const;
+
+  // Worst-case absolute rank error accumulated so far (in items): the sum of
+  // 2^l over every level-l compaction performed, plus what merged-in
+  // sketches carried. Exact quantiles have weight 0.
+  std::uint64_t rank_error_weight() const noexcept { return error_weight_; }
+
+  // rank_error_weight() relative to the stream length; 0 when empty.
+  double rank_error_bound() const noexcept;
+
+  // Total retained items across all levels (the memory footprint).
+  std::size_t retained() const noexcept;
+
+  // The weight of the heaviest level, 2^(levels - 1): the rank granularity
+  // of a single retained item (the discretisation term of the error bound).
+  std::uint64_t max_item_weight() const noexcept;
+
+  // --- Serialisation access (the wire codec in stats.cpp) -------------------
+  // Level l items in storage order: level 0 in insertion order, higher
+  // levels in promotion order. Round-tripping levels + parities +
+  // count/error_weight through restore() reproduces the state bit-for-bit.
+  const std::vector<std::vector<double>>& levels() const noexcept { return levels_; }
+  const std::vector<std::uint8_t>& parities() const noexcept { return parities_; }
+
+  // Rebuilds a sketch from serialized state; SC_CHECKs the structural
+  // invariants (parity per level, sum of level weights == count).
+  static KllSketch restore(std::size_t k, std::uint64_t count,
+                           std::uint64_t error_weight,
+                           std::vector<std::vector<double>> levels,
+                           std::vector<std::uint8_t> parities);
+
+ private:
+  void compact_while_over_capacity();
+  void compact_level(std::size_t level);
+
+  std::size_t k_;
+  std::uint64_t count_ = 0;
+  std::uint64_t error_weight_ = 0;
+  std::vector<std::vector<double>> levels_;
+  std::vector<std::uint8_t> parities_;  // alternating compaction offset per level
+};
+
+}  // namespace synccount::util

@@ -2,87 +2,207 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "util/check.hpp"
 #include "util/json.hpp"
 
 namespace synccount::util {
 
 namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
 double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
+  if (sorted.empty()) return kNaN;
   const double idx = p * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(idx);
   const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = idx - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
+
 }  // namespace
 
+StreamingStats::StreamingStats(StatsMode mode, std::size_t sketch_k) : mode_(mode) {
+  if (mode_ == StatsMode::kSketch) sketch_.emplace(sketch_k);
+}
+
 void StreamingStats::add(double x) {
-  if (samples_.empty()) {
+  if (count_ == 0) {
     min_ = max_ = x;
   } else {
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
   }
-  samples_.push_back(x);
+  ++count_;
   const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(samples_.size());
+  mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
-  sorted_ = false;
+  if (mode_ == StatsMode::kExact) {
+    samples_.push_back(x);
+  } else {
+    sketch_->add(x);
+  }
 }
 
 void StreamingStats::merge(const StreamingStats& other) {
-  // Replay rather than Chan's parallel formula: bit-identical to having
-  // add()ed other's samples directly, which the determinism contract needs.
-  // By index with a saved size so that self-merge (doubling) stays defined
-  // while add() grows samples_.
-  const std::size_t n = other.samples_.size();
-  for (std::size_t i = 0; i < n; ++i) add(other.samples_[i]);
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    // A fresh accumulator adopts the other wholesale (mode included): fold
+    // seeds are default-constructed, and for kExact a copy is bit-identical
+    // to the replay below anyway.
+    *this = other;
+    return;
+  }
+  SC_CHECK(mode_ == other.mode_,
+           "cannot merge exact and sketch StreamingStats accumulators");
+  if (mode_ == StatsMode::kExact) {
+    // Replay rather than Chan's parallel formula: bit-identical to having
+    // add()ed other's samples directly, which the determinism contract
+    // needs. By index with a saved size so that self-merge (doubling) stays
+    // defined while add() grows samples_.
+    const std::size_t n = other.samples_.size();
+    for (std::size_t i = 0; i < n; ++i) add(other.samples_[i]);
+    return;
+  }
+  // Sketch mode has no samples to replay; Chan's parallel update is still a
+  // deterministic function of the two states, so left-folds reproduce.
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * (n2 / (n1 + n2));
+  m2_ += other.m2_ + delta * delta * (n1 * n2 / (n1 + n2));
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sketch_->merge(*other.sketch_);
 }
 
 double StreamingStats::stddev() const {
-  if (samples_.size() < 2) return 0.0;
-  return std::sqrt(m2_ / static_cast<double>(samples_.size() - 1));
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
 }
 
 double StreamingStats::quantile(double p) const {
-  if (samples_.empty()) return 0.0;
-  if (!sorted_) {
-    sorted_samples_ = samples_;
-    std::sort(sorted_samples_.begin(), sorted_samples_.end());
-    sorted_ = true;
-  }
+  if (count_ == 0) return kNaN;
   p = std::clamp(p, 0.0, 1.0);
-  return percentile(sorted_samples_, p);
+  if (mode_ == StatsMode::kSketch) return sketch_->quantile(p);
+  // Sort a local copy: O(n log n) per call, but pure const -- concurrent
+  // summaries over a shared accumulator must not race on a lazy cache.
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return percentile(sorted, p);
+}
+
+const std::vector<double>& StreamingStats::samples() const {
+  SC_CHECK(mode_ == StatsMode::kExact,
+           "sketch-mode StreamingStats does not retain samples");
+  return samples_;
+}
+
+const KllSketch& StreamingStats::sketch() const {
+  SC_CHECK(mode_ == StatsMode::kSketch, "exact-mode StreamingStats has no sketch");
+  return *sketch_;
 }
 
 Summary StreamingStats::summary() const {
   Summary s;
-  s.count = samples_.size();
-  if (samples_.empty()) return s;
+  s.count = count_;
+  if (count_ == 0) {
+    s.mean = s.stddev = s.min = s.max = s.median = s.p90 = s.p99 = kNaN;
+    return s;
+  }
   s.mean = mean_;
   s.stddev = stddev();
   s.min = min_;
   s.max = max_;
-  s.median = quantile(0.5);
-  s.p90 = quantile(0.9);
-  s.p99 = quantile(0.99);
+  if (mode_ == StatsMode::kSketch) {
+    s.median = sketch_->quantile(0.5);
+    s.p90 = sketch_->quantile(0.9);
+    s.p99 = sketch_->quantile(0.99);
+    return s;
+  }
+  // One sort serves all three quantiles.
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  s.median = percentile(sorted, 0.5);
+  s.p90 = percentile(sorted, 0.9);
+  s.p99 = percentile(sorted, 0.99);
   return s;
 }
 
 std::string StreamingStats::to_string() const { return summary().to_string(); }
 
 Json to_json(const StreamingStats& stats) {
-  Json samples = Json::array();
-  for (const double x : stats.samples()) samples.push_back(Json::number(x));
   Json j = Json::object();
-  j.set("samples", std::move(samples));
+  if (stats.mode() == StatsMode::kExact) {
+    // Unchanged v3 shape: exact-mode wire bytes stay identical to pre-sketch
+    // builds.
+    Json samples = Json::array();
+    for (const double x : stats.samples()) samples.push_back(Json::number(x));
+    j.set("samples", std::move(samples));
+    return j;
+  }
+  const KllSketch& sk = stats.sketch();
+  j.set("mode", Json::string("sketch"));
+  j.set("k", Json::number(static_cast<std::uint64_t>(sk.k())));
+  j.set("count", Json::number(static_cast<std::uint64_t>(stats.count())));
+  j.set("mean", Json::number(stats.mean_));
+  j.set("m2", Json::number(stats.m2_));
+  j.set("min", Json::number(stats.min_));
+  j.set("max", Json::number(stats.max_));
+  j.set("error_weight", Json::number(sk.rank_error_weight()));
+  Json parities = Json::array();
+  for (const std::uint8_t p : sk.parities()) {
+    parities.push_back(Json::number(static_cast<std::int64_t>(p)));
+  }
+  j.set("parities", std::move(parities));
+  Json levels = Json::array();
+  for (const auto& level : sk.levels()) {
+    Json arr = Json::array();
+    for (const double v : level) arr.push_back(Json::number(v));
+    levels.push_back(std::move(arr));
+  }
+  j.set("levels", std::move(levels));
   return j;
 }
 
 StreamingStats streaming_stats_from_json(const Json& j) {
+  if (const Json* mode = j.find("mode"); mode != nullptr) {
+    SC_CHECK(mode->as_string() == "sketch",
+             "unknown StreamingStats mode: " + mode->as_string());
+    const auto k = static_cast<std::size_t>(j.at("k").as_u64());
+    StreamingStats out(StatsMode::kSketch, k);
+    const std::uint64_t count = j.at("count").as_u64();
+    if (count == 0) return out;
+    std::vector<std::vector<double>> levels;
+    const Json& jlevels = j.at("levels");
+    for (std::size_t l = 0; l < jlevels.size(); ++l) {
+      std::vector<double> level;
+      const Json& arr = jlevels.at(l);
+      level.reserve(arr.size());
+      for (std::size_t i = 0; i < arr.size(); ++i) level.push_back(arr.at(i).as_double());
+      levels.push_back(std::move(level));
+    }
+    std::vector<std::uint8_t> parities;
+    const Json& jparities = j.at("parities");
+    for (std::size_t i = 0; i < jparities.size(); ++i) {
+      parities.push_back(static_cast<std::uint8_t>(jparities.at(i).as_u64()));
+    }
+    // Bit-exact state transplant: Json::number preserves doubles exactly, so
+    // the moments and every retained item round-trip without re-deriving
+    // anything through floating-point ops.
+    out.count_ = static_cast<std::size_t>(count);
+    out.mean_ = j.at("mean").as_double();
+    out.m2_ = j.at("m2").as_double();
+    out.min_ = j.at("min").as_double();
+    out.max_ = j.at("max").as_double();
+    out.sketch_ = KllSketch::restore(k, count, j.at("error_weight").as_u64(),
+                                     std::move(levels), std::move(parities));
+    return out;
+  }
   StreamingStats out;
   const Json& samples = j.at("samples");
   for (std::size_t i = 0; i < samples.size(); ++i) out.add(samples.at(i).as_double());
@@ -92,7 +212,10 @@ StreamingStats streaming_stats_from_json(const Json& j) {
 Summary summarize(std::vector<double> samples) {
   Summary s;
   s.count = samples.size();
-  if (samples.empty()) return s;
+  if (samples.empty()) {
+    s.mean = s.stddev = s.min = s.max = s.median = s.p90 = s.p99 = kNaN;
+    return s;
+  }
   std::sort(samples.begin(), samples.end());
   double sum = 0.0;
   for (double v : samples) sum += v;
@@ -132,9 +255,16 @@ double regression_slope(const std::vector<double>& x, const std::vector<double>&
 }
 
 std::string Summary::to_string() const {
+  const auto fmt = [](double v) -> std::string {
+    if (std::isnan(v)) return "n/a";
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  };
   std::ostringstream os;
-  os << "n=" << count << " mean=" << mean << " sd=" << stddev << " min=" << min
-     << " med=" << median << " p90=" << p90 << " max=" << max;
+  os << "n=" << count << " mean=" << fmt(mean) << " sd=" << fmt(stddev)
+     << " min=" << fmt(min) << " med=" << fmt(median) << " p90=" << fmt(p90)
+     << " max=" << fmt(max);
   return os.str();
 }
 

@@ -3,13 +3,18 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include "util/kll_sketch.hpp"
 
 namespace synccount::util {
 
 struct Summary {
   std::size_t count = 0;
+  // NaN when count == 0: an empty accumulator must never be confusable with
+  // one that saw a real zero sample (to_string prints "n/a").
   double mean = 0.0;
   double stddev = 0.0;
   double min = 0.0;
@@ -21,54 +26,104 @@ struct Summary {
   std::string to_string() const;
 };
 
+// How an accumulator answers quantile queries.
+//
+//   kExact   retain every sample; quantiles are exact and merge replays the
+//            samples, so merged quantiles are exact too. O(n) memory. The
+//            default, and the right choice up to ~100k samples per
+//            accumulator.
+//   kSketch  feed a deterministic KLL sketch (util/kll_sketch.hpp) instead
+//            of retaining samples; O(k log(n/k)) memory whatever n does,
+//            quantiles approximate within the sketch's tracked rank-error
+//            bound. Mean/stddev/min/max stay exact (streaming). Merge uses
+//            Chan's parallel variance formula + sketch merge -- still a
+//            deterministic left-fold, no longer bit-equal to a sample
+//            replay.
+enum class StatsMode { kExact, kSketch };
+
+class Json;
+class StreamingStats;
+Json to_json(const StreamingStats& stats);
+StreamingStats streaming_stats_from_json(const Json& j);
+
 // Mergeable accumulator used by the batched experiment engine: add one
 // sample at a time, fold accumulators together, read summary statistics at
 // the end. Mean/variance are maintained streaming (Welford); quantiles are
-// exact, computed from the retained samples (one double per sample -- fine
-// at experiment scale, where a "sample" is a whole execution).
+// exact from retained samples in kExact mode (one double per sample -- fine
+// at experiment scale) or approximate from a bounded sketch in kSketch mode
+// (million-cell grids).
 //
-// Determinism contract: two accumulators fed the same samples in the same
-// order are bit-identical, which is what lets the engine produce identical
-// aggregates for any thread count (it folds per-cell results in cell order).
+// Determinism contract: two accumulators of the same mode fed the same
+// add()/merge() sequence are bit-identical, which is what lets the engine
+// produce identical aggregates for any thread count (it folds per-cell
+// results in cell order and merges per-group partials in group order).
+//
+// Thread safety: every const member (quantile, summary, ...) is genuinely
+// read-only -- no lazily mutated cache -- so concurrent readers over a
+// shared accumulator need no external synchronisation. quantile()/summary()
+// sort a local copy per call; summary() sorts once for all three quantiles.
 class StreamingStats {
  public:
-  void add(double x);
-  void merge(const StreamingStats& other);  // as if other's samples were add()ed in order
+  StreamingStats() = default;  // exact mode
+  explicit StreamingStats(StatsMode mode, std::size_t sketch_k = KllSketch::kDefaultK);
 
-  std::size_t count() const noexcept { return samples_.size(); }
-  bool empty() const noexcept { return samples_.empty(); }
+  StatsMode mode() const noexcept { return mode_; }
+
+  void add(double x);
+
+  // As if other's samples were add()ed in order (kExact: bit-identical
+  // replay). Modes must match, except that merging into an EMPTY accumulator
+  // adopts other's mode wholesale -- so default-constructed fold seeds
+  // (merge_aggregates, ShardPartial::total) work for either mode.
+  void merge(const StreamingStats& other);
+
+  std::size_t count() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
   double mean() const noexcept { return mean_; }
   double stddev() const;               // sample stddev (n - 1); 0 for n < 2
   double min() const noexcept { return min_; }
   double max() const noexcept { return max_; }
 
-  // Exact quantile with linear interpolation, p in [0, 1]; 0 when empty.
+  // Quantile with linear interpolation (kExact) or sketch lookup (kSketch),
+  // p clamped to [0, 1]; NaN when empty. Pure const: safe to call
+  // concurrently with other const members.
   double quantile(double p) const;
 
   // The retained samples in add() order -- what the wire codec serialises so
-  // a deserialised accumulator replays the identical fp-op sequence.
-  const std::vector<double>& samples() const noexcept { return samples_; }
+  // a deserialised accumulator replays the identical fp-op sequence. kExact
+  // only (SC_CHECK).
+  const std::vector<double>& samples() const;
+
+  // The quantile sketch; kSketch only (SC_CHECK).
+  const KllSketch& sketch() const;
 
   Summary summary() const;             // same shape the benches already print
   std::string to_string() const;
 
  private:
+  // The wire codec transplants sketch-mode state directly (m2_ must
+  // round-trip bit-exactly; recomputing it from stddev() would not).
+  friend Json to_json(const StreamingStats& stats);
+  friend StreamingStats streaming_stats_from_json(const Json& j);
+
+  StatsMode mode_ = StatsMode::kExact;
+  std::size_t count_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;                    // sum of squared deviations (Welford)
   double min_ = 0.0;
   double max_ = 0.0;
-  std::vector<double> samples_;        // retained for exact quantiles
-  mutable bool sorted_ = true;         // lazily sorted copy lives in sorted_samples_
-  mutable std::vector<double> sorted_samples_;
+  std::vector<double> samples_;        // kExact: retained for exact quantiles
+  std::optional<KllSketch> sketch_;    // kSketch: bounded quantile state
 };
 
-class Json;
-
 // Wire codec for StreamingStats (the sharded-sweep format of
-// sim/experiment_io.hpp): serialises the retained samples in add() order;
-// deserialisation replays them through add(), so a round-tripped accumulator
-// is bit-identical to the original -- mean/m2 follow the same fp-op
-// sequence and merged quantiles stay exact.
+// sim/experiment_io.hpp). kExact serialises the retained samples in add()
+// order and deserialisation replays them through add(), so a round-tripped
+// accumulator is bit-identical to the original -- mean/m2 follow the same
+// fp-op sequence and merged quantiles stay exact. kSketch serialises the
+// streaming moments plus the sketch state (levels, parities, error bound)
+// verbatim -- O(k log n) bytes instead of O(n) -- and restores it
+// bit-identically (Json::number round-trips doubles exactly).
 Json to_json(const StreamingStats& stats);
 StreamingStats streaming_stats_from_json(const Json& j);
 

@@ -4,6 +4,7 @@
 // hand-rolled loop of run_execution calls.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <atomic>
 #include <set>
 
@@ -12,6 +13,7 @@
 #include "counting/table_algorithm.hpp"
 #include "counting/trivial.hpp"
 #include "sim/engine.hpp"
+#include "sim/experiment_io.hpp"
 #include "sim/faults.hpp"
 #include "sim/sink.hpp"
 #include "synthesis/known_tables.hpp"
@@ -83,10 +85,10 @@ TEST(StreamingStats, MergeEqualsSequentialAdds) {
   EXPECT_DOUBLE_EQ(a.quantile(0.95), all.quantile(0.95));
 }
 
-TEST(StreamingStats, EmptyIsZero) {
+TEST(StreamingStats, EmptyQuantileIsNaN) {
   util::StreamingStats s;
   EXPECT_EQ(s.count(), 0u);
-  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_TRUE(std::isnan(s.quantile(0.5)));
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
 }
 
@@ -225,6 +227,68 @@ TEST(Engine, BatchedAndScalarBackendsGiveIdenticalAggregates) {
   for (std::size_t adv = 0; adv < spec.adversaries.size(); ++adv) {
     for (std::size_t pl = 0; pl < spec.placements.size(); ++pl) {
       expect_same_aggregate(batched.aggregate(adv, pl), scalar.aggregate(adv, pl));
+    }
+  }
+}
+
+TEST(Engine, ProfilesRecordBackendAndWorkPerGroup) {
+  // Groups landing on different backends in one run: silent batches on the
+  // bit-sliced table backend, lookahead is not batchable and stays scalar.
+  sim::ExperimentSpec spec;
+  spec.algo =
+      std::make_shared<counting::TableAlgorithm>(synthesis::known_table_4_1_3states());
+  spec.adversaries = {"silent", "lookahead"};
+  spec.placements = {{"spread", sim::faults_spread(4, 1)}, {"none", {}}};
+  spec.seeds = 6;
+  spec.stop_after_stable = 40;
+  spec.margin = 30;
+
+  const auto result = sim::Engine(2).run(spec);
+  ASSERT_EQ(result.profiles.size(), sim::group_count(spec));
+  for (std::size_t adv = 0; adv < spec.adversaries.size(); ++adv) {
+    for (std::size_t pl = 0; pl < spec.placements.size(); ++pl) {
+      const auto& p = result.profiles[adv * spec.placements.size() + pl];
+      EXPECT_GT(p.node_rounds(), 0u) << spec.adversaries[adv];
+      EXPECT_FALSE(p.saturated());
+      EXPECT_EQ(p.backend(),
+                spec.adversaries[adv] == "silent" ? sim::GroupProfile::kBatched
+                                                  : sim::GroupProfile::kScalar)
+          << spec.adversaries[adv] << "/" << spec.placements[pl].name;
+    }
+  }
+  // Some compute time was attributed somewhere (individual groups can be too
+  // fast for the clock's resolution, but not the whole grid).
+  std::uint64_t nanos = 0;
+  for (const auto& p : result.profiles) nanos += p.nanos;
+  EXPECT_GT(nanos, 0u);
+
+  // node-rounds (unlike nanos) are a pure function of the executions, so the
+  // packed word is identical whatever the thread count.
+  const auto serial = sim::Engine(1).run(spec);
+  ASSERT_EQ(serial.profiles.size(), result.profiles.size());
+  for (std::size_t lg = 0; lg < result.profiles.size(); ++lg) {
+    EXPECT_EQ(serial.profiles[lg].packed, result.profiles[lg].packed) << lg;
+  }
+
+  // The composed-tower backend tags its groups as such.
+  const auto composed = sim::Engine(1).run(small_grid_spec());
+  ASSERT_FALSE(composed.profiles.empty());
+  EXPECT_EQ(composed.profiles[0].backend(), sim::GroupProfile::kComposed);
+}
+
+TEST(Engine, SketchModeIsThreadCountInvariant) {
+  sim::ExperimentSpec spec = small_grid_spec();
+  spec.stats = util::StatsMode::kSketch;
+  const auto a = sim::Engine(1).run(spec);
+  const auto b = sim::Engine(4).run(spec);
+  EXPECT_EQ(a.total.rounds.mode(), util::StatsMode::kSketch);
+  // Byte-level equality of the serialised aggregates: identical sketch
+  // levels/parities and moments, not just close quantiles.
+  EXPECT_EQ(sim::aggregate_to_json(a.total).dump(), sim::aggregate_to_json(b.total).dump());
+  for (std::size_t adv = 0; adv < spec.adversaries.size(); ++adv) {
+    for (std::size_t pl = 0; pl < spec.placements.size(); ++pl) {
+      EXPECT_EQ(sim::aggregate_to_json(a.aggregate(adv, pl)).dump(),
+                sim::aggregate_to_json(b.aggregate(adv, pl)).dump());
     }
   }
 }

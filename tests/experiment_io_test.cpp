@@ -127,6 +127,52 @@ TEST(SpecFile, RejectsTruncatedJson) {
   expect_read_spec_throws(text.substr(0, text.size() / 2), "bad JSON");
 }
 
+// The wire-versioning contract: exact specs never emit a "stats" field and
+// stay on the pre-sketch v3 bytes; sketch specs tag themselves and move the
+// partial header to v4.
+
+TEST(SpecFile, SketchSpecsCarryTheStatsFieldExactOnesDoNot) {
+  EXPECT_EQ(spec_file_text(small_spec()).find("\"stats\""), std::string::npos);
+
+  sim::ExperimentSpec spec = small_spec();
+  spec.stats = util::StatsMode::kSketch;
+  const std::string text = spec_file_text(spec);
+  EXPECT_NE(text.find("\"stats\":\"sketch\""), std::string::npos);
+  std::istringstream in(text);
+  const sim::ExperimentSpec back = sim::read_spec_file(in, "spec.json");
+  EXPECT_EQ(back.stats, util::StatsMode::kSketch);
+  EXPECT_EQ(spec_file_text(back), text);
+}
+
+TEST(ReadPartial, HeaderVersionFollowsTheStatsMode) {
+  EXPECT_NE(partial_text(small_spec()).find("\"version\":3"), std::string::npos);
+
+  sim::ExperimentSpec spec = small_spec();
+  spec.stats = util::StatsMode::kSketch;
+  const std::string text = partial_text(spec);
+  EXPECT_NE(text.find("\"version\":4"), std::string::npos);
+  // The sketch partial round-trips, and re-serialising is byte-stable --
+  // including the per-group sketch payloads.
+  std::istringstream in(text);
+  const sim::ShardPartial partial = sim::read_partial(in, "test.jsonl");
+  std::ostringstream out;
+  write_partial(out, partial);
+  EXPECT_EQ(out.str(), text);
+}
+
+TEST(ReadPartial, RejectsVersionStatsModeDisagreements) {
+  // A v3 header over a sketch-tagged spec (and vice versa) is a forged or
+  // hand-edited file, not a format we ever wrote.
+  sim::ExperimentSpec sketch_spec = small_spec();
+  sketch_spec.stats = util::StatsMode::kSketch;
+  expect_read_partial_throws(
+      tamper_and_resign(partial_text(sketch_spec), "\"version\":4", "\"version\":3"),
+      "format version disagrees with the spec's stats mode");
+  expect_read_partial_throws(
+      tamper_and_resign(partial_text(small_spec()), "\"version\":3", "\"version\":4"),
+      "format version disagrees with the spec's stats mode");
+}
+
 // --- Partial files -----------------------------------------------------------
 
 TEST(ReadPartial, RejectsUnknownVersion) {

@@ -116,6 +116,31 @@ TEST(Backoff, HonoursTheAttemptBudgetAndIsSeedDeterministic) {
   EXPECT_EQ(b1.next_delay().count(), b2.next_delay().count());
 }
 
+TEST(Backoff, HighAttemptCountsDoNotOverflow) {
+  // initial * multiplier^attempt overflows a double-to-integer cast long
+  // before attempt 60; a forever-retrying worker (max_attempts = 0) with a
+  // huge cap must keep getting sane positive delays, not UB or negatives.
+  util::BackoffPolicy policy;
+  policy.initial = milliseconds(1000);
+  policy.cap = milliseconds::max();
+  policy.multiplier = 10.0;
+  policy.jitter = 0.5;
+  policy.max_attempts = 0;
+  util::Backoff backoff(policy, 5);
+  long prev = 0;
+  for (int attempt = 0; attempt < 80; ++attempt) {
+    ASSERT_TRUE(backoff.should_retry());
+    const long d = backoff.next_delay().count();
+    ASSERT_GT(d, 0) << "attempt " << attempt;
+    ASSERT_GE(d, prev / 4) << "attempt " << attempt;  // no wrap-around collapse
+    prev = d;
+  }
+  // Far past any representable delay the schedule is pinned at the clamp,
+  // and the attempt counter saturates instead of overflowing.
+  EXPECT_GE(backoff.attempt(), 80);
+  EXPECT_TRUE(backoff.should_retry());
+}
+
 // --- Fault injector --------------------------------------------------------------
 
 TEST(FaultInjector, ParsesPlansAndFiresOnce) {
@@ -426,6 +451,29 @@ TEST(JobQueue, PersistsAcrossReloadAndAssemblesByteIdenticalResults) {
   EXPECT_THROW(queue.results_text("job"), std::invalid_argument);  // incomplete
 
   for (const std::uint64_t g : {2u, 4u, 5u}) complete_group(queue, spec, g);
+  EXPECT_TRUE(queue.job_complete("job"));
+  EXPECT_EQ(queue.results_text("job"), reference.str());
+}
+
+TEST(JobQueue, SketchSpecsRoundTripWithBoundedWire) {
+  // A sketch-mode spec travels through submit -> assemble carrying KLL
+  // sketch state instead of sample vectors, and the assembled results must
+  // still byte-compare to a single-process sketch run (the v4 wire format's
+  // determinism contract end-to-end through the service).
+  TempDir dir;
+  sim::ExperimentSpec spec = small_spec();
+  spec.stats = util::StatsMode::kSketch;
+
+  const auto full_plan = sim::plan_shards(spec, 1, 0);
+  std::ostringstream reference;
+  write_partial(reference, make_partial(spec, full_plan, sim::Engine(1).run(spec, full_plan)));
+  EXPECT_NE(reference.str().find("\"stats\":\"sketch\""), std::string::npos);
+
+  serve::JobQueue queue(dir.file("state"));
+  queue.submit("job", sim::experiment_spec_to_json(spec));
+  for (const std::uint64_t g : {0u, 3u, 1u, 5u, 2u, 4u}) {
+    complete_group(queue, spec, g);
+  }
   EXPECT_TRUE(queue.job_complete("job"));
   EXPECT_EQ(queue.results_text("job"), reference.str());
 }

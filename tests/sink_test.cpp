@@ -221,6 +221,107 @@ TEST(TraceSink, BitIdenticalAcrossBackendsAndThreads_Csv) {
   expect_trace_invariant(table_spec(), "csv", /*outputs=*/false);
 }
 
+TEST(TraceSink, BitIdenticalAcrossBackendsAndThreads_ComposedBin) {
+  expect_trace_invariant(mixed_backend_spec(), "bin", /*outputs=*/false);
+}
+
+TEST(TraceSink, BitIdenticalAcrossBackendsAndThreads_BitSlicedBin) {
+  expect_trace_invariant(table_spec(), "bin", /*outputs=*/false);
+}
+
+TEST(TraceSink, BinDecodesBackToTheCellRows) {
+  const auto spec = table_spec();
+  TempFile trace("trace-bin");
+  sim::TraceSink sink(trace.path, "bin");
+  const sim::Engine engine(2);
+  const auto result = engine.run(spec, {&sink});
+
+  const sim::BinaryTrace decoded = sim::read_binary_trace(slurp(trace.path));
+  EXPECT_EQ(decoded.header.adversaries, spec.adversaries);
+  ASSERT_EQ(decoded.header.placements.size(), spec.placements.size());
+  for (std::size_t i = 0; i < spec.placements.size(); ++i) {
+    EXPECT_EQ(decoded.header.placements[i], spec.placements[i].name);
+  }
+  EXPECT_EQ(decoded.blocks, 1 + sim::group_count(spec));
+  ASSERT_EQ(decoded.rows.size(), result.cells.size());
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const auto& cell = result.cells[i];
+    const sim::TraceRow& row = decoded.rows[i];
+    EXPECT_EQ(row.cell, cell.cell_index);
+    EXPECT_EQ(row.adversary, cell.adversary);
+    EXPECT_EQ(row.placement, cell.placement);
+    EXPECT_EQ(row.seed_index, cell.seed_index);
+    EXPECT_EQ(row.seed, cell.seed);
+    EXPECT_EQ(row.rounds, cell.result.rounds);
+    EXPECT_EQ(row.stabilised, cell.result.stabilised);
+    EXPECT_EQ(row.stabilisation_round, cell.result.stabilisation_round);
+    EXPECT_EQ(row.suffix_length, cell.result.suffix_length);
+    EXPECT_EQ(row.max_window, cell.result.max_window);
+    EXPECT_EQ(row.max_pulls, cell.result.max_pulls_per_round);
+    // Bit-exact double round-trip, not approximate.
+    EXPECT_EQ(row.avg_pulls, cell.result.avg_pulls_per_round);
+  }
+}
+
+TEST(TraceSink, BinRejectsTornTailsAndBitFlips) {
+  const auto spec = mixed_backend_spec();
+  TempFile trace("trace-bin-damage");
+  {
+    sim::TraceSink sink(trace.path, "bin");
+    sim::Engine(1).run(spec, {&sink});
+  }
+  const std::string bytes = slurp(trace.path);
+  EXPECT_NO_THROW(sim::read_binary_trace(bytes));
+  // A torn tail (mid-block cut) and a flipped payload byte both fail loudly.
+  EXPECT_THROW(sim::read_binary_trace(bytes.substr(0, bytes.size() - 3)),
+               std::invalid_argument);
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x20;
+  EXPECT_THROW(sim::read_binary_trace(flipped), std::invalid_argument);
+  // Trailing garbage after the last whole block is not silently ignored.
+  EXPECT_THROW(sim::read_binary_trace(bytes + "x"), std::invalid_argument);
+}
+
+TEST(TraceSink, BinResumeProducesByteIdenticalFiles) {
+  const auto spec = mixed_backend_spec();
+  const auto plan = sim::plan_shards(spec, 1, 0);
+  const std::size_t G = sim::group_count(spec);
+
+  TempFile full("bin-ref");
+  {
+    sim::TraceSink sink(full.path, "bin");
+    sim::Engine(2).run(spec, plan, {&sink});
+  }
+  const std::string reference = slurp(full.path);
+
+  // Die after every possible prefix (0..G-1 finished groups), trim to whole
+  // blocks (header + one block per finished group), resume the remaining
+  // groups: bytes must match the uninterrupted run exactly.
+  for (std::size_t done = 0; done < G; ++done) {
+    TempFile trace("bin-resume");
+    {
+      sim::TraceSink sink(trace.path, "bin");
+      sim::Engine(1).run(spec, plan, {&sink});
+    }
+    sim::truncate_to_blocks(trace.path, 1 + done);
+
+    sim::ShardPlan rest = plan;
+    rest.group_begin = done;
+    sim::TraceSink sink(trace.path, "bin", /*outputs=*/false, /*resume=*/true);
+    sim::Engine(2).run(spec, rest, {&sink});
+    EXPECT_EQ(slurp(trace.path), reference) << "resumed after " << done << " groups";
+  }
+
+  // Asking for more whole blocks than the file holds is an error, not
+  // silent data loss.
+  TempFile trace("bin-overask");
+  {
+    sim::TraceSink sink(trace.path, "bin");
+    sim::Engine(1).run(spec, plan, {&sink});
+  }
+  EXPECT_THROW(sim::truncate_to_blocks(trace.path, 2 + G), std::invalid_argument);
+}
+
 TEST(TraceSink, CsvHasHeaderAndOneRowPerCell) {
   const auto spec = table_spec();
   TempFile trace("trace-csv");
@@ -236,6 +337,7 @@ TEST(TraceSink, CsvHasHeaderAndOneRowPerCell) {
 
 TEST(TraceSink, RejectsCsvWithOutputs) {
   EXPECT_THROW(sim::TraceSink("x.csv", "csv", /*outputs=*/true), std::invalid_argument);
+  EXPECT_THROW(sim::TraceSink("x.bin", "bin", /*outputs=*/true), std::invalid_argument);
   EXPECT_THROW(sim::TraceSink("x", "xml"), std::invalid_argument);
 }
 

@@ -1,0 +1,363 @@
+// Tests for the scale-ready aggregation layer: the deterministic KLL
+// quantile sketch (util/kll_sketch.hpp), sketch-mode StreamingStats, the
+// stats wire codec's byte-stability, and the concurrency contract that
+// every const member of StreamingStats is safe to call from concurrent
+// readers without external synchronisation (the lazy-sort cache regression:
+// run under TSan, this suite fails if quantile()/summary() ever mutate
+// shared state again).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/kll_sketch.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace synccount;
+using util::KllSketch;
+using util::StatsMode;
+using util::StreamingStats;
+
+// --- KLL rank-error property --------------------------------------------------
+
+// Worst-case adversarial orderings for a compaction-based sketch: every
+// pattern that makes "drop every other item of a sorted buffer" maximally
+// wrong somewhere in the stream.
+std::vector<std::vector<double>> adversarial_streams(std::size_t n) {
+  std::vector<std::vector<double>> streams;
+  std::vector<double> asc(n), desc(n), organ(n), dups(n), random(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    asc[i] = static_cast<double>(i);
+    desc[i] = static_cast<double>(n - 1 - i);
+    // Organ pipe: rises to the middle, falls back down.
+    organ[i] = static_cast<double>(i < n / 2 ? i : n - 1 - i);
+    // Heavy duplication: only 7 distinct values.
+    dups[i] = static_cast<double>(i % 7);
+  }
+  util::Rng rng(0x5EED);
+  for (std::size_t i = 0; i < n; ++i) {
+    random[i] = static_cast<double>(rng.next_below(1000000));
+  }
+  streams.push_back(std::move(asc));
+  streams.push_back(std::move(desc));
+  streams.push_back(std::move(organ));
+  streams.push_back(std::move(dups));
+  streams.push_back(std::move(random));
+  return streams;
+}
+
+// Absolute rank error of answering `value` for quantile p over `sorted`:
+// distance from the target rank to the nearest rank at which `value`
+// actually sits (0 if the target falls inside the value's run of
+// duplicates). Infinite if `value` is not in the stream at all -- the
+// sketch only ever returns retained samples.
+double rank_error(const std::vector<double>& sorted, double p, double value) {
+  const auto lo = std::lower_bound(sorted.begin(), sorted.end(), value);
+  const auto hi = std::upper_bound(sorted.begin(), sorted.end(), value);
+  if (lo == hi) return std::numeric_limits<double>::infinity();
+  const double first = static_cast<double>(lo - sorted.begin());
+  const double last = static_cast<double>(hi - sorted.begin()) - 1;
+  const double target = p * static_cast<double>(sorted.size() - 1);
+  if (target >= first && target <= last) return 0.0;
+  return std::min(std::fabs(target - first), std::fabs(target - last));
+}
+
+TEST(KllSketch, RankErrorWithinTrackedBoundOnAdversarialOrderings) {
+  const std::size_t n = 30000;
+  for (const auto& stream : adversarial_streams(n)) {
+    KllSketch sketch(64);  // small k: forces many compactions at this n
+    for (double x : stream) sketch.add(x);
+    ASSERT_EQ(sketch.count(), n);
+    EXPECT_GT(sketch.rank_error_weight(), 0u);  // compactions really happened
+    EXPECT_LT(sketch.retained(), n / 4);        // and memory really is bounded
+
+    std::vector<double> sorted = stream;
+    std::sort(sorted.begin(), sorted.end());
+    // The contract from the header: returned rank is off by at most the
+    // tracked compaction weight plus the heaviest item's discretisation.
+    const double bound = static_cast<double>(sketch.rank_error_weight() +
+                                             sketch.max_item_weight() - 1);
+    for (double p : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+      const double v = sketch.quantile(p);
+      EXPECT_LE(rank_error(sorted, p, v), bound)
+          << "p=" << p << " value=" << v << " n=" << n;
+    }
+  }
+}
+
+TEST(KllSketch, SmallStreamsAreExact) {
+  // Below the first compaction the sketch retains everything: zero error.
+  KllSketch sketch;  // default k = 200
+  std::vector<double> xs;
+  for (int i = 50; i > 0; --i) {
+    sketch.add(static_cast<double>(i));
+    xs.push_back(static_cast<double>(i));
+  }
+  std::sort(xs.begin(), xs.end());
+  EXPECT_EQ(sketch.rank_error_weight(), 0u);
+  // The weighted walk returns the first retained item at or past the target
+  // rank, i.e. the value at ceil(p * (n - 1)).
+  for (double p : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const auto rank = static_cast<std::size_t>(std::ceil(p * (xs.size() - 1)));
+    EXPECT_EQ(sketch.quantile(p), xs[rank]);
+  }
+}
+
+TEST(KllSketch, EmptyQuantileIsNaN) {
+  const KllSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_TRUE(std::isnan(sketch.quantile(0.5)));
+  EXPECT_EQ(sketch.rank_error_weight(), 0u);
+  EXPECT_EQ(sketch.rank_error_bound(), 0.0);
+}
+
+TEST(KllSketch, DeterministicAcrossIdenticalRuns) {
+  // No hidden randomness: two sketches fed the same stream are bit-equal in
+  // every observable (the determinism contract the engine relies on).
+  KllSketch a(32), b(32);
+  util::Rng rng(7);
+  std::vector<double> stream(20000);
+  for (auto& x : stream) x = static_cast<double>(rng.next_below(1 << 20));
+  for (double x : stream) a.add(x);
+  for (double x : stream) b.add(x);
+  EXPECT_EQ(a.levels(), b.levels());
+  EXPECT_EQ(a.parities(), b.parities());
+  EXPECT_EQ(a.rank_error_weight(), b.rank_error_weight());
+  for (double p : {0.1, 0.5, 0.9}) EXPECT_EQ(a.quantile(p), b.quantile(p));
+}
+
+TEST(KllSketch, ShardedMergeMatchesSingleProcessBitForBit) {
+  // The differential the sharded sweep depends on: fold per-group sketches
+  // into an empty seed in group order (what ShardPartial::total and
+  // merge_aggregates do) == the engine's own per-group fold in the same
+  // order. Same fold shape -> identical bits.
+  util::Rng rng(0xD1FF);
+  const std::size_t groups = 6, per_group = 5000;
+  std::vector<KllSketch> group_sketches(groups, KllSketch(48));
+  for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t i = 0; i < per_group; ++i) {
+      group_sketches[g].add(static_cast<double>(rng.next_below(100000)));
+    }
+  }
+
+  KllSketch single(48);
+  for (const auto& gs : group_sketches) single.merge(gs);
+
+  // "Sharded": shards hold contiguous group ranges; the merge folds every
+  // group in global group order, regardless of which shard computed it.
+  KllSketch merged(48);
+  for (std::size_t g = 0; g < 3; ++g) merged.merge(group_sketches[g]);   // shard 0
+  for (std::size_t g = 3; g < groups; ++g) merged.merge(group_sketches[g]);  // shard 1
+
+  EXPECT_EQ(single.count(), merged.count());
+  EXPECT_EQ(single.rank_error_weight(), merged.rank_error_weight());
+  EXPECT_EQ(single.levels(), merged.levels());
+  EXPECT_EQ(single.parities(), merged.parities());
+}
+
+TEST(KllSketch, MergeIntoEmptyCopiesExactly) {
+  KllSketch src(32);
+  for (int i = 0; i < 10000; ++i) src.add(static_cast<double>(i * 13 % 997));
+  KllSketch dst(32);
+  dst.merge(src);
+  EXPECT_EQ(dst.levels(), src.levels());
+  EXPECT_EQ(dst.parities(), src.parities());
+  EXPECT_EQ(dst.rank_error_weight(), src.rank_error_weight());
+}
+
+TEST(KllSketch, RestoreRoundTripsState) {
+  KllSketch src(40);
+  for (int i = 0; i < 25000; ++i) src.add(std::sin(i) * 1000.0);
+  const KllSketch back = KllSketch::restore(src.k(), src.count(),
+                                            src.rank_error_weight(), src.levels(),
+                                            src.parities());
+  EXPECT_EQ(back.levels(), src.levels());
+  EXPECT_EQ(back.parities(), src.parities());
+  for (double p : {0.0, 0.5, 1.0}) EXPECT_EQ(back.quantile(p), src.quantile(p));
+  // And a restored sketch keeps evolving identically.
+  KllSketch a = src, b = back;
+  for (int i = 0; i < 5000; ++i) {
+    a.add(static_cast<double>(i));
+    b.add(static_cast<double>(i));
+  }
+  EXPECT_EQ(a.levels(), b.levels());
+}
+
+// --- Sketch-mode StreamingStats ----------------------------------------------
+
+TEST(SketchStats, MomentsAreExactQuantilesApproximate) {
+  StreamingStats sketch(StatsMode::kSketch);
+  StreamingStats exact;
+  util::Rng rng(99);
+  const std::size_t n = 50000;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(rng.next_below(10000));
+    sketch.add(x);
+    exact.add(x);
+  }
+  // Streaming moments follow the identical fp-op sequence in both modes.
+  EXPECT_EQ(sketch.count(), exact.count());
+  EXPECT_EQ(sketch.mean(), exact.mean());
+  EXPECT_EQ(sketch.stddev(), exact.stddev());
+  EXPECT_EQ(sketch.min(), exact.min());
+  EXPECT_EQ(sketch.max(), exact.max());
+  // Quantiles land within the sketch's own tracked rank-error bound.
+  const double rank_tol =
+      static_cast<double>(sketch.sketch().rank_error_weight() +
+                          sketch.sketch().max_item_weight() - 1);
+  EXPECT_LT(rank_tol / static_cast<double>(n), 0.15);
+  for (double p : {0.1, 0.5, 0.9}) {
+    // Values are uniform over [0, 10000): rank error translates to value
+    // error by the density n / 10000.
+    const double value_tol = rank_tol * 10000.0 / static_cast<double>(n);
+    EXPECT_NEAR(sketch.quantile(p), exact.quantile(p), value_tol) << "p=" << p;
+  }
+}
+
+TEST(SketchStats, MergeIsDeterministicLeftFold) {
+  auto build = [](std::uint64_t seed, std::size_t n) {
+    StreamingStats s(StatsMode::kSketch);
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.add(static_cast<double>(rng.next_below(1 << 16)));
+    }
+    return s;
+  };
+  const auto a1 = build(1, 9000), b1 = build(2, 7000), c1 = build(3, 11000);
+
+  StreamingStats fold1, fold2;  // default exact seeds: adopt on first merge
+  for (const auto* s : {&a1, &b1, &c1}) fold1.merge(*s);
+  for (const auto* s : {&a1, &b1, &c1}) fold2.merge(*s);
+  EXPECT_EQ(fold1.mode(), StatsMode::kSketch);  // adopted from the first merge
+  EXPECT_EQ(fold1.count(), 27000u);
+  EXPECT_EQ(fold1.mean(), fold2.mean());
+  EXPECT_EQ(fold1.stddev(), fold2.stddev());
+  EXPECT_EQ(util::to_json(fold1).dump(), util::to_json(fold2).dump());
+}
+
+TEST(SketchStats, EmptyAndSingleSample) {
+  StreamingStats s(StatsMode::kSketch);
+  EXPECT_TRUE(std::isnan(s.quantile(0.5)));
+  auto sum = s.summary();
+  EXPECT_EQ(sum.count, 0u);
+  EXPECT_TRUE(std::isnan(sum.mean));
+  EXPECT_TRUE(std::isnan(sum.median));
+  EXPECT_NE(sum.to_string().find("n/a"), std::string::npos);
+
+  s.add(42.0);
+  EXPECT_EQ(s.quantile(0.0), 42.0);
+  EXPECT_EQ(s.quantile(0.5), 42.0);
+  EXPECT_EQ(s.quantile(1.0), 42.0);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  sum = s.summary();
+  EXPECT_EQ(sum.count, 1u);
+  EXPECT_EQ(sum.median, 42.0);
+}
+
+TEST(SketchStats, ExactSingleSampleAndEmpty) {
+  StreamingStats s;  // exact mode
+  EXPECT_TRUE(std::isnan(s.quantile(0.25)));
+  EXPECT_TRUE(std::isnan(s.summary().p90));
+  s.add(-3.5);
+  EXPECT_EQ(s.quantile(0.0), -3.5);
+  EXPECT_EQ(s.quantile(1.0), -3.5);
+  EXPECT_EQ(s.summary().median, -3.5);
+  EXPECT_EQ(s.summary().count, 1u);
+}
+
+TEST(SketchStats, ModeMismatchThrows) {
+  StreamingStats exact, sketch(StatsMode::kSketch);
+  exact.add(1.0);
+  sketch.add(2.0);
+  EXPECT_THROW(exact.merge(sketch), std::exception);
+  EXPECT_THROW(sketch.merge(exact), std::exception);
+  EXPECT_THROW(exact.sketch(), std::exception);     // accessor guards
+  EXPECT_THROW(sketch.samples(), std::exception);
+}
+
+// --- Wire codec byte-stability ------------------------------------------------
+
+TEST(SketchStats, CodecRoundTripIsByteStable) {
+  StreamingStats s(StatsMode::kSketch);
+  util::Rng rng(0xC0DE);
+  for (int i = 0; i < 40000; ++i) {
+    s.add(static_cast<double>(rng.next_below(1 << 24)) * 0.001);
+  }
+  const std::string wire = util::to_json(s).dump();
+  const StreamingStats back =
+      util::streaming_stats_from_json(util::Json::parse(wire));
+  // Re-serialising the deserialised accumulator reproduces the exact bytes:
+  // the fixed point the shard merge byte-compare depends on.
+  EXPECT_EQ(util::to_json(back).dump(), wire);
+  EXPECT_EQ(back.mean(), s.mean());
+  EXPECT_EQ(back.stddev(), s.stddev());
+  for (double p : {0.05, 0.5, 0.95}) EXPECT_EQ(back.quantile(p), s.quantile(p));
+
+  // And the round-tripped accumulator continues identically under merge.
+  StreamingStats more(StatsMode::kSketch);
+  for (int i = 0; i < 5000; ++i) more.add(static_cast<double>(i));
+  StreamingStats s2 = s, back2 = back;
+  s2.merge(more);
+  back2.merge(more);
+  EXPECT_EQ(util::to_json(s2).dump(), util::to_json(back2).dump());
+}
+
+TEST(SketchStats, ExactCodecShapeUnchanged) {
+  // Exact accumulators must keep the pre-sketch wire shape (a bare samples
+  // array) so existing v3 partials byte-compare across this change.
+  StreamingStats s;
+  s.add(1.0);
+  s.add(2.5);
+  const std::string wire = util::to_json(s).dump();
+  EXPECT_NE(wire.find("\"samples\""), std::string::npos);
+  EXPECT_EQ(wire.find("\"mode\""), std::string::npos);
+}
+
+// --- Concurrent const readers (the lazy-sort data-race regression) ------------
+
+TEST(SketchStats, ConcurrentConstReadersAreRaceFree) {
+  // Before the fix, quantile()/summary() lazily sorted a mutable sample
+  // cache under no lock: two concurrent readers raced on the same vector
+  // (crashes at worst, wrong quantiles at best). The fix removes the cache
+  // entirely, so hammering const members from many threads must be clean --
+  // the CI tsan job runs this under ThreadSanitizer, where the old code
+  // fails deterministically.
+  for (const StatsMode mode : {StatsMode::kExact, StatsMode::kSketch}) {
+    StreamingStats shared(mode);
+    util::Rng rng(0xACE);
+    for (int i = 0; i < 20000; ++i) {
+      shared.add(static_cast<double>(rng.next_below(100000)));
+    }
+    const StreamingStats& ro = shared;
+
+    // Single-threaded reference answers.
+    const double q10 = ro.quantile(0.1), q50 = ro.quantile(0.5), q95 = ro.quantile(0.95);
+    const double med = ro.summary().median;
+
+    std::vector<std::thread> readers;
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < 8; ++t) {
+      readers.emplace_back([&] {
+        for (int i = 0; i < 50; ++i) {
+          if (ro.quantile(0.1) != q10 || ro.quantile(0.5) != q50 ||
+              ro.quantile(0.95) != q95 || ro.summary().median != med) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& th : readers) th.join();
+    EXPECT_EQ(mismatches.load(), 0);
+  }
+}
+
+}  // namespace

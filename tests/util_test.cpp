@@ -4,6 +4,7 @@
 // parsing.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 #include "util/bitio.hpp"
@@ -262,7 +263,11 @@ TEST(Stats, SummaryBasics) {
 TEST(Stats, SummaryEmpty) {
   const Summary s = summarize({});
   EXPECT_EQ(s.count, 0u);
-  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  // NaN, not 0.0: an empty accumulator must not look like a real zero sample.
+  EXPECT_TRUE(std::isnan(s.mean));
+  EXPECT_TRUE(std::isnan(s.median));
+  EXPECT_TRUE(std::isnan(s.min));
+  EXPECT_NE(s.to_string().find("n/a"), std::string::npos);
 }
 
 TEST(Stats, RegressionSlope) {
@@ -364,7 +369,7 @@ TEST(StreamingStats, EmptyCodecRoundTrip) {
   const StreamingStats empty;
   const StreamingStats back = streaming_stats_from_json(Json::parse(to_json(empty).dump()));
   EXPECT_EQ(back.count(), 0u);
-  EXPECT_EQ(back.quantile(0.5), 0.0);
+  EXPECT_TRUE(std::isnan(back.quantile(0.5)));
 }
 
 // --- Json --------------------------------------------------------------

@@ -11,7 +11,14 @@ machines differ in clock speed but scalar and batched backends scale
 together on a given host; a shrinking ratio means the batched kernels
 specifically got slower.
 
+Also gates the "aggregation" memory section: the sketch-mode fold of the
+synthetic million-cell sweep must peak below --max-rss-ratio (default 0.10)
+of the exact-mode fold, net of the probe child's load-time RSS floor. A
+baseline that has the section but a fresh run that lacks it fails loudly
+(the bench silently losing the probe is itself a regression).
+
 Usage: check_perf_smoke.py BASELINE.json FRESH.json [--tolerance 0.75]
+                           [--max-rss-ratio 0.10]
 """
 
 import argparse
@@ -32,14 +39,17 @@ def need(mapping, key, where):
     return mapping[key]
 
 
-def cells(path):
+def load(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except OSError as e:
         fail(f"cannot read {path}: {e.strerror or e}")
     except json.JSONDecodeError as e:
         fail(f"{path} is not valid JSON ({e}) -- truncated bench run?")
+
+
+def cells(doc, path):
     out = {}
     for i, inst in enumerate(need(doc, "instances", path)):
         where = f"{path} instances[{i}]"
@@ -56,10 +66,15 @@ def main():
     ap.add_argument("fresh")
     ap.add_argument("--tolerance", type=float, default=0.75,
                     help="minimum fresh/baseline speedup ratio (default 0.75)")
+    ap.add_argument("--max-rss-ratio", type=float, default=0.10,
+                    help="maximum sketch/exact net peak-RSS ratio for the "
+                         "aggregation section (default 0.10)")
     args = ap.parse_args()
 
-    base = cells(args.baseline)
-    fresh = cells(args.fresh)
+    base_doc = load(args.baseline)
+    fresh_doc = load(args.fresh)
+    base = cells(base_doc, args.baseline)
+    fresh = cells(fresh_doc, args.fresh)
 
     failed = False
     for key, base_speedup in sorted(base.items()):
@@ -78,6 +93,30 @@ def main():
 
     for key in sorted(set(fresh) - set(base)):
         print(f"new      {key[0]} / {key[1]}: speedup {fresh[key]:.2f}x (no baseline)")
+
+    # Aggregation memory gate: recorded, not recomputed, so the committed
+    # BENCH_batch.json is the auditable record of the sketch's memory win.
+    if "aggregation" in base_doc:
+        if "aggregation" not in fresh_doc:
+            print("MISSING  aggregation: section absent from fresh run "
+                  "(bench lost its RSS probe?)")
+            failed = True
+        else:
+            agg = fresh_doc["aggregation"]
+            where = f"{args.fresh} aggregation"
+            ratio = need(agg, "rss_ratio", where)
+            exact_kb = need(agg, "exact_peak_rss_kb", where)
+            sketch_kb = need(agg, "sketch_peak_rss_kb", where)
+            verdict = "ok" if ratio < args.max_rss_ratio else "REGRESSED"
+            print(f"{verdict:9s}aggregation: sketch peak RSS {sketch_kb} KiB vs "
+                  f"exact {exact_kb} KiB, net ratio {ratio:.3f} "
+                  f"(limit {args.max_rss_ratio})")
+            if ratio >= args.max_rss_ratio:
+                failed = True
+    elif "aggregation" in fresh_doc:
+        agg = fresh_doc["aggregation"]
+        print(f"new      aggregation: net RSS ratio "
+              f"{agg.get('rss_ratio', float('nan')):.3f} (no baseline)")
 
     return 1 if failed else 0
 

@@ -9,11 +9,12 @@
 //                             [--rounds=N] [--trace=out.csv]
 //   synccount_cli sweep       --f=3 [--modulus=16] [--seeds=5] [--threads=N]
 //                             [--table=3states|4states|file.table]
-//                             [--backend=auto|scalar]
+//                             [--backend=auto|scalar] [--stats=exact|sketch]
 //                             [--adversaries=split,lookahead|all]
 //                             [--placements=spread,blocks,leaders]
 //                             [--base-seed=S] [--rounds=N] [--margin=M]
-//                             [sink flags: --trace=FILE --trace-format=jsonl|csv
+//                             [sink flags: --trace=FILE
+//                              --trace-format=jsonl|csv|bin
 //                              --trace-outputs --checkpoint=FILE --progress]
 //                             [--shards=K] [--shard=i] [--emit=FILE]
 //   synccount_cli sweep       --spec=SPEC.json [--resume] [--threads=N]
@@ -74,7 +75,9 @@ void usage(std::ostream& os) {
         "              --f --modulus | --table=3states|4states|file.table\n"
         "              --backend=auto|scalar --adversaries --placements --seeds\n"
         "              --base-seed --rounds --margin --stop-after-stable --threads\n"
-        "              sink flags: --trace=FILE --trace-format=jsonl|csv\n"
+        "              --stats=exact|sketch  (sketch: mergeable KLL quantile\n"
+        "              sketches instead of retained samples; bounded memory)\n"
+        "              sink flags: --trace=FILE --trace-format=jsonl|csv|bin\n"
         "              --trace-outputs --checkpoint=FILE --progress\n"
         "              --shards=K [--shard=i] [--emit=FILE]  (distributed mode)\n"
         "              --spec=SPEC.json [--resume]  (run a spec file; --resume\n"
@@ -117,17 +120,17 @@ int cmd_plan(const util::Cli& cli) {
   if (const int rc = reject_unknown(
           cli, {"f", "modulus", "schedule", "k", "levels",
                 // Spec-emission mode shares the sweep grid + sink flags.
-                "table", "backend", "adversaries", "placements", "seeds", "base-seed",
-                "rounds", "margin", "stop-after-stable", "shards", "emit", "trace",
-                "trace-format", "trace-outputs", "checkpoint", "progress"})) {
+                "table", "backend", "stats", "adversaries", "placements", "seeds",
+                "base-seed", "rounds", "margin", "stop-after-stable", "shards", "emit",
+                "trace", "trace-format", "trace-outputs", "checkpoint", "progress"})) {
     return rc;
   }
   if (cli.has("emit")) return cmd_plan_spec(cli);
   // Without --emit the sweep-grid/sink flags would be silently ignored --
   // keep the strict-CLI promise and refuse them instead.
   for (const char* flag :
-       {"table", "backend", "adversaries", "placements", "seeds", "base-seed", "rounds",
-        "margin", "stop-after-stable", "shards", "trace", "trace-format",
+       {"table", "backend", "stats", "adversaries", "placements", "seeds", "base-seed",
+        "rounds", "margin", "stop-after-stable", "shards", "trace", "trace-format",
         "trace-outputs", "checkpoint", "progress"}) {
     if (cli.has(flag)) {
       std::cerr << "--" << flag << " requires spec-emission mode: plan ... --emit=SPEC.json\n";
@@ -262,6 +265,14 @@ int build_sweep_grid(const util::Cli& cli, SweepGrid& out) {
     return 2;
   }
 
+  const std::string stats = cli.get_string("stats", "exact");
+  if (stats == "sketch") {
+    spec.stats = util::StatsMode::kSketch;
+  } else if (stats != "exact") {
+    std::cerr << "unknown stats mode: " << stats << " (want exact|sketch)\n";
+    return 2;
+  }
+
   const std::string adv_arg = cli.get_string("adversaries", "split,random,lookahead");
   spec.adversaries =
       adv_arg == "all" ? sim::adversary_names() : cli.get_list("adversaries", adv_arg);
@@ -322,12 +333,12 @@ int apply_sink_flags(const util::Cli& cli, sim::ExperimentSpec& spec) {
       return 2;
     }
     cfg.format = cli.get_string("trace-format", "jsonl");
-    if (cfg.format != "jsonl" && cfg.format != "csv") {
-      std::cerr << "unknown trace format: " << cfg.format << " (want jsonl|csv)\n";
+    if (cfg.format != "jsonl" && cfg.format != "csv" && cfg.format != "bin") {
+      std::cerr << "unknown trace format: " << cfg.format << " (want jsonl|csv|bin)\n";
       return 2;
     }
     cfg.outputs = cli.get_bool("trace-outputs");
-    if (cfg.outputs && cfg.format == "csv") {
+    if (cfg.outputs && cfg.format != "jsonl") {
       std::cerr << "--trace-outputs requires --trace-format=jsonl\n";
       return 2;
     }
@@ -387,6 +398,29 @@ int print_partial_table(const sim::ShardPartial& partial) {
             << util::fmt_double(100.0 * t.stabilisation_rate(), 1) << "%), T "
             << t.stabilisation.to_string() << "\n";
   return t.stabilised == t.runs ? 0 : 1;
+}
+
+// The always-on per-group profiling counters (sim/profile.hpp) of what THIS
+// process executed: which backend each group landed on, its node-rounds
+// (executed rounds x correct nodes) and aggregate task compute time. Groups
+// skipped by a resume are not re-profiled and do not appear.
+void print_profile_table(const sim::ExperimentSpec& spec,
+                         const sim::ExperimentResult& executed) {
+  if (executed.profiles.empty() || executed.cells.empty()) return;
+  std::vector<std::string> adversaries;
+  std::vector<std::string> placements;
+  sim::grid_names(spec, adversaries, placements);
+  const auto n_seeds = static_cast<std::size_t>(spec.seeds);
+  util::Table t({"adversary", "placement", "backend", "node-rounds", "compute ms"});
+  for (std::size_t lg = 0; lg < executed.profiles.size(); ++lg) {
+    const auto& p = executed.profiles[lg];
+    const auto& cell = executed.cells[lg * n_seeds];
+    t.add_row({adversaries[cell.adversary], placements[cell.placement], p.backend_name(),
+               std::to_string(p.node_rounds()) + (p.saturated() ? "+" : ""),
+               util::fmt_double(static_cast<double>(p.nanos) / 1e6, 1)});
+  }
+  std::cout << "\nprofile (this process):\n";
+  t.print(std::cout);
 }
 
 int emit_partial(const std::string& path, const sim::ShardPartial& partial) {
@@ -543,10 +577,17 @@ int run_shard(const sim::ExperimentSpec& spec, const sim::ShardPlan& plan, int t
       // Companion trace files flush before the checkpoint line, so they hold
       // at least the checkpointed groups' rows; cut them back to exactly
       // those before appending.
+      const std::uint64_t groups_done = state.next_group - plan.group_begin;
       for (const sim::SinkConfig& cfg : spec.sinks) {
         if (cfg.kind != sim::SinkConfig::Kind::kTrace) continue;
+        if (cfg.format == "bin") {
+          // Binary traces are block-oriented: one header block plus one
+          // CRC-framed block per finished group.
+          sim::truncate_to_blocks(sim::sink_path(cfg, plan), 1 + groups_done);
+          continue;
+        }
         const std::uint64_t rows =
-            (state.next_group - plan.group_begin) * static_cast<std::uint64_t>(spec.seeds) +
+            groups_done * static_cast<std::uint64_t>(spec.seeds) +
             (cfg.format == "csv" ? 1 : 0);
         sim::truncate_to_lines(sim::sink_path(cfg, plan), rows);
       }
@@ -578,9 +619,9 @@ int run_shard(const sim::ExperimentSpec& spec, const sim::ShardPlan& plan, int t
 int cmd_sweep(const util::Cli& cli, const std::string& exe,
               const std::vector<std::string>& raw_args) {
   if (const int rc = reject_unknown(
-          cli, {"f", "modulus", "table", "backend", "adversaries", "placements", "seeds",
-                "base-seed", "rounds", "margin", "stop-after-stable", "threads", "shards",
-                "shard", "emit", "spec", "resume", "trace", "trace-format",
+          cli, {"f", "modulus", "table", "backend", "stats", "adversaries", "placements",
+                "seeds", "base-seed", "rounds", "margin", "stop-after-stable", "threads",
+                "shards", "shard", "emit", "spec", "resume", "trace", "trace-format",
                 "trace-outputs", "checkpoint", "progress"})) {
     return rc;
   }
@@ -589,9 +630,9 @@ int cmd_sweep(const util::Cli& cli, const std::string& exe,
     // The spec file is the single source of truth; grid and sink flags would
     // silently disagree with it, so they are rejected outright.
     for (const char* flag :
-         {"f", "modulus", "table", "backend", "adversaries", "placements", "seeds",
-          "base-seed", "rounds", "margin", "stop-after-stable", "trace", "trace-format",
-          "trace-outputs", "checkpoint"}) {
+         {"f", "modulus", "table", "backend", "stats", "adversaries", "placements",
+          "seeds", "base-seed", "rounds", "margin", "stop-after-stable", "trace",
+          "trace-format", "trace-outputs", "checkpoint"}) {
       if (cli.has(flag)) {
         std::cerr << "--" << flag << " conflicts with --spec (the spec file defines it)\n";
         return 2;
@@ -689,6 +730,7 @@ int cmd_sweep(const util::Cli& cli, const std::string& exe,
       if (const int rc = emit_partial(emit, partial)) return rc;
     }
     const int rc = print_partial_table(partial);
+    print_profile_table(spec, executed);
     std::cout << "wall: " << util::fmt_double(executed.wall_seconds, 2) << "s\n";
     return rc;
   }
