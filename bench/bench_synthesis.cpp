@@ -13,12 +13,22 @@
 // sweep (seeds x adversaries on the batched table backend) checks that the
 // observed stabilisation never exceeds the verifier-certified worst case.
 //
+// `bench_synthesis --json [path]` instead runs the parallel-engine perf
+// smoke: the |X| = 3 cyclic minimal-time re-discovery (R = 6, unlimited
+// budget) single-threaded vs portfolio-only vs portfolio+cubes, and merges
+// a "synthesis" section into the bench_micro --json record at `path`
+// (read-modify-write -- run it AFTER bench_micro, which rewrites the whole
+// file). check_perf_smoke.py gates the recorded speedups.
+//
 // Usage: bench_synthesis [--deep] [--budget=CONFLICTS] [--sim-seeds=N]
-//                        [--threads=N]
+//                        [--threads=N] [--json[=PATH]]
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "bench_common.hpp"
+#include "synthesis/portfolio.hpp"
 #include "synthesis/synthesize.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -61,10 +71,103 @@ std::string engine_check(const bench::Harness& harness, const std::string& label
   return "ok (" + bench::fmt_rate(res.total) + ", obs T<=" + std::to_string(worst) + ")";
 }
 
+// --- Parallel-engine perf smoke (--json) -------------------------------------
+
+// The re-discovery workload: the minimal-time instance of the embedded
+// 4/1/3-state cyclic counter, solved to completion (unlimited budget) so all
+// three modes have identical complete-search semantics and the comparison is
+// pure search-strategy speedup.
+int run_json_smoke(const std::string& path, int threads) {
+  using Clock = std::chrono::steady_clock;
+  synthesis::SynthesisSpec spec{4, 1, 3, 2, counting::Symmetry::kCyclic, 6};
+  synthesis::SynthesisOptions base{6, 6, 0};
+
+  const auto t0 = Clock::now();
+  const synthesis::SynthesisOutcome baseline = synthesize_incremental(spec, base);
+  const double baseline_ms =
+      1e3 * std::chrono::duration<double>(Clock::now() - t0).count();
+  if (!baseline.found || baseline.exact_time != 6) {
+    std::cerr << "baseline run failed to re-discover the R=6 table\n";
+    return 1;
+  }
+
+  struct Mode {
+    const char* name;
+    int cube_depth;
+  };
+  util::Json modes = util::Json::array();
+  std::cout << "baseline (incremental, 1 thread): " << baseline_ms << " ms, "
+            << baseline.total_conflicts << " conflicts\n";
+  for (const Mode mode : {Mode{"portfolio", 0}, Mode{"cubed", 3}}) {
+    synthesis::ParallelOptions opt;
+    opt.base = base;
+    opt.portfolio = 4;
+    opt.cube_depth = mode.cube_depth;
+    opt.threads = threads;
+    const auto t1 = Clock::now();
+    const synthesis::SynthesisOutcome out = synthesize_portfolio(spec, opt);
+    const double ms = 1e3 * std::chrono::duration<double>(Clock::now() - t1).count();
+    // Different modes may land on different (equally certified) R = 6
+    // tables; what must agree is the certified time, not the model.
+    if (!out.found || out.exact_time != 6) {
+      std::cerr << mode.name << " run did not re-discover an R=6 table\n";
+      return 1;
+    }
+    util::Json row = util::Json::object();
+    row.set("mode", util::Json::string(mode.name));
+    row.set("cube_depth", util::Json::number(mode.cube_depth));
+    row.set("portfolio", util::Json::number(4));
+    row.set("ms", util::Json::number(ms));
+    row.set("conflicts", util::Json::number(out.total_conflicts));
+    row.set("speedup", util::Json::number(baseline_ms / ms));
+    modes.push_back(std::move(row));
+    std::cout << mode.name << " (K=4, d=" << mode.cube_depth << "): " << ms << " ms, "
+              << out.total_conflicts << " conflicts, speedup "
+              << baseline_ms / ms << "x\n";
+  }
+
+  util::Json section = util::Json::object();
+  section.set("instance", util::Json::string("n=4 f=1 |X|=3 cyclic R=6"));
+  section.set("budget", util::Json::number(std::uint64_t{0}));
+  section.set("baseline_ms", util::Json::number(baseline_ms));
+  section.set("baseline_conflicts", util::Json::number(baseline.total_conflicts));
+  section.set("modes", std::move(modes));
+
+  // Merge into the bench_micro record rather than rewriting it: the two
+  // benches share one BENCH_batch.json.
+  util::Json doc = util::Json::object();
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in.good()) {
+      std::ostringstream raw;
+      raw << in.rdbuf();
+      try {
+        doc = util::Json::parse(raw.str());
+      } catch (const std::exception& e) {
+        std::cerr << path << " is not valid JSON (" << e.what() << ") -- rewriting\n";
+        doc = util::Json::object();
+      }
+    }
+  }
+  doc.set("synthesis", std::move(section));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    return 1;
+  }
+  out << doc.dump() << "\n";
+  std::cout << "wrote " << path << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Cli cli(argc, argv);
+  if (cli.has("json")) {
+    return run_json_smoke(cli.get_string("json", "BENCH_batch.json"),
+                          static_cast<int>(cli.get_int("threads", 0)));
+  }
   const bool deep = cli.get_bool("deep");
   const std::uint64_t budget = cli.get_u64("budget", 120000);
   const int sim_seeds = static_cast<int>(cli.get_int("sim-seeds", 64));

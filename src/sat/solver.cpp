@@ -5,16 +5,59 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/rng.hpp"
 
 namespace synccount::sat {
 
 namespace {
-constexpr double kVarDecay = 1.0 / 0.95;
 constexpr double kClaDecay = 1.0 / 0.999;
 constexpr double kRescaleLimit = 1e100;
 }  // namespace
 
 Solver::Solver() = default;
+
+Solver::Solver(const SolverConfig& config) { configure(config); }
+
+void Solver::configure(const SolverConfig& config) {
+  SC_REQUIRE(decision_level() == 0, "configure() only at the top level");
+  SC_CHECK(config.decay > 0.0 && config.decay <= 1.0, "decay must be in (0, 1]");
+  SC_CHECK(config.restart_scale >= 1, "restart_scale must be >= 1");
+  SC_CHECK(config.random_branch_freq >= 0.0 && config.random_branch_freq <= 1.0,
+           "random_branch_freq must be in [0, 1]");
+  config_ = config;
+  var_decay_inc_ = 1.0 / config.decay;
+  std::uint64_t s = config.seed;
+  rng_state_ = util::splitmix64(s) | 1;  // xorshift needs a non-zero state
+  for (std::uint32_t v0 = 0; v0 < num_vars_; ++v0) {
+    if (assigns_[v0] == LBool::kUndef) saved_phase_[v0] = initial_phase_of(v0);
+  }
+}
+
+bool Solver::initial_phase_of(std::uint32_t v0) const {
+  switch (config_.initial_phase) {
+    case SolverConfig::Phase::kFalse: return false;
+    case SolverConfig::Phase::kTrue: return true;
+    case SolverConfig::Phase::kRandom: {
+      // Hash (seed, var) so the phase is independent of creation order.
+      std::uint64_t h = util::hash_combine(config_.seed, v0);
+      return (util::splitmix64(h) & 1U) != 0;
+    }
+  }
+  return false;
+}
+
+std::uint64_t Solver::next_random() {
+  std::uint64_t x = rng_state_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  rng_state_ = x;
+  return x;
+}
+
+double Solver::next_random01() {
+  return static_cast<double>(next_random() >> 11) * 0x1.0p-53;
+}
 
 Var Solver::new_var() {
   ensure_var(num_vars_);
@@ -24,7 +67,7 @@ Var Solver::new_var() {
 void Solver::ensure_var(std::uint32_t v0) {
   while (num_vars_ <= v0) {
     assigns_.push_back(LBool::kUndef);
-    saved_phase_.push_back(false);
+    saved_phase_.push_back(initial_phase_of(num_vars_));
     level_.push_back(0);
     reason_.push_back(kRefUndef);
     activity_.push_back(0.0);
@@ -164,7 +207,7 @@ void Solver::bump_clause(Clause& c) {
 }
 
 void Solver::decay_activities() {
-  var_inc_ *= kVarDecay;
+  var_inc_ *= var_decay_inc_;
   cla_inc_ *= kClaDecay;
 }
 
@@ -222,6 +265,16 @@ std::uint32_t Solver::heap_pop() {
 }
 
 Solver::Lit Solver::pick_branch() {
+  // Seeded random tie-break: occasionally branch on a uniform heap pick
+  // instead of the activity maximum. Deterministic for a fixed config.
+  if (config_.random_branch_freq > 0.0 && !heap_.empty() &&
+      next_random01() < config_.random_branch_freq) {
+    const std::uint32_t v0 =
+        heap_[static_cast<std::size_t>(next_random() % heap_.size())];
+    if (assigns_[v0] == LBool::kUndef) {
+      return mk_lit(v0, !saved_phase_[v0]);
+    }
+  }
   while (!heap_.empty()) {
     const std::uint32_t v0 = heap_pop();
     if (assigns_[v0] == LBool::kUndef) {
@@ -411,9 +464,12 @@ Result Solver::solve_assuming(const std::vector<ExtLit>& assumptions,
   };
 
   for (;;) {
-    const std::uint64_t restart_limit = 100 * luby(restart_round++);
+    const std::uint64_t restart_limit = config_.restart_scale * luby(restart_round++);
     std::uint64_t conflicts_here = 0;
     for (;;) {
+      if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) {
+        return finish(Result::kCancelled);
+      }
       const ClauseRef confl = propagate();
       if (confl != kRefUndef) {
         ++stats_.conflicts;

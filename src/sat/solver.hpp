@@ -8,6 +8,7 @@
 // deletion. External literals use the DIMACS convention: +v / -v, v >= 1.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -22,11 +23,41 @@ enum class Result {
   kUnsat,             // unsatisfiable regardless of assumptions
   kUnsatAssumptions,  // unsatisfiable under the given assumptions only
   kUnknown,           // conflict budget exhausted
+  kCancelled,         // external stop flag raised mid-search
+};
+
+// Deterministic diversification knobs for portfolio search. Two solvers fed
+// the same clauses in the same order with the same config take bit-identical
+// search paths; varying the config yields genuinely different paths without
+// any nondeterminism.
+struct SolverConfig {
+  enum class Phase : std::uint8_t {
+    kFalse,   // classic MiniSat default: branch negative first
+    kTrue,    // branch positive first
+    kRandom,  // per-variable pseudo-random initial phase (hashed from seed)
+  };
+  std::uint64_t seed = 0;           // xorshift stream for tie-breaks & phases
+  double random_branch_freq = 0.0;  // P(decision is a random heap pick)
+  Phase initial_phase = Phase::kFalse;
+  std::uint64_t restart_scale = 100;  // Luby multiplier (conflicts per unit)
+  double decay = 0.95;                // VSIDS variable-activity decay
 };
 
 class Solver {
  public:
   Solver();
+  explicit Solver(const SolverConfig& config);
+
+  // Installs a diversification config. Must be called at decision level 0
+  // (i.e. between solves); re-seeds the tie-break stream and re-applies the
+  // initial-phase policy to every unassigned variable.
+  void configure(const SolverConfig& config);
+  const SolverConfig& config() const noexcept { return config_; }
+
+  // Cooperative cancellation: when `stop` is non-null and becomes true, the
+  // search returns kCancelled at the next conflict/decision boundary. The
+  // pointer must outlive the solve call; pass nullptr to detach.
+  void set_stop_flag(const std::atomic<bool>* stop) noexcept { stop_ = stop; }
 
   // Creates a fresh variable and returns its index (1-based).
   Var new_var();
@@ -98,6 +129,9 @@ class Solver {
   };
 
   void ensure_var(std::uint32_t v0);
+  bool initial_phase_of(std::uint32_t v0) const;
+  std::uint64_t next_random();   // xorshift64 tie-break stream
+  double next_random01();        // uniform in [0, 1)
   Lit to_internal(ExtLit e);
   void attach(ClauseRef cref);
   bool enqueue(Lit l, ClauseRef reason);
@@ -140,6 +174,11 @@ class Solver {
 
   bool ok_ = true;  // false once an empty clause exists at level 0
   Stats stats_;
+
+  SolverConfig config_;
+  double var_decay_inc_ = 1.0 / 0.95;  // derived from config_.decay
+  std::uint64_t rng_state_ = 0x9E3779B97F4A7C15ULL;  // xorshift64 state (non-zero)
+  const std::atomic<bool>* stop_ = nullptr;
 
   // Temporary buffers for analyze().
   std::vector<bool> seen_;

@@ -7,9 +7,11 @@
 #include <thread>
 #include <utility>
 
+#include "counting/table_io.hpp"
 #include "serve/protocol.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiment_io.hpp"
+#include "synthesis/portfolio.hpp"
 #include "util/check.hpp"
 #include "util/fault_injector.hpp"
 #include "util/socket.hpp"
@@ -80,6 +82,39 @@ std::uint64_t run_worker(const WorkerConfig& cfg) {
       continue;
     }
     const LeaseGrant grant = LeaseGrant::from_json(resp);
+    const Json* kind = grant.spec.find("kind");
+    if (kind != nullptr && kind->as_string() == "synth") {
+      // Synth job: each leased group is one cube, solved by the canonical
+      // priority scan -- the same deterministic protocol the local engine
+      // uses to re-derive winners, so recorded verdict lines are
+      // byte-identical no matter which worker (or how many) ran them.
+      const synthesis::SynthJobSpec job = synthesis::SynthJobSpec::from_json(grant.spec);
+      for (std::uint64_t g = grant.group_begin; g < grant.group_end; ++g) {
+        if (g != grant.group_begin && !faults.should_drop("worker.heartbeat")) {
+          Json hb = make_request("heartbeat");
+          hb.set("lease", Json::number(grant.lease_id));
+          if (!msg_bool(client.request(hb), "valid", false)) break;  // lease lost
+        }
+        faults.probe("worker.group");
+        const synthesis::CubeResult r = synthesis::solve_cube(job, g);
+        CubeCompleteRequest complete;
+        complete.lease_id = grant.lease_id;
+        complete.job = grant.job;
+        complete.cube = g;
+        complete.verdict = synthesis::to_string(r.verdict);
+        complete.config = r.config_index;
+        complete.conflicts = r.conflicts;
+        complete.decisions = r.decisions;
+        complete.restarts = r.restarts;
+        if (r.verdict == synthesis::CubeVerdict::kSat) {
+          complete.table = counting::table_to_string(r.table);
+        }
+        faults.probe("worker.complete");
+        (void)client.request(complete.to_json());  // accepted=false: benign dup
+        ++completed;
+      }
+      continue;
+    }
     const sim::ExperimentSpec spec = sim::experiment_spec_from_json(grant.spec);
     std::vector<std::string> adversaries, placements;
     sim::grid_names(spec, adversaries, placements);

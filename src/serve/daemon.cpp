@@ -145,20 +145,35 @@ Json Daemon::handle_heartbeat(const Json& req) {
 }
 
 Json Daemon::handle_complete(const Json& req) {
-  const CompleteRequest complete = CompleteRequest::from_json(req);
   // Record first, lease bookkeeping second: a complete from an expired (or
   // restart-forgotten) lease is still deterministic, durable progress --
-  // discarding it would only buy recomputation.
-  const bool accepted = queue_.record_done(complete.job, complete.group,
-                                           complete.adversary, complete.placement,
-                                           complete.aggregate);
+  // discarding it would only buy recomputation. A "cube" field marks a
+  // synth-job cube verdict; everything else is a sweep group.
+  bool accepted = false;
+  std::uint64_t lease_id = 0;
+  std::uint64_t group = 0;
+  if (req.has("cube")) {
+    const CubeCompleteRequest complete = CubeCompleteRequest::from_json(req);
+    accepted = queue_.record_cube(complete.job, complete.cube, complete.verdict,
+                                  complete.config, complete.conflicts,
+                                  complete.decisions, complete.restarts,
+                                  complete.table);
+    lease_id = complete.lease_id;
+    group = complete.cube;
+  } else {
+    const CompleteRequest complete = CompleteRequest::from_json(req);
+    accepted = queue_.record_done(complete.job, complete.group, complete.adversary,
+                                  complete.placement, complete.aggregate);
+    lease_id = complete.lease_id;
+    group = complete.group;
+  }
   const auto now = LeaseTable::Clock::now();
-  if (const Lease* lease = leases_.find(complete.lease_id)) {
-    if (complete.group + 1 >= lease->group_end) {
-      leases_.release(complete.lease_id);  // range finished
+  if (const Lease* lease = leases_.find(lease_id)) {
+    if (group + 1 >= lease->group_end) {
+      leases_.release(lease_id);  // range finished
     } else {
       // Progress is the strongest liveness signal there is.
-      leases_.renew(complete.lease_id, now, std::chrono::milliseconds(cfg_.lease_ttl_ms));
+      leases_.renew(lease_id, now, std::chrono::milliseconds(cfg_.lease_ttl_ms));
     }
   }
   Json resp = ok_response();
@@ -174,6 +189,7 @@ Json Daemon::handle_status(const Json& req) {
     if (only != nullptr && s.name != only->as_string()) continue;
     Json j = Json::object();
     j.set("job", Json::string(s.name));
+    j.set("kind", Json::string(s.kind));
     j.set("groups", Json::number(s.groups));
     j.set("done", Json::number(s.done));
     j.set("leased", Json::number(leases_.held_groups(s.name, now)));

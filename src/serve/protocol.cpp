@@ -112,4 +112,34 @@ CompleteRequest CompleteRequest::from_json(const Json& j) {
   return c;
 }
 
+// --- CubeCompleteRequest ---------------------------------------------------------
+
+Json CubeCompleteRequest::to_json() const {
+  Json j = make_request("complete");
+  j.set("lease", Json::number(lease_id));
+  j.set("job", Json::string(job));
+  j.set("cube", Json::number(cube));
+  j.set("verdict", Json::string(verdict));
+  j.set("config", Json::number(static_cast<std::int64_t>(config)));
+  j.set("conflicts", Json::number(conflicts));
+  j.set("decisions", Json::number(decisions));
+  j.set("restarts", Json::number(restarts));
+  if (!table.empty()) j.set("table", Json::string(table));
+  return j;
+}
+
+CubeCompleteRequest CubeCompleteRequest::from_json(const Json& j) {
+  CubeCompleteRequest c;
+  c.lease_id = msg_u64(j, "lease");
+  c.job = msg_string(j, "job");
+  c.cube = msg_u64(j, "cube");
+  c.verdict = msg_string(j, "verdict");
+  c.config = static_cast<int>(msg_field(j, "config").as_int());
+  c.conflicts = msg_u64(j, "conflicts");
+  c.decisions = msg_u64(j, "decisions");
+  c.restarts = msg_u64(j, "restarts");
+  if (const Json* t = j.find("table")) c.table = t->as_string();
+  return c;
+}
+
 }  // namespace synccount::serve

@@ -29,6 +29,9 @@
 //   complete   CompleteRequest (below) -> {"ok":true,"accepted":B}
 //              Durably records one finished group. accepted=false is a
 //              benign duplicate. Accepted even from an expired lease.
+//              Synth jobs complete cubes instead: a CubeCompleteRequest
+//              (distinguished by its "cube" field) with the canonical-scan
+//              verdict and, for SAT, the decoded model table.
 //   status     {} or {"job":NAME} -> {"ok":true,"draining":B,"jobs":[
 //              {"job":N,"groups":G,"done":D,"leased":L,"complete":B},...]}
 //   results    {"job":NAME} -> {"ok":true,"partial":TEXT}
@@ -99,6 +102,25 @@ struct CompleteRequest {
 
   util::Json to_json() const;  // the full request (op:"complete")
   static CompleteRequest from_json(const util::Json& j);
+};
+
+// One durably-recorded cube of a synth job: the canonical priority scan's
+// verdict (deterministic per (spec, cube)), its resolving config and solver
+// work, and -- for SAT -- the decoded model in counting table-text form.
+// Distinguished from a sweep CompleteRequest by the "cube" field.
+struct CubeCompleteRequest {
+  std::uint64_t lease_id = 0;
+  std::string job;
+  std::uint64_t cube = 0;
+  std::string verdict;  // "sat" | "unsat" | "unknown"
+  int config = -1;      // resolving config index; -1 when unknown
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t restarts = 0;
+  std::string table;  // counting::table_to_string text, non-empty iff sat
+
+  util::Json to_json() const;  // the full request (op:"complete")
+  static CubeCompleteRequest from_json(const util::Json& j);
 };
 
 }  // namespace synccount::serve

@@ -1,0 +1,60 @@
+// Cube-and-conquer splitting of a synthesis instance, plus the serializable
+// work-unit description shared by the local parallel engine and the sweep
+// service's `synth` job kind.
+//
+// A cube is an assumption set over the encoder's first `depth` g-selector
+// variables -- the transition-table entries for the lowest (node,
+// received-vector) indices, which sit at the bottom of the one-hot variable
+// layout. The 2^depth sign patterns are disjoint and exhaustive, so the
+// instance is satisfiable iff some cube is, and cube verdicts can be solved
+// completely independently (locally across a thread pool, remotely across
+// leased workers). Patterns violating the one-hot constraint propagate to a
+// conflict immediately, so the effective split is |X|-way per covered entry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "synthesis/encoder.hpp"
+#include "util/json.hpp"
+
+namespace synccount::synthesis {
+
+struct Cube {
+  std::uint64_t index = 0;                 // in [0, 2^depth)
+  std::vector<sat::ExtLit> assumptions;    // sign of var i = bit i of index
+};
+
+// The branch variables: the encoder's first `depth` g-selector variables in
+// (node, vec, target) order. depth must fit the g layer.
+std::vector<sat::Var> cube_branch_vars(const Encoder& enc, int depth);
+
+// All 2^depth cubes over cube_branch_vars, in index order.
+std::vector<Cube> split_cubes(const Encoder& enc, int depth);
+
+// The assumptions of cube `index` at depth `depth` (without materialising
+// the full set -- serve workers solve one leased cube at a time).
+Cube make_cube(const Encoder& enc, int depth, std::uint64_t index);
+
+// A self-contained synthesis work unit: one (spec, R) instance split into
+// 2^cube_depth cubes, solved by a K-config portfolio under a per-config
+// conflict budget. This is the payload of the serve `synth` job kind; its
+// JSON form is canonical (field order fixed by util::Json's object order),
+// so idempotent-resubmit comparison is byte-exact.
+struct SynthJobSpec {
+  SynthesisSpec spec;          // spec.max_time is the encoding bound M
+  int time_bound = 0;          // R <= M: assume -rank_exceeds(R) when R < M
+  int cube_depth = 0;          // 2^cube_depth cubes (0 = a single cube)
+  int portfolio = 1;           // K diversified solver configs
+  std::uint64_t conflict_budget = 0;  // per config per cube; 0 = unlimited
+
+  void validate() const;
+  util::Json to_json() const;
+  static SynthJobSpec from_json(const util::Json& j);
+};
+
+counting::Symmetry symmetry_from_string(const std::string& s);
+
+}  // namespace synccount::synthesis

@@ -1,11 +1,55 @@
 #include "synthesis/synthesize.hpp"
 
 #include <mutex>
+#include <sstream>
 
 #include "synthesis/known_tables.hpp"
 #include "util/check.hpp"
 
 namespace synccount::synthesis {
+
+namespace {
+
+const char* result_name(sat::Result r) {
+  switch (r) {
+    case sat::Result::kSat: return "sat";
+    case sat::Result::kUnsat: return "unsat";
+    case sat::Result::kUnsatAssumptions: return "unsat-assumptions";
+    case sat::Result::kUnknown: return "unknown";
+    case sat::Result::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+// Stat deltas between two snapshots of the same solver (incremental sweeps
+// accumulate; attempts report what each R actually cost).
+AttemptStats attempt_delta(int time_bound, sat::Result res,
+                           const sat::Solver::Stats& before,
+                           const sat::Solver::Stats& after) {
+  AttemptStats a;
+  a.time_bound = time_bound;
+  a.result = result_name(res);
+  a.conflicts = after.conflicts - before.conflicts;
+  a.decisions = after.decisions - before.decisions;
+  a.propagations = after.propagations - before.propagations;
+  a.restarts = after.restarts - before.restarts;
+  return a;
+}
+
+}  // namespace
+
+std::string SynthesisOutcome::stats_string() const {
+  std::ostringstream os;
+  for (const AttemptStats& a : attempts) {
+    os << "R=" << a.time_bound << " result=" << a.result
+       << " conflicts=" << a.conflicts << " decisions=" << a.decisions
+       << " propagations=" << a.propagations << " restarts=" << a.restarts << "\n";
+  }
+  os << "attempts=" << attempts.size() << " total_conflicts=" << total_conflicts
+     << " found=" << (found ? 1 : 0);
+  if (found) os << " R=" << time_bound_used << " exact_time=" << exact_time;
+  return os.str();
+}
 
 SynthesisOutcome synthesize(SynthesisSpec spec, const SynthesisOptions& options) {
   SC_CHECK(options.min_time >= 1 && options.min_time <= options.max_time,
@@ -17,6 +61,7 @@ SynthesisOutcome synthesize(SynthesisSpec spec, const SynthesisOptions& options)
     sat::Solver solver;
     enc.cnf().load_into(solver);
     const sat::Result res = solver.solve(options.conflict_budget);
+    out.attempts.push_back(attempt_delta(R, res, sat::Solver::Stats{}, solver.stats()));
     out.total_conflicts += solver.stats().conflicts;
     out.last_size = enc.size();
     if (res == sat::Result::kUnknown) {
@@ -55,10 +100,12 @@ SynthesisOutcome synthesize_incremental(SynthesisSpec spec, const SynthesisOptio
   for (int R = options.min_time; R <= options.max_time; ++R) {
     std::vector<sat::ExtLit> assumptions;
     if (R < options.max_time) assumptions.push_back(-enc.rank_exceeds_var(R));
-    const std::uint64_t before = solver.stats().conflicts;
-    const sat::Result res = solver.solve_assuming(assumptions, options.conflict_budget == 0
-                                                                   ? 0
-                                                                   : before + options.conflict_budget);
+    const sat::Solver::Stats before = solver.stats();
+    const sat::Result res =
+        solver.solve_assuming(assumptions, options.conflict_budget == 0
+                                               ? 0
+                                               : before.conflicts + options.conflict_budget);
+    out.attempts.push_back(attempt_delta(R, res, before, solver.stats()));
     out.total_conflicts = solver.stats().conflicts;
     if (res == sat::Result::kUnknown) {
       out.budget_exhausted = true;

@@ -4,8 +4,10 @@
 // (defence in depth: the verifier recomputes the worst-case time).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "counting/table_algorithm.hpp"
 #include "synthesis/encoder.hpp"
@@ -19,15 +21,31 @@ struct SynthesisOptions {
   std::uint64_t conflict_budget = 0;    // per solve() call; 0 = unlimited
 };
 
+// Per-R solver effort: one entry per attempted time bound, with the solver
+// stat deltas attributable to that attempt (not cumulative totals).
+struct AttemptStats {
+  int time_bound = 0;             // the R this attempt targeted
+  std::string result;             // "sat" | "unsat" | "unsat-assumptions" |
+                                  // "unknown" | "cancelled"
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+};
+
 struct SynthesisOutcome {
   bool found = false;
   bool budget_exhausted = false;              // some solve() returned kUnknown
   counting::TransitionTable table;            // valid when found
   int time_bound_used = 0;                    // R of the successful encoding
   std::uint64_t exact_time = 0;               // verifier-certified T(A)
-  std::uint64_t total_conflicts = 0;          // across all attempts
+  std::vector<AttemptStats> attempts;         // one entry per R attempted
+  std::uint64_t total_conflicts = 0;          // sum over attempts
   Encoder::SizeInfo last_size;                // of the last encoding tried
   std::string note;
+
+  // One line per attempt plus a totals line; stable format for logs/tests.
+  std::string stats_string() const;
 };
 
 // Synthesises a counter for the given spec (the spec's max_time is ignored;

@@ -16,9 +16,11 @@
 #include <sstream>
 
 #include "counting/algorithm_spec.hpp"
+#include "sat/dimacs.hpp"
 #include "sim/engine.hpp"
 #include "sim/experiment_io.hpp"
 #include "sim/faults.hpp"
+#include "synthesis/encoder.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -236,6 +238,38 @@ TEST(Cli, ShardedSpecWorkersMergeBitIdentically) {
                     dir.file("w2.jsonl") + " --emit=" + dir.file("merged.jsonl")),
             0);
   EXPECT_EQ(slurp(dir.file("merged.jsonl")), slurp(dir.file("full.jsonl")));
+}
+
+TEST(Cli, SynthEmitCnfRoundTripsThroughDimacs) {
+  REQUIRE_CLI();
+  TempDir dir;
+  const std::string cnf_path = dir.file("synth.cnf");
+  // R = 2 is UNSAT for the 4/1/3-state cyclic spec (the certified optimum
+  // is 6), and small enough to solve in-process here.
+  ASSERT_EQ(run_cli("synth --n=4 --f=1 --states=3 --symmetry=cyclic "
+                    "--max-time=2 --emit-cnf=" + cnf_path),
+            0);
+
+  synthesis::SynthesisSpec spec;
+  spec.n = 4;
+  spec.f = 1;
+  spec.num_states = 3;
+  spec.modulus = 2;
+  spec.symmetry = counting::Symmetry::kCyclic;
+  spec.max_time = 2;
+  const synthesis::Encoder enc(spec);
+
+  std::ifstream in(cnf_path);
+  ASSERT_TRUE(in.good()) << cnf_path;
+  const sat::Cnf parsed = sat::parse_dimacs(in);
+  EXPECT_EQ(parsed.num_vars, enc.cnf().num_vars);
+  EXPECT_EQ(parsed.clauses.size(), enc.cnf().clauses.size());
+
+  sat::Solver emitted, direct;
+  parsed.load_into(emitted);
+  enc.cnf().load_into(direct);
+  EXPECT_EQ(emitted.solve(), direct.solve());
+  EXPECT_EQ(emitted.solve(), sat::Result::kUnsat);
 }
 
 }  // namespace

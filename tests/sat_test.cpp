@@ -1,9 +1,12 @@
 // Tests for the CDCL SAT solver: hand-crafted instances, pigeonhole
-// principles (UNSAT), model validity, and randomized cross-validation
-// against a brute-force truth-table enumerator.
+// principles (UNSAT), model validity, randomized cross-validation against a
+// brute-force truth-table enumerator, and the portfolio-facing surface
+// (SolverConfig diversification, cooperative cancellation, stats).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <stdexcept>
 
 #include "sat/dimacs.hpp"
 #include "sat/solver.hpp"
@@ -273,6 +276,189 @@ TEST(SatSolver, StatsArePopulated) {
   EXPECT_GT(s.stats().conflicts, 0u);
   EXPECT_GT(s.stats().propagations, 0u);
   EXPECT_FALSE(s.stats_string().empty());
+}
+
+TEST(SatSolver, StatsMonotoneAcrossCalls) {
+  // Stats accumulate over an incremental solver's lifetime; callers compute
+  // per-attempt deltas from snapshots, so no field may ever step backwards.
+  Solver s;
+  add_php(s, 6, 6);
+  Solver::Stats prev = s.stats();
+  for (const int assumed : {1, 2, 3, 1, 2, 3}) {
+    ASSERT_NE(s.solve_assuming({assumed}), Result::kUnknown);
+    const Solver::Stats cur = s.stats();
+    EXPECT_GE(cur.conflicts, prev.conflicts);
+    EXPECT_GE(cur.decisions, prev.decisions);
+    EXPECT_GE(cur.propagations, prev.propagations);
+    EXPECT_GE(cur.restarts, prev.restarts);
+    EXPECT_GT(cur.decisions + cur.propagations, prev.decisions + prev.propagations);
+    prev = cur;
+  }
+}
+
+TEST(SatSolver, LearnedClausesPersistAcrossCalls) {
+  // A selector-gated pigeonhole: sel forces an extra pigeon, making the
+  // instance UNSAT under the assumption. The refutation is learned once;
+  // repeating the same assumption must reuse it rather than re-derive it.
+  Solver s;
+  const int holes = 5;
+  add_php(s, holes, holes);  // pigeons 0..4 placed normally
+  const int sel = holes * holes + 1;
+  const int extra_base = sel;  // vars extra(h) = sel + 1 + h
+  std::vector<ExtLit> clause;
+  for (int h = 0; h < holes; ++h) clause.push_back(extra_base + 1 + h);
+  clause.push_back(-sel);  // sel -> extra pigeon in some hole
+  s.add_clause(clause);
+  for (int h = 0; h < holes; ++h) {
+    for (int p = 0; p < holes; ++p) {
+      s.add_ternary(-sel, -(extra_base + 1 + h), -(p * holes + h + 1));
+    }
+  }
+  ASSERT_EQ(s.solve_assuming({sel}), Result::kUnsatAssumptions);
+  const std::uint64_t first = s.stats().conflicts;
+  ASSERT_GT(first, 0u);
+  ASSERT_EQ(s.solve_assuming({sel}), Result::kUnsatAssumptions);
+  const std::uint64_t second = s.stats().conflicts - first;
+  EXPECT_LT(second, first);
+  // And the ungated instance is still satisfiable.
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, UnitBinaryTernaryPropagation) {
+  Solver s;
+  s.add_unit(1);
+  s.add_binary(-1, 2);
+  s.add_ternary(-1, -2, 3);
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_TRUE(s.value(1));
+  EXPECT_TRUE(s.value(2));
+  EXPECT_TRUE(s.value(3));
+  // Two false literals in a ternary clause force the third.
+  Solver t;
+  t.add_ternary(1, 2, 3);
+  EXPECT_EQ(t.solve_assuming({-1, -2}), Result::kSat);
+  EXPECT_TRUE(t.value(3));
+  EXPECT_EQ(t.solve_assuming({-1, -2, -3}), Result::kUnsatAssumptions);
+}
+
+// --- SolverConfig (portfolio diversification) --------------------------------
+
+TEST(SolverConfig, ValidatesParameters) {
+  SolverConfig bad;
+  bad.decay = 0.0;
+  EXPECT_THROW(Solver{bad}, std::invalid_argument);
+  bad = SolverConfig{};
+  bad.decay = 1.5;
+  EXPECT_THROW(Solver{bad}, std::invalid_argument);
+  bad = SolverConfig{};
+  bad.random_branch_freq = -0.1;
+  EXPECT_THROW(Solver{bad}, std::invalid_argument);
+  bad = SolverConfig{};
+  bad.restart_scale = 0;
+  EXPECT_THROW(Solver{bad}, std::invalid_argument);
+}
+
+TEST(SolverConfig, InitialPhaseTruePicksTrue) {
+  SolverConfig cfg;
+  cfg.initial_phase = SolverConfig::Phase::kTrue;
+  Solver s(cfg);
+  s.add_clause({1, 2});
+  s.add_clause({3, 4});
+  EXPECT_EQ(s.solve(), Result::kSat);
+  // Every decision follows the phase policy; nothing forces a false.
+  EXPECT_TRUE(s.value(1));
+  EXPECT_TRUE(s.value(3));
+}
+
+TEST(SolverConfig, RandomPhaseIsSeedDeterministic) {
+  const auto model_bits = [](std::uint64_t seed) {
+    SolverConfig cfg;
+    cfg.initial_phase = SolverConfig::Phase::kRandom;
+    cfg.seed = seed;
+    Solver s(cfg);
+    for (int i = 0; i < 16; ++i) s.new_var();
+    s.add_clause({1, 2});
+    EXPECT_EQ(s.solve(), Result::kSat);
+    std::uint32_t bits = 0;
+    for (int v = 1; v <= 16; ++v) bits = bits << 1 | (s.value(v) ? 1u : 0u);
+    return bits;
+  };
+  EXPECT_EQ(model_bits(7), model_bits(7));
+  // Distinct seeds give distinct phase vectors (16 free vars: collision
+  // would be a 1-in-65536 accident, and this is deterministic anyway).
+  EXPECT_NE(model_bits(7), model_bits(8));
+}
+
+TEST(SolverConfig, ConfiguredRunsAreDeterministic) {
+  const auto run = [] {
+    SolverConfig cfg;
+    cfg.seed = 42;
+    cfg.random_branch_freq = 0.1;
+    cfg.initial_phase = SolverConfig::Phase::kRandom;
+    cfg.restart_scale = 32;
+    cfg.decay = 0.9;
+    Solver s(cfg);
+    add_php(s, 8, 7);
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+    return s.stats();
+  };
+  const Solver::Stats a = run();
+  const Solver::Stats b = run();
+  EXPECT_EQ(a.conflicts, b.conflicts);
+  EXPECT_EQ(a.decisions, b.decisions);
+  EXPECT_EQ(a.propagations, b.propagations);
+  EXPECT_EQ(a.restarts, b.restarts);
+}
+
+TEST(SolverConfig, DiversificationChangesTheSearch) {
+  const auto run = [](const SolverConfig& cfg) {
+    Solver s(cfg);
+    add_php(s, 8, 7);
+    EXPECT_EQ(s.solve(), Result::kUnsat);
+    return s.stats();
+  };
+  const Solver::Stats base = run(SolverConfig{});
+  SolverConfig diversified;
+  diversified.seed = 3;
+  diversified.random_branch_freq = 0.1;
+  diversified.initial_phase = SolverConfig::Phase::kRandom;
+  const Solver::Stats other = run(diversified);
+  EXPECT_NE(base.decisions, other.decisions);
+}
+
+TEST(SolverConfig, ReconfigureOnlyAtTopLevel) {
+  Solver s;
+  s.add_binary(1, 2);
+  SolverConfig cfg;
+  cfg.initial_phase = SolverConfig::Phase::kTrue;
+  s.configure(cfg);  // legal before/between solves
+  EXPECT_EQ(s.solve(), Result::kSat);
+  EXPECT_EQ(s.config().initial_phase, SolverConfig::Phase::kTrue);
+}
+
+// --- Cooperative cancellation ------------------------------------------------
+
+TEST(SatSolver, StopFlagCancelsImmediately) {
+  Solver s;
+  s.add_binary(1, 2);  // trivially SAT -- cancellation must still win
+  std::atomic<bool> stop{true};
+  s.set_stop_flag(&stop);
+  EXPECT_EQ(s.solve(), Result::kCancelled);
+  // Clearing the flag restores normal solving on the same instance.
+  stop.store(false);
+  EXPECT_EQ(s.solve(), Result::kSat);
+  s.set_stop_flag(nullptr);
+  EXPECT_EQ(s.solve(), Result::kSat);
+}
+
+TEST(SatSolver, CancelledSolveKeepsSolverUsable) {
+  Solver s;
+  add_php(s, 7, 6);
+  std::atomic<bool> stop{true};
+  s.set_stop_flag(&stop);
+  EXPECT_EQ(s.solve_assuming({1}), Result::kCancelled);
+  stop.store(false);
+  EXPECT_EQ(s.solve(), Result::kUnsat);
 }
 
 // --- DIMACS -----------------------------------------------------------------

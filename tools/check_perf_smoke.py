@@ -17,6 +17,12 @@ of the exact-mode fold, net of the probe child's load-time RSS floor. A
 baseline that has the section but a fresh run that lacks it fails loudly
 (the bench silently losing the probe is itself a regression).
 
+Also gates the "synthesis" section (written by `bench_synthesis --json`):
+each parallel-engine mode's speedup over the single-threaded incremental
+baseline must stay within the same ratio tolerance of its recorded value.
+Speedups are host-relative (both engines run on the same machine in the
+same process), so the ratio comparison is robust to CI machine changes.
+
 Usage: check_perf_smoke.py BASELINE.json FRESH.json [--tolerance 0.75]
                            [--max-rss-ratio 0.10]
 """
@@ -117,6 +123,37 @@ def main():
         agg = fresh_doc["aggregation"]
         print(f"new      aggregation: net RSS ratio "
               f"{agg.get('rss_ratio', float('nan')):.3f} (no baseline)")
+
+    # Synthesis engine gate: per-mode speedup over the incremental baseline
+    # (same host, same process -> the ratio is the search strategy's win).
+    def synth_modes(doc, path):
+        out = {}
+        section = doc.get("synthesis")
+        if section is None:
+            return out
+        for i, m in enumerate(need(section, "modes", f"{path} synthesis")):
+            where = f"{path} synthesis modes[{i}]"
+            out[need(m, "mode", where)] = need(m, "speedup", where)
+        return out
+
+    base_synth = synth_modes(base_doc, args.baseline)
+    fresh_synth = synth_modes(fresh_doc, args.fresh)
+    for mode, base_speedup in sorted(base_synth.items()):
+        if mode not in fresh_synth:
+            print(f"MISSING  synthesis / {mode}: mode absent from fresh run "
+                  f"(bench_synthesis --json not run after bench_micro?)")
+            failed = True
+            continue
+        ratio = fresh_synth[mode] / base_speedup
+        verdict = "ok" if ratio >= args.tolerance else "REGRESSED"
+        print(f"{verdict:9s}synthesis / {mode}: "
+              f"speedup {base_speedup:.2f}x -> {fresh_synth[mode]:.2f}x "
+              f"({ratio:.2f} of baseline)")
+        if ratio < args.tolerance:
+            failed = True
+    for mode in sorted(set(fresh_synth) - set(base_synth)):
+        print(f"new      synthesis / {mode}: speedup {fresh_synth[mode]:.2f}x "
+              f"(no baseline)")
 
     return 1 if failed else 0
 

@@ -23,6 +23,13 @@
 //   synccount_cli synthesize  --n=4 --f=1 --states=3 [--symmetry=cyclic]
 //                             [--max-time=8] [--incremental] [--budget=K]
 //                             [--dimacs=out.cnf]
+//   synccount_cli synth       --n=4 --f=1 --states=3 [--symmetry=cyclic]
+//                             [--min-time=1] [--max-time=8] [--portfolio=K]
+//                             [--cube-depth=d] [--jobs=N] [--budget=C]
+//                             [--no-prefilter] [--stats] [--save=FILE]
+//                             [--emit-cnf=FILE]  (parallel synthesis engine:
+//                             portfolio CDCL x cube-and-conquer; the result
+//                             is bit-identical for any --jobs)
 //   synccount_cli verify      [--load=file.table]  (default: embedded tables)
 //   synccount_cli consensus   --f=1 --values=8 --proposals=5,5,5,5 [--seed=S]
 //
@@ -57,6 +64,7 @@
 #include "sim/experiment_io.hpp"
 #include "sim/sink.hpp"
 #include "synccount/synccount.hpp"
+#include "synthesis/portfolio.hpp"
 
 using namespace synccount;
 
@@ -86,6 +94,11 @@ void usage(std::ostream& os) {
         "  synthesize  SAT-synthesize a table algorithm\n"
         "              --n --f --states --modulus --symmetry --min-time --max-time\n"
         "              --incremental --budget --dimacs --save\n"
+        "  synth       parallel synthesis: portfolio CDCL + cube-and-conquer +\n"
+        "              batch prefilter; deterministic result for any --jobs\n"
+        "              --n --f --states --modulus --symmetry --min-time --max-time\n"
+        "              --portfolio=K --cube-depth=d --jobs=N --budget=C\n"
+        "              --no-prefilter --stats --save=FILE --emit-cnf=FILE\n"
         "  verify      exact verification --load=file.table (default: embedded)\n"
         "  consensus   repeated consensus demo --f --values --proposals --seed --adversary\n"
         "see the header of tools/synccount_cli.cpp for details\n";
@@ -911,6 +924,82 @@ int cmd_synthesize(const util::Cli& cli) {
   return 0;
 }
 
+// The parallel synthesis engine (synthesis/portfolio.hpp): a K-config
+// portfolio racing 2^d cubes over a thread pool, with the empirical batch
+// prefilter ahead of the exact verifier. The printed table is bit-identical
+// for any --jobs value -- determinism is part of the engine's contract.
+int cmd_synth(const util::Cli& cli) {
+  if (const int rc = reject_unknown(
+          cli, {"n", "f", "states", "modulus", "symmetry", "min-time", "max-time",
+                "portfolio", "cube-depth", "jobs", "budget", "no-prefilter", "stats",
+                "save", "emit-cnf"})) {
+    return rc;
+  }
+  synthesis::SynthesisSpec spec;
+  spec.n = static_cast<int>(cli.get_int("n", 4));
+  spec.f = static_cast<int>(cli.get_int("f", 1));
+  spec.num_states = cli.get_u64("states", 3);
+  spec.modulus = cli.get_u64("modulus", 2);
+  spec.symmetry = parse_symmetry(cli.get_string("symmetry", "cyclic"));
+
+  synthesis::ParallelOptions opt;
+  opt.base.min_time = static_cast<int>(cli.get_int("min-time", 1));
+  opt.base.max_time = static_cast<int>(cli.get_int("max-time", 8));
+  opt.base.conflict_budget = cli.get_u64("budget", 100000);
+  opt.portfolio = static_cast<int>(cli.get_int("portfolio", 4));
+  opt.cube_depth = static_cast<int>(cli.get_int("cube-depth", 3));
+  opt.threads = static_cast<int>(cli.get_int("jobs", 0));
+  opt.prefilter = !cli.get_bool("no-prefilter", false);
+
+  if (cli.has("emit-cnf")) {
+    // Dump the encoding at the sweep's max_time bound: the emitted CNF is
+    // the exact instance the engine's R = max_time attempt solves (lower R
+    // values only add the -rank_exceeds(R) assumption).
+    spec.max_time = opt.base.max_time;
+    const synthesis::Encoder enc(spec);
+    const std::string path = cli.get_string("emit-cnf", "out.cnf");
+    std::ofstream out(path);
+    SC_CHECK(out.good(), "cannot write " + path);
+    sat::write_dimacs(enc.cnf(), out);
+    std::cout << "wrote " << enc.size().variables << " vars / " << enc.size().clauses
+              << " clauses to " << path << "\n";
+    return 0;
+  }
+
+  synthesis::ParallelOutcomeInfo info;
+  const auto out = synthesize_portfolio(spec, opt, &info);
+  if (cli.get_bool("stats", false)) std::cout << out.stats_string() << "\n";
+  std::cout << "cubes: " << info.cubes_sat << " sat, " << info.cubes_unsat
+            << " unsat, " << info.cubes_unknown << " unknown, "
+            << info.cubes_cancelled << " cancelled; prefilter "
+            << info.prefilter_rejections << "/" << info.prefilter_runs
+            << " rejected\n";
+  if (!out.found) {
+    std::cout << (out.budget_exhausted ? "budget exhausted" : "UNSAT (optimality proof)")
+              << " after " << out.total_conflicts << " conflicts\n";
+    return 1;
+  }
+  std::cout << "found: certified worst-case stabilisation " << out.exact_time
+            << " rounds (admissible bound " << out.time_bound_used << ", cube "
+            << info.winning_cube << ", config " << info.winning_config << ")\n";
+  if (cli.has("save")) {
+    const std::string path = cli.get_string("save", "counter.table");
+    std::ofstream file(path);
+    counting::write_table(out.table, file);
+    std::cout << "saved to " << path << "\n";
+  }
+  std::cout << "g = {";
+  for (std::size_t i = 0; i < out.table.g.size(); ++i) {
+    std::cout << static_cast<int>(out.table.g[i]) << (i + 1 < out.table.g.size() ? "," : "");
+  }
+  std::cout << "}\nh = {";
+  for (std::size_t i = 0; i < out.table.h.size(); ++i) {
+    std::cout << static_cast<int>(out.table.h[i]) << (i + 1 < out.table.h.size() ? "," : "");
+  }
+  std::cout << "}\n";
+  return 0;
+}
+
 int cmd_verify(const util::Cli& cli) {
   if (const int rc = reject_unknown(cli, {"load"})) return rc;
   std::vector<counting::TransitionTable> tables;
@@ -1006,6 +1095,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "merge") return cmd_merge(cli);
     if (cmd == "synthesize") return cmd_synthesize(cli);
+    if (cmd == "synth") return cmd_synth(cli);
     if (cmd == "verify") return cmd_verify(cli);
     if (cmd == "consensus") return cmd_consensus(cli);
     std::cerr << "unknown command: " << cmd << "\n";

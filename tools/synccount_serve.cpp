@@ -22,6 +22,13 @@
 // writes the merged shard-partial file, byte-identical to a single-process
 // `synccount_cli sweep --spec=SPEC.json --emit=FILE` of the same spec.
 // Unknown flags and subcommands exit with status 2, like synccount_cli.
+//
+// A spec file whose top level is {"kind":"synth",...} submits a synthesis
+// cube job instead (synthesis::SynthJobSpec): workers lease cubes, solve
+// them with the canonical portfolio scan, and the first SAT cube (in cube
+// order, not arrival order) drains the job; results are the deterministic
+// cube-verdict prefix plus the winning model, byte-identical to a local
+// synthesize_portfolio run of the same spec.
 #include <unistd.h>
 
 #include <chrono>
@@ -33,6 +40,7 @@
 #include "serve/daemon.hpp"
 #include "serve/protocol.hpp"
 #include "sim/experiment_io.hpp"
+#include "synthesis/cube.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 
@@ -145,11 +153,32 @@ int cmd_submit(const util::Cli& cli) {
     std::cerr << "cannot read spec file: " << spec_file << "\n";
     return 1;
   }
-  const sim::ExperimentSpec spec = sim::read_spec_file(in, spec_file);
+  std::ostringstream raw;
+  raw << in.rdbuf();
+
+  // A top-level {"kind":"synth",...} object is a synthesis cube job
+  // (synthesis::SynthJobSpec); anything else parses as an ExperimentSpec
+  // sweep, exactly as before.
+  util::Json spec_json;
+  util::Json parsed;
+  bool synth = false;
+  try {
+    parsed = util::Json::parse(raw.str());
+    synth = parsed.type() == util::Json::Type::kObject && parsed.has("kind") &&
+            parsed.at("kind").as_string() == "synth";
+  } catch (const std::exception&) {
+    // Not a bare JSON object; fall through to the sweep-spec reader.
+  }
+  if (synth) {
+    spec_json = synthesis::SynthJobSpec::from_json(parsed).to_json();
+  } else {
+    std::istringstream replay(raw.str());
+    spec_json = sim::experiment_spec_to_json(sim::read_spec_file(replay, spec_file));
+  }
 
   util::Json req = serve::make_request("submit");
   req.set("job", util::Json::string(job));
-  req.set("spec", sim::experiment_spec_to_json(spec));
+  req.set("spec", spec_json);
   const util::Json resp = do_request(cli, req);
   const std::uint64_t groups = serve::msg_u64(resp, "groups");
   std::cerr << "job " << job << ": " << serve::msg_u64(resp, "done") << "/" << groups
@@ -183,7 +212,10 @@ int cmd_status(const util::Cli& cli) {
   const util::Json& jobs = resp.at("jobs");
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const util::Json& j = jobs.at(i);
-    std::cout << j.at("job").as_string() << ": " << serve::msg_u64(j, "done") << "/"
+    const util::Json* kind = j.find("kind");
+    std::cout << j.at("job").as_string()
+              << (kind != nullptr && kind->as_string() == "synth" ? " (synth)" : "")
+              << ": " << serve::msg_u64(j, "done") << "/"
               << serve::msg_u64(j, "groups") << " done, " << serve::msg_u64(j, "leased")
               << " leased" << (serve::msg_bool(j, "complete", false) ? " [complete]" : "")
               << "\n";
