@@ -36,6 +36,9 @@ namespace synccount::bench {
 // beats hardware concurrency (0).
 inline int thread_count(const util::Cli& cli) {
   if (cli.has("threads")) return static_cast<int>(cli.get_int("threads", 0));
+  // synccount-lint: allow(nondet) -- documented SYNCCOUNT_THREADS override
+  // for bench drivers; thread count never changes result bytes (engine
+  // contract), only wall time.
   if (const char* env = std::getenv("SYNCCOUNT_THREADS")) return std::atoi(env);
   return 0;
 }

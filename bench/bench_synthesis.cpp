@@ -78,7 +78,6 @@ std::string engine_check(const bench::Harness& harness, const std::string& label
 // three modes have identical complete-search semantics and the comparison is
 // pure search-strategy speedup.
 int run_json_smoke(const std::string& path, int threads) {
-  using Clock = std::chrono::steady_clock;
   synthesis::SynthesisSpec spec{4, 1, 3, 2, counting::Symmetry::kCyclic, 6};
   synthesis::SynthesisOptions base{6, 6, 0};
 

@@ -34,6 +34,8 @@ struct TransitionContext {
   util::Rng* rng = nullptr;
   std::uint64_t messages_pulled = 0;
 
+  // synccount-lint: allow(nondet) -- accessor named rand() by analogy, but it
+  // hands out the seeded deterministic util::Rng, not libc's global PRNG.
   util::Rng& rand() {
     SC_REQUIRE(rng != nullptr, "randomised algorithm invoked without an Rng");
     return *rng;

@@ -52,8 +52,20 @@ int Daemon::run() {
   return 0;
 }
 
+// The lease subsystem is wall-clock-driven by design: deadlines are real
+// elapsed time, so a crashed worker's groups requeue without any cooperation
+// from the corpse. Results stay deterministic regardless -- completes are
+// deduped first-wins per (job, group), so *when* a lease expires can never
+// change *what* bytes a job's results hold. This is the daemon's single
+// clock read; every handler takes the instant from here.
+LeaseTable::Clock::time_point Daemon::clock_now() {
+  // synccount-lint: allow(nondet) -- lease deadlines are real time by design;
+  // completes are (job, group)-deduped so timing never reaches result bytes.
+  return LeaseTable::Clock::now();
+}
+
 void Daemon::sweep_expired() {
-  for (const Lease& lease : leases_.sweep_expired(LeaseTable::Clock::now())) {
+  for (const Lease& lease : leases_.sweep_expired(clock_now())) {
     *log_ << "synccount_serve: lease " << lease.id << " (" << lease.job << " groups ["
           << lease.group_begin << ", " << lease.group_end << "), worker "
           << lease.worker << ") expired -- requeued" << std::endl;
@@ -108,7 +120,7 @@ Json Daemon::handle_lease(const Json& req) {
   const std::string& worker = msg_string(req, "worker");
   const std::uint64_t max_groups =
       req.has("max_groups") ? msg_u64(req, "max_groups") : cfg_.lease_groups;
-  const auto now = LeaseTable::Clock::now();
+  const auto now = clock_now();
   JobQueue::Assignment assignment;
   const bool granted =
       !draining_ &&
@@ -137,7 +149,7 @@ Json Daemon::handle_lease(const Json& req) {
 }
 
 Json Daemon::handle_heartbeat(const Json& req) {
-  const bool valid = leases_.renew(msg_u64(req, "lease"), LeaseTable::Clock::now(),
+  const bool valid = leases_.renew(msg_u64(req, "lease"), clock_now(),
                                    std::chrono::milliseconds(cfg_.lease_ttl_ms));
   Json resp = ok_response();
   resp.set("valid", Json::boolean(valid));
@@ -167,7 +179,7 @@ Json Daemon::handle_complete(const Json& req) {
     lease_id = complete.lease_id;
     group = complete.group;
   }
-  const auto now = LeaseTable::Clock::now();
+  const auto now = clock_now();
   if (const Lease* lease = leases_.find(lease_id)) {
     if (group + 1 >= lease->group_end) {
       leases_.release(lease_id);  // range finished
@@ -182,7 +194,7 @@ Json Daemon::handle_complete(const Json& req) {
 }
 
 Json Daemon::handle_status(const Json& req) {
-  const auto now = LeaseTable::Clock::now();
+  const auto now = clock_now();
   const Json* only = req.find("job");
   Json jobs = Json::array();
   for (const JobQueue::JobStatus& s : queue_.status()) {

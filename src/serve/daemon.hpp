@@ -66,6 +66,7 @@ class Daemon {
   util::Json handle_status(const util::Json& req);
   util::Json handle_results(const util::Json& req);
   void sweep_expired();
+  static LeaseTable::Clock::time_point clock_now();
 
   DaemonConfig cfg_;
   JobQueue queue_;

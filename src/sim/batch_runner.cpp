@@ -4,6 +4,7 @@
 #include <array>
 #include <bit>
 #include <cstdlib>
+#include <cstring>
 
 #if defined(__x86_64__)
 #include <immintrin.h>
@@ -19,6 +20,8 @@ namespace synccount::sim {
 
 int default_batch_words() noexcept {
   static const int words = [] {
+    // synccount-lint: allow(nondet) -- documented SYNCCOUNT_BATCH_WORDS pin,
+    // read once; plane width changes throughput only, results stay bit-equal.
     if (const char* env = std::getenv("SYNCCOUNT_BATCH_WORDS")) {
       const int v = std::atoi(env);
       if (v == 1 || v == 2 || v == 4 || v == 8) return v;
@@ -50,8 +53,12 @@ constexpr std::size_t kLanesPerWord = 64;
 __attribute__((target("avx2"))) inline void planes_from_bytes_avx2(const std::uint8_t* src,
                                                                    std::uint64_t& b0,
                                                                    std::uint64_t& b1) {
-  const __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src));
-  const __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + 32));
+  // memcpy, not reinterpret_cast + loadu: same single vmovdqu instruction,
+  // but without forming a pointer whose strict-aliasing status is debatable.
+  __m256i lo;
+  __m256i hi;
+  std::memcpy(&lo, src, sizeof(lo));
+  std::memcpy(&hi, src + 32, sizeof(hi));
   const auto l0 = static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_slli_epi64(lo, 7)));
   const auto h0 = static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_slli_epi64(hi, 7)));
   const auto l1 = static_cast<std::uint32_t>(_mm256_movemask_epi8(_mm256_slli_epi64(lo, 6)));

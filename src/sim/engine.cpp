@@ -224,10 +224,10 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
   const auto prof_nanos = std::make_unique<std::atomic<std::uint64_t>[]>(n_groups);
   const auto record_profile = [&](std::size_t local_group, std::uint64_t tag,
                                   std::uint64_t work,
-                                  std::chrono::steady_clock::time_point t0) {
+                                  ProfileClock::time_point t0) {
     profile_record(prof_packed[local_group], tag, work);
     const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - t0)
+                        profile_now() - t0)
                         .count();
     prof_nanos[local_group].fetch_add(static_cast<std::uint64_t>(ns),
                                       std::memory_order_relaxed);
@@ -304,7 +304,7 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
       for (std::size_t s0 = 0; s0 < n_seeds; s0 += chunk) {
         const std::size_t count = std::min(chunk, n_seeds - s0);
         tasks.push_back([&, a, group, s0, count, p, local_group] {
-          const auto t0 = std::chrono::steady_clock::now();
+          const auto t0 = profile_now();
           BatchConfig bc;
           bc.algo = shared_algo;
           bc.composed = composed;
@@ -334,7 +334,7 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
     } else {
       for (std::size_t s = 0; s < n_seeds; ++s) {
         tasks.push_back([&, local_group, idx = group + s] {
-          const auto t0 = std::chrono::steady_clock::now();
+          const auto t0 = profile_now();
           run_cell(idx);
           record_profile(local_group, GroupProfile::kScalar,
                          node_rounds_of(out.cells[idx - cell_offset].result), t0);
@@ -344,7 +344,7 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
     }
   }
 
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = profile_now();
   if (pool_) {
     // Contain task failures (a sink hitting ENOSPC, a bad adversary name):
     // an exception escaping into a pool worker would std::terminate the
@@ -364,7 +364,7 @@ ExperimentResult Engine::run(const ExperimentSpec& spec, const ShardPlan& shard,
     for (auto& task : tasks) task();
   }
   out.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+      std::chrono::duration<double>(profile_now() - t0).count();
 
   out.profiles.resize(n_groups);
   for (std::size_t lg = 0; lg < n_groups; ++lg) {

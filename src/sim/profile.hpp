@@ -16,10 +16,21 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <string>
 
 namespace synccount::sim {
+
+// The one sanctioned wall-clock read in the simulation layer. Profiling
+// counters and elapsed-time reporting route through here so synccount-lint's
+// nondet rule can see, from a single allowlisted site, that clock values feed
+// observability only -- never wire bytes or experiment results.
+using ProfileClock = std::chrono::steady_clock;
+
+inline ProfileClock::time_point profile_now() noexcept {
+  return ProfileClock::now();
+}
 
 struct GroupProfile {
   // Backend tag values (bits [63:62] of `packed`).

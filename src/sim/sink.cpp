@@ -128,9 +128,9 @@ void TraceSink::on_cell(const CellOutcome& cell) {
     j.set("correct_ids", std::move(ids));
     Json rounds = Json::array();
     for (const auto& round : r.outputs) {
-      Json row = Json::array();
-      for (const std::uint64_t v : round) row.push_back(Json::number(v));
-      rounds.push_back(std::move(row));
+      Json cells = Json::array();
+      for (const std::uint64_t v : round) cells.push_back(Json::number(v));
+      rounds.push_back(std::move(cells));
     }
     j.set("outputs", std::move(rounds));
   }

@@ -24,9 +24,15 @@ std::uint64_t parse_u64(const std::string& s, const std::string& what) {
 }  // namespace
 
 FaultInjector& FaultInjector::instance() {
+  // synccount-lint: allow(global-state) -- intentionally process-global: the
+  // injector must survive from first probe to the killing fault; configured
+  // once under the magic-static lock, then only probed.
   static FaultInjector* injector = [] {
     auto* inj = new FaultInjector();
+    // synccount-lint: allow(nondet) -- SYNCCOUNT_FAULTS is the documented
+    // fault-injection interface; faults fire deterministically per spec+seed.
     const char* spec = std::getenv("SYNCCOUNT_FAULTS");
+    // synccount-lint: allow(nondet) -- same documented interface, seed knob.
     const char* seed = std::getenv("SYNCCOUNT_FAULTS_SEED");
     if (spec != nullptr && *spec != '\0') {
       inj->configure(spec, seed != nullptr ? parse_u64(seed, "seed") : 0xFA017);

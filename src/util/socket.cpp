@@ -65,6 +65,8 @@ LineSocket LineSocket::connect_unix(const std::string& path, int timeout_ms) {
   // returns EAGAIN); a plain blocking connect cannot wedge the way a TCP
   // SYN can, so the timeout only guards the backlog-full retry edge.
   (void)timeout_ms;
+  // synccount-lint: allow(cast) -- POSIX-mandated sockaddr_un -> sockaddr
+  // pun; connect() only reads through the common initial sa_family_t member.
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd);
     return LineSocket();
@@ -133,6 +135,8 @@ UnixListener::UnixListener(const std::string& path) : path_(path) {
   // a *live* daemon still fails the bind below because it holds the name
   // only until we unlink -- callers are expected to own the path.
   ::unlink(path.c_str());
+  // synccount-lint: allow(cast) -- POSIX-mandated sockaddr_un -> sockaddr
+  // pun; bind() only reads through the common initial sa_family_t member.
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd_, 64) != 0) {
     const std::string err = std::strerror(errno);

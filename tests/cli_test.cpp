@@ -27,6 +27,8 @@ namespace {
 
 using namespace synccount;
 
+// synccount-lint: allow(nondet) -- ctest hands this test the real binary's
+// path via the environment (see CMakeLists); no result bytes depend on it.
 const char* cli_binary() { return std::getenv("SYNCCOUNT_CLI"); }
 
 #define REQUIRE_CLI()                                                       \

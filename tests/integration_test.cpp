@@ -59,8 +59,14 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepCase{5, "targeted-vote", "blocks"},
                       SweepCase{5, "random", "spread"}, SweepCase{7, "split", "blocks"}),
     [](const ::testing::TestParamInfo<SweepCase>& pinfo) {
-      std::string name = "f" + std::to_string(pinfo.param.f) + "_" + pinfo.param.adversary +
-                         "_" + pinfo.param.placement;
+      // Appends, not one operator+ chain: GCC 12's -Wrestrict false-positive
+      // (PR105651) fires on chained std::string concatenation under -O2.
+      std::string name = "f";
+      name += std::to_string(pinfo.param.f);
+      name += "_";
+      name += pinfo.param.adversary;
+      name += "_";
+      name += pinfo.param.placement;
       for (auto& ch : name) {
         if (ch == '-') ch = '_';
       }

@@ -1,0 +1,14 @@
+// Fixture: no violations at all; must lint clean with zero suppressions.
+// Mentions of banned tokens inside comments and string literals must NOT
+// fire: "std::random_device, rand(), time(), reinterpret_cast".
+// Not compiled -- analyzed by tests/lint_test.py via synccount_lint.py.
+#include <cstdint>
+#include <string>
+
+// A comment saying getenv("PATH") or steady_clock::now() is fine.
+std::string describe(std::uint64_t seed) {
+  const std::string note = "derived with rand() and srand(), honest!";
+  std::uint64_t mixed = seed * 0x9E3779B97F4A7C15ULL;
+  const std::uint64_t runtime_cost = mixed ^ (mixed >> 31);  // not time( )
+  return note + std::to_string(runtime_cost);
+}

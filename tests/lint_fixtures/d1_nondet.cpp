@@ -1,0 +1,17 @@
+// Fixture: rule D1 (nondet) must fire on each nondeterminism source below.
+// Not compiled -- analyzed by tests/lint_test.py via synccount_lint.py.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int harvest_entropy() {
+  std::random_device rd;  // line 9: random_device
+  std::srand(rd());       // line 10: srand
+  int noise = rand();     // line 11: rand
+  noise += static_cast<int>(time(nullptr));  // line 12: time
+  const auto t = std::chrono::steady_clock::now();  // line 13: clock read
+  if (std::getenv("HOME") != nullptr) noise += 1;   // line 14: getenv
+  (void)t;
+  return noise;
+}

@@ -1,0 +1,15 @@
+// synccount-lint: path(src/serve/fixture_codec.cpp)
+// Fixture: rule D2 (unordered-iter) must fire -- the path() directive above
+// scopes this file into the wire paths, where unordered containers are
+// banned outright (iteration order leaks into wire bytes).
+// Not compiled -- analyzed by tests/lint_test.py via synccount_lint.py.
+#include <string>
+#include <unordered_map>
+
+std::string serialize_counts(const std::unordered_map<int, int>& counts) {  // line 9
+  std::string out;
+  for (const auto& [k, v] : counts) {
+    out += std::to_string(k) + ":" + std::to_string(v) + ",";
+  }
+  return out;
+}

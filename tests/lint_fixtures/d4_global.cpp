@@ -1,0 +1,22 @@
+// synccount-lint: path(src/util/fixture_counters.cpp)
+// Fixture: rule D4 (global-state) must fire on the mutable statics below and
+// stay quiet on the sanctioned shapes (const, atomic, thread_local, mutex).
+// Not compiled -- analyzed by tests/lint_test.py via synccount_lint.py.
+#include <atomic>
+#include <mutex>
+#include <string>
+
+int bump() {
+  static int calls = 0;          // line 10: mutable static counter
+  static std::string last_tag;   // line 11: mutable static object
+  static const int base = 7;     // ok: const
+  static constexpr int k = 3;    // ok: constexpr
+  static std::atomic<int> hits{0};          // ok: atomic
+  static thread_local int scratch = 0;      // ok: thread_local
+  static std::mutex mu;                     // ok: synchronization primitive
+  (void)last_tag;
+  (void)scratch;
+  (void)mu;
+  hits.fetch_add(1);
+  return ++calls + base + k;
+}

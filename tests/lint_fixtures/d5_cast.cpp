@@ -1,0 +1,7 @@
+// Fixture: rule D5 (cast) must fire on the unjustified reinterpret_cast.
+// Not compiled -- analyzed by tests/lint_test.py via synccount_lint.py.
+#include <cstdint>
+
+std::uint32_t first_word(const unsigned char* bytes) {
+  return *reinterpret_cast<const std::uint32_t*>(bytes);  // line 6: bare cast
+}

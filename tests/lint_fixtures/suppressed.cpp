@@ -1,0 +1,17 @@
+// Fixture: every violation below carries a valid, reasoned suppression, so
+// the file must lint clean (exit 0) -- proving each rule respects allow().
+// Not compiled -- analyzed by tests/lint_test.py via synccount_lint.py.
+#include <cstdint>
+#include <cstdlib>
+
+int configured_width() {
+  // synccount-lint: allow(nondet) -- fixture: documented config knob, read
+  // once at startup; exercises a multi-line wrapped justification too.
+  const char* env = std::getenv("FIXTURE_WIDTH");
+  return env != nullptr ? std::atoi(env) : 4;
+}
+
+std::uint32_t first_word(const unsigned char* bytes) {
+  // synccount-lint: allow(cast) -- fixture: pretend this is a justified site.
+  return *reinterpret_cast<const std::uint32_t*>(bytes);
+}

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Tests for tools/lint/synccount_lint.py.
+
+Each rule D1-D5 must fire at exactly the expected (line, rule) sites on its
+fixture under tests/lint_fixtures/, a valid suppression must silence its
+finding, malformed suppressions must themselves be findings, and -- when a
+compile database is available (SYNCCOUNT_LINT_COMPDB, set by ctest) -- the
+real tree must come out with zero unsuppressed findings.
+
+Runs under plain unittest so it needs nothing beyond the stdlib:
+
+    python3 tests/lint_test.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINTER = os.path.join(REPO_ROOT, "tools", "lint", "synccount_lint.py")
+FIXTURES = os.path.join(REPO_ROOT, "tests", "lint_fixtures")
+
+
+def run_lint(*args):
+    """Runs the linter; returns (exit code, stdout lines, stderr)."""
+    proc = subprocess.run(
+        [sys.executable, LINTER, *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    lines = [ln for ln in proc.stdout.splitlines() if ln.strip()]
+    return proc.returncode, lines, proc.stderr
+
+
+def findings_of(lines):
+    """Parses `file:line: rule: message` diagnostics into (file, line, rule)."""
+    out = []
+    for line in lines:
+        parts = line.split(":", 3)
+        if len(parts) == 4 and parts[1].isdigit():
+            out.append((parts[0], int(parts[1]), parts[2].strip()))
+    return out
+
+
+def lint_fixture(name):
+    rc, lines, stderr = run_lint("--files", os.path.join(FIXTURES, name))
+    return rc, findings_of(lines), stderr
+
+
+class FixtureRules(unittest.TestCase):
+    """Each rule fires exactly where the fixture plants its violation."""
+
+    def assert_findings(self, name, expected):
+        rc, found, stderr = lint_fixture(name)
+        rel = os.path.join("tests", "lint_fixtures", name)
+        self.assertEqual(rc, 2, stderr)
+        self.assertEqual(found, [(rel, line, rule) for line, rule in expected])
+
+    def test_d1_nondet_fires_on_every_source(self):
+        self.assert_findings("d1_nondet.cpp", [
+            (9, "nondet"),   # std::random_device
+            (10, "nondet"),  # srand
+            (11, "nondet"),  # rand
+            (12, "nondet"),  # time
+            (13, "nondet"),  # steady_clock::now
+            (14, "nondet"),  # getenv
+        ])
+
+    def test_d2_unordered_fires_in_wire_path(self):
+        self.assert_findings("d2_unordered.cpp", [(9, "unordered-iter")])
+
+    def test_d3_rawio_fires_on_each_write_style(self):
+        self.assert_findings("d3_rawio.cpp", [
+            (13, "raw-io"),  # std::ofstream
+            (15, "raw-io"),  # ::open
+            (16, "raw-io"),  # ::write
+        ])
+
+    def test_d4_global_state_fires_only_on_mutable_statics(self):
+        self.assert_findings("d4_global.cpp", [
+            (10, "global-state"),  # static int calls
+            (11, "global-state"),  # static std::string last_tag
+            # const/constexpr/atomic/thread_local/mutex lines stay quiet.
+        ])
+
+    def test_d5_cast_fires_on_bare_reinterpret_cast(self):
+        self.assert_findings("d5_cast.cpp", [(6, "cast")])
+
+    def test_valid_suppressions_silence_their_findings(self):
+        rc, found, stderr = lint_fixture("suppressed.cpp")
+        self.assertEqual(rc, 0, f"findings: {found}\n{stderr}")
+        self.assertEqual(found, [])
+        self.assertIn("2 suppressed", stderr)
+
+    def test_clean_fixture_passes(self):
+        rc, found, stderr = lint_fixture("clean.cpp")
+        self.assertEqual(rc, 0, f"findings: {found}\n{stderr}")
+        self.assertEqual(found, [])
+        self.assertIn("0 suppressed", stderr)
+
+
+class SuppressionAudit(unittest.TestCase):
+    """The audit trail stays honest: bad suppressions are findings."""
+
+    def lint_source(self, text):
+        with tempfile.NamedTemporaryFile(
+                "w", suffix=".cpp", dir=FIXTURES, delete=False) as f:
+            f.write(text)
+            path = f.name
+        try:
+            rc, lines, stderr = run_lint("--files", path)
+        finally:
+            os.unlink(path)
+        return rc, findings_of(lines), stderr
+
+    def test_missing_reason_is_a_finding(self):
+        rc, found, _ = self.lint_source(
+            "// synccount-lint: allow(cast)\n"
+            "int* p = reinterpret_cast<int*>(0);\n")
+        self.assertEqual(rc, 2)
+        self.assertEqual([f[2] for f in found], ["suppression", "cast"])
+
+    def test_unknown_rule_is_a_finding(self):
+        rc, found, _ = self.lint_source(
+            "// synccount-lint: allow(no-such-rule) -- because\n")
+        self.assertEqual(rc, 2)
+        self.assertEqual([f[2] for f in found], ["suppression"])
+
+    def test_unused_suppression_is_a_finding(self):
+        rc, found, _ = self.lint_source(
+            "// synccount-lint: allow(cast) -- nothing to suppress here\n"
+            "int x = 0;\n")
+        self.assertEqual(rc, 2)
+        self.assertEqual([f[2] for f in found], ["suppression"])
+
+    def test_suppression_does_not_leak_past_code(self):
+        # The allow() is spent on the intervening code line, so the cast on
+        # the line after it must still be reported.
+        rc, found, _ = self.lint_source(
+            "// synccount-lint: allow(cast) -- covers the next code line\n"
+            "int y = 0;\n"
+            "int* p = reinterpret_cast<int*>(0);\n")
+        self.assertEqual(rc, 2)
+        self.assertEqual([(f[1], f[2]) for f in found],
+                         [(1, "suppression"), (3, "cast")])
+
+    def test_path_directive_rejected_outside_fixtures(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".cpp",
+                                         dir=os.path.join(REPO_ROOT, "tests"),
+                                         delete=False) as f:
+            f.write("// synccount-lint: path(src/serve/x.cpp)\nint x;\n")
+            path = f.name
+        try:
+            rc, lines, _ = run_lint("--files", path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(rc, 2)
+        self.assertEqual([f[2] for f in findings_of(lines)], ["suppression"])
+
+
+class FixListReport(unittest.TestCase):
+    def test_json_report_matches_diagnostics(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            report_path = os.path.join(tmp, "report.json")
+            rc, lines, _ = run_lint(
+                "--files", os.path.join(FIXTURES, "d5_cast.cpp"),
+                "--fix-list", report_path)
+            self.assertEqual(rc, 2)
+            with open(report_path, encoding="utf-8") as f:
+                report = json.load(f)
+        self.assertEqual(report["version"], 1)
+        self.assertEqual(report["files_analyzed"], 1)
+        self.assertEqual(
+            [(f["file"], f["line"], f["rule"]) for f in report["findings"]],
+            findings_of(lines))
+
+    def test_quiet_mode_prints_nothing(self):
+        rc, lines, stderr = run_lint(
+            "--files", os.path.join(FIXTURES, "d5_cast.cpp"), "--quiet")
+        self.assertEqual(rc, 2)
+        self.assertEqual(lines, [])
+        self.assertEqual(stderr, "")
+
+
+class FullTree(unittest.TestCase):
+    """The real tree is lint-clean (the PR's acceptance criterion)."""
+
+    def test_compile_database_is_clean(self):
+        compdb = os.environ.get("SYNCCOUNT_LINT_COMPDB")
+        if not compdb:
+            self.skipTest("SYNCCOUNT_LINT_COMPDB not set (run via ctest, or "
+                          "export it to a build dir with compile_commands.json)")
+        rc, lines, stderr = run_lint("--compdb", compdb)
+        self.assertEqual(rc, 0, "tree has unsuppressed findings:\n"
+                         + "\n".join(lines) + "\n" + stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

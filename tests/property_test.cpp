@@ -219,8 +219,15 @@ INSTANTIATE_TEST_SUITE_P(
                       GridCase{4, 1, 100}, GridCase{5, 1, 7}, GridCase{6, 1, 3},
                       GridCase{6, 1, 960}, GridCase{4, 1, 2304}),
     [](const ::testing::TestParamInfo<GridCase>& pinfo) {
-      return "k" + std::to_string(pinfo.param.k) + "_F" + std::to_string(pinfo.param.F) +
-             "_C" + std::to_string(pinfo.param.C);
+      // Appends, not one operator+ chain: GCC 12's -Wrestrict false-positive
+      // (PR105651) fires on chained std::string concatenation under -O2.
+      std::string name = "k";
+      name += std::to_string(pinfo.param.k);
+      name += "_F";
+      name += std::to_string(pinfo.param.F);
+      name += "_C";
+      name += std::to_string(pinfo.param.C);
+      return name;
     });
 
 // --- Planner properties across the whole schedule family -------------------------

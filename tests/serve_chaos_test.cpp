@@ -29,6 +29,8 @@ namespace {
 
 using namespace synccount;
 
+// synccount-lint: allow(nondet) -- ctest hands this test the real binaries'
+// paths via the environment (see CMakeLists); no result bytes depend on it.
 const char* serve_binary() { return std::getenv("SYNCCOUNT_SERVE"); }
 
 #define REQUIRE_SERVE()                                                      \

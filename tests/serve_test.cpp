@@ -165,9 +165,12 @@ TEST(FaultInjector, ParsesPlansAndFiresOnce) {
 TEST(FaultInjector, StallSleepsInsteadOfDying) {
   util::FaultInjector fi;
   fi.configure("slow=stall:30@1");
+  // synccount-lint: allow(nondet) -- this test asserts real elapsed time: a
+  // stall fault must actually sleep, which only a wall clock can observe.
   const auto t0 = std::chrono::steady_clock::now();
   fi.probe("slow");
   const auto elapsed =
+      // synccount-lint: allow(nondet) -- second read of the same measurement.
       std::chrono::duration_cast<milliseconds>(std::chrono::steady_clock::now() - t0);
   EXPECT_GE(elapsed.count(), 25);
 }
@@ -247,7 +250,7 @@ TEST(AtomicDeathTest, KillAfterCommitLeavesTheNewContent) {
 
 TEST(LeaseTable, GrantRenewExpireRequeue) {
   serve::LeaseTable leases;
-  const auto t0 = serve::LeaseTable::Clock::now();
+  const auto t0 = serve::LeaseTable::Clock::time_point{};  // fixed epoch: leases take instants explicitly
   const auto id = leases.grant("job", 2, 5, "w1", t0, milliseconds(100));
   EXPECT_TRUE(leases.held("job", 2, t0));
   EXPECT_TRUE(leases.held("job", 4, t0));
@@ -274,7 +277,7 @@ TEST(LeaseTable, SweepWithNothingExpiredLeavesLivingLeasesIntact) {
   // leases, emptying their string members -- held() stopped matching and
   // every group became double-assignable after any request.
   serve::LeaseTable leases;
-  const auto t0 = serve::LeaseTable::Clock::now();
+  const auto t0 = serve::LeaseTable::Clock::time_point{};  // fixed epoch: leases take instants explicitly
   const auto id = leases.grant("job", 0, 3, "w1", t0, milliseconds(1000));
   EXPECT_TRUE(leases.sweep_expired(t0 + milliseconds(10)).empty());
   ASSERT_EQ(leases.size(), 1u);
@@ -287,7 +290,7 @@ TEST(LeaseTable, SweepWithNothingExpiredLeavesLivingLeasesIntact) {
 
 TEST(LeaseTable, ReleaseAndIdUniqueness) {
   serve::LeaseTable leases;
-  const auto t0 = serve::LeaseTable::Clock::now();
+  const auto t0 = serve::LeaseTable::Clock::time_point{};  // fixed epoch: leases take instants explicitly
   const auto a = leases.grant("j", 0, 1, "w", t0, milliseconds(50));
   const auto b = leases.grant("j", 1, 2, "w", t0, milliseconds(50));
   EXPECT_NE(a, b);

@@ -61,6 +61,7 @@
 
 #include "counting/algorithm_spec.hpp"
 #include "counting/table_io.hpp"
+#include "sim/profile.hpp"
 #include "sim/experiment_io.hpp"
 #include "sim/sink.hpp"
 #include "synccount/synccount.hpp"
@@ -749,7 +750,7 @@ int cmd_sweep(const util::Cli& cli, const std::string& exe,
   }
 
   // --- Orchestrator: fork K local workers and merge their partials ---------
-  const auto t0 = std::chrono::steady_clock::now();
+  const auto t0 = sim::profile_now();
   std::vector<std::string> worker_files;
   const bool keep_partials = !emit.empty();
   std::string tmp_base;
@@ -819,7 +820,7 @@ int cmd_sweep(const util::Cli& cli, const std::string& exe,
   const int rc = print_partial_table(merged);
   std::cout << "wall: "
             << util::fmt_double(std::chrono::duration<double>(
-                                    std::chrono::steady_clock::now() - t0)
+                                    sim::profile_now() - t0)
                                     .count(),
                                 2)
             << "s (" << shards << " workers)\n";
